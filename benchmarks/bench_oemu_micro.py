@@ -1,0 +1,95 @@
+"""OEMU mechanism microbenchmarks (Figures 2, 3, 4, 5 cost side).
+
+Times the primitive operations the paper's mechanisms add: the
+instrumentation pass itself, a delayed store round trip through the
+virtual store buffer, a versioned load through the store history, and
+the two Figure 5 test shapes end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.fuzzer.hints import calculate_hints
+from repro.fuzzer.sti import STI, Call, profile_sti
+from repro.kernel.kernel import Kernel, KernelImage
+from repro.kir import Builder, Program
+from repro.kir.insn import Load, Store
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE
+from repro.oemu.instrument import instrument_program
+
+
+def test_instrumentation_pass(benchmark, plain_image):
+    """Figure 2: rewriting the whole kernel program."""
+    program, report = benchmark(lambda: instrument_program(plain_image.plain_program))
+    assert report.rewritten > 0
+    print(
+        f"\npass rewrote {report.rewritten}/{report.total_insns} instructions "
+        f"across {report.functions} functions ({report.fraction:.0%})"
+    )
+
+
+def _delayed_store_machine():
+    b = Builder("w")
+    b.store(DATA_BASE, 0, 1)
+    b.store(DATA_BASE + 8, 0, 2)
+    b.wmb()
+    b.ret()
+    program, _ = instrument_program(Program([b.function()]))
+    return program
+
+
+def test_delayed_store_roundtrip(benchmark):
+    """Figure 3: delay, forward, flush."""
+    program = _delayed_store_machine()
+
+    def run():
+        m = Machine(program)
+        t = m.spawn("w")
+        store = next(i for i in program.function("w").insns if isinstance(i, Store))
+        m.oemu.delay_store_at(t.thread_id, store.addr)
+        m.interp.run(t)
+        return m.memory.load(DATA_BASE, 8)
+
+    assert benchmark(run) == 1
+
+
+def test_versioned_load_roundtrip(benchmark):
+    """Figure 4: store history reconstruction."""
+    b = Builder("r")
+    b.rmb()
+    v = b.load(DATA_BASE, 0)
+    b.ret(v)
+    rb = Builder("w")
+    rb.store(DATA_BASE, 0, 7)
+    rb.ret()
+    program, _ = instrument_program(Program([b.function(), rb.function()]))
+
+    def run():
+        m = Machine(program)
+        reader = m.spawn("r", cpu=0)
+        load = next(i for i in program.function("r").insns if isinstance(i, Load))
+        m.oemu.read_old_value_at(reader.thread_id, load.addr)
+        m.interp.step(reader)  # rmb
+        m.run("w", cpu=1)
+        return m.interp.run(reader)
+
+    assert benchmark(run) == 0  # the old value
+
+
+def test_hint_calculation(benchmark, buggy_image):
+    """Algorithm 1+2 over a realistic syscall pair."""
+    sti = STI((Call("watch_queue_create"), Call("watch_queue_post", (9,)), Call("pipe_read")))
+    profile = profile_sti(buggy_image, sti)
+    hints = benchmark(
+        lambda: calculate_hints(profile.profiles[1], profile.profiles[2])
+    )
+    assert hints
+
+
+def test_kernel_boot(benchmark, buggy_image):
+    """Fresh-kernel cost (paid per MTI, cf. VM reuse in the baseline)."""
+    kernel = benchmark(lambda: Kernel(buggy_image))
+    assert kernel.glob("wq_pipe")

@@ -1,0 +1,63 @@
+"""Table 4 — reproducing previously-reported OOO bugs (paper §6.2).
+
+For each known bug: build the syzbot-style input, sweep scheduling
+hints, and count the tests needed to trigger it.  Paper shape: 8/9
+reproduced within tens of tests, tls_err_abort as ✓* (wrong return
+value, no crash), sbitmap ✗ (thread migration) but ✓ with the manual
+per-CPU modification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.campaign import reproduce_bug, run_table4
+from repro.bench.tables import render_table
+from repro.kernel import bugs
+
+
+@pytest.fixture(scope="module")
+def table4_results():
+    return run_table4(with_sbitmap_modification=True)
+
+
+def test_table4_reproduction(benchmark, table4_results):
+    spec = bugs.get("t4_watch_queue")
+    benchmark.pedantic(lambda: reproduce_bug(spec), rounds=5, iterations=1)
+
+    rows = []
+    for r in table4_results:
+        base_id = r.bug_id.split("+", 1)[0]
+        spec = bugs.get(base_id)
+        rows.append(
+            (
+                f"#{spec.number}" + ("+manual" if r.bug_id.endswith("+manual") else ""),
+                spec.subsystem,
+                spec.kernel_version,
+                r.checkmark(),
+                r.n_tests if r.reproduced else "-",
+                r.trigger_type or spec.reorder_type,
+            )
+        )
+    print()
+    print(
+        render_table(
+            "Table 4: previously-reported OOO bugs",
+            ["ID", "Subsystem", "Version", "Reproduced?", "# of tests", "Type"],
+            rows,
+            note="paper: 8/9 reproduced (#6 sbitmap fails without the manual "
+            "per-CPU modification; #8 is a wrong-return-value symptom)",
+        )
+    )
+
+    by_id = {r.bug_id: r for r in table4_results}
+    # Paper shape assertions:
+    reproduced = [r for r in table4_results if "+" not in r.bug_id and r.reproduced]
+    assert len(reproduced) == 8
+    assert not by_id["t4_sbitmap"].reproduced
+    assert by_id["t4_sbitmap+manual"].reproduced
+    assert by_id["t4_tls_err"].checkmark() == "v*"
+    # Reordering types must match the paper's Type column.
+    for r in reproduced:
+        spec = bugs.get(r.bug_id)
+        assert r.trigger_type == spec.reorder_type, (r.bug_id, r.trigger_type)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Expensive campaign results are computed once per session and shared by
+the timing benchmarks and the table printers.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.config import KernelConfig  # noqa: E402
+from repro.kernel.kernel import KernelImage  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def buggy_image():
+    """The evaluation target: every seeded bug present, OEMU on."""
+    return KernelImage(KernelConfig())
+
+
+@pytest.fixture(scope="session")
+def plain_image():
+    """The Syzkaller-style baseline build: no OEMU instrumentation."""
+    return KernelImage(KernelConfig(instrumented=False))

@@ -1,0 +1,13 @@
+"""Repo-level pytest configuration.
+
+Makes ``src/`` importable even when the package has not been installed
+(useful on offline machines where ``pip install -e .`` cannot build a
+PEP 660 wheel; ``python setup.py develop`` is the supported fallback).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Figure 10 (paper §10.4): the synthetic Rust OOO bug.
+
+The paper's Rust example is two threads doing relaxed stores/loads::
+
+    thread_1.x.store(1, Ordering::Relaxed);  |  thread_2.y.store(1, Ordering::Relaxed);
+    thread_1.y.load(Ordering::Relaxed)       |  thread_2.x.load(Ordering::Relaxed)
+    // afterwards: assert!(x == 1 || y == 1)
+
+That is the store-buffering (SB) litmus shape: the assertion fails only
+when both loads read 0, which requires store-load reordering.  OEMU is
+language-agnostic (it instruments at the IR level), so the same
+emulation that finds C kernel bugs triggers this Rust-shaped violation —
+and ``smp_mb()`` (Ordering::SeqCst fences) removes it.
+
+Run:  python examples/rust_relaxed.py
+"""
+
+from repro.litmus import LitmusRunner, store_buffering
+
+VIOLATION = (0, 0)  # r1 == 0 and r2 == 0: assert!(x == 1 || y == 1) fails
+
+
+def main() -> None:
+    print("Ordering::Relaxed (no fences), enumerating OEMU behaviours ...")
+    relaxed = LitmusRunner(store_buffering(mb=False)).check()
+    print(f"  outcomes under interleaving only: {sorted(relaxed.sc_observed)}")
+    print(f"  outcomes with OEMU reordering:    {sorted(relaxed.weak_observed)}")
+    assert VIOLATION in relaxed.weak_observed
+    assert VIOLATION not in relaxed.sc_observed
+    print("  -> the assertion violation (x==0 && y==0) manifests, and ONLY under")
+    print("     out-of-order execution — no thread interleaving can produce it.\n")
+
+    print("with SeqCst fences (smp_mb) between the store and the load ...")
+    fenced = LitmusRunner(store_buffering(mb=True)).check()
+    print(f"  outcomes with OEMU reordering:    {sorted(fenced.weak_observed)}")
+    assert VIOLATION not in fenced.weak_observed
+    print("  -> the violation is gone: the fence pair fixes the Rust code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""OZZ reproduction — in-vivo memory access reordering for kernel OOO bugs.
+
+A complete, laptop-scale reproduction of "OZZ: Identifying Kernel
+Out-of-Order Concurrency Bugs with In-Vivo Memory Access Reordering"
+(SOSP 2024), built on a simulated kernel:
+
+* :mod:`repro.kir` — the kernel IR and interpreter (the "machine"),
+* :mod:`repro.mem` — memory, slab allocator, store buffer/history,
+* :mod:`repro.oemu` — OEMU: the in-vivo out-of-order emulation (§3),
+* :mod:`repro.sched` — the custom scheduler and Figure 5 executor,
+* :mod:`repro.oracles` — KASAN, fault, lockdep, KCSAN, assertions,
+* :mod:`repro.kernel` — the simulated Linux with 19 seeded OOO bugs,
+* :mod:`repro.fuzzer` — OZZ itself (§4) plus comparison baselines,
+* :mod:`repro.litmus` — LKMM-compliance litmus suite (§3.3),
+* :mod:`repro.bench` — drivers regenerating every evaluation table.
+
+Quickstart::
+
+    from repro.config import KernelConfig
+    from repro.kernel import KernelImage
+    from repro.fuzzer import OzzFuzzer
+
+    fuzzer = OzzFuzzer(KernelImage(KernelConfig()), seed=1)
+    fuzzer.run(40)
+    print(fuzzer.crashdb.summary())
+"""
+
+from repro.config import KernelConfig, buggy_config, fixed_config
+from repro.errors import KernelCrash, ReproError
+from repro.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KernelConfig",
+    "KernelCrash",
+    "Machine",
+    "ReproError",
+    "buggy_config",
+    "fixed_config",
+    "__version__",
+]

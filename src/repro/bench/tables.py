@@ -1,0 +1,38 @@
+"""Table rendering for benchmark output.
+
+The benchmark harness prints tables in the same row format as the
+paper's, so paper-vs-measured comparison (EXPERIMENTS.md) is by-eye.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str], rows: Sequence[Sequence], note: str = "") -> str:
+    cols = len(headers)
+    widths = [len(str(h)) for h in headers]
+    str_rows: List[List[str]] = []
+    for row in rows:
+        cells = [str(c) for c in row]
+        cells += [""] * (cols - len(cells))
+        str_rows.append(cells)
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} =="]
+    out.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for cells in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    if note:
+        out.append(note)
+    return "\n".join(out)
+
+
+def fmt_ratio(value: float) -> str:
+    return f"{value:.1f}x"
+
+
+def fmt_us(value_seconds: float) -> str:
+    return f"{value_seconds * 1e6:.1f}"

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation:
+
+========== ===========================================================
+fuzz       run the OZZ campaign on the buggy kernel (§6.1 / Table 3)
+table4     reproduce the previously-reported bugs (§6.2 / Table 4)
+lmbench    measure OEMU instrumentation overhead (§6.3.1 / Table 5)
+throughput OZZ vs the in-order baseline (§6.3.2)
+litmus     validate OEMU against the LKMM (§3.3)
+ofence     static paired-barrier comparison (§6.4)
+bugs       list the seeded bug registry
+========== ===========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.config import KernelConfig
+    from repro.fuzzer import OzzFuzzer
+    from repro.kernel.kernel import KernelImage
+
+    patched = frozenset(args.patch or [])
+    image = KernelImage(KernelConfig(patched=patched))
+    fuzzer = OzzFuzzer(image, seed=args.seed)
+    start = time.perf_counter()
+    fuzzer.run(args.iterations)
+    elapsed = time.perf_counter() - start
+    print(fuzzer.crashdb.summary())
+    print(
+        f"\n{fuzzer.stats.tests_run} tests in {elapsed:.1f}s "
+        f"({fuzzer.stats.tests_run / elapsed:.1f} tests/s), "
+        f"coverage {fuzzer.stats.coverage}"
+    )
+    print(f"Table 3: {len(fuzzer.crashdb.found_table3())}/11, "
+          f"Table 4: {len(fuzzer.crashdb.found_table4())}/9")
+    if args.repro:
+        for title in fuzzer.crashdb.unique_titles:
+            mini = fuzzer.minimized_reproducer(title)
+            if mini is not None:
+                print()
+                print(mini.describe(image))
+    return 0
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    from repro.bench.campaign import run_table4
+    from repro.bench.tables import render_table
+    from repro.kernel import bugs
+
+    rows = []
+    for r in run_table4():
+        base = r.bug_id.split("+", 1)[0]
+        spec = bugs.get(base)
+        rows.append((r.bug_id, spec.subsystem, r.checkmark(),
+                     r.n_tests if r.reproduced else "-", r.trigger_type or "-"))
+    print(render_table("Table 4", ["ID", "Subsystem", "Repro?", "# tests", "Type"], rows))
+    return 0
+
+
+def cmd_lmbench(args: argparse.Namespace) -> int:
+    from repro.bench.lmbench import run_lmbench
+    from repro.bench.tables import render_table
+
+    rows = run_lmbench(reps=args.reps)
+    print(
+        render_table(
+            "Table 5: LMBench",
+            ["Tests", "plain (us)", "w/ OEMU (us)", "Overhead"],
+            [(r.name, f"{r.plain_us:.1f}", f"{r.oemu_us:.1f}", f"{r.overhead:.2f}x") for r in rows],
+        )
+    )
+    return 0
+
+
+def cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.bench.campaign import measure_throughput
+
+    tp = measure_throughput(iterations=args.iterations, seed=args.seed)
+    print(f"OZZ:      {tp.ozz_tests_per_sec:8.1f} tests/s")
+    print(f"baseline: {tp.baseline_tests_per_sec:8.1f} tests/s")
+    print(f"OZZ is {tp.slowdown:.1f}x slower (paper: 7.9x) — and the baseline finds no OOO bugs")
+    return 0
+
+
+def cmd_litmus(args: argparse.Namespace) -> int:
+    from repro.litmus import check_suite, standard_suite
+
+    verdicts = check_suite(standard_suite())
+    for v in verdicts:
+        print(v.render())
+    return 0 if all(v.ok for v in verdicts) else 1
+
+
+def cmd_ofence(args: argparse.Namespace) -> int:
+    from repro.config import KernelConfig
+    from repro.fuzzer.baselines import OFenceAnalyzer
+    from repro.kernel import bugs
+    from repro.kernel.kernel import KernelImage
+
+    image = KernelImage(KernelConfig(instrumented=False))
+    analyzer = OFenceAnalyzer(image.plain_program)
+    detected = 0
+    for spec in bugs.table3_bugs():
+        verdict = analyzer.detects_bug(spec.bug_id, image)
+        detected += verdict
+        print(f"  Bug #{spec.number:<2d} {spec.subsystem:12s} "
+              f"{'detectable' if verdict else 'hardly detectable'}")
+    print(f"{11 - detected}/11 hardly detectable by OFence (paper: 8/11)")
+    return 0
+
+
+def cmd_bugs(args: argparse.Namespace) -> int:
+    from repro.kernel import bugs
+
+    for spec in bugs.all_bugs():
+        print(f"{spec.bug_id:22s} {spec.table}#{spec.number:<2d} {spec.reorder_type:4s} "
+              f"{spec.subsystem:12s} {spec.title}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OZZ (SOSP 2024) reproduction: kernel OOO-bug fuzzing on a simulated kernel",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fuzz", help="run the OZZ campaign (Table 3)")
+    p.add_argument("--iterations", type=int, default=40)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--patch", action="append", help="bug id to patch (repeatable)")
+    p.add_argument(
+        "--repro", action="store_true",
+        help="print a minimized reproducer per unique crash",
+    )
+    p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("table4", help="reproduce known bugs (Table 4)")
+    p.set_defaults(fn=cmd_table4)
+
+    p = sub.add_parser("lmbench", help="instrumentation overhead (Table 5)")
+    p.add_argument("--reps", type=int, default=30)
+    p.set_defaults(fn=cmd_lmbench)
+
+    p = sub.add_parser("throughput", help="OZZ vs baseline tests/s")
+    p.add_argument("--iterations", type=int, default=21)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(fn=cmd_throughput)
+
+    p = sub.add_parser("litmus", help="LKMM-compliance litmus suite")
+    p.set_defaults(fn=cmd_litmus)
+
+    p = sub.add_parser("ofence", help="OFence static comparison")
+    p.set_defaults(fn=cmd_ofence)
+
+    p = sub.add_parser("bugs", help="list the seeded bug registry")
+    p.set_defaults(fn=cmd_bugs)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

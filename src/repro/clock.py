@@ -1,0 +1,45 @@
+"""Global logical clock for the simulated machine.
+
+OEMU's store history and versioning windows (paper §3.2) are defined in
+terms of timestamps of memory commit events.  We use a single logical
+clock per simulated machine: every event that must be ordered (a store
+commit, a barrier execution) draws a fresh tick.
+
+The clock is deliberately *not* wall-clock time: determinism is the whole
+point of OZZ, so two runs of the same input with the same schedule produce
+identical timestamps.
+"""
+
+from __future__ import annotations
+
+
+class LogicalClock:
+    """Monotonically increasing logical time source.
+
+    >>> clk = LogicalClock()
+    >>> clk.tick()
+    1
+    >>> clk.tick()
+    2
+    >>> clk.now
+    2
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """The timestamp of the most recent event (0 if none yet)."""
+        return self._now
+
+    def tick(self) -> int:
+        """Advance the clock and return the new timestamp."""
+        self._now += 1
+        return self._now
+
+    def reset(self, start: int = 0) -> None:
+        """Rewind the clock; only used when resetting a whole machine."""
+        self._now = start

@@ -1,0 +1,66 @@
+"""Kernel build/run configuration.
+
+Every seeded OOO bug in the simulated kernel is guarded by a patch
+toggle: building with the bug's id in ``patched`` emits the fixing
+barrier (like running a kernel that contains the upstream fix), while
+leaving it out reproduces the buggy kernel version from the paper's
+Tables 3 and 4.  This is how the reproduction harness reverts patches
+("we ... revert patches to introduce OOO bugs", §6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Immutable description of one kernel build.
+
+    ``patched``       bug ids whose fixing barriers are compiled in.
+    ``instrumented``  whether the OEMU compiler pass runs (the OZZ build
+                      vs the plain build Syzkaller would use).
+    ``instrument_only`` optional subsystem whitelist for selective
+                      instrumentation (§6.3.1 mitigation).
+    ``kasan`` / ``lockdep``  oracle toggles.
+    ``ncpus``         number of simulated CPUs.
+    ``sbitmap_manual_percpu``  the §6.2 "manual modification": force the
+                      sbitmap per-CPU bug's threads to share one per-CPU
+                      block even though they run on different CPUs.
+    """
+
+    patched: FrozenSet[str] = frozenset()
+    instrumented: bool = True
+    instrument_only: Optional[Tuple[str, ...]] = None
+    kasan: bool = True
+    lockdep: bool = True
+    ncpus: int = 2
+    sbitmap_manual_percpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ncpus < 1:
+            raise ConfigError("need at least one CPU")
+
+    def is_patched(self, bug_id: str) -> bool:
+        return bug_id in self.patched
+
+    def with_patches(self, bug_ids: Iterable[str]) -> "KernelConfig":
+        return self.replace(patched=self.patched | frozenset(bug_ids))
+
+    def replace(self, **changes) -> "KernelConfig":
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+def buggy_config(**changes) -> KernelConfig:
+    """The paper's evaluation target: every seeded bug present."""
+    return KernelConfig(**changes)
+
+
+def fixed_config(bug_ids: Iterable[str], **changes) -> KernelConfig:
+    """A kernel with the given bugs patched."""
+    return KernelConfig(patched=frozenset(bug_ids), **changes)

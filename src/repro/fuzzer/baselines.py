@@ -1,0 +1,405 @@
+"""Comparison baselines used by the paper's evaluation.
+
+* :class:`SyzkallerBaseline` — in-order concurrency fuzzing (§6.3.2's
+  throughput baseline, and the §1 argument that conventional fuzzers
+  cannot see OOO bugs): runs STIs and randomly-interleaved pairs on the
+  *plain* (uninstrumented) kernel build.  It explores thread
+  interleavings but never reorders memory accesses.
+
+* :class:`InVitroAnalyzer` — the §3/§7 "in-vitro" family: collect
+  memory-access traces, then reason about reorderings *offline*.  It can
+  flag candidate reorderings but has no live allocator/oracle state, so
+  it cannot confirm KASAN-class consequences (the paper's double-free /
+  OOB argument).
+
+* :class:`OFenceAnalyzer` — the §6.4 static pattern matcher: pairs
+  memory barriers and reports one-sided uses.  It can only anchor on an
+  existing barrier half, so bugs with no barrier anywhere near them are
+  invisible to it (8 of the 11 Table 3 bugs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import KernelConfig
+from repro.errors import ExecutionLimitExceeded, KernelCrash
+from repro.fuzzer.sti import STI, resolve_args
+from repro.fuzzer.templates import seed_inputs
+from repro.fuzzer.triage import CrashDB
+from repro.kernel.kernel import Kernel, KernelImage
+from repro.kir.function import Function, Program
+from repro.kir.insn import (
+    Annot,
+    AtomicOrdering,
+    AtomicRMW,
+    Barrier,
+    BarrierKind,
+    Call,
+    ICall,
+    Imm,
+    Insn,
+    Load,
+    Store,
+)
+from repro.oemu.profiler import AccessEvent
+from repro.sched.scheduler import CustomScheduler
+
+
+# ---------------------------------------------------------------------------
+# Syzkaller-like in-order baseline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BaselineStats:
+    stis_run: int = 0
+    pair_tests: int = 0
+    crashes: int = 0
+
+    @property
+    def tests_run(self) -> int:
+        return self.stis_run + self.pair_tests
+
+
+class SyzkallerBaseline:
+    """In-order concurrency fuzzing on the plain kernel build."""
+
+    def __init__(self, plain_image: KernelImage, *, seed: int = 0, schedules_per_pair: int = 3) -> None:
+        if plain_image.config.instrumented:
+            raise ValueError("SyzkallerBaseline expects an uninstrumented image")
+        self.image = plain_image
+        self.rng = random.Random(seed)
+        self.crashdb = CrashDB()
+        self.stats = BaselineStats()
+        self.schedules_per_pair = schedules_per_pair
+        self._live_kernel: Optional[Kernel] = None
+
+    def fuzz_one(self, sti: STI) -> None:
+        """Run the STI sequentially, then each adjacent pair under a few
+        random interleavings — no memory access is ever reordered."""
+        self._run_sequential(sti)
+        self.stats.stis_run += 1
+        for i in range(len(sti.calls) - 1):
+            for _ in range(self.schedules_per_pair):
+                self._run_pair(sti, i, i + 1)
+                self.stats.pair_tests += 1
+
+    def _kernel(self) -> Kernel:
+        """Syzkaller keeps the VM running between tests and only reboots
+        after a crash; reuse one live kernel the same way (with KCov on,
+        as Syzkaller runs it)."""
+        from repro.fuzzer.kcov import KCov
+
+        if self._live_kernel is None:
+            self._live_kernel = Kernel(self.image)
+            self._live_kernel.kcov = KCov()
+        return self._live_kernel
+
+    def _reboot(self) -> None:
+        self._live_kernel = None
+
+    def _run_sequential(self, sti: STI) -> List[int]:
+        kernel = self._kernel()
+        retvals = [0] * len(sti.calls)
+        for idx, call in enumerate(sti.calls):
+            try:
+                retvals[idx] = kernel.run_syscall(call.name, resolve_args(call, retvals))
+            except KernelCrash as crash:
+                self._record(crash)
+                break
+            except ExecutionLimitExceeded:
+                break
+        return retvals
+
+    def _run_pair(self, sti: STI, i: int, j: int) -> None:
+        kernel = self._kernel()
+        retvals = [0] * len(sti.calls)
+        try:
+            for idx in range(i):
+                retvals[idx] = kernel.run_syscall(
+                    sti.calls[idx].name, resolve_args(sti.calls[idx], retvals)
+                )
+            t1 = kernel.spawn_syscall(sti.calls[i].name, resolve_args(sti.calls[i], retvals), cpu=0)
+            t2 = kernel.spawn_syscall(sti.calls[j].name, resolve_args(sti.calls[j], retvals), cpu=1)
+            scheduler = CustomScheduler(kernel.interp, max_steps=60_000)
+            scheduler.run_random([t1, t2], self.rng, switch_prob=0.2)
+            kernel.finish_syscall(t1, sti.calls[i].name)
+            kernel.finish_syscall(t2, sti.calls[j].name)
+        except KernelCrash as crash:
+            self._record(crash)
+        except ExecutionLimitExceeded:
+            self._reboot()  # a hung schedule may leave locks held
+
+    def _record(self, crash: KernelCrash) -> None:
+        self.stats.crashes += 1
+        self.crashdb.add(crash.report, self.stats.tests_run)
+        self._reboot()
+
+    def run_seeds(self, rounds: int = 1) -> BaselineStats:
+        for _ in range(rounds):
+            for sti in seed_inputs():
+                self.fuzz_one(sti)
+        return self.stats
+
+
+# ---------------------------------------------------------------------------
+# In-vitro offline analyzer
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReorderCandidate:
+    """An offline-detected potentially-buggy reordering."""
+
+    side: int
+    first_inst: int
+    second_inst: int
+    location: int
+    kind: str  # "store-store" | "load-load"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} candidate: {self.first_inst:#x} vs "
+            f"{self.second_inst:#x} around {self.location:#x}"
+        )
+
+
+class InVitroAnalyzer:
+    """Offline reordering analysis over recorded access traces.
+
+    Flags unordered publish patterns (two stores with no intervening
+    store barrier, observed by the other syscall) — but, having no live
+    kernel, it can only produce *candidates*: it cannot run sanitizers
+    against the reordered state, so consequences (OOB, UAF, NULL deref)
+    remain unconfirmed.  ``can_confirm_consequences`` is False by
+    construction; the comparison benchmark uses it.
+    """
+
+    can_confirm_consequences = False
+
+    def analyze_pair(self, events_i: Sequence, events_j: Sequence) -> List[ReorderCandidate]:
+        from repro.fuzzer.hints import calculate_hints, filter_out
+        from repro.oemu.profiler import SyscallProfile
+
+        candidates: List[ReorderCandidate] = []
+        for side, (mine, other) in enumerate(((events_i, events_j), (events_j, events_i))):
+            filtered_mine, filtered_other = filter_out(mine, other)
+            accesses = [e for e in filtered_mine if isinstance(e, AccessEvent)]
+            other_accesses = [e for e in filtered_other if isinstance(e, AccessEvent)]
+            candidates.extend(self._scan(side, accesses, other_accesses))
+        return candidates
+
+    def _scan(self, side, accesses, other_accesses) -> List[ReorderCandidate]:
+        out: List[ReorderCandidate] = []
+        seen: Set[Tuple[int, int]] = set()
+        for a_idx, first in enumerate(accesses):
+            for second in accesses[a_idx + 1 :]:
+                if first.mem_addr == second.mem_addr:
+                    continue
+                if first.is_write and second.is_write:
+                    kind = "store-store"
+                elif not first.is_write and not second.is_write:
+                    kind = "load-load"
+                else:
+                    continue
+                # Both locations must be observed by the other side for
+                # the reordering to be visible at all.
+                if not any(o.mem_addr == first.mem_addr for o in other_accesses):
+                    continue
+                if not any(o.mem_addr == second.mem_addr for o in other_accesses):
+                    continue
+                key = (first.inst_addr, second.inst_addr)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(
+                    ReorderCandidate(side, first.inst_addr, second.inst_addr, second.mem_addr, kind)
+                )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# OFence-style static analyzer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OFenceFinding:
+    """A one-sided barrier use."""
+
+    anchor_function: str
+    missing_in: str
+    kind: str  # "missing-rmb" | "missing-wmb"
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.anchor_function} has the barrier, {self.missing_in} lacks its pair"
+
+
+class OFenceAnalyzer:
+    """Static paired-barrier pattern matching over a KIR program.
+
+    OFence's key observation: memory barriers come in pairs (a writer's
+    ``smp_wmb`` with a reader's ``smp_rmb``).  A barrier whose pair it
+    cannot find is a bug candidate.  It therefore needs an *anchor* — a
+    barrier that already exists:
+
+    * a function using ``smp_wmb``/``smp_mb`` in one ordering sequence
+      but publishing another flag nearby without one ("inconsistent
+      writer"), or
+    * a writer-side ``smp_wmb`` over globals that some directly-callable
+      reader loads without any ``smp_rmb``/acquire.
+
+    Functions reachable only through indirect calls are outside its
+    reach (static analysis cannot resolve the function-pointer dispatch
+    the TLS paths use).  Bugs with no barrier anywhere near them — most
+    of Table 3 — produce no anchor and are invisible.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._direct: Set[str] = self._directly_reachable()
+
+    def _directly_reachable(self) -> Set[str]:
+        reachable: Set[str] = set()
+        for func in self.program.functions.values():
+            if func.name.startswith("sys_"):
+                reachable.add(func.name)
+        changed = True
+        while changed:
+            changed = False
+            for func in self.program.functions.values():
+                if func.name not in reachable:
+                    continue
+                for insn in func.insns:
+                    if isinstance(insn, Call) and insn.func not in reachable:
+                        reachable.add(insn.func)
+                        changed = True
+        return reachable
+
+    # -- writer-side inconsistency ------------------------------------------
+
+    def inconsistent_writers(self) -> List[OFenceFinding]:
+        """Functions that use a store barrier for one publish sequence
+        but perform another unfenced multi-store publish."""
+        findings: List[OFenceFinding] = []
+        for func in self.program.functions.values():
+            groups = self._store_groups(func)
+            fenced = sum(1 for g, fenced in groups if fenced)
+            unfenced = [g for g, fenced_flag in groups if not fenced_flag and len(g) >= 2]
+            if fenced and unfenced:
+                findings.append(
+                    OFenceFinding(func.name, func.name, "missing-wmb")
+                )
+        return findings
+
+    def _store_groups(self, func: Function) -> List[Tuple[List[Store], bool]]:
+        groups: List[Tuple[List[Store], bool]] = []
+        current: List[Store] = []
+        for insn in func.insns:
+            if isinstance(insn, Store):
+                if insn.annot is Annot.RELEASE and current:
+                    groups.append((current, True))
+                    current = []
+                current.append(insn)
+            elif isinstance(insn, Barrier) and insn.kind.orders_stores:
+                groups.append((current, True))
+                current = []
+            elif isinstance(insn, AtomicRMW) and insn.ordering in (
+                AtomicOrdering.RELEASE,
+                AtomicOrdering.FULL,
+            ):
+                groups.append((current, True))
+                current = []
+        if current:
+            groups.append((current, False))
+        return groups
+
+    # -- unpaired writer barriers ---------------------------------------------
+
+    def unpaired_wmb(self) -> List[OFenceFinding]:
+        """Writer functions with a wmb over static globals whose direct
+        readers have no load-side barrier at all."""
+        findings: List[OFenceFinding] = []
+        for func in self.program.functions.values():
+            if not self._has_wmb(func):
+                continue
+            written = self._static_locations(func, stores=True)
+            if not written:
+                continue
+            for reader in self.program.functions.values():
+                if reader.name == func.name or reader.name not in self._direct:
+                    continue
+                read = self._static_locations(reader, stores=False)
+                if not (written & read):
+                    continue
+                if not self._has_load_barrier(reader):
+                    findings.append(OFenceFinding(func.name, reader.name, "missing-rmb"))
+        return findings
+
+    @staticmethod
+    def _has_wmb(func: Function) -> bool:
+        return any(
+            (isinstance(i, Barrier) and i.kind.orders_stores)
+            or (isinstance(i, Store) and i.annot is Annot.RELEASE)
+            for i in func.insns
+        )
+
+    @staticmethod
+    def _has_load_barrier(func: Function) -> bool:
+        return any(
+            (isinstance(i, Barrier) and i.kind.orders_loads)
+            or (isinstance(i, Load) and i.annot is Annot.ACQUIRE)
+            for i in func.insns
+        )
+
+    @staticmethod
+    def _static_locations(func: Function, stores: bool) -> Set[int]:
+        """Addresses of accesses with immediate (global) bases."""
+        out: Set[int] = set()
+        for insn in func.insns:
+            if stores and isinstance(insn, Store) and isinstance(insn.base, Imm):
+                out.add(insn.base.value + insn.offset)
+            if not stores and isinstance(insn, Load) and isinstance(insn.base, Imm):
+                out.add(insn.base.value + insn.offset)
+        return out
+
+    # -- verdicts per seeded bug -------------------------------------------------
+
+    def detects_bug(self, bug_id: str, image) -> bool:
+        """Whether any OFence finding points at the bug's trigger paths.
+
+        A finding covers a bug when it names one of the functions on the
+        bug's victim/observer call chains (matching at subsystem
+        granularity would wrongly credit OFence for *other* bugs in the
+        same file).
+        """
+        from repro.kernel import bugs
+
+        spec = bugs.get(bug_id)
+        involved: Set[str] = set()
+        for syscall in (spec.victim_syscall, spec.observer_syscall):
+            sc = image.syscalls.get(syscall)
+            if sc is not None:
+                involved |= self._call_chain(sc.func)
+        findings = self.inconsistent_writers() + self.unpaired_wmb()
+        return any(
+            f.anchor_function in involved or f.missing_in in involved
+            for f in findings
+        )
+
+    def _call_chain(self, func_name: str) -> Set[str]:
+        """The function plus its transitive direct callees."""
+        out: Set[str] = set()
+        stack = [func_name]
+        while stack:
+            name = stack.pop()
+            if name in out or not self.program.has_function(name):
+                continue
+            out.add(name)
+            for insn in self.program.function(name).insns:
+                if isinstance(insn, Call):
+                    stack.append(insn.func)
+        return out

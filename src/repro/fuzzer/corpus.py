@@ -1,0 +1,47 @@
+"""Corpus management: coverage-guided STI retention."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.fuzzer.kcov import CoverageMap
+from repro.fuzzer.sti import STI, STIResult
+
+
+@dataclass
+class CorpusEntry:
+    sti: STI
+    coverage: frozenset
+    new_cover: int
+
+
+class Corpus:
+    """Coverage-guided corpus, Syzkaller-style."""
+
+    def __init__(self) -> None:
+        self.entries: List[CorpusEntry] = []
+        self.coverage = CoverageMap()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def consider(self, result: STIResult) -> bool:
+        """Admit the STI if it contributed new coverage."""
+        new = self.coverage.merge(result.coverage)
+        if new > 0:
+            self.entries.append(
+                CorpusEntry(sti=result.sti, coverage=result.coverage, new_cover=new)
+            )
+            return True
+        return False
+
+    def pick(self, rng: random.Random) -> Optional[STI]:
+        if not self.entries:
+            return None
+        return rng.choice(self.entries).sti
+
+    @property
+    def total_coverage(self) -> int:
+        return len(self.coverage)

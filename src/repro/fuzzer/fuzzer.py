@@ -1,0 +1,175 @@
+"""OZZ — the fuzzing campaign loop (paper Figure 6).
+
+Each iteration:
+
+1. **STI phase** (§4.2): pick a seed / corpus entry / fresh input,
+   run it single-threaded with profiling; keep it if it adds coverage.
+2. **Hint phase** (§4.3): for syscall pairs of the STI, compute
+   scheduling hints (Algorithms 1+2), sorted by the max-reorder
+   heuristic.
+3. **MTI phase** (§4.4): translate to MTIs and run them under the
+   hypothetical-barrier executor, feeding crashes to triage.
+
+Everything is deterministic given the RNG seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzzer.corpus import Corpus
+from repro.fuzzer.generator import InputGenerator
+from repro.fuzzer.hints import SchedulingHint, calculate_hints
+from repro.fuzzer.mti import MTI, MTIResult, run_mti
+from repro.fuzzer.sti import STI, profile_sti
+from repro.fuzzer.templates import seed_inputs, templates
+from repro.fuzzer.triage import CrashDB
+from repro.kernel.kernel import KernelImage
+
+
+@dataclass
+class FuzzStats:
+    """Campaign counters."""
+
+    stis_run: int = 0
+    mtis_run: int = 0
+    hints_computed: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    corpus_size: int = 0
+    coverage: int = 0
+
+    @property
+    def tests_run(self) -> int:
+        """Total executed tests (the §6.3.2 throughput unit)."""
+        return self.stis_run + self.mtis_run
+
+
+class OzzFuzzer:
+    """The OOO-bug fuzzer."""
+
+    def __init__(
+        self,
+        image: KernelImage,
+        *,
+        seed: int = 0,
+        use_seeds: bool = True,
+        max_hints_per_pair: int = 6,
+        max_pairs_per_sti: int = 4,
+        mutate_prob: float = 0.6,
+    ) -> None:
+        self.image = image
+        self.rng = random.Random(seed)
+        self.generator = InputGenerator(templates(), self.rng)
+        self.corpus = Corpus()
+        self.crashdb = CrashDB()
+        self.stats = FuzzStats()
+        self.max_hints_per_pair = max_hints_per_pair
+        self.max_pairs_per_sti = max_pairs_per_sti
+        self.mutate_prob = mutate_prob
+        self._pending_seeds: List[STI] = list(seed_inputs()) if use_seeds else []
+
+    # -- input selection -----------------------------------------------------
+
+    def next_sti(self) -> STI:
+        if self._pending_seeds:
+            return self._pending_seeds.pop(0)
+        base = self.corpus.pick(self.rng)
+        if base is not None and self.rng.random() < self.mutate_prob:
+            return self.generator.mutate(base)
+        return self.generator.generate()
+
+    # -- one full iteration ------------------------------------------------------
+
+    def fuzz_one(self, sti: Optional[STI] = None) -> List[MTIResult]:
+        """Run one STI through the full pipeline; returns MTI results."""
+        if sti is None:
+            sti = self.next_sti()
+        profile = profile_sti(self.image, sti)
+        self.stats.stis_run += 1
+        if profile.crash is not None:
+            # A single-threaded crash: not an OOO bug, but still recorded.
+            self.crashdb.add(profile.crash, self.stats.tests_run)
+            self.stats.crashes += 1
+            return []
+        self.corpus.consider(profile)
+        self.stats.corpus_size = len(self.corpus)
+        self.stats.coverage = self.corpus.total_coverage
+
+        results: List[MTIResult] = []
+        for i, j in self._choose_pairs(len(sti.calls)):
+            hints = calculate_hints(profile.profiles[i], profile.profiles[j])
+            self.stats.hints_computed += len(hints)
+            for hint in hints[: self.max_hints_per_pair]:
+                result = run_mti(self.image, MTI(sti=sti, pair=(i, j), hint=hint))
+                self.stats.mtis_run += 1
+                results.append(result)
+                if result.hung:
+                    self.stats.hangs += 1
+                if result.crashed:
+                    self.stats.crashes += 1
+                    record = self.crashdb.add(result.crash, self.stats.tests_run)
+                    if record.count == 1 and record.reproducer is None:
+                        from repro.fuzzer.reproducer import Reproducer
+
+                        record.reproducer = Reproducer.from_result(
+                            result, self.image.config
+                        )
+        return results
+
+    def minimized_reproducer(self, title: str):
+        """Minimize a found crash's trigger (syzkaller-style repro).
+
+        Returns a :class:`~repro.fuzzer.reproducer.Reproducer` whose
+        input and reorder set have been shrunk to the essentials — the
+        minimal evidence for the missing barrier's location.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.fuzzer.minimize import minimize
+        from repro.fuzzer.reproducer import Reproducer
+
+        record = self.crashdb.records.get(title)
+        if record is None or record.reproducer is None:
+            return None
+        original: Reproducer = record.reproducer
+        result = minimize(
+            self.image,
+            MTI(sti=original.sti, pair=original.pair, hint=original.hint),
+            title,
+        )
+        return dc_replace(
+            original,
+            sti=result.mti.sti,
+            pair=result.mti.pair,
+            hint=result.mti.hint,
+        )
+
+    def _choose_pairs(self, n: int) -> List[Tuple[int, int]]:
+        """Adjacent pairs first (most likely to share state), then others."""
+        adjacent = [(i, i + 1) for i in range(n - 1)]
+        others = [
+            (i, j) for i in range(n) for j in range(i + 2, n)
+        ]
+        self.rng.shuffle(others)
+        return (adjacent + others)[: self.max_pairs_per_sti]
+
+    # -- campaign drivers ------------------------------------------------------------
+
+    def run(self, iterations: int) -> FuzzStats:
+        for _ in range(iterations):
+            self.fuzz_one()
+        return self.stats
+
+    def run_until_found(
+        self, bug_ids: Sequence[str], max_iterations: int = 500
+    ) -> Tuple[FuzzStats, List[str]]:
+        """Fuzz until all given bugs are found (or the budget runs out)."""
+        target = set(bug_ids)
+        for _ in range(max_iterations):
+            self.fuzz_one()
+            if target.issubset(self.crashdb.found_bug_ids()):
+                break
+        return self.stats, self.crashdb.found_bug_ids()

@@ -1,0 +1,151 @@
+"""STI generation and mutation from Syzlang templates (§4.2).
+
+Produces *valid* inputs: resource-typed arguments reference the return
+value of an earlier producing call; if none exists the generator
+prepends a producer, the same dependency-satisfying behaviour Syzkaller's
+``prog`` package implements.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzzer.sti import STI, Call, ResourceRef
+from repro.fuzzer.syzlang import ArgTemplate, Template
+
+MAX_STI_LEN = 6
+
+
+class InputGenerator:
+    """Deterministic (seeded) random STI generator/mutator."""
+
+    def __init__(self, templates: Sequence[Template], rng: random.Random) -> None:
+        self.templates = list(templates)
+        self.by_name: Dict[str, Template] = {t.name: t for t in templates}
+        self.producers: Dict[str, List[Template]] = {}
+        for t in templates:
+            if t.produces:
+                self.producers.setdefault(t.produces, []).append(t)
+        self.rng = rng
+
+    # -- generation --------------------------------------------------------
+
+    def generate(self, length: Optional[int] = None) -> STI:
+        """A fresh random STI with satisfied resource dependencies."""
+        n = length if length is not None else self.rng.randint(2, 4)
+        calls: List[Call] = []
+        for _ in range(n):
+            template = self.rng.choice(self.templates)
+            self._append_with_deps(calls, template)
+            if len(calls) >= MAX_STI_LEN:
+                break
+        return STI(tuple(calls[:MAX_STI_LEN]))
+
+    def _append_with_deps(self, calls: List[Call], template: Template) -> None:
+        for resource in template.consumed_resources():
+            if self._find_producer_index(calls, resource) is None:
+                producers = self.producers.get(resource)
+                if producers and len(calls) < MAX_STI_LEN - 1:
+                    self._append_with_deps(calls, self.rng.choice(producers))
+        calls.append(self._concretize(template, calls))
+
+    def _concretize(self, template: Template, prior: List[Call]) -> Call:
+        args: List = []
+        for arg in template.args:
+            args.append(self._concrete_arg(arg, prior))
+        return Call(template.name, tuple(args))
+
+    def _concrete_arg(self, arg: ArgTemplate, prior: List[Call]):
+        if arg.kind == "int":
+            return self.rng.randint(arg.lo, arg.hi)
+        if arg.kind == "flags":
+            return self.rng.choice(arg.values)
+        if arg.kind == "const":
+            return arg.values[0]
+        # resource: reference a producer if available, else 0
+        index = self._find_producer_index(prior, arg.resource)
+        return ResourceRef(index) if index is not None else 0
+
+    def _find_producer_index(self, calls: Sequence[Call], resource: str) -> Optional[int]:
+        candidates = [
+            i
+            for i, c in enumerate(calls)
+            if self.by_name.get(c.name) and self.by_name[c.name].produces == resource
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    # -- mutation -------------------------------------------------------------
+
+    def mutate(self, sti: STI) -> STI:
+        """One mutation: insert, remove, or re-randomize an argument."""
+        ops = [self._mutate_insert, self._mutate_remove, self._mutate_arg]
+        for _ in range(4):  # retry until a mutation applies
+            new = self.rng.choice(ops)(sti)
+            if new is not None and len(new.calls) > 0:
+                return new
+        return sti
+
+    def _mutate_insert(self, sti: STI) -> Optional[STI]:
+        if len(sti.calls) >= MAX_STI_LEN:
+            return None
+        calls = list(sti.calls)
+        template = self.rng.choice(self.templates)
+        pos = self.rng.randint(0, len(calls))
+        # Insert without disturbing existing ResourceRefs: only refs at or
+        # after `pos` shift by one.
+        inserted = self._concretize(template, calls[:pos])
+        calls.insert(pos, inserted)
+        fixed: List[Call] = []
+        for i, call in enumerate(calls):
+            if i == pos:
+                fixed.append(call)
+                continue
+            args = tuple(
+                ResourceRef(a.index + 1)
+                if isinstance(a, ResourceRef) and a.index >= pos
+                else a
+                for a in call.args
+            )
+            fixed.append(Call(call.name, args))
+        return STI(tuple(fixed))
+
+    def _mutate_remove(self, sti: STI) -> Optional[STI]:
+        if len(sti.calls) <= 1:
+            return None
+        victim = self.rng.randrange(len(sti.calls))
+        calls: List[Call] = []
+        for i, call in enumerate(sti.calls):
+            if i == victim:
+                continue
+            args = []
+            for a in call.args:
+                if isinstance(a, ResourceRef):
+                    if a.index == victim:
+                        args.append(0)  # dangling ref: degrade to literal
+                    elif a.index > victim:
+                        args.append(ResourceRef(a.index - 1))
+                    else:
+                        args.append(a)
+                else:
+                    args.append(a)
+            calls.append(Call(call.name, tuple(args)))
+        return STI(tuple(calls))
+
+    def _mutate_arg(self, sti: STI) -> Optional[STI]:
+        candidates = [
+            i for i, c in enumerate(sti.calls) if self.by_name.get(c.name) and c.args
+        ]
+        if not candidates:
+            return None
+        index = self.rng.choice(candidates)
+        call = sti.calls[index]
+        template = self.by_name[call.name]
+        slot = self.rng.randrange(len(call.args))
+        args = list(call.args)
+        args[slot] = self._concrete_arg(template.args[slot], list(sti.calls[:index]))
+        calls = list(sti.calls)
+        calls[index] = Call(call.name, tuple(args))
+        return STI(tuple(calls))

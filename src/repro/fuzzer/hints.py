@@ -1,0 +1,218 @@
+"""Scheduling-hint calculation — paper Algorithm 1 and Algorithm 2 (§4.3).
+
+Given the profiled event streams of two syscalls, compute the set of
+scheduling hints for the hypothetical memory barrier test.  A hint names
+
+* which syscall of the pair performs the reordering (``reorder_side``),
+* which Figure 5 shape to run (``barrier_type``: ``st`` or ``ld``),
+* the scheduling point (instruction address + dynamic hit count), and
+* the accesses to reorder (instruction addresses for
+  ``delay_store_at`` / ``read_old_value_at``).
+
+Step 1 (Algorithm 2) filters accesses that cannot contribute to an OOO
+bug: only locations both syscalls touch, with at least one side writing,
+survive.  Step 2 groups the survivors between barriers of the matching
+type — implicit barriers (release stores, acquire/ONCE loads,
+fence-ordered atomics) count, since OEMU honours them too.  Step 3
+slides the hypothetical barrier through each group: for the store test
+the scheduling point is the group's *last* access and the reorder sets
+are the shrinking prefixes; for the load test the scheduling point is
+the *first* access and the reorder sets are the shrinking suffixes.
+
+Finally hints are sorted by decreasing number of effectively reordered
+accesses — the paper's greedy "maximize deviation from program order"
+heuristic, validated by its §4.3 bug-set study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.kir.insn import BarrierKind
+from repro.oemu.profiler import AccessEvent, BarrierEvent, SyscallProfile
+
+ST = "st"
+LD = "ld"
+
+
+@dataclass(frozen=True)
+class SchedulingHint:
+    """One hypothetical-memory-barrier test case."""
+
+    barrier_type: str            # ST | LD
+    reorder_side: int            # 0 = first syscall of the pair, 1 = second
+    sched_addr: int              # scheduling-point instruction
+    sched_hit: int               # its dynamic occurrence (1-based)
+    reorder: Tuple[int, ...]     # instruction addresses to reorder
+    nreorder: int                # effective reordered accesses (sort key)
+
+    def __repr__(self) -> str:
+        return (
+            f"<hint {self.barrier_type} side={self.reorder_side} "
+            f"sched={self.sched_addr:#x}@{self.sched_hit} n={self.nreorder}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Step 1 — Algorithm 2: filter out irrelevant memory accesses.
+# ---------------------------------------------------------------------------
+
+
+def _byte_range(event: AccessEvent) -> range:
+    return range(event.mem_addr, event.mem_addr + event.size)
+
+
+def shared_memory_locations(
+    a: Sequence[object], b: Sequence[object]
+) -> Set[int]:
+    """Byte addresses touched by both syscalls with at least one write."""
+    def index(events):
+        writes: Set[int] = set()
+        reads: Set[int] = set()
+        for e in events:
+            if not isinstance(e, AccessEvent):
+                continue
+            target = writes if e.is_write else reads
+            target.update(_byte_range(e))
+        return reads, writes
+
+    reads_a, writes_a = index(a)
+    reads_b, writes_b = index(b)
+    shared = (writes_a & (reads_b | writes_b)) | (writes_b & (reads_a | writes_a))
+    return shared
+
+
+def filter_out(
+    events_a: Sequence[object], events_b: Sequence[object]
+) -> Tuple[List[object], List[object]]:
+    """Algorithm 2: drop accesses not touching shared locations.
+
+    Barrier events always survive — they define the grouping boundaries.
+    """
+    shared = shared_memory_locations(events_a, events_b)
+
+    def keep(events):
+        out: List[object] = []
+        for e in events:
+            if isinstance(e, AccessEvent):
+                if not shared.intersection(_byte_range(e)):
+                    continue
+            out.append(e)
+        return out
+
+    return keep(events_a), keep(events_b)
+
+
+# ---------------------------------------------------------------------------
+# Step 2 — group accesses between barriers of the matching type.
+# ---------------------------------------------------------------------------
+
+
+def _is_boundary(event: BarrierEvent, barrier_type: str) -> bool:
+    if barrier_type == ST:
+        return event.kind.orders_stores
+    return event.kind.orders_loads
+
+
+def group_by_barriers(events: Sequence[object], barrier_type: str) -> List[List[AccessEvent]]:
+    """Split the access stream at barriers of the given type."""
+    groups: List[List[AccessEvent]] = []
+    current: List[AccessEvent] = []
+    for event in events:
+        if isinstance(event, AccessEvent):
+            current.append(event)
+        elif isinstance(event, BarrierEvent) and _is_boundary(event, barrier_type):
+            if current:
+                groups.append(current)
+            current = []
+    if current:
+        groups.append(current)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Step 3 — construct hints per group by sliding the hypothetical barrier.
+# ---------------------------------------------------------------------------
+
+
+def _hit_count(events: Sequence[AccessEvent], chosen: AccessEvent) -> int:
+    """1-based dynamic occurrence of chosen.inst_addr up to `chosen`."""
+    count = 0
+    for e in events:
+        if e.inst_addr == chosen.inst_addr:
+            count += 1
+        if e is chosen:
+            break
+    return count
+
+
+def _effective(accesses: Sequence[AccessEvent], barrier_type: str) -> List[AccessEvent]:
+    """Accesses the reordering mechanism actually affects."""
+    if barrier_type == ST:
+        return [a for a in accesses if a.is_write and not a.atomic]
+    return [a for a in accesses if not a.is_write]
+
+
+def hints_for_group(
+    group: Sequence[AccessEvent],
+    all_accesses: Sequence[AccessEvent],
+    barrier_type: str,
+    reorder_side: int,
+) -> List[SchedulingHint]:
+    """Slide the hypothetical barrier through one group (Algorithm 1,
+    lines 13-21, with the duplicate first iteration deduplicated)."""
+    hints: List[SchedulingHint] = []
+    if len(group) < 2:
+        return hints
+    if barrier_type == ST:
+        sched = group[-1]
+        prefixes = [list(group[:k]) for k in range(len(group) - 1, 0, -1)]
+        candidate_sets = prefixes
+    else:
+        sched = group[0]
+        suffixes = [list(group[k:]) for k in range(1, len(group))]
+        candidate_sets = suffixes
+    seen: Set[Tuple[int, ...]] = set()
+    for accesses in candidate_sets:
+        effective = _effective(accesses, barrier_type)
+        if not effective:
+            continue
+        reorder = tuple(sorted({a.inst_addr for a in effective}))
+        if reorder in seen:
+            continue
+        seen.add(reorder)
+        hints.append(
+            SchedulingHint(
+                barrier_type=barrier_type,
+                reorder_side=reorder_side,
+                sched_addr=sched.inst_addr,
+                sched_hit=_hit_count(all_accesses, sched),
+                reorder=reorder,
+                nreorder=len(effective),
+            )
+        )
+    return hints
+
+
+def calculate_hints(
+    profile_i: SyscallProfile, profile_j: SyscallProfile
+) -> List[SchedulingHint]:
+    """Algorithm 1: all scheduling hints for a pair of syscalls.
+
+    Four cases are covered — each side of the pair may be the reorderer
+    (paper line 2) and each barrier type may be hypothesized (line 3).
+    The result is sorted by decreasing ``nreorder`` (line 22), the
+    greedy search heuristic.
+    """
+    filtered_i, filtered_j = filter_out(profile_i.events, profile_j.events)
+    hints: List[SchedulingHint] = []
+    for side, events in ((0, filtered_i), (1, filtered_j)):
+        accesses = [e for e in events if isinstance(e, AccessEvent)]
+        for barrier_type in (ST, LD):
+            for group in group_by_barriers(events, barrier_type):
+                hints.extend(
+                    hints_for_group(group, accesses, barrier_type, side)
+                )
+    hints.sort(key=lambda h: h.nreorder, reverse=True)
+    return hints

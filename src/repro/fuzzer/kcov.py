@@ -1,0 +1,51 @@
+"""KCov-style coverage collection (paper §4.2).
+
+Records the set of executed instruction addresses per thread; the fuzzer
+keeps an STI in its corpus when it contributes addresses never seen
+before, exactly how Syzkaller uses KCov signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+
+class KCov:
+    """Per-thread executed-instruction sets."""
+
+    def __init__(self) -> None:
+        self._per_thread: Dict[int, Set[int]] = {}
+        self.enabled = True
+
+    def on_insn(self, thread: int, addr: int) -> None:
+        if not self.enabled:
+            return
+        self._per_thread.setdefault(thread, set()).add(addr)
+
+    def coverage_of(self, thread: int) -> FrozenSet[int]:
+        return frozenset(self._per_thread.get(thread, ()))
+
+    def reset_thread(self, thread: int) -> None:
+        self._per_thread.pop(thread, None)
+
+    def clear(self) -> None:
+        self._per_thread.clear()
+
+
+class CoverageMap:
+    """The fuzzer-global merged coverage (corpus admission signal)."""
+
+    def __init__(self) -> None:
+        self._seen: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def merge(self, addrs: Iterable[int]) -> int:
+        """Merge new coverage; returns how many addresses were new."""
+        before = len(self._seen)
+        self._seen.update(addrs)
+        return len(self._seen) - before
+
+    def covers(self, addr: int) -> bool:
+        return addr in self._seen

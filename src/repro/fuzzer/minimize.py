@@ -1,0 +1,125 @@
+"""Crash minimization: shrink a trigger to its essence.
+
+OZZ reports the reordered accesses and the hypothetical barrier
+location (§4.4); the smaller that set, the more precisely it points at
+the missing barrier.  This module applies syzkaller-style minimization
+to an OOO reproducer:
+
+* **reorder-set minimization** — greedily drop reordered instruction
+  addresses while the crash persists.  The survivors are the accesses
+  whose reordering is *necessary*: the exact evidence for where the
+  barrier belongs (e.g. Figure 1 minimizes to the single ``buf->ops``
+  store).
+* **input minimization** — drop syscalls outside the concurrent pair
+  while the crash persists, yielding the shortest setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.fuzzer.hints import SchedulingHint
+from repro.fuzzer.mti import MTI, run_mti
+from repro.fuzzer.sti import STI, Call, ResourceRef
+from repro.kernel.kernel import KernelImage
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of a minimization run."""
+
+    mti: MTI
+    tests_run: int
+    dropped_reorders: int
+    dropped_calls: int
+
+
+def _crashes(image: KernelImage, mti: MTI, title: str) -> bool:
+    result = run_mti(image, mti)
+    return result.crashed and result.crash.title == title
+
+
+def minimize_reorder_set(
+    image: KernelImage, mti: MTI, title: str
+) -> Tuple[MTI, int, int]:
+    """Greedy one-at-a-time removal from the hint's reorder set."""
+    tests = 0
+    current = list(mti.hint.reorder)
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for addr in list(current):
+            candidate = [a for a in current if a != addr]
+            hint = replace(
+                mti.hint, reorder=tuple(candidate), nreorder=len(candidate)
+            )
+            tests += 1
+            if _crashes(image, MTI(mti.sti, mti.pair, hint), title):
+                current = candidate
+                changed = True
+    hint = replace(mti.hint, reorder=tuple(current), nreorder=len(current))
+    return MTI(mti.sti, mti.pair, hint), tests, len(mti.hint.reorder) - len(current)
+
+
+def _drop_call(sti: STI, pair: Tuple[int, int], index: int) -> Tuple[STI, Tuple[int, int]]:
+    """Remove call ``index`` (not in the pair), fixing up ResourceRefs."""
+    calls: List[Call] = []
+    for i, call in enumerate(sti.calls):
+        if i == index:
+            continue
+        args = []
+        for a in call.args:
+            if isinstance(a, ResourceRef):
+                if a.index == index:
+                    args.append(0)
+                elif a.index > index:
+                    args.append(ResourceRef(a.index - 1))
+                else:
+                    args.append(a)
+            else:
+                args.append(a)
+        calls.append(Call(call.name, tuple(args)))
+    i, j = pair
+    new_pair = (i - (index < i), j - (index < j))
+    return STI(tuple(calls)), new_pair
+
+
+def minimize_input(
+    image: KernelImage, mti: MTI, title: str
+) -> Tuple[MTI, int, int]:
+    """Drop syscalls outside the concurrent pair while the crash holds."""
+    tests = 0
+    dropped = 0
+    current = mti
+    index = len(current.sti.calls) - 1
+    while index >= 0:
+        if index in current.pair:
+            index -= 1
+            continue
+        sti, pair = _drop_call(current.sti, current.pair, index)
+        candidate = MTI(sti, pair, current.hint)
+        tests += 1
+        if _crashes(image, candidate, title):
+            current = candidate
+            dropped += 1
+        index -= 1
+    return current, tests, dropped
+
+
+def minimize(image: KernelImage, mti: MTI, title: str) -> MinimizeResult:
+    """Full minimization: input first, then the reorder set.
+
+    The given MTI must crash with ``title`` (validated up front).
+    """
+    if not _crashes(image, mti, title):
+        raise ValueError("the given MTI does not reproduce the crash")
+    tests = 1
+    current, t1, dropped_calls = minimize_input(image, mti, title)
+    current, t2, dropped_reorders = minimize_reorder_set(image, current, title)
+    return MinimizeResult(
+        mti=current,
+        tests_run=tests + t1 + t2,
+        dropped_reorders=dropped_reorders,
+        dropped_calls=dropped_calls,
+    )

@@ -1,0 +1,149 @@
+"""Mini-Syzlang: the syscall description language (paper §4.2).
+
+OZZ constructs valid single-threaded inputs from Syzlang templates [24]
+that describe each syscall's argument types and resource flow.  This is
+a small but faithful subset::
+
+    # comments and blank lines are ignored
+    socket() sock_fd                 # produces a resource
+    tls_init(fd sock_fd)             # consumes one
+    watch_queue_post(len int[0:255]) # ranged integer
+    unix_bind(len flags[16,32])      # one of an enumerated set
+    nbd_ioctl(cmd const[0])          # fixed value
+
+Argument forms: ``<name> <resource>``, ``<name> int[lo:hi]``,
+``<name> flags[a,b,...]``, ``<name> const[v]``.  A trailing bare word
+after the parentheses names the resource class the call produces.
+
+``parse`` returns :class:`Template` objects the generator consumes;
+``to_syscall_args`` cross-checks them against the kernel's own
+:class:`~repro.kernel.syscalls.SyscallDef` surface.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SyzlangError
+
+_CALL_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<args>[^)]*)\)\s*(?P<ret>[A-Za-z_][A-Za-z0-9_]*)?$"
+)
+_INT_RE = re.compile(r"^int\[(?P<lo>-?\d+):(?P<hi>-?\d+)\]$")
+_FLAGS_RE = re.compile(r"^flags\[(?P<vals>-?\d+(?:\s*,\s*-?\d+)*)\]$")
+_CONST_RE = re.compile(r"^const\[(?P<val>-?\d+)\]$")
+
+
+@dataclass(frozen=True)
+class ArgTemplate:
+    """One argument slot of a template."""
+
+    name: str
+    kind: str                       # "int" | "flags" | "const" | "resource"
+    lo: int = 0
+    hi: int = 0
+    values: Tuple[int, ...] = ()
+    resource: str = ""
+
+
+@dataclass(frozen=True)
+class Template:
+    """One syscall template."""
+
+    name: str
+    args: Tuple[ArgTemplate, ...]
+    produces: str = ""
+
+    def consumed_resources(self) -> Tuple[str, ...]:
+        return tuple(a.resource for a in self.args if a.kind == "resource")
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on top-level commas only (commas inside [...] belong to types)."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_arg(text: str, call: str) -> ArgTemplate:
+    parts = text.strip().split(None, 1)
+    if len(parts) != 2:
+        raise SyzlangError(f"{call}: malformed argument {text!r}")
+    name, spec = parts[0], parts[1].strip()
+    m = _INT_RE.match(spec)
+    if m:
+        lo, hi = int(m.group("lo")), int(m.group("hi"))
+        if lo > hi:
+            raise SyzlangError(f"{call}.{name}: empty range [{lo}:{hi}]")
+        return ArgTemplate(name, "int", lo=lo, hi=hi)
+    m = _FLAGS_RE.match(spec)
+    if m:
+        values = tuple(int(v) for v in m.group("vals").split(","))
+        return ArgTemplate(name, "flags", values=values)
+    m = _CONST_RE.match(spec)
+    if m:
+        return ArgTemplate(name, "const", values=(int(m.group("val")),))
+    if re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", spec):
+        return ArgTemplate(name, "resource", resource=spec)
+    raise SyzlangError(f"{call}.{name}: cannot parse type {spec!r}")
+
+
+def parse(text: str) -> List[Template]:
+    """Parse a Syzlang description into templates."""
+    templates: List[Template] = []
+    seen = set()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _CALL_RE.match(line)
+        if m is None:
+            raise SyzlangError(f"line {lineno}: cannot parse {line!r}")
+        name = m.group("name")
+        if name in seen:
+            raise SyzlangError(f"line {lineno}: duplicate syscall {name}")
+        seen.add(name)
+        args_text = m.group("args").strip()
+        args: Tuple[ArgTemplate, ...] = ()
+        if args_text:
+            args = tuple(_parse_arg(a, name) for a in _split_args(args_text))
+        templates.append(Template(name=name, args=args, produces=m.group("ret") or ""))
+    return templates
+
+
+def validate_against_kernel(templates: List[Template], image) -> List[str]:
+    """Cross-check templates against the kernel's syscall surface.
+
+    Returns a list of discrepancies (empty when consistent) — used by
+    tests to keep the Syzlang description honest.
+    """
+    problems: List[str] = []
+    kernel_syscalls = image.syscalls
+    for t in templates:
+        sc = kernel_syscalls.get(t.name)
+        if sc is None:
+            problems.append(f"template {t.name}: kernel has no such syscall")
+            continue
+        if len(t.args) != len(sc.args):
+            problems.append(
+                f"template {t.name}: {len(t.args)} args vs kernel's {len(sc.args)}"
+            )
+    for name in kernel_syscalls:
+        if not any(t.name == name for t in templates):
+            problems.append(f"kernel syscall {name} has no template")
+    return problems

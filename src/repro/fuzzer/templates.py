@@ -1,0 +1,190 @@
+"""Syzlang descriptions and seed inputs for the simulated kernel.
+
+``SYZLANG`` describes every syscall the kernel exposes (kept consistent
+with the kernel by a test).  ``seed_inputs()`` returns the initial
+corpus, playing the role of Syzkaller's accumulated seeds [26] that the
+paper's evaluation starts from: short per-subsystem programs covering
+the interesting setup chains.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fuzzer.sti import STI, Call, ResourceRef
+from repro.fuzzer.syzlang import Template, parse
+
+SYZLANG = """
+# core
+null()
+getpid()
+ctxsw()
+pipe_lat(value int[0:255])
+unix_lat(value int[0:255])
+fork()
+mmap(npages int[0:31])
+
+# ramfs
+creat(id int[0:7])
+unlink(id int[0:7])
+fs_open(id int[0:7]) file_fd
+fs_close(fd file_fd)
+stat(id int[0:7])
+fs_write(fd file_fd, n int[0:32])
+fs_read(fd file_fd)
+
+# watch_queue / pipe
+watch_queue_create()
+watch_queue_set_size(nr_notes int[0:64])
+watch_queue_post(len int[0:255])
+pipe_read()
+
+# tls
+socket() sock_fd
+tls_init(fd sock_fd)
+setsockopt(fd sock_fd)
+tls_set_crypto(fd sock_fd, key int[0:255])
+tls_getsockopt(fd sock_fd)
+tls_err_abort(fd sock_fd)
+tls_getsockopt_err(fd sock_fd)
+
+# rds
+rds_socket()
+rds_sendmsg(shrink int[0:1])
+
+# xsk
+xsk_socket() xsk_fd
+xsk_bind(fd xsk_fd)
+xsk_poll(fd xsk_fd)
+xsk_sendmsg(fd xsk_fd)
+xsk_setup_ring(fd xsk_fd)
+xsk_ring_deref(fd xsk_fd)
+xsk_activate(fd xsk_fd)
+xsk_unbind(fd xsk_fd)
+xsk_state_xmit(fd xsk_fd)
+
+# bpf sockmap
+sockmap_update(fd sock_fd)
+sock_data_ready(fd sock_fd)
+
+# smc
+smc_socket() smc_fd
+smc_listen(fd smc_fd)
+smc_connect(fd smc_fd)
+smc_accept(fd smc_fd)
+smc_release(fd smc_fd)
+
+# vmci
+vmci_create()
+vmci_wait()
+
+# gsm
+gsm_dlci_open(mtu int[0:4096])
+gsm_dlci_config(arg int[0:8])
+
+# vlan
+vlan_add()
+vlan_get_device()
+
+# fdtable
+open(mode int[0:7])
+fget_light_read()
+dup_close()
+
+# nbd
+nbd_setup()
+nbd_alloc_config()
+nbd_ioctl(cmd int[0:4])
+nbd_config_put()
+
+# unix sockets
+unix_socket()
+unix_bind(len flags[16,32])
+unix_getname()
+
+# sbitmap / blk-mq
+blk_complete()
+blk_submit()
+
+# rdma (hardware-concurrency extension)
+rdma_kick()
+rdma_poll_cq()
+"""
+
+
+def templates() -> List[Template]:
+    return parse(SYZLANG)
+
+
+def seed_inputs() -> List[STI]:
+    """The initial corpus (the role of Syzkaller's seeds in §6.1)."""
+    r = ResourceRef
+    return [
+        # watch_queue: create, size, post, read
+        STI((Call("watch_queue_create"), Call("watch_queue_post", (9,)), Call("pipe_read"))),
+        STI((
+            Call("watch_queue_create"),
+            Call("watch_queue_set_size", (8,)),
+            Call("watch_queue_post", (5,)),
+        )),
+        # tls: socket + init + opts
+        STI((Call("socket"), Call("tls_init", (r(0),)), Call("setsockopt", (r(0),)))),
+        STI((
+            Call("socket"),
+            Call("tls_init", (r(0),)),
+            Call("tls_set_crypto", (r(0), 7)),
+            Call("tls_getsockopt", (r(0),)),
+        )),
+        STI((
+            Call("socket"),
+            Call("tls_init", (r(0),)),
+            Call("tls_err_abort", (r(0),)),
+            Call("tls_getsockopt_err", (r(0),)),
+        )),
+        # rds: socket + two sends
+        STI((Call("rds_socket"), Call("rds_sendmsg", (1,)), Call("rds_sendmsg", (0,)))),
+        # xsk: the four flows
+        STI((Call("xsk_socket"), Call("xsk_bind", (r(0),)), Call("xsk_poll", (r(0),)))),
+        STI((Call("xsk_socket"), Call("xsk_bind", (r(0),)), Call("xsk_sendmsg", (r(0),)))),
+        STI((Call("xsk_socket"), Call("xsk_setup_ring", (r(0),)), Call("xsk_ring_deref", (r(0),)))),
+        STI((
+            Call("xsk_socket"),
+            Call("xsk_activate", (r(0),)),
+            Call("xsk_state_xmit", (r(0),)),
+            Call("xsk_unbind", (r(0),)),
+        )),
+        # bpf sockmap
+        STI((Call("socket"), Call("sockmap_update", (r(0),)), Call("sock_data_ready", (r(0),)))),
+        # smc
+        STI((Call("smc_socket"), Call("smc_listen", (r(0),)), Call("smc_connect", (r(0),)))),
+        STI((
+            Call("smc_socket"),
+            Call("smc_listen", (r(0),)),
+            Call("smc_accept", (r(0),)),
+            Call("smc_release", (r(0),)),
+        )),
+        # vmci
+        STI((Call("vmci_create"), Call("vmci_wait"))),
+        # gsm
+        STI((Call("gsm_dlci_open", (1500,)), Call("gsm_dlci_config", (1,)))),
+        # vlan
+        STI((Call("vlan_add"), Call("vlan_get_device"))),
+        # fdtable
+        STI((Call("open", (1,)), Call("dup_close"), Call("fget_light_read"))),
+        # nbd
+        STI((Call("nbd_setup"), Call("nbd_alloc_config"), Call("nbd_ioctl", (0,)))),
+        # unix
+        STI((Call("unix_socket"), Call("unix_bind", (16,)), Call("unix_getname"))),
+        # sbitmap
+        STI((Call("blk_complete"), Call("blk_submit"))),
+        # rdma hardware concurrency (the SS4.5 extension)
+        STI((Call("rdma_kick"), Call("rdma_poll_cq"))),
+        # ramfs churn (coverage food, no bugs)
+        STI((
+            Call("creat", (1,)),
+            Call("fs_open", (1,)),
+            Call("fs_write", (r(1), 8)),
+            Call("fs_read", (r(1),)),
+            Call("fs_close", (r(1),)),
+        )),
+    ]

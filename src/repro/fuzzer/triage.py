@@ -1,0 +1,72 @@
+"""Crash triage: deduplication by title and bug-registry matching.
+
+OZZ dedupes crashes by title (as Syzkaller does) and — because the
+seeded corpus is ground truth here — maps titles back to
+:class:`~repro.kernel.bugs.BugSpec` rows so the Table 3 / Table 4
+benchmarks can report which paper bugs were (re)found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kernel import bugs
+from repro.oracles.report import CrashReport
+
+
+@dataclass
+class CrashRecord:
+    """All occurrences of one unique crash title."""
+
+    title: str
+    first_report: CrashReport
+    count: int = 1
+    first_test_index: int = 0     # the test number that first hit it
+    bug_id: Optional[str] = None  # registry match, if any
+    reproducer: object = None     # repro.fuzzer.reproducer.Reproducer
+
+
+class CrashDB:
+    """Unique-crash database keyed by title."""
+
+    def __init__(self) -> None:
+        self.records: Dict[str, CrashRecord] = {}
+        self._title_to_bug = {spec.title: spec.bug_id for spec in bugs.all_bugs()}
+
+    def add(self, report: CrashReport, test_index: int = 0) -> CrashRecord:
+        record = self.records.get(report.title)
+        if record is None:
+            record = CrashRecord(
+                title=report.title,
+                first_report=report,
+                first_test_index=test_index,
+                bug_id=self._title_to_bug.get(report.title),
+            )
+            self.records[report.title] = record
+        else:
+            record.count += 1
+        return record
+
+    @property
+    def unique_titles(self) -> List[str]:
+        return sorted(self.records)
+
+    def found_bug_ids(self) -> List[str]:
+        return sorted(r.bug_id for r in self.records.values() if r.bug_id)
+
+    def found_table3(self) -> List[str]:
+        t3 = {b.bug_id for b in bugs.table3_bugs()}
+        return [b for b in self.found_bug_ids() if b in t3]
+
+    def found_table4(self) -> List[str]:
+        t4 = {b.bug_id for b in bugs.table4_bugs()}
+        return [b for b in self.found_bug_ids() if b in t4]
+
+    def summary(self) -> str:
+        lines = [f"{len(self.records)} unique crash titles:"]
+        for title in self.unique_titles:
+            rec = self.records[title]
+            tag = f" [{rec.bug_id}]" if rec.bug_id else ""
+            lines.append(f"  x{rec.count:<4d} {title}{tag}")
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""The simulated kernel: image, instances, subsystems, bug registry."""
+
+from repro.kernel.bugs import BugSpec, all_bugs, table3_bugs, table4_bugs
+from repro.kernel.kernel import Kernel, KernelImage, default_subsystems
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import Arg, SyscallDef, choice, const, fd, intarg
+
+__all__ = [
+    "Arg",
+    "BugSpec",
+    "Kernel",
+    "KernelImage",
+    "Subsystem",
+    "SyscallDef",
+    "all_bugs",
+    "choice",
+    "const",
+    "default_subsystems",
+    "fd",
+    "intarg",
+    "table3_bugs",
+    "table4_bugs",
+]

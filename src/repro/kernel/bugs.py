@@ -1,0 +1,415 @@
+"""Registry of every OOO bug seeded in the simulated kernel.
+
+Each entry corresponds to a row of the paper's Table 3 (new bugs) or
+Table 4 (previously-reported bugs).  The registry records:
+
+* the paper's metadata — subsystem, crash title, reordering type;
+* how to *trigger* it — the pair of syscalls to run concurrently and
+  which side performs the reordering;
+* how to *fix* it — the patch toggle subsystem code checks via
+  ``config.is_patched(bug_id)``;
+* classification used by the comparison benchmarks — whether the bug
+  matches OFence's paired-barrier patterns (§6.4) and whether KCSAN's
+  single-plain-access-delay model can see it (§7).
+
+Subsystem modules own the code; this module owns the ground truth the
+benchmarks check fuzzing results against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """One seeded OOO bug."""
+
+    bug_id: str
+    table: str                 # "table3" | "table4"
+    number: int                # row number within the table
+    subsystem: str
+    title: str                 # expected crash title (dedup key)
+    reorder_type: str          # "S-S" | "S-L" | "L-L"
+    kernel_version: str
+    # Trigger recipe: run `victim_syscall` and `observer_syscall`
+    # concurrently; the reordering happens inside `victim_syscall`.
+    victim_syscall: str = ""
+    observer_syscall: str = ""
+    # Syscalls that must run first to set up state (e.g. socket()).
+    setup_syscalls: Tuple[str, ...] = ()
+    # Argument tuples.  An int is literal; the string "ret<i>" means the
+    # return value of the i-th setup syscall (resource threading, e.g.
+    # the fd produced by socket()).
+    victim_args: Tuple = ()
+    observer_args: Tuple = ()
+    setup_args: Tuple[Tuple, ...] = ()
+    barrier_test: str = "store"       # which Figure 5 shape triggers it
+    # Comparison-benchmark classification:
+    ofence_pattern: bool = False       # matches OFence's paired-barrier pattern
+    kcsan_visible: bool = False        # within KCSAN's detection model
+    reproducible: bool = True          # Table 4's ✗ row is False
+    crash_symptom: bool = True         # Table 4's ✓* row is False
+    status: str = ""                  # paper's Status column (table 3)
+    summary: str = ""
+
+    @property
+    def syscalls(self) -> Tuple[str, str]:
+        return (self.victim_syscall, self.observer_syscall)
+
+
+_REGISTRY: Dict[str, BugSpec] = {}
+
+
+def register(spec: BugSpec) -> BugSpec:
+    if spec.bug_id in _REGISTRY:
+        raise ValueError(f"duplicate bug id {spec.bug_id}")
+    _REGISTRY[spec.bug_id] = spec
+    return spec
+
+
+def get(bug_id: str) -> BugSpec:
+    return _REGISTRY[bug_id]
+
+
+def all_bugs() -> List[BugSpec]:
+    return sorted(_REGISTRY.values(), key=lambda b: (b.table, b.number))
+
+
+def table3_bugs() -> List[BugSpec]:
+    return [b for b in all_bugs() if b.table == "table3"]
+
+
+def table4_bugs() -> List[BugSpec]:
+    return [b for b in all_bugs() if b.table == "table4"]
+
+
+def bugs_in_subsystem(subsystem: str) -> List[BugSpec]:
+    return [b for b in all_bugs() if b.subsystem == subsystem]
+
+
+def all_bug_ids() -> List[str]:
+    return [b.bug_id for b in all_bugs()]
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — the 11 new bugs OZZ found (paper §6.1).
+# ---------------------------------------------------------------------------
+
+register(BugSpec(
+    bug_id="t3_rds_xmit",
+    table="table3", number=1, subsystem="rds",
+    title="KASAN: slab-out-of-bounds Read in rds_loop_xmit",
+    reorder_type="S-S", kernel_version="v6.7-rc8",
+    victim_syscall="rds_sendmsg", observer_syscall="rds_sendmsg",
+    setup_syscalls=("rds_socket",),
+    victim_args=(1,), observer_args=(0,),
+    barrier_test="store",
+    ofence_pattern=False,   # custom bit-lock; no barrier pair to match
+    kcsan_visible=False,    # no data race: accesses are under the bit lock
+    status="Fixed",
+    summary="clear_bit() used to release a custom bit lock lets critical-"
+            "section stores leak past the unlock (Figure 8)",
+))
+
+register(BugSpec(
+    bug_id="t3_wq_find_first_bit",
+    table="table3", number=2, subsystem="watch_queue",
+    title="BUG: unable to handle kernel NULL pointer dereference in _find_first_bit",
+    reorder_type="S-S", kernel_version="v6.5-rc6",
+    victim_syscall="watch_queue_set_size", observer_syscall="watch_queue_post",
+    setup_syscalls=("watch_queue_create",),
+    victim_args=(8,), observer_args=(5,),
+    barrier_test="store",
+    ofence_pattern=False,
+    kcsan_visible=True,     # plain racy flag/pointer pair
+    status="Reported",
+    summary="notes bitmap pointer published before allocation store commits",
+))
+
+register(BugSpec(
+    bug_id="t3_vmci_wait",
+    table="table3", number=3, subsystem="vmci",
+    title="general protection fault in add_wait_queue",
+    reorder_type="S-S", kernel_version="v6.5-rc6",
+    victim_syscall="vmci_create", observer_syscall="vmci_wait",
+    barrier_test="store",
+    ofence_pattern=False,
+    kcsan_visible=True,
+    status="Reported",
+    summary="context marked attached before its wait-queue head pointer "
+            "store commits; waiter dereferences a garbage pointer",
+))
+
+register(BugSpec(
+    bug_id="t3_xsk_poll",
+    table="table3", number=4, subsystem="xsk",
+    title="BUG: unable to handle kernel NULL pointer dereference in xsk_poll",
+    reorder_type="S-S", kernel_version="v6.6-rc2",
+    victim_syscall="xsk_bind", observer_syscall="xsk_poll",
+    setup_syscalls=("xsk_socket",),
+    victim_args=("ret0",), observer_args=("ret0",),
+    barrier_test="store",
+    ofence_pattern=True,    # classic publish/consume pair — one half exists
+    kcsan_visible=True,     # the ring pointer race is one plain access
+    status="Fixed",
+    summary="xs->state set to BOUND before the rx ring pointer store commits",
+))
+
+register(BugSpec(
+    bug_id="t3_tls_getsockopt",
+    table="table3", number=5, subsystem="tls",
+    title="BUG: unable to handle kernel NULL pointer dereference in tls_getsockopt",
+    reorder_type="L-L", kernel_version="v6.6-rc2",
+    victim_syscall="tls_getsockopt", observer_syscall="tls_set_crypto",
+    setup_syscalls=("socket", "tls_init"),
+    victim_args=("ret0",), observer_args=("ret0", 7), setup_args=((), ("ret0",)),
+    barrier_test="load",
+    ofence_pattern=False,
+    kcsan_visible=False,    # multi-load reordering is outside KCSAN's model (§7)
+    status="Fixed",
+    summary="getsockopt loads ctx->crypto_buf before its crypto_ready "
+            "check takes effect; load-load reordering sees a half-built "
+            "crypto context",
+))
+
+register(BugSpec(
+    bug_id="t3_bpf_verdict",
+    table="table3", number=6, subsystem="bpf_sockmap",
+    title="BUG: unable to handle kernel NULL pointer dereference in sk_psock_verdict_data_ready",
+    reorder_type="S-S", kernel_version="v6.7-rc8",
+    victim_syscall="sockmap_update", observer_syscall="sock_data_ready",
+    setup_syscalls=("socket",),
+    victim_args=("ret0",), observer_args=("ret0",), setup_args=((),),
+    barrier_test="store",
+    ofence_pattern=False,
+    kcsan_visible=True,   # single plain psock-field store
+    status="Fixed",
+    summary="psock installed on the socket before psock->verdict_prog "
+            "store commits",
+))
+
+register(BugSpec(
+    bug_id="t3_xsk_xmit",
+    table="table3", number=7, subsystem="xsk",
+    title="BUG: unable to handle kernel NULL pointer dereference in xsk_generic_xmit",
+    reorder_type="S-S", kernel_version="v6.5-rc7",
+    victim_syscall="xsk_bind", observer_syscall="xsk_sendmsg",
+    setup_syscalls=("xsk_socket",),
+    victim_args=("ret0",), observer_args=("ret0",),
+    barrier_test="store",
+    ofence_pattern=True,
+    kcsan_visible=True,   # like #4: single plain access
+    status="Fixed",
+    summary="xs->state set to BOUND before the tx ring pointer store commits",
+))
+
+register(BugSpec(
+    bug_id="t3_smc_connect",
+    table="table3", number=8, subsystem="smc",
+    title="BUG: unable to handle kernel NULL pointer dereference in smc_connect",
+    reorder_type="S-S", kernel_version="v6.7-rc8",
+    victim_syscall="smc_listen", observer_syscall="smc_connect",
+    setup_syscalls=("smc_socket",),
+    victim_args=("ret0",), observer_args=("ret0",), setup_args=((),),
+    barrier_test="store",
+    ofence_pattern=False,
+    kcsan_visible=False,  # two-store publish: outside the single-delay model
+    status="Confirmed",
+    summary="listener publishes accept-queue ready flag before the queue "
+            "head pointer store commits",
+))
+
+register(BugSpec(
+    bug_id="t3_tls_setsockopt",
+    table="table3", number=9, subsystem="tls",
+    title="BUG: unable to handle kernel NULL pointer dereference in tls_setsockopt",
+    reorder_type="S-S", kernel_version="v6.7-rc2",
+    victim_syscall="tls_init", observer_syscall="setsockopt",
+    setup_syscalls=("socket",),
+    victim_args=("ret0",), observer_args=("ret0",), setup_args=((),),
+    barrier_test="store",
+    ofence_pattern=False,   # accesses annotated WRITE_ONCE/READ_ONCE (Figure 7!)
+    kcsan_visible=False,    # KCSAN silenced by the ONCE annotations
+    status="Fixed",
+    summary="Figure 7: sk->sk_prot WRITE_ONCE'd to &tls_prots before "
+            "ctx->sk_proto store commits; the ONCE 'fix' hid it from KCSAN",
+))
+
+register(BugSpec(
+    bug_id="t3_smc_fput",
+    table="table3", number=10, subsystem="smc",
+    title="KASAN: null-ptr-deref Write in fput",
+    reorder_type="L-L", kernel_version="v6.8-rc1",
+    victim_syscall="smc_release", observer_syscall="smc_accept",
+    setup_syscalls=("smc_socket", "smc_listen"),
+    victim_args=("ret0",), observer_args=("ret0",), setup_args=((), ("ret0",)),
+    barrier_test="load",
+    ofence_pattern=True,
+    kcsan_visible=True,    # one plain file-pointer load
+    status="Confirmed",
+    summary="release path loads clcsock->file then clcsock state out of "
+            "order and writes a refcount through a NULL file",
+))
+
+register(BugSpec(
+    bug_id="t3_gsm_dlci",
+    table="table3", number=11, subsystem="gsm",
+    title="BUG: unable to handle kernel NULL pointer dereference in gsm_dlci_config",
+    reorder_type="S-S", kernel_version="v6.8",
+    victim_syscall="gsm_dlci_open", observer_syscall="gsm_dlci_config",
+    barrier_test="store",
+    ofence_pattern=False,
+    kcsan_visible=False,  # two-store publish: outside the single-delay model
+    status="Confirmed",
+    summary="dlci slot pointer published before the dlci->mtu field store "
+            "commits; config path dereferences half-initialized dlci",
+))
+
+# ---------------------------------------------------------------------------
+# Table 4 — previously-reported bugs used to validate OEMU (paper §6.2).
+# ---------------------------------------------------------------------------
+
+register(BugSpec(
+    bug_id="t4_vlan",
+    table="table4", number=1, subsystem="vlan",
+    title="general protection fault in vlan_dev_real_dev",
+    reorder_type="S-S", kernel_version="5.12-rc7",
+    victim_syscall="vlan_add", observer_syscall="vlan_get_device",
+    barrier_test="store",
+    status="Fixed",
+    summary="vlan array slot count incremented before the device pointer "
+            "store commits [120]",
+))
+
+register(BugSpec(
+    bug_id="t4_watch_queue",
+    table="table4", number=2, subsystem="watch_queue",
+    title="BUG: unable to handle kernel NULL pointer dereference in pipe_read",
+    reorder_type="S-S", kernel_version="5.17-rc7",
+    victim_syscall="watch_queue_post", observer_syscall="pipe_read",
+    setup_syscalls=("watch_queue_create",),
+    victim_args=(9,),
+    barrier_test="store",
+    kcsan_visible=True,
+    status="Fixed",
+    summary="Figure 1: pipe->head incremented before buf->ops store commits [31]",
+))
+
+register(BugSpec(
+    bug_id="t4_xsk_wmb",
+    table="table4", number=3, subsystem="xsk",
+    title="BUG: unable to handle kernel NULL pointer dereference in xsk_ring_deref",
+    reorder_type="S-S", kernel_version="4.17-rc4",
+    victim_syscall="xsk_setup_ring", observer_syscall="xsk_ring_deref",
+    setup_syscalls=("xsk_socket",),
+    victim_args=("ret0",), observer_args=("ret0",),
+    barrier_test="store",
+    status="Fixed",
+    summary="missing write/data-dependency barrier publishing the umem "
+            "ring [103]; reordering crosses a function boundary",
+))
+
+register(BugSpec(
+    bug_id="t4_xsk_state",
+    table="table4", number=4, subsystem="xsk",
+    title="BUG: unable to handle kernel NULL pointer dereference in xsk_state_xmit",
+    reorder_type="S-S", kernel_version="5.3-rc3",
+    victim_syscall="xsk_activate", observer_syscall="xsk_state_xmit",
+    setup_syscalls=("xsk_socket",),
+    victim_args=("ret0",), observer_args=("ret0",), setup_args=((),),
+    barrier_test="store",
+    status="Fixed",
+    summary="state member used for socket synchronization set to BOUND "
+            "before the ring store commits [101]",
+))
+
+register(BugSpec(
+    bug_id="t4_fget_light",
+    table="table4", number=5, subsystem="fdtable",
+    title="KASAN: use-after-free Read in __fget_light",
+    reorder_type="L-L", kernel_version="6.1-rc1",
+    victim_syscall="fget_light_read", observer_syscall="dup_close",
+    setup_syscalls=("open",),
+    victim_args=(), observer_args=(), setup_args=((1,),),
+    barrier_test="load",
+    status="Fixed",
+    summary="__fget_light needs acquire ordering: fd-table pointer load "
+            "reordered against the file pointer load [30]",
+))
+
+register(BugSpec(
+    bug_id="t4_sbitmap",
+    table="table4", number=6, subsystem="sbitmap",
+    title="kernel BUG at sbitmap_queue_clear",
+    reorder_type="S-S", kernel_version="5.1-rc1",
+    victim_syscall="blk_complete", observer_syscall="blk_submit",
+    barrier_test="store",
+    reproducible=False,   # requires thread migration OZZ does not model (§6.2)
+    status="Fixed",
+    summary="freed-instance/clear-bit ordering on a per-CPU wait state "
+            "[60]; reproduction needs two threads sharing one CPU's "
+            "per-CPU block and then migrating",
+))
+
+register(BugSpec(
+    bug_id="t4_nbd",
+    table="table4", number=7, subsystem="nbd",
+    title="BUG: unable to handle kernel NULL pointer dereference in nbd_ioctl",
+    reorder_type="L-L", kernel_version="6.7-rc1",
+    victim_syscall="nbd_ioctl", observer_syscall="nbd_alloc_config",
+    barrier_test="load",
+    status="Fixed",
+    summary="nbd->config loaded before the nbd->config_refs check takes "
+            "effect [78]: ioctl sees refs > 0 with a pre-publication "
+            "NULL config",
+))
+
+register(BugSpec(
+    bug_id="t4_tls_err",
+    table="table4", number=8, subsystem="tls",
+    title="SEMANTIC: wrong return value from tls_getsockopt_err",
+    reorder_type="S-S", kernel_version="6.7-rc1",
+    victim_syscall="tls_err_abort", observer_syscall="tls_getsockopt_err",
+    setup_syscalls=("socket", "tls_init"),
+    victim_args=("ret0",), observer_args=("ret0",), setup_args=((), ("ret0",)),
+    barrier_test="store",
+    crash_symptom=False,  # ✓*: wrong value returned, not a crash (§6.2)
+    status="Fixed",
+    summary="sk->sk_err set before the error reason store commits; reader "
+            "returns a nonsensical error code [50]",
+))
+
+register(BugSpec(
+    bug_id="t4_unix",
+    table="table4", number=9, subsystem="unixsock",
+    title="KASAN: slab-out-of-bounds Read in unix_getname",
+    reorder_type="L-L", kernel_version="5.0-rc7",
+    victim_syscall="unix_getname", observer_syscall="unix_bind",
+    setup_syscalls=("unix_socket",),
+    victim_args=(), observer_args=(16,),
+    barrier_test="load",
+    status="Fixed",
+    summary="->addr and ->path accessed without barriers [106]: name "
+            "length load reordered against the address pointer load",
+))
+
+
+# ---------------------------------------------------------------------------
+# Extensions — the paper's §4.5 discussion items, implemented.
+# ---------------------------------------------------------------------------
+
+register(BugSpec(
+    bug_id="ext_rdma_cq",
+    table="ext", number=1, subsystem="rdma",
+    title="kernel BUG at rdma_poll_cq",
+    reorder_type="L-L", kernel_version="v6.4 (irdma, [85])",
+    victim_syscall="rdma_poll_cq", observer_syscall="rdma_kick",
+    barrier_test="load",
+    kcsan_visible=False,   # one side of the race is the device, not a thread
+    status="Extension",
+    summary="driver loads CQE valid flag then data written BY HARDWARE "
+            "without a read barrier; OEMU emulates the load-load "
+            "reordering against device DMA (the irdma fix [85])",
+))

@@ -1,0 +1,172 @@
+"""Kernel helper functions callable from KIR via ``Helper`` instructions.
+
+Helpers model kernel services whose internals are not interesting at
+instruction granularity (the allocator, spinlocks, per-CPU address
+computation).  They run atomically in one interpreter step, see full
+kernel state, and raise :class:`~repro.errors.KernelCrash` through the
+oracles when misused — which is exactly the "in-vivo" property the paper
+claims: reordered accesses hit live allocator and lock state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.kir.interp import HelperRetry, ThreadCtx
+from repro.mem.allocator import AllocatorViolation
+from repro.mem.memory import MemoryFault
+
+
+def _site(thread: ThreadCtx) -> int:
+    """Instruction address of the helper call (for alloc/free records)."""
+    if not thread.frames:
+        return 0
+    frame = thread.frames[-1]
+    return frame.function.insns[frame.index].addr
+
+
+def h_kmalloc(kernel, thread: ThreadCtx, size: int) -> int:
+    return kernel.allocator.kmalloc(size, site=_site(thread), thread=thread.thread_id)
+
+
+def h_kzalloc(kernel, thread: ThreadCtx, size: int) -> int:
+    return kernel.allocator.kzalloc(size, site=_site(thread), thread=thread.thread_id)
+
+
+def h_kfree(kernel, thread: ThreadCtx, addr: int) -> int:
+    try:
+        kernel.allocator.kfree(addr, site=_site(thread), thread=thread.thread_id)
+    except AllocatorViolation as violation:
+        kernel.kasan.report_allocator_violation(
+            violation.kind, violation.addr, thread.current_function, str(violation)
+        )
+    return 0
+
+
+def h_bug_on(kernel, thread: ThreadCtx, condition: int) -> int:
+    kernel.assertions.bug_on(bool(condition), thread.current_function)
+    return 0
+
+
+def h_warn_on(kernel, thread: ThreadCtx, condition: int) -> int:
+    report = kernel.assertions.warn_on(bool(condition), thread.current_function)
+    if report is not None:
+        kernel.warnings.append(report)
+    return 0
+
+
+def h_spin_lock(kernel, thread: ThreadCtx, lock_addr: int) -> int:
+    """Spin until the lock word is free; then take it.
+
+    Spinning raises :class:`HelperRetry` so the scheduler can run the
+    lock holder.  Taking the lock updates lockdep's order graph.  Per
+    the LKMM, lock acquisition has *acquire* semantics: loads inside the
+    critical section must not be satisfied with pre-acquisition values,
+    so the thread's versioning window is reset.
+    """
+    if kernel.memory.load(lock_addr, 8, check=False) != 0:
+        raise HelperRetry()
+    kernel.memory.store(lock_addr, 8, 1, check=False)
+    kernel.lockdep.on_acquire(thread.thread_id, lock_addr, thread.current_function)
+    if kernel.oemu is not None:
+        state = kernel.oemu.thread_state(thread.thread_id)
+        state.window_start = kernel.clock.now
+    return 0
+
+
+def h_spin_unlock(kernel, thread: ThreadCtx, lock_addr: int) -> int:
+    """Release the lock — with *release* semantics: the critical
+    section's delayed stores are committed before the lock word clears
+    (unlike the broken ``clear_bit`` lock of Figure 8)."""
+    if kernel.oemu is not None:
+        kernel.oemu.flush(thread.thread_id)
+    kernel.memory.store(lock_addr, 8, 0, check=False)
+    kernel.lockdep.on_release(thread.thread_id, lock_addr, thread.current_function)
+    return 0
+
+
+def h_memset(kernel, thread: ThreadCtx, addr: int, value: int, length: int) -> int:
+    _checked_range(kernel, thread, addr, length, is_write=True)
+    kernel.memory.write_bytes(addr, bytes([value & 0xFF] * length))
+    return addr
+
+
+def h_memcpy(kernel, thread: ThreadCtx, dst: int, src: int, length: int) -> int:
+    _checked_range(kernel, thread, src, length, is_write=False)
+    _checked_range(kernel, thread, dst, length, is_write=True)
+    kernel.memory.write_bytes(dst, kernel.memory.read_bytes(src, length))
+    return dst
+
+
+def h_fd_install(kernel, thread: ThreadCtx, obj: int) -> int:
+    """Allocate a file descriptor mapping to a kernel object address."""
+    fd = kernel.next_fd
+    kernel.next_fd += 1
+    kernel.fdtable[fd] = obj
+    return fd
+
+
+def h_fd_get(kernel, thread: ThreadCtx, fd: int) -> int:
+    return kernel.fdtable.get(fd, 0)
+
+
+def h_fd_close(kernel, thread: ThreadCtx, fd: int) -> int:
+    return kernel.fdtable.pop(fd, 0)
+
+
+def h_current_cpu(kernel, thread: ThreadCtx) -> int:
+    return thread.cpu
+
+
+def h_percpu_ptr(kernel, thread: ThreadCtx, offset: int) -> int:
+    """Address of a per-CPU variable for the current CPU.
+
+    With ``config.sbitmap_manual_percpu`` set, every thread resolves to
+    CPU 0's block — the paper's §6.2 "manual modification" that lets OZZ
+    reproduce the sbitmap bug despite not modelling thread migration.
+    """
+    cpu = 0 if kernel.config.sbitmap_manual_percpu else thread.cpu
+    return kernel.memory.percpu_base(cpu) + offset
+
+
+def h_sleep(kernel, thread: ThreadCtx, ticks: int) -> int:
+    """A no-op placeholder for schedule()/msleep in kernel paths."""
+    return 0
+
+
+def _checked_range(kernel, thread: ThreadCtx, addr: int, length: int, is_write: bool) -> None:
+    if length <= 0:
+        return
+    try:
+        kernel.memory.check(addr, length, is_write)
+    except MemoryFault as fault:
+        kernel.fault_oracle.on_fault(fault, thread.current_function, _site(thread))
+    kernel.kasan.check_access(addr, length, is_write, thread.current_function, _site(thread))
+
+
+def h_rdma_device_post(kernel, thread: ThreadCtx) -> int:
+    """Doorbell: the simulated RDMA device DMA-writes a completion
+    (see :mod:`repro.kernel.subsystems.rdma`, the §4.5 extension)."""
+    from repro.kernel.subsystems.rdma import device_post_cqe
+
+    return device_post_cqe(kernel, thread)
+
+
+DEFAULT_HELPERS: Dict[str, object] = {
+    "kmalloc": h_kmalloc,
+    "kzalloc": h_kzalloc,
+    "kfree": h_kfree,
+    "bug_on": h_bug_on,
+    "warn_on": h_warn_on,
+    "spin_lock": h_spin_lock,
+    "spin_unlock": h_spin_unlock,
+    "memset": h_memset,
+    "memcpy": h_memcpy,
+    "fd_install": h_fd_install,
+    "fd_get": h_fd_get,
+    "fd_close": h_fd_close,
+    "current_cpu": h_current_cpu,
+    "percpu_ptr": h_percpu_ptr,
+    "sleep": h_sleep,
+    "rdma_device_post": h_rdma_device_post,
+}

@@ -1,0 +1,40 @@
+"""Subsystem plumbing.
+
+Each simulated kernel subsystem (one per module in
+``repro.kernel.subsystems``) exports a :class:`Subsystem`:
+
+* ``globals`` — named global variables (sizes); the image builder
+  assigns them data-segment addresses *before* code generation so the
+  builder can embed them as immediates, like a linker resolving symbols;
+* ``build(cfg, glob)`` — emits the subsystem's KIR functions, consulting
+  ``cfg.is_patched(bug_id)`` to decide whether fixing barriers exist;
+* ``init(kernel)`` — boot-time state initialization (Python-side);
+* ``syscalls`` — the :class:`~repro.kernel.syscalls.SyscallDef` surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import KernelConfig
+from repro.kir.function import Function
+from repro.kernel.syscalls import SyscallDef
+
+GlobalMap = Dict[str, int]
+BuildFn = Callable[[KernelConfig, GlobalMap], List[Function]]
+InitFn = Callable[["object"], None]
+
+
+@dataclass
+class Subsystem:
+    """Static description of one kernel subsystem."""
+
+    name: str
+    build: BuildFn
+    globals: Dict[str, int] = field(default_factory=dict)
+    init: Optional[InitFn] = None
+    syscalls: Tuple[SyscallDef, ...] = ()
+
+    def syscall_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.syscalls)

@@ -1,0 +1,41 @@
+"""All subsystems of the simulated kernel, in boot order."""
+
+from repro.kernel.subsystems import (
+    bpf_sockmap,
+    core,
+    fdtable,
+    gsm,
+    nbd,
+    ramfs,
+    rdma,
+    rds,
+    sbitmap,
+    smc,
+    tls,
+    unixsock,
+    vlan,
+    vmci,
+    watch_queue,
+    xsk,
+)
+
+ALL_SUBSYSTEMS = (
+    core.SUBSYSTEM,
+    ramfs.SUBSYSTEM,
+    watch_queue.SUBSYSTEM,
+    tls.SUBSYSTEM,
+    rds.SUBSYSTEM,
+    xsk.SUBSYSTEM,
+    bpf_sockmap.SUBSYSTEM,
+    smc.SUBSYSTEM,
+    vmci.SUBSYSTEM,
+    gsm.SUBSYSTEM,
+    vlan.SUBSYSTEM,
+    fdtable.SUBSYSTEM,
+    nbd.SUBSYSTEM,
+    unixsock.SUBSYSTEM,
+    rdma.SUBSYSTEM,
+    sbitmap.SUBSYSTEM,
+)
+
+__all__ = ["ALL_SUBSYSTEMS"]

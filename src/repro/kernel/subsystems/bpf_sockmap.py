@@ -1,0 +1,97 @@
+"""BPF sockmap subsystem.
+
+Table 3 #6 (``t3_bpf_verdict``): ``sock_map_update`` installs the psock
+pointer on the socket before the psock's verdict program pointer store
+commits.  The data-ready path then calls
+``sk_psock_verdict_data_ready`` on a psock whose ``verdict_prog`` is
+still NULL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, fd
+
+from repro.kernel.subsystems.tls import SOCK  # shares struct sock
+
+#: Simplified struct sk_psock.
+PSOCK = Struct("sk_psock", [("parser", 8), ("verdict_prog", 8)])
+
+#: The psock pointer lives in its own struct sock field, as in Linux —
+#: a socket can have both a TLS context (sk_user_data) and a psock.
+PSOCK_FIELD = SOCK.sk_psock
+
+GLOBALS: Dict[str, int] = {"bpf_prog_run_count": 8}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    run_count = glob["bpf_prog_run_count"]
+    funcs: List[Function] = []
+
+    # -- bpf_prog_run: target of psock->verdict_prog ------------------------
+    b = Builder("bpf_prog_run", params=["sk"])
+    n = b.load(run_count, 0)
+    n2 = b.add(n, 1)
+    b.store(run_count, 0, n2)
+    b.ret(1)  # verdict: pass
+    funcs.append(b.function())
+
+    # -- sys_sockmap_update: the victim --------------------------------------
+    b = Builder("sys_sockmap_update", params=["fd"])
+    sk = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(sk, 0, bad)
+    psock = b.helper("kzalloc", PSOCK.size)
+    prog = b.helper("kzalloc", 16)
+    b.store(psock, PSOCK.parser, 1)
+    b.store(psock, PSOCK.verdict_prog, prog)
+    if cfg.is_patched("t3_bpf_verdict"):
+        b.wmb()  # fix: psock must be fully built before it is published
+    b.store(sk, PSOCK_FIELD, psock)
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sk_psock_verdict_data_ready: the crash site ----------------------------
+    b = Builder("sk_psock_verdict_data_ready", params=["sk", "psock"])
+    prog = b.load("psock", PSOCK.verdict_prog)
+    first = b.load(prog, 0)  # NULL deref when verdict_prog is stale
+    r = b.call("bpf_prog_run", "sk")
+    combined = b.add(first, r)
+    b.ret(combined)
+    funcs.append(b.function())
+
+    # -- sys_sock_data_ready: the observer -----------------------------------------
+    b = Builder("sys_sock_data_ready", params=["fd"])
+    sk = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(sk, 0, bad)
+    if cfg.is_patched("t3_bpf_verdict"):
+        psock = b.load_acquire(sk, PSOCK_FIELD)
+    else:
+        psock = b.load(sk, PSOCK_FIELD)
+    b.beq(psock, 0, bad)
+    r = b.call("sk_psock_verdict_data_ready", sk, psock)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="bpf_sockmap",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("sockmap_update", "sys_sockmap_update", (fd("sock_fd"),), subsystem="bpf_sockmap"),
+        SyscallDef("sock_data_ready", "sys_sock_data_ready", (fd("sock_fd"),), subsystem="bpf_sockmap"),
+    ),
+)

@@ -1,0 +1,204 @@
+"""Core kernel: trivial syscalls and LMBench-substrate paths.
+
+Implements the remaining operations the Table 5 microbenchmark needs:
+``null`` (the cheapest possible syscall), context switch (task state
+save/restore), pipe and unix-socket latency paths (small ring buffers),
+``fork`` (task duplication) and ``mmap`` (page-table population).  None
+of these carries a seeded bug; they exist so the instrumented-vs-plain
+overhead measurement exercises realistic instruction mixes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, intarg
+
+TASK = Struct(
+    "task_struct",
+    [("pid", 8), ("state", 8), ("regs", 8, 16), ("mm", 8), ("files", 8)],
+)
+
+RING = Struct("ring", [("head", 8), ("tail", 8), ("lock", 8), ("data", 8, 16)])
+
+PT_ENTRIES = 32
+
+GLOBALS = {
+    "init_task": TASK.size,
+    "core_pipe": RING.size,
+    "core_unix": RING.size,
+    "page_table": 8 * PT_ENTRIES,
+    "next_pid": 8,
+}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    init_task = glob["init_task"]
+    core_pipe = glob["core_pipe"]
+    core_unix = glob["core_unix"]
+    page_table = glob["page_table"]
+    next_pid = glob["next_pid"]
+    funcs: List[Function] = []
+
+    # -- sys_null: the 'null call' of LMBench -------------------------------
+    b = Builder("sys_null")
+    pid = b.load(init_task, TASK.pid)
+    b.ret(pid)
+    funcs.append(b.function())
+
+    # -- sys_getpid ------------------------------------------------------------
+    b = Builder("sys_getpid")
+    pid = b.load(init_task, TASK.pid)
+    b.ret(pid)
+    funcs.append(b.function())
+
+    # -- context switch: save + restore a register file ------------------------
+    b = Builder("ctx_save", params=["task"])
+    for i in range(16):
+        b.store("task", TASK.regs + 8 * i, i * 3 + 1)
+    b.store("task", TASK.state, 1)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("ctx_restore", params=["task"])
+    b.mov(0, dst="acc")
+    for i in range(16):
+        r = b.load("task", TASK.regs + 8 * i)
+        b.add("acc", r, dst="acc")
+    b.store("task", TASK.state, 0)
+    b.ret("acc")
+    funcs.append(b.function())
+
+    b = Builder("sys_ctxsw")
+    b.call("ctx_save", init_task)
+    r = b.call("ctx_restore", init_task)
+    b.ret(r)
+    funcs.append(b.function())
+
+    # -- ring transfer: shared by the pipe and unix latency paths -----------------
+    def ring_funcs(prefix: str, ring: int, copies: int) -> None:
+        bb = Builder(f"{prefix}_send", params=["value"])
+        bb.helper_void("spin_lock", ring + RING.lock)
+        head = bb.load(ring, RING.head)
+        idx = bb.and_(head, 15)
+        off = bb.mul(idx, 8)
+        slot = bb.add(ring + RING.data, off)
+        for _ in range(copies):  # unix does more copying than pipe
+            bb.store(slot, 0, "value")
+        h2 = bb.add(head, 1)
+        bb.store(ring, RING.head, h2)
+        bb.helper_void("spin_unlock", ring + RING.lock)
+        bb.ret(0)
+        funcs.append(bb.function())
+
+        bb = Builder(f"{prefix}_recv")
+        bb.helper_void("spin_lock", ring + RING.lock)
+        head = bb.load(ring, RING.head)
+        tail = bb.load(ring, RING.tail)
+        empty = bb.label()
+        bb.ble(head, tail, empty)
+        idx = bb.and_(tail, 15)
+        off = bb.mul(idx, 8)
+        slot = bb.add(ring + RING.data, off)
+        bb.mov(0, dst="v")
+        for _ in range(copies):
+            bb.load(slot, 0, dst="v")
+        t2 = bb.add(tail, 1)
+        bb.store(ring, RING.tail, t2)
+        bb.helper_void("spin_unlock", ring + RING.lock)
+        bb.ret("v")
+        bb.bind(empty)
+        bb.helper_void("spin_unlock", ring + RING.lock)
+        bb.ret(0)
+        funcs.append(bb.function())
+
+    ring_funcs("core_pipe", core_pipe, copies=2)
+    ring_funcs("core_unix", core_unix, copies=6)
+
+    b = Builder("sys_pipe_lat", params=["value"])
+    b.call("core_pipe_send", "value")
+    r = b.call("core_pipe_recv")
+    b.ret(r)
+    funcs.append(b.function())
+
+    b = Builder("sys_unix_lat", params=["value"])
+    b.call("core_unix_send", "value")
+    r = b.call("core_unix_recv")
+    b.ret(r)
+    funcs.append(b.function())
+
+    # -- sys_fork: duplicate the task struct ------------------------------------------
+    b = Builder("sys_fork")
+    child = b.helper("kzalloc", TASK.size)
+    b.helper("memcpy", child, init_task, TASK.size)
+    pid = b.load(next_pid, 0)
+    pid2 = b.add(pid, 1)
+    b.store(next_pid, 0, pid2)
+    b.store(child, TASK.pid, pid2)
+    for i in range(16):  # child register fixups
+        r = b.load(child, TASK.regs + 8 * i)
+        r2 = b.add(r, 1)
+        b.store(child, TASK.regs + 8 * i, r2)
+    b.helper_void("kfree", child)  # the 'child' exits immediately
+    b.ret(pid2)
+    funcs.append(b.function())
+
+    # -- sys_mmap(npages): populate page-table entries -----------------------------------
+    b = Builder("sys_mmap", params=["npages"])
+    n = b.and_("npages", PT_ENTRIES - 1)
+    b.mov(0, dst="i")
+    loop = b.label()
+    done = b.label()
+    b.bind(loop)
+    b.bge("i", n, done)
+    page = b.helper("kzalloc", 64)  # a tracked 'page'
+    off = b.mul("i", 8)
+    pte = b.add(page_table, off)
+    b.store(pte, 0, page)
+    b.add("i", 1, dst="i")
+    b.jmp(loop)
+    b.bind(done)
+    # unmap: tear the entries down again
+    b.mov(0, dst="j")
+    uloop = b.label()
+    udone = b.label()
+    b.bind(uloop)
+    b.bge("j", n, udone)
+    off = b.mul("j", 8)
+    pte = b.add(page_table, off)
+    page = b.load(pte, 0)
+    b.store(pte, 0, 0)
+    b.helper_void("kfree", page)
+    b.add("j", 1, dst="j")
+    b.jmp(uloop)
+    b.bind(udone)
+    b.ret(n)
+    funcs.append(b.function())
+
+    return funcs
+
+
+def init(kernel) -> None:
+    kernel.poke(kernel.glob("init_task") + TASK.pid, 1)
+    kernel.poke(kernel.glob("next_pid"), 1)
+
+
+SUBSYSTEM = Subsystem(
+    name="core",
+    build=build,
+    globals=GLOBALS,
+    init=init,
+    syscalls=(
+        SyscallDef("null", "sys_null", subsystem="core"),
+        SyscallDef("getpid", "sys_getpid", subsystem="core"),
+        SyscallDef("ctxsw", "sys_ctxsw", subsystem="core"),
+        SyscallDef("pipe_lat", "sys_pipe_lat", (intarg(255),), subsystem="core"),
+        SyscallDef("unix_lat", "sys_unix_lat", (intarg(255),), subsystem="core"),
+        SyscallDef("fork", "sys_fork", subsystem="core"),
+        SyscallDef("mmap", "sys_mmap", (intarg(PT_ENTRIES - 1),), subsystem="core"),
+    ),
+)

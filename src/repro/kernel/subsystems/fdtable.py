@@ -1,0 +1,90 @@
+"""File-descriptor table subsystem (fs/file.c).
+
+Table 4 #5 (``t4_fget_light`` [30]): ``__fget_light`` loads the table
+generation and then the file pointer; without acquire ordering the file
+pointer load can be satisfied with the *previous* pointer — one that a
+concurrent ``dup_close`` has already freed.  The reordered read hits a
+quarantined slab object: "KASAN: use-after-free Read in __fget_light".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Annot, Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, intarg
+
+FDT = Struct("fdtable", [("gen", 8), ("file", 8)])
+
+GLOBALS = {"fdt": FDT.size}
+
+FILE_OBJ_SIZE = 32
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    fdt = glob["fdt"]
+    funcs: List[Function] = []
+
+    # -- sys_open: install the initial file --------------------------------
+    b = Builder("sys_open", params=["mode"])
+    file = b.helper("kzalloc", FILE_OBJ_SIZE)
+    b.store(file, 0, "mode")
+    b.store(fdt, FDT.file, file)
+    b.wmb()
+    gen = b.load(fdt, FDT.gen)
+    gen2 = b.add(gen, 1)
+    b.store(fdt, FDT.gen, gen2)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- __fget_light: the victim (load-load) --------------------------------
+    b = Builder("__fget_light")
+    gen = b.load(fdt, FDT.gen)
+    none = b.label()
+    b.beq(gen, 0, none)
+    if cfg.is_patched("t4_fget_light"):
+        # Upstream fix: use acquire ordering on the file pointer read.
+        file = b.load_acquire(fdt, FDT.file)
+    else:
+        file = b.load(fdt, FDT.file)   # may be satisfied with the old pointer
+    mode = b.load(file, 0)             # UAF read when the pointer is stale
+    b.ret(mode)
+    b.bind(none)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_fget_light_read")
+    r = b.call("__fget_light")
+    b.ret(r)
+    funcs.append(b.function())
+
+    # -- sys_dup_close: replace the file, freeing the old one ---------------------
+    b = Builder("sys_dup_close")
+    old = b.load(fdt, FDT.file)
+    newf = b.helper("kzalloc", FILE_OBJ_SIZE)
+    b.store(newf, 0, 7)
+    b.store(fdt, FDT.file, newf)
+    b.wmb()  # the writer side is correctly ordered
+    gen = b.load(fdt, FDT.gen)
+    gen2 = b.add(gen, 1)
+    b.store(fdt, FDT.gen, gen2)
+    b.helper("kfree", old)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="fdtable",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("open", "sys_open", (intarg(7),), subsystem="fdtable"),
+        SyscallDef("fget_light_read", "sys_fget_light_read", subsystem="fdtable"),
+        SyscallDef("dup_close", "sys_dup_close", subsystem="fdtable"),
+    ),
+)

@@ -1,0 +1,74 @@
+"""GSM 0710 tty multiplexor subsystem.
+
+Table 3 #11 (``t3_gsm_dlci``): ``gsm_dlci_open`` publishes the dlci slot
+pointer before the dlci's config-block pointer store commits;
+``gsm_dlci_config`` dereferences a half-initialized dlci.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, intarg
+
+DLCI = Struct("gsm_dlci", [("mtu", 8), ("cfg", 8)])
+GSM_MUX = Struct("gsm_mux", [("dlci", 8)])
+
+GLOBALS = {"gsm_mux": GSM_MUX.size}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    mux = glob["gsm_mux"]
+    funcs: List[Function] = []
+
+    # -- sys_gsm_dlci_open: the victim -------------------------------------
+    b = Builder("sys_gsm_dlci_open", params=["mtu"])
+    dlci = b.helper("kzalloc", DLCI.size)
+    cfgblk = b.helper("kzalloc", 16)
+    b.store(dlci, DLCI.mtu, "mtu")
+    b.store(dlci, DLCI.cfg, cfgblk)
+    if cfg.is_patched("t3_gsm_dlci"):
+        b.wmb()
+    b.store(mux, GSM_MUX.dlci, dlci)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- gsm_dlci_config: the crash site ---------------------------------------
+    b = Builder("gsm_dlci_config", params=["dlci"])
+    cfgblk = b.load("dlci", DLCI.cfg)
+    v = b.load(cfgblk, 0)          # NULL deref on the stale cfg pointer
+    mtu = b.load("dlci", DLCI.mtu)
+    total = b.add(v, mtu)
+    b.ret(total)
+    funcs.append(b.function())
+
+    b = Builder("sys_gsm_dlci_config", params=["arg"])
+    if cfg.is_patched("t3_gsm_dlci"):
+        # The full fix pairs the writer's wmb with an acquire here.
+        dlci = b.load_acquire(mux, GSM_MUX.dlci)
+    else:
+        dlci = b.load(mux, GSM_MUX.dlci)
+    bad = b.label()
+    b.beq(dlci, 0, bad)
+    r = b.call("gsm_dlci_config", dlci)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="gsm",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("gsm_dlci_open", "sys_gsm_dlci_open", (intarg(4096),), subsystem="gsm"),
+        SyscallDef("gsm_dlci_config", "sys_gsm_dlci_config", (intarg(8),), subsystem="gsm"),
+    ),
+)

@@ -1,0 +1,98 @@
+"""NBD (network block device) subsystem.
+
+Table 4 #7 (``t4_nbd`` [78]): ``nbd_ioctl`` checks ``nbd->config_refs``
+and then loads ``nbd->config``.  Load-load reordering lets the config
+load be satisfied with the pre-publication NULL while the refs check
+sees the published count — a NULL dereference in ``nbd_ioctl``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, intarg
+
+NBD = Struct("nbd_device", [("config", 8), ("config_refs", 8)])
+
+GLOBALS = {"nbd_dev": NBD.size, "nbd_lock": 8}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    nbd = glob["nbd_dev"]
+    lock = glob["nbd_lock"]
+    funcs: List[Function] = []
+
+    # -- sys_nbd_setup: reset to the unconfigured state ----------------------
+    b = Builder("sys_nbd_setup")
+    b.helper_void("spin_lock", lock)
+    b.store(nbd, NBD.config, 0)
+    b.store(nbd, NBD.config_refs, 0)
+    b.mb()
+    b.helper_void("spin_unlock", lock)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_nbd_alloc_config: the observer (publishes config) -----------------
+    b = Builder("sys_nbd_alloc_config")
+    b.helper_void("spin_lock", lock)
+    config = b.helper("kzalloc", 16)
+    b.store(config, 0, 4096)  # block size
+    b.store(nbd, NBD.config, config)
+    b.wmb()  # writer correctly ordered; the reader is not
+    b.store(nbd, NBD.config_refs, 1)
+    b.helper_void("spin_unlock", lock)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- nbd_ioctl + sys wrapper: the victim (load-load) -----------------------------
+    b = Builder("nbd_ioctl", params=["cmd"])
+    refs = b.load(nbd, NBD.config_refs)
+    none = b.label()
+    b.beq(refs, 0, none)
+    if cfg.is_patched("t4_nbd"):
+        b.rmb()  # fix: order the refs check against the config load
+    config = b.load(nbd, NBD.config)
+    blksize = b.load(config, 0)   # NULL deref on the stale config
+    b.ret(blksize)
+    b.bind(none)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_nbd_ioctl", params=["cmd"])
+    r = b.call("nbd_ioctl", "cmd")
+    b.ret(r)
+    funcs.append(b.function())
+
+    # -- sys_nbd_config_put: teardown (kept correctly ordered) -----------------------
+    b = Builder("sys_nbd_config_put")
+    refs = b.load(nbd, NBD.config_refs)
+    none = b.label()
+    b.beq(refs, 0, none)
+    b.store(nbd, NBD.config_refs, 0)
+    b.wmb()
+    old = b.load(nbd, NBD.config)
+    b.store(nbd, NBD.config, 0)
+    b.helper("kfree", old)
+    b.ret(0)
+    b.bind(none)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="nbd",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("nbd_setup", "sys_nbd_setup", subsystem="nbd"),
+        SyscallDef("nbd_alloc_config", "sys_nbd_alloc_config", subsystem="nbd"),
+        SyscallDef("nbd_ioctl", "sys_nbd_ioctl", (intarg(4),), subsystem="nbd"),
+        SyscallDef("nbd_config_put", "sys_nbd_config_put", subsystem="nbd"),
+    ),
+)

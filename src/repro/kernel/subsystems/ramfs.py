@@ -1,0 +1,180 @@
+"""ramfs — a small in-memory filesystem.
+
+Carries no seeded bugs.  It exists as the workload substrate for the
+Table 5 LMBench reproduction: ``stat``/``open``/``close``/file
+create/delete/read/write paths perform enough instrumentable memory
+accesses that the OEMU-instrumented kernel shows the paper's
+order-of-magnitude slowdowns relative to the plain build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, fd, intarg
+
+INODE = Struct(
+    "inode",
+    [("used", 8), ("size", 8), ("nlink", 8), ("data", 8), ("mtime", 8), ("mode", 8)],
+)
+
+NR_INODES = 8
+DATA_PAGE = 256  # bytes per file
+
+GLOBALS = {"inode_table": INODE.size * NR_INODES, "fs_sb_lock": 8}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    table = glob["inode_table"]
+    sb_lock = glob["fs_sb_lock"]
+    funcs: List[Function] = []
+
+    # -- inode_lookup(id) -> inode address --------------------------------
+    b = Builder("inode_lookup", params=["id"])
+    idx = b.and_("id", NR_INODES - 1)
+    off = b.mul(idx, INODE.size)
+    inode = b.add(table, off)
+    b.ret(inode)
+    funcs.append(b.function())
+
+    # -- sys_creat(id): allocate an inode + data page ------------------------
+    b = Builder("sys_creat", params=["id"])
+    b.helper_void("spin_lock", sb_lock)
+    inode = b.call("inode_lookup", "id")
+    data = b.helper("kzalloc", DATA_PAGE)
+    b.store(inode, INODE.used, 1)
+    b.store(inode, INODE.size, 0)
+    b.store(inode, INODE.nlink, 1)
+    b.store(inode, INODE.data, data)
+    b.store(inode, INODE.mode, 0o644)
+    b.helper_void("spin_unlock", sb_lock)
+    b.ret("id")
+    funcs.append(b.function())
+
+    # -- sys_unlink(id) ---------------------------------------------------------
+    b = Builder("sys_unlink", params=["id"])
+    b.helper_void("spin_lock", sb_lock)
+    inode = b.call("inode_lookup", "id")
+    used = b.load(inode, INODE.used)
+    missing = b.label()
+    b.beq(used, 0, missing)
+    data = b.load(inode, INODE.data)
+    b.store(inode, INODE.used, 0)
+    b.store(inode, INODE.data, 0)
+    b.store(inode, INODE.nlink, 0)
+    b.helper_void("kfree", data)
+    b.helper_void("spin_unlock", sb_lock)
+    b.ret(0)
+    b.bind(missing)
+    b.helper_void("spin_unlock", sb_lock)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_fs_open(id) -> fd -----------------------------------------------------
+    b = Builder("sys_fs_open", params=["id"])
+    inode = b.call("inode_lookup", "id")
+    used = b.load(inode, INODE.used)
+    missing = b.label()
+    b.beq(used, 0, missing)
+    fdnum = b.helper("fd_install", inode)
+    b.ret(fdnum)
+    b.bind(missing)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_fs_close(fd) --------------------------------------------------------------
+    b = Builder("sys_fs_close", params=["fd"])
+    b.helper("fd_close", "fd")
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_stat(id): read every inode field -----------------------------------------
+    b = Builder("sys_stat", params=["id"])
+    inode = b.call("inode_lookup", "id")
+    used = b.load(inode, INODE.used)
+    size = b.load(inode, INODE.size)
+    nlink = b.load(inode, INODE.nlink)
+    mtime = b.load(inode, INODE.mtime)
+    mode = b.load(inode, INODE.mode)
+    acc = b.add(used, size)
+    acc = b.add(acc, nlink)
+    acc = b.add(acc, mtime)
+    acc = b.add(acc, mode)
+    b.ret(acc)
+    funcs.append(b.function())
+
+    # -- sys_fs_write(fd, n): write n words through the data page ----------------------
+    b = Builder("sys_fs_write", params=["fd", "n"])
+    inode = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(inode, 0, bad)
+    data = b.load(inode, INODE.data)
+    b.beq(data, 0, bad)
+    nbytes = b.mul("n", 8)
+    cap = b.mov(DATA_PAGE)
+    small = b.label()
+    b.ble(nbytes, cap, small)
+    b.mov(DATA_PAGE, dst=nbytes.name)
+    b.bind(small)
+    b.mov(0, dst="i")
+    loop = b.label()
+    done = b.label()
+    b.bind(loop)
+    b.bge("i", nbytes, done)
+    b.add(data, "i", dst="p")
+    b.store("p", 0, "i")
+    b.add("i", 8, dst="i")
+    b.jmp(loop)
+    b.bind(done)
+    b.store(inode, INODE.size, nbytes)
+    b.ret(nbytes)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_fs_read(fd): read the file back -----------------------------------------------
+    b = Builder("sys_fs_read", params=["fd"])
+    inode = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(inode, 0, bad)
+    data = b.load(inode, INODE.data)
+    b.beq(data, 0, bad)
+    size = b.load(inode, INODE.size)
+    b.mov(0, dst="i")
+    b.mov(0, dst="acc")
+    loop = b.label()
+    done = b.label()
+    b.bind(loop)
+    b.bge("i", size, done)
+    b.add(data, "i", dst="p")
+    w = b.load("p", 0)
+    b.add("acc", w, dst="acc")
+    b.add("i", 8, dst="i")
+    b.jmp(loop)
+    b.bind(done)
+    b.ret("acc")
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="ramfs",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("creat", "sys_creat", (intarg(NR_INODES - 1),), subsystem="ramfs"),
+        SyscallDef("unlink", "sys_unlink", (intarg(NR_INODES - 1),), subsystem="ramfs"),
+        SyscallDef("fs_open", "sys_fs_open", (intarg(NR_INODES - 1),), produces="file_fd", subsystem="ramfs"),
+        SyscallDef("fs_close", "sys_fs_close", (fd("file_fd"),), subsystem="ramfs"),
+        SyscallDef("stat", "sys_stat", (intarg(NR_INODES - 1),), subsystem="ramfs"),
+        SyscallDef("fs_write", "sys_fs_write", (fd("file_fd"), intarg(32)), subsystem="ramfs"),
+        SyscallDef("fs_read", "sys_fs_read", (fd("file_fd"),), subsystem="ramfs"),
+    ),
+)

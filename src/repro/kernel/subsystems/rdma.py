@@ -1,0 +1,138 @@
+"""RDMA driver — the hardware-concurrency extension (paper §4.5).
+
+The paper's discussion section observes that OOO bugs also occur between
+a kernel thread and *hardware*: the irdma fix [85] added missing read
+barriers ordering two loads of values **written by the device**.  The
+paper argues OEMU could trigger such bugs if the driver ran against real
+hardware; here we build that experiment.
+
+The "device" is a DMA agent (:func:`device_post_cqe`) that writes
+completion-queue entries through OEMU's store path under a dedicated
+hardware thread id — data first, then the valid flag, with the ordering
+a real NIC guarantees on the bus.  The driver's ``rdma_poll_cq`` loads
+``valid`` and then ``data``; without a read barrier, load-load
+reordering lets it pair a fresh ``valid`` with a stale ``data`` — the
+driver's sanity check (``BUG_ON``) fires, just as the irdma bug
+corrupted completions in production.
+
+Registered in the bug registry under ``table="ext"`` so the Table 3/4
+reproductions are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kir.insn import Annot, BinOpKind
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef
+
+#: One completion-queue entry, device-written.
+CQE = Struct("rdma_cqe", [("data", 8), ("valid", 8)])
+
+GLOBALS = {"rdma_cq": CQE.size}
+
+#: Thread id the DMA agent commits under (distinct from any CPU thread).
+DEVICE_THREAD = 0xD0
+#: The payload a valid completion always carries (driver invariant).
+CQE_MAGIC = 0x1D
+
+
+#: Pseudo instruction addresses for the device's DMA writes.  They let
+#: the profiler attribute hardware-shared accesses to the kicking
+#: syscall — the paper's §4.5 "a fuzzer needs to know which instructions
+#: are shared with hardware" requirement — while never colliding with a
+#: CPU instruction, so CPU-side delay controls cannot touch them.
+DMA_DATA_INSN = 0xD000_0000
+DMA_VALID_INSN = 0xD000_0004
+
+
+def device_post_cqe(kernel, thread, seq: int = 0) -> int:
+    """The hardware side: DMA-write a completion entry.
+
+    Runs as a helper so any syscall can "kick" the device.  The stores
+    commit through OEMU under :data:`DEVICE_THREAD`, so they land in the
+    store history and versioned driver loads can observe the pre-DMA
+    values — which is exactly how OEMU emulates reordering of reads
+    against hardware writes (§4.5).
+    """
+    cq = kernel.glob("rdma_cq")
+    if kernel.oemu is not None:
+        oemu = kernel.oemu
+        if oemu.profiler is not None:
+            # Attribute the shared accesses to the kicking syscall so
+            # Algorithm 2 can see the hardware/driver sharing.
+            ts = kernel.clock.now
+            oemu.profiler.on_access(
+                thread.thread_id, DMA_DATA_INSN, cq + CQE.data, 8, True, ts,
+                Annot.PLAIN, "rdma_device",
+            )
+            oemu.profiler.on_access(
+                thread.thread_id, DMA_VALID_INSN, cq + CQE.valid, 8, True, ts,
+                Annot.PLAIN, "rdma_device",
+            )
+        # The device writes data, a bus barrier, then the valid flag.
+        saved, oemu.profiler = oemu.profiler, None  # already profiled above
+        try:
+            oemu.on_store(
+                DEVICE_THREAD, DMA_DATA_INSN, Annot.PLAIN, cq + CQE.data, 8, CQE_MAGIC, "rdma_device"
+            )
+            oemu.on_store(
+                DEVICE_THREAD, DMA_VALID_INSN, Annot.RELEASE, cq + CQE.valid, 8, 1, "rdma_device"
+            )
+        finally:
+            oemu.profiler = saved
+    else:
+        kernel.memory.store(cq + CQE.data, 8, CQE_MAGIC, check=False)
+        kernel.memory.store(cq + CQE.valid, 8, 1, check=False)
+    return 0
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    cq = glob["rdma_cq"]
+    funcs: List[Function] = []
+
+    # -- sys_rdma_kick: ring the doorbell; the device DMAs a CQE ----------
+    b = Builder("sys_rdma_kick")
+    b.helper("rdma_device_post")
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- rdma_poll_cq: the driver's buggy read side ------------------------
+    b = Builder("rdma_poll_cq")
+    valid = b.load(cq, CQE.valid)
+    none = b.label()
+    b.beq(valid, 0, none)
+    if cfg.is_patched("ext_rdma_cq"):
+        b.rmb()  # the irdma fix: order the valid check before the data read
+    data = b.load(cq, CQE.data)
+    # A valid completion always carries the magic payload; reading the
+    # pre-DMA value here is the corruption the real bug caused.
+    bad = b.binop(BinOpKind.NE, data, CQE_MAGIC)
+    b.helper("bug_on", bad)
+    b.store(cq, CQE.valid, 0)  # consume the entry
+    b.ret(data)
+    b.bind(none)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_rdma_poll_cq")
+    r = b.call("rdma_poll_cq")
+    b.ret(r)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="rdma",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("rdma_kick", "sys_rdma_kick", subsystem="rdma"),
+        SyscallDef("rdma_poll_cq", "sys_rdma_poll_cq", subsystem="rdma"),
+    ),
+)

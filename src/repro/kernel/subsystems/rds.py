@@ -1,0 +1,132 @@
+"""RDS subsystem — the incorrect customized bit lock (paper Figure 8).
+
+Table 3 #1 (``t3_rds_xmit``): ``acquire_in_xmit``/``release_in_xmit``
+implement a try-lock with atomic bit operations.  ``release_in_xmit``
+uses relaxed ``clear_bit()``, which does not order the critical
+section's stores against the bit clear.  A store inside the critical
+section (here: the connection's buffer length) can therefore commit
+*after* the lock appears free, and the next lock holder reads a stale
+length for the freshly installed, smaller buffer — a slab-out-of-bounds
+read in ``rds_loop_xmit`` caught by KASAN.
+
+The fix (``cfg.is_patched``) is ``clear_bit_unlock()``, whose release
+ordering flushes the critical section first — exactly the upstream patch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kir.insn import BinOpKind
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, intarg
+
+#: Simplified struct rds_conn_path.
+RDS_CONN = Struct("rds_conn_path", [("cp_flags", 8), ("buf", 8), ("len", 8)])
+
+IN_XMIT_BIT = 2
+INITIAL_BUF_LEN = 64
+SHRUNK_BUF_LEN = 16
+
+GLOBALS = {"rds_conn": RDS_CONN.size}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    conn = glob["rds_conn"]
+    funcs: List[Function] = []
+
+    # -- acquire_in_xmit: Figure 8 left side -------------------------------
+    b = Builder("acquire_in_xmit")
+    old = b.test_and_set_bit(IN_XMIT_BIT, conn, RDS_CONN.cp_flags)
+    acquired = b.binop(BinOpKind.EQ, old, 0)
+    b.ret(acquired)
+    funcs.append(b.function())
+
+    # -- release_in_xmit: Figure 8 right side -------------------------------
+    b = Builder("release_in_xmit")
+    if cfg.is_patched("t3_rds_xmit"):
+        b.clear_bit_unlock(IN_XMIT_BIT, conn, RDS_CONN.cp_flags)  # the fix
+    else:
+        b.clear_bit(IN_XMIT_BIT, conn, RDS_CONN.cp_flags)         # the bug
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- rds_loop_xmit: walks the buffer; the KASAN crash site ----------------
+    b = Builder("rds_loop_xmit")
+    buf = b.load(conn, RDS_CONN.buf)
+    length = b.load(conn, RDS_CONN.len)
+    b.mov(0, dst="i")
+    b.mov(0, dst="sum")
+    loop = b.label()
+    done = b.label()
+    b.bind(loop)
+    b.bge("i", length, done)
+    b.add(buf, "i", dst="p")
+    word = b.load("p", 0)
+    b.add("sum", word, dst="sum")
+    b.add("i", 8, dst="i")
+    b.jmp(loop)
+    b.bind(done)
+    b.ret("sum")
+    funcs.append(b.function())
+
+    # -- sys_rds_socket: (re)establish the connection buffer.  Like any
+    # other path touching the connection, it must hold the in_xmit bit
+    # lock, so it exhibits the same release_in_xmit bug when unpatched.
+    b = Builder("sys_rds_socket")
+    acquired = b.call("acquire_in_xmit")
+    busy = b.label()
+    b.beq(acquired, 0, busy)
+    buf = b.helper("kzalloc", INITIAL_BUF_LEN)
+    b.store(conn, RDS_CONN.buf, buf)
+    b.store(conn, RDS_CONN.len, INITIAL_BUF_LEN)
+    b.call("release_in_xmit")
+    b.ret(0)
+    b.bind(busy)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_rds_sendmsg: the critical section ------------------------------------
+    b = Builder("sys_rds_sendmsg", params=["shrink"])
+    acquired = b.call("acquire_in_xmit")
+    busy = b.label()
+    b.beq(acquired, 0, busy)
+    no_shrink = b.label()
+    b.beq("shrink", 0, no_shrink)
+    # Shrink the connection buffer: write the new length, then install
+    # the (smaller) buffer.  Both stores belong to the critical section.
+    newbuf = b.helper("kzalloc", SHRUNK_BUF_LEN)
+    b.store(conn, RDS_CONN.len, SHRUNK_BUF_LEN)
+    b.store(conn, RDS_CONN.buf, newbuf)
+    b.bind(no_shrink)
+    b.call("rds_loop_xmit")
+    b.call("release_in_xmit")
+    b.ret(1)
+    b.bind(busy)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+def init(kernel) -> None:
+    """Boot: allocate the initial 64-byte connection buffer."""
+    conn = kernel.glob("rds_conn")
+    buf = kernel.allocator.kzalloc(INITIAL_BUF_LEN)
+    kernel.poke(conn + RDS_CONN.buf, buf)
+    kernel.poke(conn + RDS_CONN.len, INITIAL_BUF_LEN)
+
+
+SUBSYSTEM = Subsystem(
+    name="rds",
+    build=build,
+    globals=GLOBALS,
+    init=init,
+    syscalls=(
+        SyscallDef("rds_socket", "sys_rds_socket", subsystem="rds"),
+        SyscallDef("rds_sendmsg", "sys_rds_sendmsg", (intarg(1),), subsystem="rds"),
+    ),
+)

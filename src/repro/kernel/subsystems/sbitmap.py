@@ -1,0 +1,82 @@
+"""sbitmap / blk-mq subsystem — the bug OEMU *cannot* reproduce (§6.2).
+
+Table 4 #6 (``t4_sbitmap`` [60]): a store-store reordering on a
+**per-CPU** wait state.  Triggering it requires two threads that
+obtained the *same* CPU's per-CPU block (initially co-scheduled, then
+migrated apart).  OZZ pins concurrent threads to distinct CPUs before
+running, so each thread resolves its own block and the racing accesses
+never alias — the reproduction fails, exactly as the paper reports.
+
+The paper then verifies the analysis by "slightly modifying the kernel"
+so both threads get the per-CPU address of one CPU;
+``KernelConfig.sbitmap_manual_percpu`` is that modification, and with it
+the bug reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef
+
+#: Per-CPU wait state: a cleared flag and a wake-batch state word.
+SBQ_CLEARED_OFF = 0x100   # offset of the per-CPU block
+SBQ_STATE_OFF = 0x108
+
+STATE_READY = 2
+
+GLOBALS: Dict[str, int] = {}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    funcs: List[Function] = []
+
+    # -- sys_blk_complete: the victim; writes the per-CPU pair -----------------
+    b = Builder("sys_blk_complete")
+    p = b.helper("percpu_ptr", SBQ_CLEARED_OFF)
+    b.store(p, 0, 1)                      # mark freed instance cleared
+    if cfg.is_patched("t4_sbitmap"):
+        b.wmb()                           # upstream fix: order the pair [60]
+    b.store(p, SBQ_STATE_OFF - SBQ_CLEARED_OFF, STATE_READY)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sbitmap_queue_clear: asserts the invariant; the crash site --------------
+    b = Builder("sbitmap_queue_clear", params=["p"])
+    state = b.load("p", SBQ_STATE_OFF - SBQ_CLEARED_OFF)
+    out = b.label()
+    b.bne(state, STATE_READY, out)
+    cleared = b.load("p", 0)
+    # If the state says READY the cleared flag must already be visible.
+    from repro.kir.insn import BinOpKind
+
+    bad = b.binop(BinOpKind.NE, cleared, 1)
+    b.helper("bug_on", bad)               # "kernel BUG at sbitmap_queue_clear"
+    b.ret(cleared)
+    b.bind(out)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_blk_submit: the observer ------------------------------------------------
+    b = Builder("sys_blk_submit")
+    p = b.helper("percpu_ptr", SBQ_CLEARED_OFF)
+    r = b.call("sbitmap_queue_clear", p)
+    b.ret(r)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="sbitmap",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("blk_complete", "sys_blk_complete", subsystem="sbitmap"),
+        SyscallDef("blk_submit", "sys_blk_submit", subsystem="sbitmap"),
+    ),
+)

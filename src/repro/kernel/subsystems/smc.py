@@ -1,0 +1,131 @@
+"""SMC (shared memory communications) subsystem.
+
+Two seeded bugs:
+
+* **t3_smc_connect** (Table 3 #8, S-S): the listener publishes
+  ``accept_ready`` before the accept-queue pointer store commits;
+  ``smc_connect`` dereferences a NULL queue.
+
+* **t3_smc_fput** (Table 3 #10, L-L): the release path checks
+  ``file_ready`` and then loads ``clcsock_file``; with the second load
+  reordered before the first it obtains a pre-publication NULL file and
+  ``fput`` *writes* a refcount through it — the paper's distinctive
+  "KASAN: null-ptr-deref Write in fput" title.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, fd
+
+#: Simplified link-group / listener state.
+SMC_LGR = Struct(
+    "smc_link_group",
+    [("accept_q", 8), ("accept_ready", 8), ("clcsock_file", 8), ("file_ready", 8)],
+)
+
+#: struct file: refcount first (fput writes it).
+FILE = Struct("file", [("f_count", 8), ("f_inode", 8)])
+
+GLOBALS = {"smc_lgr": SMC_LGR.size}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    lgr = glob["smc_lgr"]
+    funcs: List[Function] = []
+
+    # -- sys_smc_socket -------------------------------------------------------
+    b = Builder("sys_smc_socket")
+    sk = b.helper("kzalloc", 32)
+    fdnum = b.helper("fd_install", sk)
+    b.ret(fdnum)
+    funcs.append(b.function())
+
+    # -- sys_smc_listen: victim of t3_smc_connect --------------------------------
+    b = Builder("sys_smc_listen", params=["fd"])
+    q = b.helper("kzalloc", 32)
+    b.store(q, 0, 1)  # one pending connection
+    b.store(lgr, SMC_LGR.accept_q, q)
+    if cfg.is_patched("t3_smc_connect"):
+        b.wmb()
+    b.store(lgr, SMC_LGR.accept_ready, 1)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- smc_connect: observer / crash site ----------------------------------------
+    b = Builder("smc_connect", params=["fd"])
+    if cfg.is_patched("t3_smc_connect"):
+        ready = b.load_acquire(lgr, SMC_LGR.accept_ready)
+    else:
+        ready = b.load(lgr, SMC_LGR.accept_ready)
+    bad = b.label()
+    b.beq(ready, 0, bad)
+    q = b.load(lgr, SMC_LGR.accept_q)
+    pending = b.load(q, 0)  # NULL deref when accept_q store is delayed
+    b.ret(pending)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_smc_connect", params=["fd"])
+    r = b.call("smc_connect", "fd")
+    b.ret(r)
+    funcs.append(b.function())
+
+    # -- sys_smc_accept: publishes the clcsock file (correctly ordered) -------------
+    b = Builder("sys_smc_accept", params=["fd"])
+    file = b.helper("kzalloc", FILE.size)
+    b.store(file, FILE.f_count, 1)
+    b.store(lgr, SMC_LGR.clcsock_file, file)
+    b.wmb()  # the *writer* is correct; the release path's loads are not
+    b.store(lgr, SMC_LGR.file_ready, 1)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- fput: writes the refcount; the t3_smc_fput crash site ------------------------
+    b = Builder("fput", params=["file"])
+    from repro.kir.insn import AtomicOp, AtomicOrdering
+
+    # atomic_fetch_sub(&file->f_count, 1): a *write* access, so a NULL
+    # file yields "KASAN: null-ptr-deref Write in fput" (Table 3 #10).
+    old = b.atomic(
+        AtomicOp.FETCH_ADD, "file", FILE.f_count, -1 & ((1 << 64) - 1),
+        ordering=AtomicOrdering.RELAXED, dst="old",
+    )
+    b.ret(old)
+    funcs.append(b.function())
+
+    # -- sys_smc_release: victim of t3_smc_fput (load-load) -----------------------------
+    b = Builder("sys_smc_release", params=["fd"])
+    ready = b.load(lgr, SMC_LGR.file_ready)
+    bad = b.label()
+    b.beq(ready, 0, bad)
+    if cfg.is_patched("t3_smc_fput"):
+        b.rmb()  # fix: order the flag check against the file load
+    file = b.load(lgr, SMC_LGR.clcsock_file)
+    r = b.call("fput", file)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="smc",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("smc_socket", "sys_smc_socket", produces="smc_fd", subsystem="smc"),
+        SyscallDef("smc_listen", "sys_smc_listen", (fd("smc_fd"),), subsystem="smc"),
+        SyscallDef("smc_connect", "sys_smc_connect", (fd("smc_fd"),), subsystem="smc"),
+        SyscallDef("smc_accept", "sys_smc_accept", (fd("smc_fd"),), subsystem="smc"),
+        SyscallDef("smc_release", "sys_smc_release", (fd("smc_fd"),), subsystem="smc"),
+    ),
+)

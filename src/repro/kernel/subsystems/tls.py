@@ -1,0 +1,233 @@
+"""TLS subsystem (net/tls).
+
+Carries three seeded OOO bugs:
+
+* **t3_tls_setsockopt** — paper Figure 7 / Table 3 #9: ``tls_init``
+  WRITE_ONCEs ``sk->sk_prot = &tls_prots`` before the plain store to
+  ``ctx->sk_proto`` commits.  A concurrent ``setsockopt`` dispatches
+  through the new proto table into ``tls_setsockopt`` and dereferences
+  the NULL ``ctx->sk_proto``.  The ONCE annotations are the developers'
+  earlier "fix" that silenced KCSAN without fixing the ordering.
+
+* **t3_tls_getsockopt** — Table 3 #5 (load-load): ``tls_getsockopt``
+  checks ``ctx->crypto_ready`` and then loads ``ctx->crypto_buf``; the
+  second load can be satisfied with a pre-``tls_set_crypto`` value.
+
+* **t4_tls_err** — Table 4 #8 [50]: ``tls_err_abort`` sets ``sk->err``
+  before the store of ``sk->err_reason`` commits; the reader returns a
+  nonsensical error code.  The symptom is a wrong return value, not a
+  crash (the paper's ✓*), caught by the return-value oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, fd, intarg
+
+#: Simplified struct sock (shared with bpf_sockmap, which owns sk_psock).
+SOCK = Struct(
+    "sock",
+    [("sk_prot", 8), ("sk_user_data", 8), ("sk_err", 8), ("sk_err_reason", 8), ("sk_psock", 8)],
+)
+
+#: Simplified struct tls_context.
+TLS_CTX = Struct(
+    "tls_context",
+    [("sk_proto", 8), ("crypto_ready", 8), ("crypto_buf", 8)],
+)
+
+#: Simplified struct proto: the per-protocol ops table.
+PROTO = Struct("proto", [("setsockopt", 8), ("getsockopt", 8)])
+
+GLOBALS = {
+    "base_prots": PROTO.size,
+    "tls_prots": PROTO.size,
+}
+
+#: The magic error reason tls_err_abort records; the reader returns
+#: 1000 + reason, so only 0 (no error) and 1000 + 42 are legal.
+ERR_REASON = 42
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    base_prots = glob["base_prots"]
+    tls_prots = glob["tls_prots"]
+    funcs: List[Function] = []
+
+    # -- default proto ops ---------------------------------------------------
+    b = Builder("sock_def_setsockopt", params=["sk"])
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sock_def_getsockopt", params=["sk"])
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_socket: allocate a socket using the default proto ----------------
+    b = Builder("sys_socket")
+    sk = b.helper("kzalloc", SOCK.size)
+    b.store(sk, SOCK.sk_prot, base_prots)
+    fdnum = b.helper("fd_install", sk)
+    b.ret(fdnum)
+    funcs.append(b.function())
+
+    # -- tls_init: Figure 7 Thread A -------------------------------------------
+    b = Builder("sys_tls_init", params=["fd"])
+    sk = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(sk, 0, bad)
+    ctx = b.helper("kzalloc", TLS_CTX.size)           # Figure 7 line 4
+    b.store(sk, SOCK.sk_user_data, ctx)               # Figure 7 line 5
+    proto = b.read_once(sk, SOCK.sk_prot)             # Figure 7 line 7
+    b.store(ctx, TLS_CTX.sk_proto, proto)             # Figure 7 line 6
+    if cfg.is_patched("t3_tls_setsockopt"):
+        b.wmb()                                       # Figure 7 line 8 (the fix)
+    b.write_once(sk, SOCK.sk_prot, tls_prots)         # Figure 7 lines 9-10
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sock_common_setsockopt: Figure 7 Thread B -------------------------------
+    b = Builder("sys_setsockopt", params=["fd"])
+    sk = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(sk, 0, bad)
+    proto = b.read_once(sk, SOCK.sk_prot)             # Figure 7 line 20
+    handler = b.load(proto, PROTO.setsockopt)
+    r = b.icall(handler, sk)                          # dispatch (line 21)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- tls_setsockopt: Figure 7 lines 25-30; the crash site ---------------------
+    b = Builder("tls_setsockopt", params=["sk"])
+    ctx = b.load("sk", SOCK.sk_user_data)             # line 26-27
+    handler = b.load(ctx, TLS_CTX.sk_proto)           # NULL deref when ctx == 0
+    inner = b.load(handler, PROTO.setsockopt)         # ... or when sk_proto == 0
+    r = b.icall(inner, "sk")                          # line 28-29
+    b.ret(r)
+    funcs.append(b.function())
+
+    # -- tls_set_crypto: initializes crypto state (observer of Table 3 #5) ---------
+    b = Builder("sys_tls_set_crypto", params=["fd", "key"])
+    sk = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(sk, 0, bad)
+    ctx = b.load(sk, SOCK.sk_user_data)
+    b.beq(ctx, 0, bad)
+    buf = b.helper("kzalloc", 16)
+    b.store(buf, 0, "key")
+    b.store(ctx, TLS_CTX.crypto_buf, buf)
+    b.wmb()  # correct on this side; the *reader* is missing its rmb
+    b.store(ctx, TLS_CTX.crypto_ready, 1)
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- tls_getsockopt: Table 3 #5 victim (load-load) -------------------------------
+    b = Builder("tls_getsockopt", params=["sk"])
+    ctx = b.load("sk", SOCK.sk_user_data)
+    bad = b.label()
+    b.beq(ctx, 0, bad)
+    ready = b.load(ctx, TLS_CTX.crypto_ready)
+    b.beq(ready, 0, bad)
+    if cfg.is_patched("t3_tls_getsockopt"):
+        b.rmb()  # the fix: order the ready check against the buf load
+    buf = b.load(ctx, TLS_CTX.crypto_buf)
+    key = b.load(buf, 0)                              # NULL deref when stale
+    b.ret(key)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_tls_getsockopt", params=["fd"])
+    sk = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(sk, 0, bad)
+    proto = b.read_once(sk, SOCK.sk_prot)
+    handler = b.load(proto, PROTO.getsockopt)
+    r = b.icall(handler, sk)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- tls_err_abort + reader: Table 4 #8 ----------------------------------------------
+    b = Builder("sys_tls_err_abort", params=["fd"])
+    sk = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(sk, 0, bad)
+    b.store(sk, SOCK.sk_err_reason, ERR_REASON)
+    if cfg.is_patched("t4_tls_err"):
+        b.wmb()  # upstream fix strengthens the ordering here [50]
+    b.store(sk, SOCK.sk_err, 1)
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_tls_getsockopt_err", params=["fd"])
+    sk = b.helper("fd_get", "fd")
+    bad = b.label()
+    b.beq(sk, 0, bad)
+    if cfg.is_patched("t4_tls_err"):
+        err = b.load_acquire(sk, SOCK.sk_err)
+    else:
+        err = b.load(sk, SOCK.sk_err)
+    noerr = b.label()
+    b.beq(err, 0, noerr)
+    reason = b.load(sk, SOCK.sk_err_reason)
+    result = b.add(reason, 1000)
+    b.ret(result)  # legal value: 1000 + ERR_REASON
+    b.bind(noerr)
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+def init(kernel) -> None:
+    """Boot: fill both proto tables and register the semantic oracle."""
+    prog = kernel.program
+    base = kernel.glob("base_prots")
+    tls = kernel.glob("tls_prots")
+    kernel.poke(base + PROTO.setsockopt, prog.func_addr("sock_def_setsockopt"))
+    kernel.poke(base + PROTO.getsockopt, prog.func_addr("sock_def_getsockopt"))
+    kernel.poke(tls + PROTO.setsockopt, prog.func_addr("tls_setsockopt"))
+    kernel.poke(tls + PROTO.getsockopt, prog.func_addr("tls_getsockopt"))
+    legal = (0, 1000 + ERR_REASON)
+    kernel.retval_oracle.register(
+        "tls_getsockopt_err",
+        lambda rv: None if rv in legal else f"expected one of {legal}",
+    )
+
+
+SUBSYSTEM = Subsystem(
+    name="tls",
+    build=build,
+    globals=GLOBALS,
+    init=init,
+    syscalls=(
+        SyscallDef("socket", "sys_socket", produces="sock_fd", subsystem="tls"),
+        SyscallDef("tls_init", "sys_tls_init", (fd("sock_fd"),), subsystem="tls"),
+        SyscallDef("setsockopt", "sys_setsockopt", (fd("sock_fd"),), subsystem="tls"),
+        SyscallDef(
+            "tls_set_crypto", "sys_tls_set_crypto", (fd("sock_fd"), intarg(255)), subsystem="tls"
+        ),
+        SyscallDef("tls_getsockopt", "sys_tls_getsockopt", (fd("sock_fd"),), subsystem="tls"),
+        SyscallDef("tls_err_abort", "sys_tls_err_abort", (fd("sock_fd"),), subsystem="tls"),
+        SyscallDef(
+            "tls_getsockopt_err", "sys_tls_getsockopt_err", (fd("sock_fd"),), subsystem="tls"
+        ),
+    ),
+)

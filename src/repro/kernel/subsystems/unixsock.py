@@ -1,0 +1,105 @@
+"""AF_UNIX socket subsystem.
+
+Table 4 #9 (``t4_unix`` [106]): ``unix_getname`` reads the address
+pointer and the address length without barriers.  A concurrent
+``unix_bind`` replaces the 64-byte initial address with a 16-byte one;
+load-load reordering lets ``getname`` combine the *new* (short) buffer
+with the *old* (long) length and read past the allocation — a
+slab-out-of-bounds read caught by KASAN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, choice
+
+UNIX_SOCK = Struct("unix_sock", [("has_addr", 8), ("addr", 8), ("addr_len", 8)])
+
+GLOBALS = {"unix_sk": UNIX_SOCK.size, "unix_lock": 8}
+
+INITIAL_LEN = 64
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    u = glob["unix_sk"]
+    funcs: List[Function] = []
+
+    lock = glob["unix_lock"]
+
+    # -- sys_unix_socket: autobind a 64-byte address (writers serialized) ------
+    b = Builder("sys_unix_socket")
+    b.helper_void("spin_lock", lock)
+    addr = b.helper("kzalloc", INITIAL_LEN)
+    b.store(u, UNIX_SOCK.addr, addr)
+    b.store(u, UNIX_SOCK.addr_len, INITIAL_LEN)
+    b.wmb()
+    b.store(u, UNIX_SOCK.has_addr, 1)
+    b.helper_void("spin_unlock", lock)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_unix_bind: install a (shorter) explicit address ------------------
+    b = Builder("sys_unix_bind", params=["len"])
+    b.helper_void("spin_lock", lock)
+    newaddr = b.helper("kzalloc", "len")
+    b.store(u, UNIX_SOCK.addr, newaddr)
+    b.store(u, UNIX_SOCK.addr_len, "len")
+    b.wmb()  # the writer publishes correctly; the reader lacks its rmb
+    b.store(u, UNIX_SOCK.has_addr, 1)
+    b.helper_void("spin_unlock", lock)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- unix_getname + sys wrapper: the victim (load-load) -------------------------
+    b = Builder("unix_getname")
+    if cfg.is_patched("t4_unix"):
+        has = b.load_acquire(u, UNIX_SOCK.has_addr)
+    else:
+        has = b.load(u, UNIX_SOCK.has_addr)
+    none = b.label()
+    b.beq(has, 0, none)
+    addr = b.load(u, UNIX_SOCK.addr)
+    if cfg.is_patched("t4_unix"):
+        b.rmb()  # fix: addr and addr_len must be read coherently
+    length = b.load(u, UNIX_SOCK.addr_len)
+    # copy the name out: reads addr[0 .. length)
+    b.mov(0, dst="i")
+    b.mov(0, dst="acc")
+    loop = b.label()
+    done = b.label()
+    b.bind(loop)
+    b.bge("i", length, done)
+    b.add(addr, "i", dst="p")
+    byte = b.load("p", 0, size=8)  # OOB read when length outruns the buffer
+    b.add("acc", byte, dst="acc")
+    b.add("i", 8, dst="i")
+    b.jmp(loop)
+    b.bind(done)
+    b.ret("acc")
+    b.bind(none)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_unix_getname")
+    r = b.call("unix_getname")
+    b.ret(r)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="unixsock",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("unix_socket", "sys_unix_socket", subsystem="unixsock"),
+        SyscallDef("unix_bind", "sys_unix_bind", (choice(16, 32),), subsystem="unixsock"),
+        SyscallDef("unix_getname", "sys_unix_getname", subsystem="unixsock"),
+    ),
+)

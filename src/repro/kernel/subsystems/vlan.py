@@ -1,0 +1,98 @@
+"""802.1Q VLAN subsystem.
+
+Table 4 #1 (``t4_vlan`` [120]): ``vlan_add`` increments the group's
+device count before the device-pointer slot store commits.  A reader
+indexing by the new count dereferences whatever stale value the slot
+held — recycled garbage, hence a general protection fault in
+``vlan_dev_real_dev``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef
+
+NSLOTS = 8
+VLAN_GROUP = Struct("vlan_group", [("count", 8), ("slots", 8, NSLOTS)])
+
+GARBAGE_PTR = 0x6B6B_0000_2000  # recycled slot contents
+
+GLOBALS = {"vlan_group": VLAN_GROUP.size, "vlan_lock": 8}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    group = glob["vlan_group"]
+    funcs: List[Function] = []
+
+    # -- sys_vlan_add: the victim (writers are serialized by vlan_lock;
+    # the *reader* below is lockless, which is where the bug lives) -----------
+    b = Builder("sys_vlan_add")
+    lock = glob["vlan_lock"]
+    b.helper_void("spin_lock", lock)
+    n = b.load(group, VLAN_GROUP.count)
+    full = b.label()
+    b.bge(n, NSLOTS, full)
+    dev = b.helper("kzalloc", 32)
+    off = b.mul(n, 8)
+    slot = b.add(group + VLAN_GROUP.slots, off)
+    b.store(slot, 0, dev)
+    if cfg.is_patched("t4_vlan"):
+        b.wmb()
+    n2 = b.add(n, 1)
+    b.store(group, VLAN_GROUP.count, n2)
+    b.helper_void("spin_unlock", lock)
+    b.ret(0)
+    b.bind(full)
+    b.helper_void("spin_unlock", lock)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- vlan_dev_real_dev: the crash site ----------------------------------------
+    b = Builder("vlan_dev_real_dev", params=["dev"])
+    real = b.load("dev", 0)        # GPF on the garbage slot value
+    b.ret(real)
+    funcs.append(b.function())
+
+    # -- sys_vlan_get_device: the observer (lockless reader) ---------------------
+    b = Builder("sys_vlan_get_device")
+    if cfg.is_patched("t4_vlan"):
+        n = b.load_acquire(group, VLAN_GROUP.count)
+    else:
+        n = b.load(group, VLAN_GROUP.count)
+    none = b.label()
+    b.beq(n, 0, none)
+    last = b.sub(n, 1)
+    off = b.mul(last, 8)
+    slot = b.add(group + VLAN_GROUP.slots, off)
+    dev = b.load(slot, 0)
+    r = b.call("vlan_dev_real_dev", dev)
+    b.ret(r)
+    b.bind(none)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+def init(kernel) -> None:
+    """Boot: slots contain recycled garbage until vlan_add fills them."""
+    group = kernel.glob("vlan_group")
+    for i in range(NSLOTS):
+        kernel.poke(group + VLAN_GROUP.slots + 8 * i, GARBAGE_PTR + 0x100 * i)
+
+
+SUBSYSTEM = Subsystem(
+    name="vlan",
+    build=build,
+    globals=GLOBALS,
+    init=init,
+    syscalls=(
+        SyscallDef("vlan_add", "sys_vlan_add", subsystem="vlan"),
+        SyscallDef("vlan_get_device", "sys_vlan_get_device", subsystem="vlan"),
+    ),
+)

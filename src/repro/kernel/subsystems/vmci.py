@@ -1,0 +1,84 @@
+"""VMCI (virtual machine communication interface) subsystem.
+
+Table 3 #3 (``t3_vmci_wait``): ``vmci_create`` marks the context
+attached before the wait-queue head pointer store commits.  The head
+field starts life as uninitialized garbage (a recycled non-NULL
+pointer), so the waiter's dereference in ``add_wait_queue`` is a
+*general protection fault*, not a NULL dereference — matching the
+paper's distinct crash title for this row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef
+
+VMCI_CTX = Struct("vmci_ctx", [("wq_head", 8), ("attached", 8)])
+
+#: The stale pointer left in wq_head before initialization — a
+#: plausible recycled kernel address that is no longer mapped.
+GARBAGE_PTR = 0x5A5A_0000_1000
+
+GLOBALS = {"vmci_ctx": VMCI_CTX.size}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    ctx = glob["vmci_ctx"]
+    funcs: List[Function] = []
+
+    # -- sys_vmci_create: the victim ----------------------------------------
+    b = Builder("sys_vmci_create")
+    head = b.helper("kzalloc", 16)
+    b.store(ctx, VMCI_CTX.wq_head, head)
+    if cfg.is_patched("t3_vmci_wait"):
+        b.wmb()
+    b.store(ctx, VMCI_CTX.attached, 1)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- add_wait_queue: the crash site ----------------------------------------
+    b = Builder("add_wait_queue", params=["head", "entry"])
+    first = b.load("head", 0)       # GPF on the garbage pointer
+    b.store("head", 8, "entry")
+    b.ret(first)
+    funcs.append(b.function())
+
+    # -- sys_vmci_wait: the observer ----------------------------------------------
+    b = Builder("sys_vmci_wait", params=["entry"])
+    if cfg.is_patched("t3_vmci_wait"):
+        attached = b.load_acquire(ctx, VMCI_CTX.attached)
+    else:
+        attached = b.load(ctx, VMCI_CTX.attached)
+    bad = b.label()
+    b.beq(attached, 0, bad)
+    head = b.load(ctx, VMCI_CTX.wq_head)
+    r = b.call("add_wait_queue", head, "entry")
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+def init(kernel) -> None:
+    """Boot: wq_head holds recycled garbage until vmci_create runs."""
+    ctx = kernel.glob("vmci_ctx")
+    kernel.poke(ctx + VMCI_CTX.wq_head, GARBAGE_PTR)
+
+
+SUBSYSTEM = Subsystem(
+    name="vmci",
+    build=build,
+    globals=GLOBALS,
+    init=init,
+    syscalls=(
+        SyscallDef("vmci_create", "sys_vmci_create", subsystem="vmci"),
+        SyscallDef("vmci_wait", "sys_vmci_wait", (), subsystem="vmci"),
+    ),
+)

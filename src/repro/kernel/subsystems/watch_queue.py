@@ -1,0 +1,175 @@
+"""watch_queue / pipe subsystem.
+
+Carries two seeded OOO bugs:
+
+* **t4_watch_queue** — paper Figure 1 / Table 4 #2 [31]:
+  ``post_one_notification`` initializes a ring-buffer entry
+  (``buf->len``, ``buf->ops``) and then increments ``pipe->head``.
+  Without the ``smp_wmb()`` the head increment can commit first, letting
+  a concurrent ``pipe_read`` dereference the uninitialized ``buf->ops``.
+
+* **t3_wq_find_first_bit** — Table 3 #2: ``watch_queue_set_size``
+  publishes ``wq->ready`` before the store of the freshly allocated
+  notes bitmap pointer commits; the posting path then calls
+  ``_find_first_bit`` on a NULL bitmap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Cond, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, intarg
+
+#: One ring-buffer entry (simplified struct pipe_buffer).
+PIPE_BUFFER = Struct("pipe_buffer", [("len", 8), ("ops", 8)])
+
+#: The notification pipe (simplified struct pipe_inode_info).
+RING_SLOTS = 16
+PIPE = Struct("pipe", [("head", 8), ("tail", 8), ("bufs", 8, 2 * RING_SLOTS)])
+
+#: struct watch_queue: the notes bitmap state.
+WATCH_QUEUE = Struct("watch_queue", [("note_bitmap", 8), ("ready", 8)])
+
+#: The ops table entries point at; holds one function pointer (confirm).
+PIPE_BUF_OPS = Struct("pipe_buf_operations", [("confirm", 8)])
+
+GLOBALS = {
+    "wq_pipe": PIPE.size,
+    "wq": WATCH_QUEUE.size,
+    "wq_pipe_ops": PIPE_BUF_OPS.size,
+}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    pipe = glob["wq_pipe"]
+    wq = glob["wq"]
+    ops_table = glob["wq_pipe_ops"]
+    funcs: List[Function] = []
+
+    # -- wq_confirm: target of buf->ops->confirm -------------------------
+    b = Builder("wq_confirm", params=["buf"])
+    length = b.load("buf", PIPE_BUFFER.len)
+    b.ret(length)
+    funcs.append(b.function())
+
+    # -- _find_first_bit: crashes on a NULL bitmap (Table 3 #2 title) -----
+    b = Builder("_find_first_bit", params=["bitmap"])
+    word = b.load("bitmap", 0)  # NULL deref here when bitmap == 0
+    b.mov(0, dst="idx")
+    loop = b.label()
+    found = b.label()
+    out = b.label()
+    b.bind(loop)
+    b.bge("idx", 64, out)
+    bit = b.shr(word, "idx")
+    bit = b.and_(bit, 1)
+    b.bne(bit, 0, found)
+    b.add("idx", 1, dst="idx")
+    b.jmp(loop)
+    b.bind(found)
+    b.ret("idx")
+    b.bind(out)
+    b.ret(64)
+    funcs.append(b.function())
+
+    # -- sys_watch_queue_create: (re)initialize the pipe -------------------
+    b = Builder("sys_watch_queue_create")
+    b.helper("memset", pipe, 0, PIPE.size)
+    b.helper("memset", wq, 0, WATCH_QUEUE.size)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- sys_watch_queue_set_size: Table 3 #2 victim ------------------------
+    b = Builder("sys_watch_queue_set_size", params=["nr_notes"])
+    bitmap = b.helper("kzalloc", 128)
+    b.store(wq, WATCH_QUEUE.note_bitmap, bitmap)
+    if cfg.is_patched("t3_wq_find_first_bit"):
+        b.wmb()
+    b.store(wq, WATCH_QUEUE.ready, 1)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- post_one_notification: Figure 1 left side + bitmap scan ------------
+    b = Builder("post_one_notification", params=["len"])
+    if cfg.is_patched("t3_wq_find_first_bit"):
+        # The full fix is a release/acquire pair on wq->ready.
+        ready = b.load_acquire(wq, WATCH_QUEUE.ready)
+    else:
+        ready = b.load(wq, WATCH_QUEUE.ready)
+    skip_bitmap = b.label()
+    b.beq(ready, 0, skip_bitmap)
+    bitmap = b.load(wq, WATCH_QUEUE.note_bitmap)
+    b.call("_find_first_bit", bitmap)  # Table 3 #2 crash site
+    b.bind(skip_bitmap)
+    head = b.load(pipe, PIPE.head)
+    idx = b.and_(head, RING_SLOTS - 1)
+    off = b.mul(idx, PIPE_BUFFER.size)
+    buf = b.add(pipe + PIPE.bufs, off)
+    b.store(buf, PIPE_BUFFER.len, "len")            # Figure 1 line 5
+    b.store(buf, PIPE_BUFFER.ops, ops_table)        # Figure 1 line 6
+    if cfg.is_patched("t4_watch_queue"):
+        b.wmb()                                     # Figure 1 line 7 (the fix)
+    newhead = b.add(head, 1)
+    b.store(pipe, PIPE.head, newhead)               # Figure 1 line 8
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_watch_queue_post", params=["len"])
+    r = b.call("post_one_notification", "len")
+    b.ret(r)
+    funcs.append(b.function())
+
+    # -- pipe_read: Figure 1 right side -----------------------------------------
+    b = Builder("pipe_read")
+    head = b.load(pipe, PIPE.head)                  # Figure 1 line 14
+    tail = b.load(pipe, PIPE.tail)
+    empty = b.label()
+    b.ble(head, tail, empty)
+    if cfg.is_patched("t4_watch_queue"):
+        b.rmb()                                     # Figure 1 line 15 (the fix)
+    idx = b.and_(tail, RING_SLOTS - 1)
+    off = b.mul(idx, PIPE_BUFFER.size)
+    buf = b.add(pipe + PIPE.bufs, off)
+    length = b.load(buf, PIPE_BUFFER.len)           # Figure 1 line 17
+    ops = b.load(buf, PIPE_BUFFER.ops)
+    confirm = b.load(ops, PIPE_BUF_OPS.confirm)     # crashes if ops == 0
+    b.icall(confirm, buf)                           # Figure 1 line 18
+    newtail = b.add(tail, 1)
+    b.store(pipe, PIPE.tail, newtail)
+    b.ret(length)
+    b.bind(empty)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_pipe_read")
+    r = b.call("pipe_read")
+    b.ret(r)
+    funcs.append(b.function())
+
+    return funcs
+
+
+def init(kernel) -> None:
+    """Boot: wire the ops table's confirm pointer to wq_confirm."""
+    ops = kernel.glob("wq_pipe_ops")
+    kernel.poke(ops + PIPE_BUF_OPS.confirm, kernel.program.func_addr("wq_confirm"))
+
+
+SUBSYSTEM = Subsystem(
+    name="watch_queue",
+    build=build,
+    globals=GLOBALS,
+    init=init,
+    syscalls=(
+        SyscallDef("watch_queue_create", "sys_watch_queue_create", subsystem="watch_queue"),
+        SyscallDef(
+            "watch_queue_set_size", "sys_watch_queue_set_size", (intarg(64),), subsystem="watch_queue"
+        ),
+        SyscallDef("watch_queue_post", "sys_watch_queue_post", (intarg(255),), subsystem="watch_queue"),
+        SyscallDef("pipe_read", "sys_pipe_read", subsystem="watch_queue"),
+    ),
+)

@@ -1,0 +1,219 @@
+"""XDP socket (xsk) subsystem.
+
+Four seeded bugs — the richest subsystem in the corpus, as in the paper
+(xsk appears twice in Table 3 and twice in Table 4):
+
+* **t3_xsk_poll** (Table 3 #4): ``xsk_bind`` publishes ``rx_ready``
+  before the rx ring pointer store commits; ``xsk_poll`` dereferences a
+  NULL ring.
+* **t3_xsk_xmit** (Table 3 #7): same pattern for the tx ring;
+  ``xsk_generic_xmit`` crashes.
+* **t4_xsk_wmb** (Table 4 #3 [103]): missing write barrier publishing
+  the umem ring; the crash is in a *different function* than the flag
+  check (``xsk_ring_deref``), the cross-function case KCSAN cannot model.
+* **t4_xsk_state** (Table 4 #4 [101]): the ``state`` member is used for
+  socket synchronization, but activation sets BOUND before the ring
+  store commits; ``xsk_state_xmit`` sees BOUND with a NULL ring.
+  Teardown is RCU-style (flag only), so no in-order race exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import KernelConfig
+from repro.kir import Builder, Struct
+from repro.kir.function import Function
+from repro.kernel.subsystem import Subsystem
+from repro.kernel.syscalls import SyscallDef, fd
+
+XSK_SOCK = Struct(
+    "xdp_sock",
+    [
+        ("rx_ring", 8), ("rx_ready", 8),
+        ("tx_ring", 8), ("tx_ready", 8),
+        ("umem_ring", 8), ("umem_ready", 8),
+        ("state_ring", 8), ("state", 8),
+    ],
+)
+
+XSK_UNBOUND = 0
+XSK_BOUND = 2
+
+GLOBALS: Dict[str, int] = {}
+
+
+def build(cfg: KernelConfig, glob: Dict[str, int]) -> List[Function]:
+    funcs: List[Function] = []
+
+    def sk_prologue(b: Builder):
+        """fd -> xs, bailing out on a bad fd."""
+        xs = b.helper("fd_get", "fd")
+        bad = b.label()
+        b.beq(xs, 0, bad)
+        return xs, bad
+
+    # -- sys_xsk_socket -----------------------------------------------------
+    b = Builder("sys_xsk_socket")
+    xs = b.helper("kzalloc", XSK_SOCK.size)
+    fdnum = b.helper("fd_install", xs)
+    b.ret(fdnum)
+    funcs.append(b.function())
+
+    # -- sys_xsk_bind: victim of t3_xsk_poll and t3_xsk_xmit -------------------
+    b = Builder("sys_xsk_bind", params=["fd"])
+    xs, bad = sk_prologue(b)
+    # rx publish (buggy unless patched):
+    rx = b.helper("kzalloc", 32)
+    b.store(xs, XSK_SOCK.rx_ring, rx)
+    if cfg.is_patched("t3_xsk_poll"):
+        b.wmb()
+    b.write_once(xs, XSK_SOCK.rx_ready, 1)
+    b.wmb()
+    # tx publish (independently buggy):
+    tx = b.helper("kzalloc", 32)
+    b.store(xs, XSK_SOCK.tx_ring, tx)
+    if cfg.is_patched("t3_xsk_xmit"):
+        b.wmb()
+    b.write_once(xs, XSK_SOCK.tx_ready, 1)
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- xsk_poll + sys_xsk_poll: observer of t3_xsk_poll -------------------------
+    b = Builder("xsk_poll", params=["xs"])
+    ready = b.read_once("xs", XSK_SOCK.rx_ready)
+    bad = b.label()
+    b.beq(ready, 0, bad)
+    ring = b.load("xs", XSK_SOCK.rx_ring)
+    desc = b.load(ring, 0)  # NULL deref when rx_ring is stale
+    b.ret(desc)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_xsk_poll", params=["fd"])
+    xs, bad = sk_prologue(b)
+    r = b.call("xsk_poll", xs)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- xsk_generic_xmit + sys_xsk_sendmsg: observer of t3_xsk_xmit --------------
+    b = Builder("xsk_generic_xmit", params=["xs"])
+    ready = b.read_once("xs", XSK_SOCK.tx_ready)
+    bad = b.label()
+    b.beq(ready, 0, bad)
+    ring = b.load("xs", XSK_SOCK.tx_ring)
+    desc = b.load(ring, 0)  # NULL deref when tx_ring is stale
+    b.ret(desc)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_xsk_sendmsg", params=["fd"])
+    xs, bad = sk_prologue(b)
+    r = b.call("xsk_generic_xmit", xs)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- Table 4 #3: umem ring publish without a barrier ----------------------------
+    b = Builder("sys_xsk_setup_ring", params=["fd"])
+    xs, bad = sk_prologue(b)
+    umem = b.helper("kzalloc", 32)
+    b.store(xs, XSK_SOCK.umem_ring, umem)
+    if cfg.is_patched("t4_xsk_wmb"):
+        b.wmb()  # upstream fix: smp_wmb before announcing the ring [103]
+    b.store(xs, XSK_SOCK.umem_ready, 1)
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("xsk_ring_deref", params=["xs"])
+    ring = b.load("xs", XSK_SOCK.umem_ring)
+    v = b.load(ring, 0)  # NULL deref when published flag outruns the ring
+    b.ret(v)
+    funcs.append(b.function())
+
+    b = Builder("sys_xsk_ring_deref", params=["fd"])
+    xs, bad = sk_prologue(b)
+    if cfg.is_patched("t4_xsk_wmb"):
+        ready = b.load_acquire(xs, XSK_SOCK.umem_ready)
+    else:
+        ready = b.load(xs, XSK_SOCK.umem_ready)
+    b.beq(ready, 0, bad)
+    r = b.call("xsk_ring_deref", xs)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # -- Table 4 #4: the state member used for synchronization [101] -------------------
+    b = Builder("sys_xsk_activate", params=["fd"])
+    xs, bad = sk_prologue(b)
+    ring2 = b.helper("kzalloc", 32)
+    b.store(xs, XSK_SOCK.state_ring, ring2)
+    if cfg.is_patched("t4_xsk_state"):
+        b.wmb()  # upstream fix: the ring must be visible before BOUND
+    b.store(xs, XSK_SOCK.state, XSK_BOUND)
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    # Teardown only clears the state flag; the ring outlives readers
+    # (RCU-style deferred free), so unbind/xmit has no in-order race.
+    b = Builder("sys_xsk_unbind", params=["fd"])
+    xs, bad = sk_prologue(b)
+    b.store(xs, XSK_SOCK.state, XSK_UNBOUND)
+    b.ret(0)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("xsk_state_xmit", params=["xs"])
+    if cfg.is_patched("t4_xsk_state"):
+        state = b.load_acquire("xs", XSK_SOCK.state)
+    else:
+        state = b.load("xs", XSK_SOCK.state)
+    bad = b.label()
+    b.bne(state, XSK_BOUND, bad)
+    ring = b.load("xs", XSK_SOCK.state_ring)
+    v = b.load(ring, 0)  # NULL deref: state said BOUND, ring already gone
+    b.ret(v)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    b = Builder("sys_xsk_state_xmit", params=["fd"])
+    xs, bad = sk_prologue(b)
+    r = b.call("xsk_state_xmit", xs)
+    b.ret(r)
+    b.bind(bad)
+    b.ret(0)
+    funcs.append(b.function())
+
+    return funcs
+
+
+SUBSYSTEM = Subsystem(
+    name="xsk",
+    build=build,
+    globals=GLOBALS,
+    syscalls=(
+        SyscallDef("xsk_socket", "sys_xsk_socket", produces="xsk_fd", subsystem="xsk"),
+        SyscallDef("xsk_bind", "sys_xsk_bind", (fd("xsk_fd"),), subsystem="xsk"),
+        SyscallDef("xsk_poll", "sys_xsk_poll", (fd("xsk_fd"),), subsystem="xsk"),
+        SyscallDef("xsk_sendmsg", "sys_xsk_sendmsg", (fd("xsk_fd"),), subsystem="xsk"),
+        SyscallDef("xsk_setup_ring", "sys_xsk_setup_ring", (fd("xsk_fd"),), subsystem="xsk"),
+        SyscallDef("xsk_ring_deref", "sys_xsk_ring_deref", (fd("xsk_fd"),), subsystem="xsk"),
+        SyscallDef("xsk_activate", "sys_xsk_activate", (fd("xsk_fd"),), subsystem="xsk"),
+        SyscallDef("xsk_unbind", "sys_xsk_unbind", (fd("xsk_fd"),), subsystem="xsk"),
+        SyscallDef("xsk_state_xmit", "sys_xsk_state_xmit", (fd("xsk_fd"),), subsystem="xsk"),
+    ),
+)

@@ -1,0 +1,70 @@
+"""Syscall definitions: the boundary between the fuzzer and the kernel.
+
+A :class:`SyscallDef` names the KIR function implementing a syscall and
+describes its arguments abstractly, so the STI generator can produce
+*valid* inputs that respect resource dependencies (get an fd from one
+call, use it in another — paper §4.2).  The mini-Syzlang front-end
+(:mod:`repro.fuzzer.syzlang`) parses textual descriptions into these
+same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Arg:
+    """One syscall argument slot.
+
+    kind:
+      ``const``    always ``value``
+      ``int``      random integer in [0, value]
+      ``choice``   one of ``choices``
+      ``fd``       a resource of class ``resource`` produced by an
+                   earlier syscall in the input (0 if none available)
+    """
+
+    kind: str
+    value: int = 0
+    choices: Tuple[int, ...] = ()
+    resource: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("const", "int", "choice", "fd"):
+            raise ValueError(f"unknown arg kind {self.kind!r}")
+
+
+def const(value: int) -> Arg:
+    return Arg("const", value=value)
+
+
+def intarg(maximum: int = 8) -> Arg:
+    return Arg("int", value=maximum)
+
+
+def choice(*values: int) -> Arg:
+    return Arg("choice", choices=tuple(values))
+
+
+def fd(resource: str = "fd") -> Arg:
+    return Arg("fd", resource=resource)
+
+
+@dataclass(frozen=True)
+class SyscallDef:
+    """One syscall the fuzzer may issue."""
+
+    name: str
+    func: str                       # KIR function implementing it
+    args: Tuple[Arg, ...] = ()
+    produces: str = ""              # resource class of the return value
+    subsystem: str = ""
+
+    @property
+    def nargs(self) -> int:
+        return len(self.args)
+
+    def consumes(self) -> Tuple[str, ...]:
+        return tuple(a.resource for a in self.args if a.kind == "fd")

@@ -1,0 +1,39 @@
+"""KIR — the kernel IR all simulated kernel code is written in."""
+
+from repro.kir.builder import Builder, Label
+from repro.kir.function import Function, Program, INSN_SIZE, TEXT_BASE
+from repro.kir.insn import (
+    Annot,
+    AtomicOp,
+    AtomicOrdering,
+    Barrier,
+    BarrierKind,
+    Cond,
+    Imm,
+    Insn,
+    Load,
+    Reg,
+    Store,
+)
+from repro.kir.layout import Struct
+
+__all__ = [
+    "Annot",
+    "AtomicOp",
+    "AtomicOrdering",
+    "Barrier",
+    "BarrierKind",
+    "Builder",
+    "Cond",
+    "Function",
+    "INSN_SIZE",
+    "Imm",
+    "Insn",
+    "Label",
+    "Load",
+    "Program",
+    "Reg",
+    "Store",
+    "Struct",
+    "TEXT_BASE",
+]

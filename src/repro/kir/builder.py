@@ -1,0 +1,339 @@
+"""Fluent builder for KIR functions.
+
+All simulated kernel subsystems are written against this API.  It keeps
+the code close to the C it mirrors::
+
+    b = Builder("post_one_notification", params=["pipe"])
+    head = b.load(b.reg("pipe"), PIPE.head)          # head = pipe->head
+    ...
+    b.wmb()                                          # smp_wmb()
+    b.store(b.reg("pipe"), PIPE.head, new_head)      # pipe->head = ...
+    b.ret(0)
+    func = b.function()
+
+Destination registers are auto-generated temporaries unless an explicit
+``dst=`` is given.  Labels support forward references and are patched to
+instruction indices when :meth:`Builder.function` is called.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import KirError
+from repro.kir.function import Function
+from repro.kir.insn import (
+    Annot,
+    AtomicOp,
+    AtomicOrdering,
+    Barrier,
+    BarrierKind,
+    BinOp,
+    BinOpKind,
+    Branch,
+    Call,
+    Cond,
+    Helper,
+    ICall,
+    Imm,
+    Insn,
+    Jump,
+    Load,
+    Mov,
+    Nop,
+    Operand,
+    Reg,
+    Ret,
+    Store,
+    as_operand,
+    validate_access_size,
+)
+
+OperandLike = Union[Operand, int, str]
+
+
+class Label:
+    """A branch target; created unbound, bound with :meth:`Builder.bind`."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.index: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"<Label {self.name}@{self.index}>"
+
+
+class Builder:
+    """Accumulates instructions and produces a :class:`Function`."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self.name = name
+        self.params = tuple(params)
+        self._insns: List[Insn] = []
+        self._labels: List[Label] = []
+        self._pending: List[tuple] = []  # (insn, label)
+        self._tmp = 0
+
+    # -- registers and labels -------------------------------------------
+
+    def reg(self, name: str) -> Reg:
+        """Reference a named register (e.g. a parameter)."""
+        return Reg(name)
+
+    def fresh(self, prefix: str = "t") -> Reg:
+        self._tmp += 1
+        return Reg(f"{prefix}{self._tmp}")
+
+    def label(self, name: str = "") -> Label:
+        lbl = Label(name or f"L{len(self._labels)}")
+        self._labels.append(lbl)
+        return lbl
+
+    def bind(self, label: Label) -> None:
+        if label.index is not None:
+            raise KirError(f"label {label.name} bound twice in {self.name}")
+        label.index = len(self._insns)
+
+    # -- emission helpers -------------------------------------------------
+
+    def emit(self, insn: Insn) -> Insn:
+        self._insns.append(insn)
+        return insn
+
+    def _dst(self, dst: Optional[OperandLike], prefix: str) -> Reg:
+        if dst is None:
+            return self.fresh(prefix)
+        op = as_operand(dst)
+        if not isinstance(op, Reg):
+            raise KirError("destination must be a register")
+        return op
+
+    # -- data movement / ALU ----------------------------------------------
+
+    def mov(self, src: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        d = self._dst(dst, "v")
+        self.emit(Mov(dst=d, src=as_operand(src)))
+        return d
+
+    def binop(self, op: BinOpKind, lhs: OperandLike, rhs: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        d = self._dst(dst, op.value)
+        self.emit(BinOp(op=op, dst=d, lhs=as_operand(lhs), rhs=as_operand(rhs)))
+        return d
+
+    def add(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        return self.binop(BinOpKind.ADD, lhs, rhs, dst)
+
+    def sub(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        return self.binop(BinOpKind.SUB, lhs, rhs, dst)
+
+    def mul(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        return self.binop(BinOpKind.MUL, lhs, rhs, dst)
+
+    def and_(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        return self.binop(BinOpKind.AND, lhs, rhs, dst)
+
+    def or_(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        return self.binop(BinOpKind.OR, lhs, rhs, dst)
+
+    def shl(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        return self.binop(BinOpKind.SHL, lhs, rhs, dst)
+
+    def shr(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        return self.binop(BinOpKind.SHR, lhs, rhs, dst)
+
+    # -- memory accesses ---------------------------------------------------
+
+    def load(
+        self,
+        base: OperandLike,
+        offset: int = 0,
+        *,
+        size: int = 8,
+        annot: Annot = Annot.PLAIN,
+        dst: Optional[OperandLike] = None,
+    ) -> Reg:
+        validate_access_size(size)
+        d = self._dst(dst, "ld")
+        self.emit(Load(dst=d, base=as_operand(base), offset=offset, size=size, annot=annot))
+        return d
+
+    def store(
+        self,
+        base: OperandLike,
+        offset: int,
+        src: OperandLike,
+        *,
+        size: int = 8,
+        annot: Annot = Annot.PLAIN,
+    ) -> Insn:
+        validate_access_size(size)
+        return self.emit(
+            Store(base=as_operand(base), src=as_operand(src), offset=offset, size=size, annot=annot)
+        )
+
+    # Linux-API flavoured sugar (paper Table 1):
+
+    def read_once(self, base: OperandLike, offset: int = 0, *, size: int = 8, dst=None) -> Reg:
+        """``READ_ONCE(*(base+offset))``."""
+        return self.load(base, offset, size=size, annot=Annot.ONCE, dst=dst)
+
+    def write_once(self, base: OperandLike, offset: int, src: OperandLike, *, size: int = 8) -> Insn:
+        """``WRITE_ONCE(*(base+offset), src)``."""
+        return self.store(base, offset, src, size=size, annot=Annot.ONCE)
+
+    def load_acquire(self, base: OperandLike, offset: int = 0, *, size: int = 8, dst=None) -> Reg:
+        """``smp_load_acquire(base+offset)``."""
+        return self.load(base, offset, size=size, annot=Annot.ACQUIRE, dst=dst)
+
+    def store_release(self, base: OperandLike, offset: int, src: OperandLike, *, size: int = 8) -> Insn:
+        """``smp_store_release(base+offset, src)``."""
+        return self.store(base, offset, src, size=size, annot=Annot.RELEASE)
+
+    # -- barriers -----------------------------------------------------------
+
+    def mb(self) -> Insn:
+        return self.emit(Barrier(kind=BarrierKind.FULL))
+
+    def rmb(self) -> Insn:
+        return self.emit(Barrier(kind=BarrierKind.RMB))
+
+    def wmb(self) -> Insn:
+        return self.emit(Barrier(kind=BarrierKind.WMB))
+
+    # -- atomics ------------------------------------------------------------
+
+    def atomic(
+        self,
+        op: AtomicOp,
+        base: OperandLike,
+        offset: int = 0,
+        operand: OperandLike = 0,
+        *,
+        expected: Optional[OperandLike] = None,
+        ordering: AtomicOrdering = AtomicOrdering.FULL,
+        size: int = 8,
+        dst: Optional[OperandLike] = None,
+    ) -> Optional[Reg]:
+        from repro.kir.insn import AtomicRMW
+
+        d = self._dst(dst, "at") if (dst is not None or op in _RETURNING_ATOMICS) else None
+        self.emit(
+            AtomicRMW(
+                op=op,
+                base=as_operand(base),
+                offset=offset,
+                operand=as_operand(operand),
+                expected=as_operand(expected) if expected is not None else None,
+                dst=d,
+                size=size,
+                ordering=ordering,
+            )
+        )
+        return d
+
+    def test_and_set_bit(self, bit: int, base: OperandLike, offset: int = 0, dst=None) -> Reg:
+        """Full-barrier atomic test-and-set; returns the old bit."""
+        return self.atomic(
+            AtomicOp.TEST_AND_SET_BIT, base, offset, bit, ordering=AtomicOrdering.FULL, dst=dst
+        )
+
+    def set_bit(self, bit: int, base: OperandLike, offset: int = 0) -> None:
+        self.atomic(AtomicOp.SET_BIT, base, offset, bit, ordering=AtomicOrdering.RELAXED)
+
+    def clear_bit(self, bit: int, base: OperandLike, offset: int = 0) -> None:
+        """Relaxed clear — does *not* order the critical section (Figure 8)."""
+        self.atomic(AtomicOp.CLEAR_BIT, base, offset, bit, ordering=AtomicOrdering.RELAXED)
+
+    def clear_bit_unlock(self, bit: int, base: OperandLike, offset: int = 0) -> None:
+        """Release-ordered clear — the correct way to drop a bit lock."""
+        self.atomic(AtomicOp.CLEAR_BIT, base, offset, bit, ordering=AtomicOrdering.RELEASE)
+
+    def xchg(self, base: OperandLike, offset: int, value: OperandLike, dst=None) -> Reg:
+        return self.atomic(AtomicOp.XCHG, base, offset, value, ordering=AtomicOrdering.FULL, dst=dst)
+
+    def cmpxchg(self, base: OperandLike, offset: int, expected: OperandLike, new: OperandLike, dst=None) -> Reg:
+        return self.atomic(
+            AtomicOp.CMPXCHG, base, offset, new, expected=expected, ordering=AtomicOrdering.FULL, dst=dst
+        )
+
+    # -- control flow ---------------------------------------------------------
+
+    def br(self, cond: Cond, lhs: OperandLike, rhs: OperandLike, label: Label) -> None:
+        insn = Branch(cond=cond, lhs=as_operand(lhs), rhs=as_operand(rhs))
+        self.emit(insn)
+        self._pending.append((insn, label))
+
+    def beq(self, lhs: OperandLike, rhs: OperandLike, label: Label) -> None:
+        self.br(Cond.EQ, lhs, rhs, label)
+
+    def bne(self, lhs: OperandLike, rhs: OperandLike, label: Label) -> None:
+        self.br(Cond.NE, lhs, rhs, label)
+
+    def blt(self, lhs: OperandLike, rhs: OperandLike, label: Label) -> None:
+        self.br(Cond.LTU, lhs, rhs, label)
+
+    def bge(self, lhs: OperandLike, rhs: OperandLike, label: Label) -> None:
+        self.br(Cond.GEU, lhs, rhs, label)
+
+    def bgt(self, lhs: OperandLike, rhs: OperandLike, label: Label) -> None:
+        self.br(Cond.GTU, lhs, rhs, label)
+
+    def ble(self, lhs: OperandLike, rhs: OperandLike, label: Label) -> None:
+        self.br(Cond.LEU, lhs, rhs, label)
+
+    def jmp(self, label: Label) -> None:
+        insn = Jump()
+        self.emit(insn)
+        self._pending.append((insn, label))
+
+    # -- calls / returns --------------------------------------------------------
+
+    def call(self, func: str, *args: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        d = self._dst(dst, "ret")
+        self.emit(Call(func=func, args=tuple(as_operand(a) for a in args), dst=d))
+        return d
+
+    def call_void(self, func: str, *args: OperandLike) -> None:
+        self.emit(Call(func=func, args=tuple(as_operand(a) for a in args), dst=None))
+
+    def icall(self, target: OperandLike, *args: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        d = self._dst(dst, "ret")
+        self.emit(ICall(target=as_operand(target), args=tuple(as_operand(a) for a in args), dst=d))
+        return d
+
+    def ret(self, src: Optional[OperandLike] = None) -> None:
+        self.emit(Ret(src=as_operand(src) if src is not None else None))
+
+    def helper(self, name: str, *args: OperandLike, dst: Optional[OperandLike] = None) -> Reg:
+        d = self._dst(dst, "h")
+        self.emit(Helper(name=name, args=tuple(as_operand(a) for a in args), dst=d))
+        return d
+
+    def helper_void(self, name: str, *args: OperandLike) -> None:
+        self.emit(Helper(name=name, args=tuple(as_operand(a) for a in args), dst=None))
+
+    def nop(self) -> Insn:
+        return self.emit(Nop())
+
+    # -- finalization --------------------------------------------------------------
+
+    def function(self) -> Function:
+        """Patch labels and return the finished :class:`Function`."""
+        for insn, label in self._pending:
+            if label.index is None:
+                raise KirError(f"{self.name}: label {label.name} never bound")
+            insn.target = label.index
+        func = Function(self.name, self.params, self._insns)
+        func.validate()
+        return func
+
+
+_RETURNING_ATOMICS = {
+    AtomicOp.TEST_AND_SET_BIT,
+    AtomicOp.XCHG,
+    AtomicOp.CMPXCHG,
+    AtomicOp.ADD_RETURN,
+    AtomicOp.FETCH_ADD,
+}

@@ -1,0 +1,48 @@
+"""Disassembler / pretty-printer for KIR.
+
+Used by crash reports (to show the instructions around a reordered
+access), by the OFence-style static analyzer, and by humans debugging
+simulated kernel code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kir.function import Function, Program
+from repro.kir.insn import Insn
+
+
+def format_insn(insn: Insn, index: Optional[int] = None) -> str:
+    """One-line rendering of an instruction."""
+    prefix = ""
+    if insn.addr:
+        prefix = f"{insn.addr:#010x}  "
+    idx = f"[{index:3d}] " if index is not None else ""
+    mark = "*" if insn.instrumented else " "
+    body = f"{insn.mnemonic:<10s} {insn.operands_repr()}".rstrip()
+    return f"{prefix}{idx}{mark}{body}"
+
+
+def disassemble_function(func: Function) -> str:
+    """Multi-line listing of a function."""
+    lines: List[str] = [f"{func.name}({', '.join(func.params)}):"]
+    for index, insn in enumerate(func.insns):
+        lines.append("  " + format_insn(insn, index))
+    return "\n".join(lines)
+
+
+def disassemble_program(program: Program) -> str:
+    return "\n\n".join(disassemble_function(f) for f in program.functions.values())
+
+
+def source_context(program: Program, addr: int, radius: int = 2) -> str:
+    """Instructions around ``addr`` — used in crash reports."""
+    func, index = program.resolve_addr(addr)
+    lo = max(0, index - radius)
+    hi = min(len(func.insns), index + radius + 1)
+    lines = [f"in {func.name}:"]
+    for i in range(lo, hi):
+        marker = "=>" if i == index else "  "
+        lines.append(f" {marker} " + format_insn(func.insns[i], i))
+    return "\n".join(lines)

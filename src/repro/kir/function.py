@@ -1,0 +1,153 @@
+"""KIR functions and programs.
+
+A :class:`Function` is a named list of instructions plus parameter names.
+A :class:`Program` links a set of functions into a text segment, giving
+every instruction a machine-wide unique address — the addresses that
+OEMU's ``delay_store_at(I)`` / ``read_old_value_at(I)`` interfaces (paper
+Table 2), the profiler (§4.2) and the scheduler breakpoints (§10.3) all
+speak.
+
+The text segment starts at :data:`TEXT_BASE`; each function occupies a
+``FUNC_STRIDE``-aligned window and each instruction is ``INSN_SIZE``
+bytes, so ``addr -> (function, index)`` is a pure computation plus one
+dict lookup.  A function's base address also serves as its *function
+pointer* value when stored in simulated memory (the TLS bug's
+``sk->sk_prot`` is such a pointer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import KirError, LinkError
+from repro.kir.insn import Branch, Call, ICall, Insn, Jump
+
+TEXT_BASE = 0x40_0000
+INSN_SIZE = 4
+FUNC_STRIDE = 0x1000  # max 1024 instructions per function
+
+
+class Function:
+    """A named KIR function: parameters + instruction list.
+
+    Instances are usually produced by :class:`repro.kir.builder.Builder`.
+    After linking, ``base`` is the function's text address and every
+    instruction's ``addr`` is ``base + index * INSN_SIZE``.
+    """
+
+    def __init__(self, name: str, params: Sequence[str] = (), insns: Optional[List[Insn]] = None) -> None:
+        self.name = name
+        self.params: Tuple[str, ...] = tuple(params)
+        self.insns: List[Insn] = insns if insns is not None else []
+        self.base: int = 0  # assigned at link time
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+    def __iter__(self) -> Iterator[Insn]:
+        return iter(self.insns)
+
+    def insn_at_index(self, index: int) -> Insn:
+        return self.insns[index]
+
+    def validate(self) -> None:
+        """Check intra-function invariants (branch targets, size)."""
+        n = len(self.insns)
+        if n == 0:
+            raise KirError(f"function {self.name} has no instructions")
+        if n > FUNC_STRIDE // INSN_SIZE:
+            raise KirError(f"function {self.name} too large ({n} instructions)")
+        for i, insn in enumerate(self.insns):
+            if isinstance(insn, (Branch, Jump)):
+                if not 0 <= insn.target < n:
+                    raise KirError(
+                        f"{self.name}[{i}]: branch target {insn.target} out of range"
+                    )
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name}({', '.join(self.params)}) n={len(self.insns)}>"
+
+
+class Program:
+    """A linked set of KIR functions (the simulated kernel's text).
+
+    Linking assigns addresses, validates that every direct :class:`Call`
+    target exists, and builds the address maps used by the interpreter,
+    the profiler and the disassembler.  Programs are immutable after
+    linking and shared across kernel instances; per-run state lives in
+    :class:`repro.kernel.kernel.Kernel`.
+    """
+
+    def __init__(self, functions: Iterable[Function]) -> None:
+        self.functions: Dict[str, Function] = {}
+        for func in functions:
+            if func.name in self.functions:
+                raise LinkError(f"duplicate function {func.name}")
+            self.functions[func.name] = func
+        self._func_by_base: Dict[int, Function] = {}
+        self._linked = False
+        self.link()
+
+    def link(self) -> None:
+        """Assign addresses and resolve/validate call targets."""
+        base = TEXT_BASE
+        for func in self.functions.values():
+            func.validate()
+            func.base = base
+            for index, insn in enumerate(func.insns):
+                insn.addr = base + index * INSN_SIZE
+            self._func_by_base[base] = func
+            base += FUNC_STRIDE
+        for func in self.functions.values():
+            for insn in func.insns:
+                if isinstance(insn, Call) and insn.func not in self.functions:
+                    raise LinkError(
+                        f"{func.name}: call to unknown function {insn.func!r}"
+                    )
+        self._linked = True
+
+    # -- lookups ---------------------------------------------------------
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KirError(f"no function named {name!r}")
+
+    def has_function(self, name: str) -> bool:
+        return name in self.functions
+
+    def func_addr(self, name: str) -> int:
+        """The function-pointer value for ``name`` (its base address)."""
+        return self.function(name).base
+
+    def resolve_addr(self, addr: int) -> Tuple[Function, int]:
+        """Map an instruction address back to ``(function, index)``."""
+        base = addr & ~(FUNC_STRIDE - 1)
+        func = self._func_by_base.get(base)
+        if func is None:
+            raise KirError(f"address {addr:#x} is not in the text segment")
+        index, rem = divmod(addr - base, INSN_SIZE)
+        if rem or index >= len(func.insns):
+            raise KirError(f"address {addr:#x} is not an instruction boundary")
+        return func, index
+
+    def resolve_func_pointer(self, value: int) -> Optional[Function]:
+        """Resolve a function-pointer *value* to a function, else None."""
+        return self._func_by_base.get(value)
+
+    def insn_at(self, addr: int) -> Insn:
+        func, index = self.resolve_addr(addr)
+        return func.insns[index]
+
+    def describe_addr(self, addr: int) -> str:
+        """Human-readable ``func+index`` form of an instruction address."""
+        func, index = self.resolve_addr(addr)
+        return f"{func.name}+{index}"
+
+    def all_insns(self) -> Iterator[Insn]:
+        for func in self.functions.values():
+            yield from func.insns
+
+    def __repr__(self) -> str:
+        return f"<Program funcs={len(self.functions)}>"

@@ -1,0 +1,431 @@
+"""KIR instruction set.
+
+KIR ("Kernel IR") is a small register-machine IR in which all simulated
+kernel code is written.  It exists because OZZ's object of study is the
+*instruction*: OEMU's interfaces (paper Table 2) take instruction
+addresses, the profiler records per-instruction access tuples (§4.2), the
+scheduler breakpoints on instruction addresses (§10.3), and the
+instrumentation pass (Figure 2) rewrites memory-access instructions into
+callbacks.  A Python-level simulation therefore needs real instructions
+with real addresses.
+
+Design notes
+------------
+* Registers are function-local, named strings ("r0", "head", ...).  Each
+  call frame has its own register file.
+* Values are unsigned 64-bit integers; arithmetic wraps.
+* Memory operands are ``base + offset`` where ``base`` is a register or
+  immediate and ``offset`` a Python int; access sizes are 1/2/4/8 bytes.
+* Every memory access carries an :class:`Annot` (Table 1's API families)
+  and every explicit barrier a :class:`BarrierKind`.
+* Control flow targets are function-local instruction indices, resolved
+  from labels by :mod:`repro.kir.builder`.
+* ``addr`` is assigned at link time by :class:`repro.kir.function.Program`
+  and uniquely identifies the instruction machine-wide.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+MASK64 = (1 << 64) - 1
+
+#: Byte sizes a single memory access may have.
+ACCESS_SIZES = (1, 2, 4, 8)
+
+
+class Annot(enum.Enum):
+    """Annotation on a memory access, mirroring Linux's access APIs.
+
+    ======== ==========================================================
+    PLAIN    an ordinary compiler-visible access (``x = 1``)
+    ONCE     ``READ_ONCE()`` / ``WRITE_ONCE()`` — relaxed, but a
+             ``READ_ONCE`` load bounds the versioning window (paper
+             §10.1 Case 6 / the Alpha rule)
+    ACQUIRE  ``smp_load_acquire()`` — load, then implicit load barrier
+    RELEASE  ``smp_store_release()`` — implicit store barrier, then store
+    ======== ==========================================================
+    """
+
+    PLAIN = "plain"
+    ONCE = "once"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+
+
+class BarrierKind(enum.Enum):
+    """Explicit memory barrier flavours (paper Table 1)."""
+
+    FULL = "smp_mb"
+    RMB = "smp_rmb"
+    WMB = "smp_wmb"
+
+    @property
+    def orders_stores(self) -> bool:
+        return self in (BarrierKind.FULL, BarrierKind.WMB)
+
+    @property
+    def orders_loads(self) -> bool:
+        return self in (BarrierKind.FULL, BarrierKind.RMB)
+
+
+class AtomicOrdering(enum.Enum):
+    """Ordering semantics attached to an atomic RMW operation.
+
+    ``clear_bit()`` is RELAXED — which is exactly the RDS bug in paper
+    Figure 8 — while ``clear_bit_unlock()`` is RELEASE and
+    ``test_and_set_bit()`` is FULL.
+    """
+
+    RELAXED = "relaxed"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    FULL = "full"
+
+
+class AtomicOp(enum.Enum):
+    """Atomic read-modify-write operations available in KIR."""
+
+    TEST_AND_SET_BIT = "test_and_set_bit"
+    SET_BIT = "set_bit"
+    CLEAR_BIT = "clear_bit"
+    XCHG = "xchg"
+    CMPXCHG = "cmpxchg"
+    ADD_RETURN = "add_return"
+    FETCH_ADD = "fetch_add"
+
+
+class BinOpKind(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    # Comparisons produce 0/1 in the destination register.
+    EQ = "eq"
+    NE = "ne"
+    LTU = "ltu"
+    LEU = "leu"
+    GTU = "gtu"
+    GEU = "geu"
+
+
+class Cond(enum.Enum):
+    """Branch conditions; operands compared as unsigned 64-bit."""
+
+    EQ = "eq"
+    NE = "ne"
+    LTU = "ltu"
+    LEU = "leu"
+    GTU = "gtu"
+    GEU = "geu"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (constant) operand, masked to 64 bits."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"${self.value:#x}" if abs(self.value) > 9 else f"${self.value}"
+
+
+Operand = Union[Reg, Imm]
+
+
+def as_operand(value: Union[Operand, int, str]) -> Operand:
+    """Coerce ``int`` to :class:`Imm` and ``str`` to :class:`Reg`."""
+    if isinstance(value, (Reg, Imm)):
+        return value
+    if isinstance(value, bool):
+        return Imm(int(value))
+    if isinstance(value, int):
+        return Imm(value & MASK64)
+    if isinstance(value, str):
+        return Reg(value)
+    raise TypeError(f"cannot use {value!r} as a KIR operand")
+
+
+@dataclass
+class Insn:
+    """Base class for all KIR instructions.
+
+    ``addr`` is 0 until the owning :class:`~repro.kir.function.Program`
+    links the function; afterwards it is a machine-wide unique address.
+    ``instrumented`` is set by the OEMU compiler pass
+    (:mod:`repro.oemu.instrument`) and makes the interpreter route the
+    instruction's memory effects through OEMU callbacks, mirroring the
+    ``store_value()``/``load_value()`` rewrite of paper Figure 2.
+    """
+
+    addr: int = field(default=0, init=False, compare=False)
+    instrumented: bool = field(default=False, init=False, compare=False)
+
+    @property
+    def mnemonic(self) -> str:
+        return type(self).__name__.lower()
+
+    def operands_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ops = self.operands_repr()
+        return f"<{self.mnemonic} {ops}>" if ops else f"<{self.mnemonic}>"
+
+
+@dataclass
+class Mov(Insn):
+    dst: Reg
+    src: Operand
+
+    def operands_repr(self) -> str:
+        return f"{self.dst!r}, {self.src!r}"
+
+
+@dataclass
+class BinOp(Insn):
+    op: BinOpKind
+    dst: Reg
+    lhs: Operand
+    rhs: Operand
+
+    def operands_repr(self) -> str:
+        return f"{self.op.value} {self.dst!r}, {self.lhs!r}, {self.rhs!r}"
+
+
+@dataclass
+class Load(Insn):
+    """``dst = *(base + offset)`` with ``size`` bytes and annotation."""
+
+    dst: Reg
+    base: Operand
+    offset: int = 0
+    size: int = 8
+    annot: Annot = Annot.PLAIN
+
+    def operands_repr(self) -> str:
+        return (
+            f"{self.dst!r}, [{self.base!r}+{self.offset:#x}] "
+            f"sz={self.size} {self.annot.value}"
+        )
+
+
+@dataclass
+class Store(Insn):
+    """``*(base + offset) = src`` with ``size`` bytes and annotation."""
+
+    base: Operand
+    src: Operand
+    offset: int = 0
+    size: int = 8
+    annot: Annot = Annot.PLAIN
+
+    def operands_repr(self) -> str:
+        return (
+            f"[{self.base!r}+{self.offset:#x}], {self.src!r} "
+            f"sz={self.size} {self.annot.value}"
+        )
+
+
+@dataclass
+class Barrier(Insn):
+    """An explicit memory barrier (``smp_mb``/``smp_rmb``/``smp_wmb``)."""
+
+    kind: BarrierKind
+
+    def operands_repr(self) -> str:
+        return self.kind.value
+
+
+@dataclass
+class AtomicRMW(Insn):
+    """Atomic read-modify-write on ``base + offset``.
+
+    For bit operations ``operand`` is the bit number; for xchg/add it is
+    the value; for cmpxchg ``expected`` is compared first.  ``dst``
+    receives the operation's return value (old bit / old value), or is
+    ``None`` for void ops like ``set_bit``.
+    """
+
+    op: AtomicOp
+    base: Operand
+    offset: int = 0
+    operand: Operand = Imm(0)
+    expected: Optional[Operand] = None
+    dst: Optional[Reg] = None
+    size: int = 8
+    ordering: AtomicOrdering = AtomicOrdering.FULL
+
+    def operands_repr(self) -> str:
+        dst = f"{self.dst!r}, " if self.dst else ""
+        return (
+            f"{self.op.value} {dst}[{self.base!r}+{self.offset:#x}], "
+            f"{self.operand!r} {self.ordering.value}"
+        )
+
+
+@dataclass
+class Branch(Insn):
+    """Conditional branch to a function-local instruction index."""
+
+    cond: Cond
+    lhs: Operand
+    rhs: Operand
+    target: int = -1  # patched by the builder
+
+    def operands_repr(self) -> str:
+        return f"{self.cond.value} {self.lhs!r}, {self.rhs!r} -> {self.target}"
+
+
+@dataclass
+class Jump(Insn):
+    target: int = -1
+
+    def operands_repr(self) -> str:
+        return f"-> {self.target}"
+
+
+@dataclass
+class Call(Insn):
+    """Direct call to a named KIR function."""
+
+    func: str
+    args: Tuple[Operand, ...] = ()
+    dst: Optional[Reg] = None
+
+    def operands_repr(self) -> str:
+        dst = f"{self.dst!r} = " if self.dst else ""
+        return f"{dst}{self.func}({', '.join(map(repr, self.args))})"
+
+
+@dataclass
+class ICall(Insn):
+    """Indirect call through a function pointer held in a register.
+
+    Calling through 0 raises the NULL-dereference oracle; calling through
+    a value that is not a linked function address raises the general
+    protection fault oracle.  This is how the Figure 7 TLS bug crashes.
+    """
+
+    target: Operand = Imm(0)
+    args: Tuple[Operand, ...] = ()
+    dst: Optional[Reg] = None
+
+    def operands_repr(self) -> str:
+        dst = f"{self.dst!r} = " if self.dst else ""
+        return f"{dst}(*{self.target!r})({', '.join(map(repr, self.args))})"
+
+
+@dataclass
+class Ret(Insn):
+    src: Optional[Operand] = None
+
+    def operands_repr(self) -> str:
+        return repr(self.src) if self.src is not None else ""
+
+
+@dataclass
+class Helper(Insn):
+    """Call into a registered Python helper (kzalloc, kfree, bug_on, ...).
+
+    Helpers model kernel services that are not interesting at instruction
+    granularity.  They execute atomically in one interpreter step and may
+    raise :class:`repro.errors.KernelCrash` (e.g. the allocator's KASAN
+    checks, ``bug_on``).
+    """
+
+    name: str = ""
+    args: Tuple[Operand, ...] = ()
+    dst: Optional[Reg] = None
+
+    def operands_repr(self) -> str:
+        dst = f"{self.dst!r} = " if self.dst else ""
+        return f"{dst}!{self.name}({', '.join(map(repr, self.args))})"
+
+
+@dataclass
+class Nop(Insn):
+    pass
+
+
+#: Instructions that perform a (non-atomic) data memory access and are
+#: therefore subject to OEMU reordering.
+MEMORY_ACCESS_INSNS = (Load, Store)
+
+
+def is_memory_access(insn: Insn) -> bool:
+    """True for plain loads/stores — the reordering candidates."""
+    return isinstance(insn, MEMORY_ACCESS_INSNS)
+
+
+def validate_access_size(size: int) -> None:
+    if size not in ACCESS_SIZES:
+        from repro.errors import KirError
+
+        raise KirError(f"invalid access size {size}; must be one of {ACCESS_SIZES}")
+
+
+def branch_taken(cond: Cond, lhs: int, rhs: int) -> bool:
+    """Evaluate a branch condition on unsigned 64-bit values."""
+    lhs &= MASK64
+    rhs &= MASK64
+    if cond is Cond.EQ:
+        return lhs == rhs
+    if cond is Cond.NE:
+        return lhs != rhs
+    if cond is Cond.LTU:
+        return lhs < rhs
+    if cond is Cond.LEU:
+        return lhs <= rhs
+    if cond is Cond.GTU:
+        return lhs > rhs
+    return lhs >= rhs  # GEU
+
+
+def eval_binop(op: BinOpKind, lhs: int, rhs: int) -> int:
+    """Evaluate an ALU operation with 64-bit wraparound semantics."""
+    lhs &= MASK64
+    rhs &= MASK64
+    if op is BinOpKind.ADD:
+        return (lhs + rhs) & MASK64
+    if op is BinOpKind.SUB:
+        return (lhs - rhs) & MASK64
+    if op is BinOpKind.MUL:
+        return (lhs * rhs) & MASK64
+    if op is BinOpKind.AND:
+        return lhs & rhs
+    if op is BinOpKind.OR:
+        return lhs | rhs
+    if op is BinOpKind.XOR:
+        return lhs ^ rhs
+    if op is BinOpKind.SHL:
+        return (lhs << (rhs & 63)) & MASK64
+    if op is BinOpKind.SHR:
+        return lhs >> (rhs & 63)
+    if op is BinOpKind.EQ:
+        return int(lhs == rhs)
+    if op is BinOpKind.NE:
+        return int(lhs != rhs)
+    if op is BinOpKind.LTU:
+        return int(lhs < rhs)
+    if op is BinOpKind.LEU:
+        return int(lhs <= rhs)
+    if op is BinOpKind.GTU:
+        return int(lhs > rhs)
+    return int(lhs >= rhs)  # GEU

@@ -1,0 +1,362 @@
+"""The KIR interpreter — the simulated CPU.
+
+Executes one instruction per :meth:`Interpreter.step`, which is what lets
+the custom scheduler (paper §10.3) interleave threads at instruction
+granularity.  Memory-accessing instructions take one of two paths:
+
+* **plain** (uninstrumented): direct memory access — the baseline kernel
+  build Syzkaller would fuzz;
+* **instrumented**: routed through OEMU callbacks — the OZZ kernel build
+  (paper Figure 2), which can delay stores, version loads, and profile.
+
+Both paths run the fault and KASAN oracles at access time, mirroring how
+a real kernel faults and how KASAN's compile-time checks fire when the
+access executes.
+
+The interpreter is generic over a ``machine`` object (in practice
+:class:`repro.kernel.kernel.Kernel`) that provides::
+
+    program        linked Program being executed
+    memory         repro.mem.Memory
+    oemu           repro.oemu.Oemu or None
+    kasan          repro.oracles.Kasan
+    fault_oracle   repro.oracles.FaultOracle
+    helpers        dict name -> callable(machine, thread, *args) -> int|None
+    deps           repro.oemu.DependencyTracker or None
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionLimitExceeded, KirError
+from repro.kir.function import Function, Program
+from repro.kir.insn import (
+    AtomicOp,
+    AtomicRMW,
+    Barrier,
+    BinOp,
+    Branch,
+    Call,
+    Helper,
+    ICall,
+    Imm,
+    Insn,
+    Jump,
+    Load,
+    MASK64,
+    Mov,
+    Nop,
+    Operand,
+    Reg,
+    Ret,
+    Store,
+    branch_taken,
+    eval_binop,
+)
+from repro.mem.memory import MemoryFault
+
+#: Default per-syscall instruction budget.
+DEFAULT_FUEL = 200_000
+
+
+class HelperRetry(Exception):
+    """Raised by a helper to re-execute the same instruction next step.
+
+    Used by blocking primitives (spinlock acquisition) so a thread spins
+    without advancing, letting the scheduler run another thread.
+    """
+
+
+@dataclass
+class Frame:
+    """One activation record."""
+
+    function: Function
+    index: int = 0
+    regs: Dict[str, int] = field(default_factory=dict)
+    ret_dst: Optional[Reg] = None  # where the caller wants the return value
+
+
+class ThreadCtx:
+    """One simulated kernel thread, pinned to a CPU."""
+
+    def __init__(self, thread_id: int, cpu: int, fuel: int = DEFAULT_FUEL) -> None:
+        self.thread_id = thread_id
+        self.cpu = cpu
+        self.frames: List[Frame] = []
+        self.finished = False
+        self.retval: int = 0
+        self.fuel = fuel
+        self.steps = 0
+
+    @property
+    def frame(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def current_function(self) -> str:
+        return self.frames[-1].function.name if self.frames else "<none>"
+
+    def current_insn(self) -> Optional[Insn]:
+        """The instruction about to execute (None when finished)."""
+        if self.finished or not self.frames:
+            return None
+        frame = self.frames[-1]
+        return frame.function.insns[frame.index]
+
+    def call(self, function: Function, args: Tuple[int, ...], ret_dst: Optional[Reg] = None) -> None:
+        if len(args) != len(function.params):
+            raise KirError(
+                f"{function.name} expects {len(function.params)} args, got {len(args)}"
+            )
+        frame = Frame(function=function, regs=dict(zip(function.params, args)), ret_dst=ret_dst)
+        self.frames.append(frame)
+
+    def __repr__(self) -> str:
+        where = f"{self.current_function}[{self.frames[-1].index}]" if self.frames else "done"
+        return f"<Thread {self.thread_id} cpu{self.cpu} at {where}>"
+
+
+class Interpreter:
+    """Stepwise executor over a machine."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+
+    # -- public API -----------------------------------------------------------
+
+    def spawn(self, func_name: str, args: Tuple[int, ...] = (), *, thread_id: int = 0, cpu: int = 0, fuel: int = DEFAULT_FUEL) -> ThreadCtx:
+        thread = ThreadCtx(thread_id, cpu, fuel)
+        thread.call(self.machine.program.function(func_name), args)
+        return thread
+
+    def step(self, thread: ThreadCtx) -> bool:
+        """Execute one instruction; returns True while the thread runs."""
+        if thread.finished:
+            return False
+        if thread.fuel <= 0:
+            raise ExecutionLimitExceeded(
+                f"thread {thread.thread_id} exceeded fuel in {thread.current_function}"
+            )
+        thread.fuel -= 1
+        thread.steps += 1
+        frame = thread.frames[-1]
+        insn = frame.function.insns[frame.index]
+        kcov = getattr(self.machine, "kcov", None)
+        if kcov is not None:
+            kcov.on_insn(thread.thread_id, insn.addr)
+        advance = True
+        try:
+            advance = self._execute(thread, frame, insn)
+        except HelperRetry:
+            return True  # same pc next step
+        if advance and not thread.finished and thread.frames and thread.frames[-1] is frame:
+            frame.index += 1
+        return not thread.finished
+
+    def run(self, thread: ThreadCtx, max_steps: Optional[int] = None) -> int:
+        """Run a thread to completion; returns its return value."""
+        steps = 0
+        while self.step(thread):
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                raise ExecutionLimitExceeded(
+                    f"thread {thread.thread_id} still running after {steps} steps"
+                )
+        return thread.retval
+
+    def call_function(self, func_name: str, args: Tuple[int, ...] = (), *, thread_id: int = 0, cpu: int = 0) -> int:
+        """Convenience: spawn + run a function to completion."""
+        thread = self.spawn(func_name, args, thread_id=thread_id, cpu=cpu)
+        return self.run(thread)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def _eval(self, frame: Frame, op: Operand) -> int:
+        if isinstance(op, Imm):
+            return op.value & MASK64
+        value = frame.regs.get(op.name)
+        if value is None:
+            raise KirError(
+                f"{frame.function.name}[{frame.index}]: register %{op.name} undefined"
+            )
+        return value & MASK64
+
+    @staticmethod
+    def _reg_name(op: Operand) -> Optional[str]:
+        return op.name if isinstance(op, Reg) else None
+
+    # -- instruction dispatch ----------------------------------------------------------
+
+    def _execute(self, thread: ThreadCtx, frame: Frame, insn: Insn) -> bool:
+        """Returns True if the pc should advance normally."""
+        m = self.machine
+        deps = getattr(m, "deps", None)
+
+        if isinstance(insn, Mov):
+            frame.regs[insn.dst.name] = self._eval(frame, insn.src)
+            if deps:
+                deps.on_mov(insn.dst.name, self._reg_name(insn.src))
+            return True
+
+        if isinstance(insn, BinOp):
+            frame.regs[insn.dst.name] = eval_binop(
+                insn.op, self._eval(frame, insn.lhs), self._eval(frame, insn.rhs)
+            )
+            if deps:
+                deps.on_binop(insn.dst.name, self._reg_name(insn.lhs), self._reg_name(insn.rhs))
+            return True
+
+        if isinstance(insn, Load):
+            addr = (self._eval(frame, insn.base) + insn.offset) & MASK64
+            self._check_access(thread, insn, addr, insn.size, is_write=False)
+            if insn.instrumented and m.oemu is not None:
+                value = m.oemu.on_load(
+                    thread.thread_id, insn.addr, insn.annot, addr, insn.size, thread.current_function
+                )
+            else:
+                value = m.memory.load(addr, insn.size, check=False)
+            frame.regs[insn.dst.name] = value
+            if deps:
+                deps.on_load(insn.addr, insn.dst.name, self._reg_name(insn.base))
+            return True
+
+        if isinstance(insn, Store):
+            addr = (self._eval(frame, insn.base) + insn.offset) & MASK64
+            value = self._eval(frame, insn.src)
+            self._check_access(thread, insn, addr, insn.size, is_write=True)
+            if insn.instrumented and m.oemu is not None:
+                m.oemu.on_store(
+                    thread.thread_id, insn.addr, insn.annot, addr, insn.size, value, thread.current_function
+                )
+            else:
+                m.memory.store(addr, insn.size, value, check=False)
+            if deps:
+                deps.on_store(insn.addr, self._reg_name(insn.src), self._reg_name(insn.base))
+            return True
+
+        if isinstance(insn, Barrier):
+            if insn.instrumented and m.oemu is not None:
+                m.oemu.on_barrier(thread.thread_id, insn.addr, insn.kind, thread.current_function)
+            return True
+
+        if isinstance(insn, AtomicRMW):
+            return self._execute_atomic(thread, frame, insn)
+
+        if isinstance(insn, Branch):
+            if deps:
+                deps.on_branch(self._reg_name(insn.lhs), self._reg_name(insn.rhs))
+            if branch_taken(insn.cond, self._eval(frame, insn.lhs), self._eval(frame, insn.rhs)):
+                frame.index = insn.target
+                return False
+            return True
+
+        if isinstance(insn, Jump):
+            frame.index = insn.target
+            return False
+
+        if isinstance(insn, Call):
+            callee = m.program.function(insn.func)
+            args = tuple(self._eval(frame, a) for a in insn.args)
+            frame.index += 1  # return point
+            thread.call(callee, args, ret_dst=insn.dst)
+            return False
+
+        if isinstance(insn, ICall):
+            target = self._eval(frame, insn.target)
+            callee = m.program.resolve_func_pointer(target)
+            if callee is None:
+                m.fault_oracle.on_bad_call(target, thread.current_function, insn.addr)
+            args = tuple(self._eval(frame, a) for a in insn.args)
+            frame.index += 1
+            thread.call(callee, args, ret_dst=insn.dst)
+            return False
+
+        if isinstance(insn, Ret):
+            value = self._eval(frame, insn.src) if insn.src is not None else 0
+            thread.frames.pop()
+            if not thread.frames:
+                thread.finished = True
+                thread.retval = value
+            else:
+                caller = thread.frames[-1]
+                ret_insn = caller.function.insns[caller.index - 1]
+                dst = getattr(ret_insn, "dst", None)
+                if dst is not None:
+                    caller.regs[dst.name] = value
+            return False
+
+        if isinstance(insn, Helper):
+            args = tuple(self._eval(frame, a) for a in insn.args)
+            fn = m.helpers.get(insn.name)
+            if fn is None:
+                raise KirError(f"unknown helper {insn.name!r}")
+            result = fn(m, thread, *args)  # may raise HelperRetry / KernelCrash
+            if insn.dst is not None:
+                frame.regs[insn.dst.name] = (result or 0) & MASK64
+            return True
+
+        if isinstance(insn, Nop):
+            return True
+
+        raise KirError(f"cannot execute {insn!r}")
+
+    def _execute_atomic(self, thread: ThreadCtx, frame: Frame, insn: AtomicRMW) -> bool:
+        m = self.machine
+        addr = (self._eval(frame, insn.base) + insn.offset) & MASK64
+        operand = self._eval(frame, insn.operand)
+        expected = self._eval(frame, insn.expected) if insn.expected is not None else None
+        self._check_access(thread, insn, addr, insn.size, is_write=True)
+
+        result_box = {}
+
+        def rmw(old: int) -> int:
+            new, ret = _apply_atomic(insn.op, old, operand, expected)
+            result_box["ret"] = ret
+            return new
+
+        if insn.instrumented and m.oemu is not None:
+            m.oemu.on_atomic(
+                thread.thread_id, insn.addr, insn.ordering, addr, insn.size, rmw, thread.current_function
+            )
+        else:
+            old = m.memory.load(addr, insn.size, check=False)
+            m.memory.store(addr, insn.size, rmw(old), check=False)
+        if insn.dst is not None:
+            frame.regs[insn.dst.name] = result_box["ret"] & MASK64
+        return True
+
+    # -- oracle hooks --------------------------------------------------------------------
+
+    def _check_access(self, thread: ThreadCtx, insn: Insn, addr: int, size: int, is_write: bool) -> None:
+        m = self.machine
+        try:
+            m.memory.check(addr, size, is_write)
+        except MemoryFault as fault:
+            m.fault_oracle.on_fault(fault, thread.current_function, insn.addr)
+        m.kasan.check_access(addr, size, is_write, thread.current_function, insn.addr)
+
+
+def _apply_atomic(op: AtomicOp, old: int, operand: int, expected: Optional[int]) -> Tuple[int, int]:
+    """Returns (new_value, return_value) for an atomic RMW."""
+    if op is AtomicOp.TEST_AND_SET_BIT:
+        bit = 1 << operand
+        return old | bit, 1 if old & bit else 0
+    if op is AtomicOp.SET_BIT:
+        return old | (1 << operand), 0
+    if op is AtomicOp.CLEAR_BIT:
+        return old & ~(1 << operand) & MASK64, 0
+    if op is AtomicOp.XCHG:
+        return operand, old
+    if op is AtomicOp.CMPXCHG:
+        if expected is None:
+            raise KirError("cmpxchg requires an expected value")
+        return (operand, old) if old == expected else (old, old)
+    if op is AtomicOp.ADD_RETURN:
+        new = (old + operand) & MASK64
+        return new, new
+    if op is AtomicOp.FETCH_ADD:
+        return (old + operand) & MASK64, old
+    raise KirError(f"unknown atomic op {op}")

@@ -1,0 +1,99 @@
+"""Struct layout helper for simulated kernel data structures.
+
+Simulated kernel code accesses fields of C-like structs (``pipe->head``,
+``sk->sk_prot``...).  :class:`Struct` computes field offsets and sizes so
+subsystem code can say ``b.load(dst, pipe, PIPE.head)`` instead of magic
+offsets, and so tests can assert on layout properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import KirError
+
+#: Natural alignment used for fields, matching a 64-bit kernel ABI.
+_WORD = 8
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single struct field with resolved offset."""
+
+    name: str
+    offset: int
+    size: int
+    count: int = 1  # >1 for inline arrays
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.count
+
+
+class Struct:
+    """A C-like struct layout with aligned fields.
+
+    >>> pipe = Struct("pipe", [("head", 8), ("tail", 8), ("bufs", 8, 16)])
+    >>> pipe.head
+    0
+    >>> pipe.tail
+    8
+    >>> pipe.size
+    144
+
+    Fields are ``(name, size)`` or ``(name, size, count)`` for inline
+    arrays.  Each field is aligned to ``min(size, 8)``; the struct size is
+    rounded up to 8 bytes.  Field offsets are exposed as attributes.
+    """
+
+    def __init__(self, name: str, fields: Sequence[Tuple]) -> None:
+        self.name = name
+        self.fields: Dict[str, Field] = {}
+        self._order: List[Field] = []
+        offset = 0
+        for spec in fields:
+            if len(spec) == 2:
+                fname, size = spec
+                count = 1
+            elif len(spec) == 3:
+                fname, size, count = spec
+            else:
+                raise KirError(f"bad field spec {spec!r} in struct {name}")
+            if size not in (1, 2, 4, 8):
+                raise KirError(f"field {name}.{fname}: bad size {size}")
+            if fname in self.fields:
+                raise KirError(f"duplicate field {name}.{fname}")
+            align = min(size, _WORD)
+            offset = (offset + align - 1) & ~(align - 1)
+            fld = Field(fname, offset, size, count)
+            self.fields[fname] = fld
+            self._order.append(fld)
+            offset += fld.nbytes
+        self.size = (offset + _WORD - 1) & ~(_WORD - 1) if offset else _WORD
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self.__dict__["fields"][name].offset
+        except KeyError:
+            raise AttributeError(f"struct {self.__dict__.get('name')} has no field {name!r}")
+
+    def field(self, name: str) -> Field:
+        """Return the full :class:`Field` record (offset *and* size)."""
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise KirError(f"struct {self.name} has no field {name!r}")
+
+    def elem(self, name: str, index: int) -> int:
+        """Offset of ``name[index]`` for an inline array field."""
+        fld = self.field(name)
+        if not 0 <= index < fld.count:
+            raise KirError(f"{self.name}.{name}[{index}] out of range (count={fld.count})")
+        return fld.offset + index * fld.size
+
+    def __iter__(self) -> Iterable[Field]:
+        return iter(self._order)
+
+    def __repr__(self) -> str:
+        return f"<Struct {self.name} size={self.size} fields={len(self._order)}>"

@@ -1,0 +1,35 @@
+"""Litmus tests validating OEMU against the LKMM (paper §3.3, §10.1)."""
+
+from repro.litmus.programs import (
+    LitmusTest,
+    coherence_rr,
+    coherence_wr,
+    dependent_loads,
+    load_buffering,
+    message_passing,
+    message_passing_acqrel,
+    message_passing_release_only,
+    message_passing_write_once,
+    standard_suite,
+    store_buffering,
+    store_buffering_half_fenced,
+)
+from repro.litmus.runner import LitmusRunner, LitmusVerdict, check_suite
+
+__all__ = [
+    "LitmusRunner",
+    "LitmusTest",
+    "LitmusVerdict",
+    "check_suite",
+    "coherence_rr",
+    "coherence_wr",
+    "dependent_loads",
+    "load_buffering",
+    "message_passing",
+    "message_passing_acqrel",
+    "message_passing_release_only",
+    "message_passing_write_once",
+    "standard_suite",
+    "store_buffering",
+    "store_buffering_half_fenced",
+]

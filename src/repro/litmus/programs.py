@@ -1,0 +1,332 @@
+"""Classic litmus tests expressed in KIR.
+
+Each :class:`LitmusTest` names two (or more) thread functions over the
+shared locations X/Y, the outcome encoding (each thread returns its
+observation registers packed into one integer), and the LKMM ground
+truth: which outcomes are sequentially consistent, which extra outcomes
+weak memory permits, and which are forbidden everywhere.
+
+The enumerator (:mod:`repro.litmus.enumerate`) then checks that OEMU's
+*reachable* set equals SC-outcomes ∪ weak-outcomes and never touches a
+forbidden one — the §3.3 LKMM-compliance claim, empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.kir import Builder
+from repro.kir.function import Function
+from repro.mem.memory import DATA_BASE
+
+X = DATA_BASE + 0x100
+Y = DATA_BASE + 0x108
+
+
+def _pack(b: Builder, regs: Sequence) -> None:
+    """ret r0*10 + r1 (observations are small)."""
+    if len(regs) == 1:
+        b.ret(regs[0])
+        return
+    acc = b.mul(regs[0], 10)
+    for r in regs[1:-1]:
+        acc = b.add(acc, r)
+        acc = b.mul(acc, 10)
+    acc = b.add(acc, regs[-1])
+    b.ret(acc)
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus test with LKMM ground truth."""
+
+    name: str
+    functions: Tuple[Function, ...]
+    #: outcomes reachable by interleaving alone (sequential consistency)
+    sc_outcomes: FrozenSet[Tuple[int, ...]]
+    #: extra outcomes the LKMM permits under reordering
+    weak_outcomes: FrozenSet[Tuple[int, ...]] = frozenset()
+    #: outcomes no LKMM-conforming machine may produce
+    forbidden: FrozenSet[Tuple[int, ...]] = frozenset()
+    description: str = ""
+
+    @property
+    def allowed(self) -> FrozenSet[Tuple[int, ...]]:
+        return self.sc_outcomes | self.weak_outcomes
+
+
+def _writer_mp(wmb: bool) -> Function:
+    b = Builder("mp_writer")
+    b.store(X, 0, 1)
+    if wmb:
+        b.wmb()
+    b.store(Y, 0, 1)
+    b.ret(0)
+    return b.function()
+
+
+def _reader_mp(rmb: bool) -> Function:
+    b = Builder("mp_reader")
+    r1 = b.load(Y, 0)
+    if rmb:
+        b.rmb()
+    r2 = b.load(X, 0)
+    _pack(b, [r1, r2])
+    return b.function()
+
+
+def message_passing(wmb: bool, rmb: bool) -> LitmusTest:
+    """MP: the Figure 1 shape.  r1=1 ∧ r2=0 is the OOO outcome; it is
+    forbidden only when *both* barriers are present (either missing
+    barrier readmits it — exactly §2.2's analysis)."""
+    sc = frozenset({(0, 0), (0, 1), (0, 10), (0, 11)})
+    bad = (0, 10)  # r1=1, r2=0
+    protected = wmb and rmb
+    return LitmusTest(
+        name=f"MP(wmb={int(wmb)},rmb={int(rmb)})",
+        functions=(_writer_mp(wmb), _reader_mp(rmb)),
+        sc_outcomes=sc - {bad},
+        weak_outcomes=frozenset() if protected else frozenset({bad}),
+        forbidden=frozenset({bad}) if protected else frozenset(),
+        description="message passing",
+    )
+
+
+def message_passing_acqrel() -> LitmusTest:
+    """MP with smp_store_release / smp_load_acquire — also forbidden."""
+    b = Builder("mp_writer")
+    b.store(X, 0, 1)
+    b.store_release(Y, 0, 1)
+    b.ret(0)
+    writer = b.function()
+    b = Builder("mp_reader")
+    r1 = b.load_acquire(Y, 0)
+    r2 = b.load(X, 0)
+    _pack(b, [r1, r2])
+    reader = b.function()
+    bad = (0, 10)
+    return LitmusTest(
+        name="MP(release/acquire)",
+        functions=(writer, reader),
+        sc_outcomes=frozenset({(0, 0), (0, 1), (0, 11)}),
+        forbidden=frozenset({bad}),
+        description="message passing with release/acquire",
+    )
+
+
+def message_passing_write_once() -> LitmusTest:
+    """MP where the writer uses WRITE_ONCE for the flag — the Figure 7
+    trap: ONCE silences KCSAN but orders nothing, so the OOO outcome
+    remains reachable."""
+    b = Builder("mp_writer")
+    b.store(X, 0, 1)
+    b.write_once(Y, 0, 1)  # 'fixed' with WRITE_ONCE... not
+    b.ret(0)
+    writer = b.function()
+    b = Builder("mp_reader")
+    r1 = b.read_once(Y, 0)
+    r2 = b.load(X, 0)
+    _pack(b, [r1, r2])
+    reader = b.function()
+    bad = (0, 10)
+    return LitmusTest(
+        name="MP(ONCE-only)",
+        functions=(writer, reader),
+        sc_outcomes=frozenset({(0, 0), (0, 1), (0, 11)}),
+        weak_outcomes=frozenset({bad}),
+        description="the WRITE_ONCE/READ_ONCE non-fix of Figure 7",
+    )
+
+
+def message_passing_release_only() -> LitmusTest:
+    """MP with only the writer protected (release store): the reader's
+    plain loads may still reorder, so the OOO outcome survives —
+    publish/consume needs both halves."""
+    b = Builder("mp_writer")
+    b.store(X, 0, 1)
+    b.store_release(Y, 0, 1)
+    b.ret(0)
+    writer = b.function()
+    b = Builder("mp_reader")
+    r1 = b.load(Y, 0)  # plain: no acquire on the reader side
+    r2 = b.load(X, 0)
+    _pack(b, [r1, r2])
+    reader = b.function()
+    bad = (0, 10)
+    return LitmusTest(
+        name="MP(release-only)",
+        functions=(writer, reader),
+        sc_outcomes=frozenset({(0, 0), (0, 1), (0, 11)}),
+        weak_outcomes=frozenset({bad}),
+        description="a one-sided release does not protect a plain reader",
+    )
+
+
+def store_buffering_half_fenced() -> LitmusTest:
+    """SB with smp_mb in only one thread: the other thread's store-load
+    reordering still reaches r1 = r2 = 0."""
+    def side(name: str, store_to: int, load_from: int, fenced: bool) -> Function:
+        b = Builder(name)
+        b.store(store_to, 0, 1)
+        if fenced:
+            b.mb()
+        r = b.load(load_from, 0)
+        _pack(b, [r])
+        return b.function()
+
+    return LitmusTest(
+        name="SB(half-fenced)",
+        functions=(side("sb_t1", X, Y, True), side("sb_t2", Y, X, False)),
+        sc_outcomes=frozenset({(0, 1), (1, 0), (1, 1)}),
+        weak_outcomes=frozenset({(0, 0)}),
+        description="one smp_mb is not enough for store buffering",
+    )
+
+
+def store_buffering(mb: bool) -> LitmusTest:
+    """SB: both threads store then load the other location.  r1=r2=0
+    requires store-load reordering; only smp_mb() forbids it."""
+    def side(name: str, store_to: int, load_from: int) -> Function:
+        b = Builder(name)
+        b.store(store_to, 0, 1)
+        if mb:
+            b.mb()
+        r = b.load(load_from, 0)
+        _pack(b, [r])
+        return b.function()
+
+    sc = frozenset({(0, 1), (1, 0), (1, 1)})
+    bad = (0, 0)
+    return LitmusTest(
+        name=f"SB(mb={int(mb)})",
+        functions=(side("sb_t1", X, Y), side("sb_t2", Y, X)),
+        sc_outcomes=sc,
+        weak_outcomes=frozenset() if mb else frozenset({bad}),
+        forbidden=frozenset({bad}) if mb else frozenset(),
+        description="store buffering (Figure 10's Rust example is this)",
+    )
+
+
+def load_buffering() -> LitmusTest:
+    """LB: r1=r2=1 needs load-store reordering, which OEMU does not
+    emulate (paper §3 'Scope of emulation') and dependencies usually
+    forbid.  The enumerator asserts it is unreachable."""
+    def side(name: str, load_from: int, store_to: int) -> Function:
+        b = Builder(name)
+        r = b.load(load_from, 0)
+        b.store(store_to, 0, 1)
+        _pack(b, [r])
+        return b.function()
+
+    return LitmusTest(
+        name="LB",
+        functions=(side("lb_t1", X, Y), side("lb_t2", Y, X)),
+        sc_outcomes=frozenset({(0, 0), (0, 1), (1, 0)}),
+        # (1,1) needs load-store reordering: out of OEMU's scope.
+        forbidden=frozenset({(1, 1)}),
+        description="load buffering",
+    )
+
+
+def coherence_rr() -> LitmusTest:
+    """CoRR: two loads of the same location must not go backwards."""
+    b = Builder("corr_writer")
+    b.store(X, 0, 1)
+    b.ret(0)
+    writer = b.function()
+    b = Builder("corr_reader")
+    r1 = b.load(X, 0)
+    r2 = b.load(X, 0)
+    _pack(b, [r1, r2])
+    reader = b.function()
+    return LitmusTest(
+        name="CoRR",
+        functions=(writer, reader),
+        sc_outcomes=frozenset({(0, 0), (0, 1), (0, 11)}),
+        forbidden=frozenset({(0, 10)}),  # saw 1 then 0: coherence violation
+        description="read-read coherence on one location",
+    )
+
+
+def coherence_wr() -> LitmusTest:
+    """CoWR: a thread reads its own store (store forwarding)."""
+    b = Builder("cowr_t1")
+    b.store(X, 0, 1)
+    r = b.load(X, 0)
+    _pack(b, [r])
+    t1 = b.function()
+    b = Builder("cowr_t2")
+    b.store(X, 0, 2)
+    b.ret(0)
+    t2 = b.function()
+    return LitmusTest(
+        name="CoWR",
+        functions=(t1, t2),
+        sc_outcomes=frozenset({(1, 0), (2, 0)}),
+        forbidden=frozenset({(0, 0)}),  # own store invisible to self
+        description="write-read coherence (own-store forwarding)",
+    )
+
+
+def dependent_loads(read_once: bool) -> LitmusTest:
+    """Address dependency (Case 6): reader loads a pointer, then loads
+    through it.  With READ_ONCE on the pointer the stale read is
+    forbidden; with a plain load the LKMM (thanks to Alpha) allows it.
+
+    Locations: X holds a pointer to Y; writer sets Y=1 then X=&Y.
+    Reader observes r1 = (ptr != 0), r2 = value loaded through the
+    pointer (using Y's old value 0 if reordered; reads Y only when the
+    pointer was seen)."""
+    b = Builder("dep_writer")
+    b.store(Y, 0, 1)
+    b.wmb()
+    b.store(X, 0, Y)  # publish &Y
+    b.ret(0)
+    writer = b.function()
+
+    b = Builder("dep_reader")
+    if read_once:
+        ptr = b.read_once(X, 0)
+    else:
+        ptr = b.load(X, 0)
+    none = b.label()
+    b.beq(ptr, 0, none)
+    val = b.load(ptr, 0)
+    seen = b.mov(1)
+    _pack(b, [seen, val])
+    b.bind(none)
+    b.ret(0)
+    reader = b.function()
+
+    bad = (0, 10)  # saw the pointer but read Y == 0
+    sc = frozenset({(0, 0), (0, 11)})
+    return LitmusTest(
+        name=f"MP+addr-dep(read_once={int(read_once)})",
+        functions=(writer, reader),
+        sc_outcomes=sc,
+        weak_outcomes=frozenset() if read_once else frozenset({bad}),
+        forbidden=frozenset({bad}) if read_once else frozenset(),
+        description="address-dependent loads, LKMM Case 6 / the Alpha rule",
+    )
+
+
+def standard_suite() -> List[LitmusTest]:
+    """The suite the LKMM-compliance tests and benches run."""
+    return [
+        message_passing(False, False),
+        message_passing(True, False),
+        message_passing(False, True),
+        message_passing(True, True),
+        message_passing_acqrel(),
+        message_passing_write_once(),
+        message_passing_release_only(),
+        store_buffering(False),
+        store_buffering(True),
+        store_buffering_half_fenced(),
+        load_buffering(),
+        coherence_rr(),
+        coherence_wr(),
+        dependent_loads(read_once=True),
+        dependent_loads(read_once=False),
+    ]

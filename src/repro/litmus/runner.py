@@ -1,0 +1,194 @@
+"""Litmus execution: exhaustive interleaving × OEMU-control enumeration.
+
+``reachable_outcomes`` computes everything OEMU can make a litmus test
+produce: every interleaving of the threads' instructions, crossed with
+every ``delay_store_at``/``read_old_value_at`` control subset applied to
+one thread at a time (OZZ tests a single hypothetical barrier at a time,
+§4.5).  ``check`` compares that set against the LKMM ground truth of a
+:class:`~repro.litmus.programs.LitmusTest`:
+
+* every SC outcome must be reachable with controls off,
+* every LKMM-weak outcome must be reachable with controls on,
+* no forbidden outcome may ever appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import chain, combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.kir.function import Program
+from repro.kir.insn import Load, Store
+from repro.litmus.programs import LitmusTest
+from repro.machine import Machine
+from repro.oemu.instrument import instrument_program
+
+Controls = Tuple[int, FrozenSet[int], FrozenSet[int]]  # (side, delays, versions)
+
+
+def _powerset(items: Sequence[int]) -> Iterable[FrozenSet[int]]:
+    return (
+        frozenset(c)
+        for r in range(len(items) + 1)
+        for c in combinations(items, r)
+    )
+
+
+@dataclass
+class LitmusVerdict:
+    """Result of checking one litmus test."""
+
+    test: LitmusTest
+    sc_observed: FrozenSet[Tuple[int, ...]]
+    weak_observed: FrozenSet[Tuple[int, ...]]
+    forbidden_hit: FrozenSet[Tuple[int, ...]]
+    runs: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.sc_observed == self.test.sc_outcomes
+            and self.weak_observed >= self.test.weak_outcomes
+            and self.weak_observed <= self.test.allowed
+            and not self.forbidden_hit
+        )
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        lines = [f"[{status}] {self.test.name} ({self.runs} runs)"]
+        lines.append(f"  SC outcomes:   {sorted(self.sc_observed)}")
+        extra = self.weak_observed - self.sc_observed
+        lines.append(f"  weak-only:     {sorted(extra)}")
+        if self.forbidden_hit:
+            lines.append(f"  FORBIDDEN HIT: {sorted(self.forbidden_hit)}")
+        return "\n".join(lines)
+
+
+class LitmusRunner:
+    """Runs litmus tests under OEMU."""
+
+    def __init__(self, test: LitmusTest) -> None:
+        self.test = test
+        program, _ = instrument_program(Program(list(test.functions)))
+        self.program = program
+        self._runs = 0
+
+    # -- single run ---------------------------------------------------------
+
+    def run_schedule(self, schedule: Sequence[int], controls: Optional[Controls]) -> Optional[Tuple[int, ...]]:
+        """Run one interleaving; returns the outcome, or None if the
+        schedule is infeasible (a chosen thread already finished)."""
+        machine = Machine(self.program, ncpus=len(self.test.functions))
+        threads = [
+            machine.spawn(f.name, cpu=idx) for idx, f in enumerate(self.test.functions)
+        ]
+        for t in threads:
+            machine.oemu.thread_state(t.thread_id)  # pin window start at t=0
+        if controls is not None:
+            side, delays, versions = controls
+            tid = threads[side].thread_id
+            for addr in delays:
+                machine.oemu.delay_store_at(tid, addr)
+            for addr in versions:
+                machine.oemu.read_old_value_at(tid, addr)
+        self._runs += 1
+        for choice in schedule:
+            thread = threads[choice]
+            if thread.finished:
+                return None
+            machine.interp.step(thread)
+            if thread.finished:
+                machine.oemu.flush(thread.thread_id)  # thread exit commits
+        if not all(t.finished for t in threads):
+            return None
+        return tuple(t.retval for t in threads)
+
+    # -- enumeration -----------------------------------------------------------
+
+    def _all_schedules(self, controls: Optional[Controls]) -> Set[Tuple[int, ...]]:
+        """DFS over interleavings; replays from scratch at each node."""
+        outcomes: Set[Tuple[int, ...]] = set()
+        nthreads = len(self.test.functions)
+        stack: List[Tuple[int, ...]] = [()]
+        while stack:
+            prefix = stack.pop()
+            result = self._advance(prefix, controls)
+            if result is None:
+                continue
+            live, outcome = result
+            if outcome is not None:
+                outcomes.add(outcome)
+                continue
+            for tid in live:
+                stack.append(prefix + (tid,))
+        return outcomes
+
+    def _advance(self, prefix: Tuple[int, ...], controls: Optional[Controls]):
+        """Replay a prefix; returns (live thread indices, outcome|None)."""
+        machine = Machine(self.program, ncpus=len(self.test.functions))
+        threads = [
+            machine.spawn(f.name, cpu=idx) for idx, f in enumerate(self.test.functions)
+        ]
+        for t in threads:
+            machine.oemu.thread_state(t.thread_id)
+        if controls is not None:
+            side, delays, versions = controls
+            tid = threads[side].thread_id
+            for addr in delays:
+                machine.oemu.delay_store_at(tid, addr)
+            for addr in versions:
+                machine.oemu.read_old_value_at(tid, addr)
+        self._runs += 1
+        for choice in prefix:
+            thread = threads[choice]
+            if thread.finished:
+                return None
+            machine.interp.step(thread)
+            if thread.finished:
+                machine.oemu.flush(thread.thread_id)
+        if all(t.finished for t in threads):
+            return [], tuple(t.retval for t in threads)
+        return [i for i, t in enumerate(threads) if not t.finished], None
+
+    def _controls_for_side(self, side: int) -> List[Controls]:
+        func = self.test.functions[side]
+        stores = [i.addr for i in func.insns if isinstance(i, Store)]
+        loads = [i.addr for i in func.insns if isinstance(i, Load)]
+        out: List[Controls] = []
+        for delays in _powerset(stores):
+            for versions in _powerset(loads):
+                if not delays and not versions:
+                    continue
+                out.append((side, delays, versions))
+        return out
+
+    def sc_outcomes(self) -> FrozenSet[Tuple[int, ...]]:
+        """Everything reachable by interleaving alone."""
+        return frozenset(self._all_schedules(None))
+
+    def reachable_outcomes(self) -> FrozenSet[Tuple[int, ...]]:
+        """Everything reachable with single-thread OEMU controls."""
+        outcomes: Set[Tuple[int, ...]] = set(self._all_schedules(None))
+        for side in range(len(self.test.functions)):
+            for controls in self._controls_for_side(side):
+                outcomes |= self._all_schedules(controls)
+        return frozenset(outcomes)
+
+    # -- verdict ----------------------------------------------------------------------
+
+    def check(self) -> LitmusVerdict:
+        self._runs = 0
+        sc = self.sc_outcomes()
+        reachable = self.reachable_outcomes()
+        return LitmusVerdict(
+            test=self.test,
+            sc_observed=sc,
+            weak_observed=reachable,
+            forbidden_hit=reachable & self.test.forbidden,
+            runs=self._runs,
+        )
+
+
+def check_suite(tests: Iterable[LitmusTest]) -> List[LitmusVerdict]:
+    return [LitmusRunner(t).check() for t in tests]

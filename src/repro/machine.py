@@ -1,0 +1,77 @@
+"""A bare simulated machine: program + memory + OEMU + oracles.
+
+:class:`Machine` bundles everything the interpreter needs.  It is used
+directly by the litmus-test runner and unit tests; the full simulated
+kernel (:class:`repro.kernel.kernel.Kernel`) builds on top of it, adding
+syscalls, an allocator-backed heap API, globals and helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.clock import LogicalClock
+from repro.kir.function import Program
+from repro.kir.interp import Interpreter, ThreadCtx
+from repro.mem.allocator import SlabAllocator
+from repro.mem.memory import Memory
+from repro.mem.shadow import ShadowMemory
+from repro.mem.store_history import StoreHistory
+from repro.oemu.core import Oemu
+from repro.oemu.deps import DependencyTracker
+from repro.oemu.profiler import Profiler
+from repro.oracles.assertions import Assertions
+from repro.oracles.fault import FaultOracle
+from repro.oracles.kasan import Kasan
+from repro.oracles.lockdep import Lockdep
+
+
+class Machine:
+    """One simulated computer: shared memory, CPUs, OEMU, oracles."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        ncpus: int = 2,
+        with_oemu: bool = True,
+        profiler: Optional[Profiler] = None,
+        kasan_enabled: bool = True,
+        track_deps: bool = False,
+    ) -> None:
+        self.program = program
+        self.ncpus = ncpus
+        self.clock = LogicalClock()
+        self.memory = Memory(ncpus=ncpus)
+        self.shadow = ShadowMemory()
+        self.allocator = SlabAllocator(self.memory, self.shadow)
+        self.history = StoreHistory()
+        self.profiler = profiler
+        self.oemu: Optional[Oemu] = (
+            Oemu(self.memory, self.clock, self.history, profiler) if with_oemu else None
+        )
+        self.kasan = Kasan(self.shadow, self.allocator, enabled=kasan_enabled)
+        self.fault_oracle = FaultOracle()
+        self.lockdep = Lockdep()
+        self.assertions = Assertions()
+        self.deps: Optional[DependencyTracker] = DependencyTracker() if track_deps else None
+        self.kcov = None  # optional repro.fuzzer.kcov.KCov
+        self.helpers: Dict[str, Callable] = {}
+        self.interp = Interpreter(self)
+        self._next_thread = 0
+
+    def register_helper(self, name: str, fn: Callable) -> None:
+        """Register ``fn(machine, thread, *args) -> int|None`` as a helper."""
+        self.helpers[name] = fn
+
+    def new_thread_id(self) -> int:
+        self._next_thread += 1
+        return self._next_thread
+
+    def spawn(self, func_name: str, args=(), *, cpu: int = 0) -> ThreadCtx:
+        return self.interp.spawn(func_name, tuple(args), thread_id=self.new_thread_id(), cpu=cpu)
+
+    def run(self, func_name: str, args=(), *, cpu: int = 0) -> int:
+        """Run a function to completion on one thread; returns its value."""
+        thread = self.spawn(func_name, args, cpu=cpu)
+        return self.interp.run(thread)

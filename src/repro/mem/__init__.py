@@ -1,0 +1,32 @@
+"""Memory substrate: physical memory, shadow, slab allocator, OEMU buffers."""
+
+from repro.mem.allocator import AllocatorViolation, ObjectInfo, SlabAllocator
+from repro.mem.memory import (
+    DATA_BASE,
+    HEAP_BASE,
+    Memory,
+    MemoryFault,
+    FaultKind,
+    PAGE_SIZE,
+)
+from repro.mem.shadow import ShadowMemory, ShadowState
+from repro.mem.store_buffer import PendingStore, VirtualStoreBuffer
+from repro.mem.store_history import StoreHistory, StoreRecord
+
+__all__ = [
+    "AllocatorViolation",
+    "DATA_BASE",
+    "FaultKind",
+    "HEAP_BASE",
+    "Memory",
+    "MemoryFault",
+    "ObjectInfo",
+    "PAGE_SIZE",
+    "PendingStore",
+    "ShadowMemory",
+    "ShadowState",
+    "SlabAllocator",
+    "StoreHistory",
+    "StoreRecord",
+    "VirtualStoreBuffer",
+]

@@ -1,0 +1,148 @@
+"""Slab-style heap allocator with KASAN integration.
+
+Models the parts of the kernel slab allocator that matter to OZZ's
+oracles: size classes, LIFO freelists (which make use-after-free
+reallocation likely), right redzones between objects, a free quarantine
+(so freed memory stays poisoned long enough for a reordered access to
+hit it), and per-object allocation/free site tracking for reports.
+
+The allocator maintains the shadow memory; the KASAN *oracle*
+(:mod:`repro.oracles.kasan`) checks accesses against the shadow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.mem.memory import HEAP_BASE, HEAP_SIZE, Memory
+from repro.mem.shadow import ShadowMemory, ShadowState
+
+#: kmalloc-style size classes.
+SIZE_CLASSES = (16, 32, 64, 96, 128, 192, 256, 512, 1024, 2048, 4096)
+
+#: Bytes of guaranteed redzone after each object slot.
+REDZONE = 16
+
+#: Number of freed objects parked before their memory can be reused.
+QUARANTINE_DEPTH = 64
+
+
+@dataclass
+class AllocatorViolation(Exception):
+    """A misuse detected *by the allocator itself* (double/invalid free)."""
+
+    kind: str  # "double-free" | "invalid-free"
+    addr: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.kind} of object at {self.addr:#x} {self.detail}".rstrip()
+
+
+@dataclass
+class ObjectInfo:
+    """Metadata for one heap object (live or freed)."""
+
+    addr: int
+    size: int          # requested size
+    slot_size: int     # size-class slot
+    alloc_site: int    # instruction address of the allocating call
+    alloc_thread: int
+    free_site: int = 0
+    free_thread: int = -1
+    live: bool = True
+
+
+class SlabAllocator:
+    """kmalloc/kfree over the heap region of a :class:`Memory`."""
+
+    def __init__(self, memory: Memory, shadow: ShadowMemory) -> None:
+        self.memory = memory
+        self.shadow = shadow
+        self._cursor = HEAP_BASE
+        self._freelists: Dict[int, List[int]] = {c: [] for c in SIZE_CLASSES}
+        self._quarantine: Deque[ObjectInfo] = deque()
+        self.objects: Dict[int, ObjectInfo] = {}
+        self.total_allocs = 0
+        self.total_frees = 0
+
+    @staticmethod
+    def size_class(size: int) -> int:
+        for cls in SIZE_CLASSES:
+            if size <= cls:
+                return cls
+        raise AllocatorViolation("invalid-free", 0, f"allocation of {size} bytes too large")
+
+    # -- allocation ---------------------------------------------------------
+
+    def kmalloc(self, size: int, *, site: int = 0, thread: int = 0, zero: bool = False) -> int:
+        """Allocate ``size`` bytes; returns the object address."""
+        if size <= 0:
+            size = 1
+        slot = self.size_class(size)
+        freelist = self._freelists[slot]
+        if freelist:
+            addr = freelist.pop()  # LIFO: freshly freed slots reused first
+        else:
+            addr = self._carve(slot)
+        info = ObjectInfo(addr=addr, size=size, slot_size=slot, alloc_site=site, alloc_thread=thread)
+        self.objects[addr] = info
+        self.shadow.set_state(addr, size, ShadowState.ADDRESSABLE)
+        if size < slot:
+            self.shadow.set_state(addr + size, slot - size, ShadowState.REDZONE)
+        if zero:
+            self.memory.write_bytes(addr, bytes(size))
+        self.total_allocs += 1
+        return addr
+
+    def kzalloc(self, size: int, *, site: int = 0, thread: int = 0) -> int:
+        return self.kmalloc(size, site=site, thread=thread, zero=True)
+
+    def _carve(self, slot: int) -> int:
+        addr = self._cursor
+        if addr + slot + REDZONE > HEAP_BASE + HEAP_SIZE:
+            raise AllocatorViolation("invalid-free", addr, "heap exhausted")
+        self._cursor += slot + REDZONE
+        self.shadow.set_state(addr + slot, REDZONE, ShadowState.REDZONE)
+        return addr
+
+    # -- free ----------------------------------------------------------------
+
+    def kfree(self, addr: int, *, site: int = 0, thread: int = 0) -> None:
+        """Free an object; poisons it and parks it in quarantine."""
+        if addr == 0:
+            return  # kfree(NULL) is a no-op, as in Linux
+        info = self.objects.get(addr)
+        if info is None:
+            raise AllocatorViolation("invalid-free", addr, "(not an object start)")
+        if not info.live:
+            raise AllocatorViolation(
+                "double-free", addr, f"(first freed at site {info.free_site:#x})"
+            )
+        info.live = False
+        info.free_site = site
+        info.free_thread = thread
+        self.shadow.set_state(addr, info.slot_size, ShadowState.FREED)
+        self._quarantine.append(info)
+        self.total_frees += 1
+        while len(self._quarantine) > QUARANTINE_DEPTH:
+            self._release(self._quarantine.popleft())
+
+    def _release(self, info: ObjectInfo) -> None:
+        self._freelists[info.slot_size].append(info.addr)
+        del self.objects[info.addr]
+
+    # -- introspection (used by KASAN reports) ---------------------------------
+
+    def find_object(self, addr: int) -> Optional[ObjectInfo]:
+        """The object (live or quarantined) whose slot contains ``addr``."""
+        for info in self.objects.values():
+            if info.addr <= addr < info.addr + info.slot_size + REDZONE:
+                return info
+        return None
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(o.size for o in self.objects.values() if o.live)

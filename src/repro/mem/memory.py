@@ -1,0 +1,152 @@
+"""Paged byte-addressable physical memory for the simulated machine.
+
+Layout (mirrors a simplified kernel address space)::
+
+    0x0000_0000 .. 0x0000_1000   NULL page   — never mapped; any access is
+                                  a NULL-pointer dereference
+    0x0040_0000 .. text          instructions — data accesses fault (GPF)
+    0x0020_0000 .. data          kernel globals (per-subsystem state)
+    0x0100_0000 .. heap          slab allocator arena
+    0x0800_0000 .. percpu        per-CPU variable blocks
+
+Accesses outside a registered region raise :class:`MemoryFault`; the
+interpreter converts faults into oracle crashes (NULL deref vs general
+protection fault), reproducing the two crash-title families of paper
+Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+PAGE_SIZE = 0x1000
+PAGE_MASK = ~(PAGE_SIZE - 1)
+
+NULL_PAGE_END = PAGE_SIZE
+DATA_BASE = 0x0020_0000
+DATA_SIZE = 0x0010_0000
+HEAP_BASE = 0x0100_0000
+HEAP_SIZE = 0x0100_0000
+PERCPU_BASE = 0x0800_0000
+PERCPU_STRIDE = 0x0001_0000  # one block per CPU
+
+
+class FaultKind:
+    """Why a memory access faulted."""
+
+    NULL_DEREF = "null-deref"
+    GPF = "general-protection"
+
+
+@dataclass
+class MemoryFault(Exception):
+    """A data access touched an unmapped / forbidden address."""
+
+    addr: int
+    size: int
+    is_write: bool
+    kind: str
+
+    def __str__(self) -> str:
+        rw = "write" if self.is_write else "read"
+        return f"{self.kind} on {rw} of {self.size} bytes at {self.addr:#x}"
+
+
+@dataclass(frozen=True)
+class Region:
+    name: str
+    base: int
+    size: int
+
+    def contains(self, addr: int, nbytes: int = 1) -> bool:
+        return self.base <= addr and addr + nbytes <= self.base + self.size
+
+
+class Memory:
+    """Sparse paged memory with region-based access control.
+
+    Pages are allocated lazily on first touch inside a registered region.
+    All multi-byte values are little-endian unsigned integers.
+    """
+
+    def __init__(self, ncpus: int = 2) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self.regions: List[Region] = []
+        self.add_region("data", DATA_BASE, DATA_SIZE)
+        self.add_region("heap", HEAP_BASE, HEAP_SIZE)
+        for cpu in range(ncpus):
+            self.add_region(f"percpu{cpu}", PERCPU_BASE + cpu * PERCPU_STRIDE, PERCPU_STRIDE)
+
+    def add_region(self, name: str, base: int, size: int) -> Region:
+        region = Region(name, base, size)
+        self.regions.append(region)
+        return region
+
+    # -- access control ----------------------------------------------------
+
+    def classify_fault(self, addr: int) -> str:
+        """NULL page vs everything else (matches kernel crash titles)."""
+        return FaultKind.NULL_DEREF if 0 <= addr < NULL_PAGE_END else FaultKind.GPF
+
+    def check(self, addr: int, size: int, is_write: bool) -> None:
+        """Raise :class:`MemoryFault` unless ``[addr, addr+size)`` is valid."""
+        if addr < 0 or addr < NULL_PAGE_END:
+            raise MemoryFault(addr, size, is_write, FaultKind.NULL_DEREF)
+        for region in self.regions:
+            if region.contains(addr, size):
+                return
+        raise MemoryFault(addr, size, is_write, FaultKind.GPF)
+
+    # -- raw byte access (no fault checks; used after check()) ---------------
+
+    def _page(self, addr: int) -> bytearray:
+        base = addr & PAGE_MASK
+        page = self._pages.get(base)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[base] = page
+        return page
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        out = bytearray(size)
+        i = 0
+        while i < size:
+            a = addr + i
+            page = self._page(a)
+            off = a & (PAGE_SIZE - 1)
+            n = min(size - i, PAGE_SIZE - off)
+            out[i : i + n] = page[off : off + n]
+            i += n
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        i = 0
+        size = len(data)
+        while i < size:
+            a = addr + i
+            page = self._page(a)
+            off = a & (PAGE_SIZE - 1)
+            n = min(size - i, PAGE_SIZE - off)
+            page[off : off + n] = data[i : i + n]
+            i += n
+
+    # -- integer access -------------------------------------------------------
+
+    def load(self, addr: int, size: int, *, check: bool = True) -> int:
+        """Read an unsigned little-endian value; faults if invalid."""
+        if check:
+            self.check(addr, size, is_write=False)
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def store(self, addr: int, size: int, value: int, *, check: bool = True) -> None:
+        """Write an unsigned little-endian value; faults if invalid."""
+        if check:
+            self.check(addr, size, is_write=True)
+        self.write_bytes(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def percpu_base(self, cpu: int) -> int:
+        return PERCPU_BASE + cpu * PERCPU_STRIDE
+
+    def clear(self) -> None:
+        self._pages.clear()

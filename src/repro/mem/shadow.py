@@ -1,0 +1,84 @@
+"""KASAN-style shadow state for the heap region.
+
+Real KASAN keeps one shadow byte per 8-byte granule; since our memory is
+sparse and small we keep a shadow byte per *byte* of the heap, which makes
+redzone and use-after-free poisoning exact.  Only heap addresses are
+shadow-checked (matching KASAN's slab focus); globals and per-CPU data
+are always addressable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mem.memory import HEAP_BASE, HEAP_SIZE, PAGE_SIZE
+
+
+class ShadowState:
+    """Per-byte validity states."""
+
+    UNALLOCATED = 0  # never handed out by the allocator
+    ADDRESSABLE = 1  # inside a live object
+    REDZONE = 2      # padding between/after objects
+    FREED = 3        # inside a freed object (quarantined)
+
+    NAMES = {
+        UNALLOCATED: "wild",
+        ADDRESSABLE: "ok",
+        REDZONE: "redzone",
+        FREED: "freed",
+    }
+
+
+class ShadowMemory:
+    """Sparse shadow pages over the heap region.
+
+    ``poison``/``unpoison`` are called by the allocator;
+    ``first_bad_byte`` is called by the KASAN oracle on every
+    instrumented heap access.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    @staticmethod
+    def governs(addr: int) -> bool:
+        return HEAP_BASE <= addr < HEAP_BASE + HEAP_SIZE
+
+    def _page(self, addr: int) -> bytearray:
+        base = addr & ~(PAGE_SIZE - 1)
+        page = self._pages.get(base)
+        if page is None:
+            page = bytearray(PAGE_SIZE)  # UNALLOCATED
+            self._pages[base] = page
+        return page
+
+    def set_state(self, addr: int, size: int, state: int) -> None:
+        for i in range(size):
+            a = addr + i
+            self._page(a)[a & (PAGE_SIZE - 1)] = state
+
+    def state_at(self, addr: int) -> int:
+        return self._page(addr)[addr & (PAGE_SIZE - 1)]
+
+    def first_bad_byte(self, addr: int, size: int) -> Optional[int]:
+        """Address of the first non-addressable byte in the range, if any.
+
+        Only meaningful for heap addresses; returns ``None`` for ranges
+        fully outside the heap.
+        """
+        for i in range(size):
+            a = addr + i
+            if not self.governs(a):
+                continue
+            if self.state_at(a) != ShadowState.ADDRESSABLE:
+                return a
+        return None
+
+    def describe(self, addr: int) -> str:
+        if not self.governs(addr):
+            return "non-heap"
+        return ShadowState.NAMES[self.state_at(addr)]
+
+    def clear(self) -> None:
+        self._pages.clear()

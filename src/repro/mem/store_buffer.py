@@ -1,0 +1,99 @@
+"""Per-thread virtual store buffer (paper §3.1).
+
+The virtual store buffer is OEMU's mechanism for *delayed store
+operations*: a store whose instruction was registered through
+``delay_store_at(I)`` parks its value here instead of committing to
+memory, so later instructions — and, crucially, other CPUs — observe the
+world as if the store had not happened yet (store-store and store-load
+reordering).
+
+Invariants (from the paper):
+
+* Commit order is FIFO: flushing commits delayed stores in program order.
+* Same-thread loads must *forward* from the buffer (a core always sees
+  its own stores), byte-accurately for overlapping accesses.
+* The buffer is flushed by store/full/release barriers, by interrupts,
+  and — in our harness — at syscall exit; it is *not* flushed when the
+  scheduler suspends the thread (that is the whole point of Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class PendingStore:
+    """One delayed store awaiting commit."""
+
+    seq: int
+    inst_addr: int
+    addr: int
+    size: int
+    data: bytes  # little-endian value bytes
+
+    def covers(self, byte_addr: int) -> bool:
+        return self.addr <= byte_addr < self.addr + self.size
+
+
+class VirtualStoreBuffer:
+    """FIFO buffer of delayed stores for one thread."""
+
+    def __init__(self) -> None:
+        self._pending: List[PendingStore] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> Tuple[PendingStore, ...]:
+        return tuple(self._pending)
+
+    def delay(self, inst_addr: int, addr: int, size: int, data: bytes) -> PendingStore:
+        """Park a store in the buffer instead of committing it."""
+        self._seq += 1
+        entry = PendingStore(self._seq, inst_addr, addr, size, bytes(data))
+        self._pending.append(entry)
+        return entry
+
+    def forward_byte(self, byte_addr: int) -> Optional[int]:
+        """Latest buffered value for one byte, or None if not buffered.
+
+        Implements the hierarchical search of §3.1: the youngest pending
+        store covering the byte wins.
+        """
+        for entry in reversed(self._pending):
+            if entry.covers(byte_addr):
+                return entry.data[byte_addr - entry.addr]
+        return None
+
+    def forward_overlay(self, addr: int, size: int, base: bytes) -> bytes:
+        """Overlay buffered bytes onto ``base`` (memory's view)."""
+        if not self._pending:
+            return base
+        out = bytearray(base)
+        for i in range(size):
+            byte = self.forward_byte(addr + i)
+            if byte is not None:
+                out[i] = byte
+        return bytes(out)
+
+    def overlaps(self, addr: int, size: int) -> bool:
+        return any(
+            e.addr < addr + size and addr < e.addr + e.size for e in self._pending
+        )
+
+    def flush(self, commit: Callable[[PendingStore], None]) -> int:
+        """Commit all delayed stores in FIFO order; returns count."""
+        count = 0
+        while self._pending:
+            entry = self._pending.pop(0)
+            commit(entry)
+            count += 1
+        return count
+
+    def drop_all(self) -> None:
+        """Discard pending stores without committing (machine reset only)."""
+        self._pending.clear()

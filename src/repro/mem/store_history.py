@@ -1,0 +1,134 @@
+"""Global store history for versioned load operations (paper §3.2).
+
+Every store *committed to memory* is recorded with the bytes it
+overwrote.  A versioned load with versioning window ``(t_rmb, t_cur]``
+may read, for each byte, the value that byte had at the start of the
+window — i.e. the old value of the *earliest* in-window store covering
+it — emulating the load having executed right after the last load
+barrier (load-load reordering, Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+#: Safety cap; one fuzz test commits far fewer stores than this.
+MAX_HISTORY = 65536
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One committed store."""
+
+    ts: int
+    addr: int
+    size: int
+    old: bytes
+    new: bytes
+    thread: int
+    inst_addr: int
+
+    def covers(self, byte_addr: int) -> bool:
+        return self.addr <= byte_addr < self.addr + self.size
+
+
+class StoreHistory:
+    """Append-only log of committed stores, queried per byte."""
+
+    def __init__(self, max_entries: int = MAX_HISTORY) -> None:
+        self._records: List[StoreRecord] = []
+        self._max = max_entries
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Tuple[StoreRecord, ...]:
+        return tuple(self._records)
+
+    def record(
+        self,
+        ts: int,
+        addr: int,
+        size: int,
+        old: bytes,
+        new: bytes,
+        thread: int,
+        inst_addr: int,
+    ) -> StoreRecord:
+        rec = StoreRecord(ts, addr, size, bytes(old), bytes(new), thread, inst_addr)
+        self._records.append(rec)
+        if len(self._records) > self._max:
+            # Drop the oldest half; versioning windows never reach that far
+            # back within a single test run.
+            del self._records[: self._max // 2]
+        return rec
+
+    def old_byte(
+        self, byte_addr: int, window_start: int, thread: Optional[int] = None
+    ) -> Optional[int]:
+        """Value of a byte at the effective window start, if changed since.
+
+        Returns the ``old`` byte of the earliest store covering
+        ``byte_addr`` with ``ts > window_start`` — or ``None`` when the
+        byte has not been written inside the window (caller falls back to
+        current memory, the §3.2 default).
+
+        When ``thread`` is given, the window start for this byte is
+        additionally bounded by that thread's *own* latest store to it:
+        per-location program order (the LKMM's coherence requirement)
+        forbids a load from observing a value older than the same
+        thread's own earlier store, so versioned loads must never
+        time-travel past them.
+        """
+        effective_start = window_start
+        if thread is not None:
+            for rec in self._records:
+                if rec.thread == thread and rec.ts > effective_start and rec.covers(byte_addr):
+                    effective_start = rec.ts
+        for rec in self._records:
+            if rec.ts > effective_start and rec.covers(byte_addr):
+                return rec.old[byte_addr - rec.addr]
+        return None
+
+    def read_old(
+        self,
+        addr: int,
+        size: int,
+        window_start: int,
+        current: Callable[[int], int],
+        thread: Optional[int] = None,
+    ) -> Tuple[bytes, bool]:
+        """Reconstruct the value at window start.
+
+        ``current(byte_addr)`` supplies present-day bytes for positions
+        not written inside the window.  Returns ``(value_bytes,
+        any_old)`` where ``any_old`` says whether any byte actually came
+        from history (i.e. the load observably time-travelled).
+        ``thread`` enables the same-thread coherence bound of
+        :meth:`old_byte`.
+        """
+        out = bytearray(size)
+        any_old = False
+        for i in range(size):
+            old = self.old_byte(addr + i, window_start, thread)
+            if old is None:
+                out[i] = current(addr + i)
+            else:
+                out[i] = old
+                any_old = True
+        return bytes(out), any_old
+
+    def writes_in_window(self, addr: int, size: int, window_start: int) -> List[StoreRecord]:
+        """All in-window stores overlapping the range (for reports)."""
+        return [
+            rec
+            for rec in self._records
+            if rec.ts > window_start
+            and rec.addr < addr + size
+            and addr < rec.addr + rec.size
+        ]
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,106 @@
+"""Ordering semantics of Linux's memory-access APIs (paper Table 1).
+
+This module is the single source of truth for what each barrier,
+annotation and atomic ordering *orders*.  OEMU's runtime
+(:mod:`repro.oemu.core`), the hint calculator
+(:mod:`repro.fuzzer.hints`) and the LKMM rules
+(:mod:`repro.oemu.lkmm`) all consult it, so the emulator and the fuzzer
+can never disagree about where a reordering boundary lies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.kir.insn import Annot, AtomicOrdering, BarrierKind
+
+
+@dataclass(frozen=True)
+class OrderingEffect:
+    """What an instruction contributes to memory ordering.
+
+    ``store_fence_before``: all earlier stores must commit before this
+    instruction's own effect (i.e. it flushes the virtual store buffer).
+    ``load_fence_after``: no later load may read a value older than this
+    instruction's execution time (i.e. it bounds the versioning window).
+    ``delayable`` / ``versionable``: whether OEMU may reorder this
+    access itself.
+    """
+
+    store_fence_before: bool = False
+    load_fence_after: bool = False
+    delayable: bool = False
+    versionable: bool = False
+
+
+#: Explicit barrier instructions.
+BARRIER_EFFECTS = {
+    BarrierKind.FULL: OrderingEffect(store_fence_before=True, load_fence_after=True),
+    BarrierKind.WMB: OrderingEffect(store_fence_before=True),
+    BarrierKind.RMB: OrderingEffect(load_fence_after=True),
+}
+
+#: Store annotations.  WRITE_ONCE is relaxed (Table 1) and therefore
+#: delayable — which is why the incorrect READ_ONCE/WRITE_ONCE "fix" of
+#: the Figure 7 TLS bug did not fix anything.
+STORE_EFFECTS = {
+    Annot.PLAIN: OrderingEffect(delayable=True),
+    Annot.ONCE: OrderingEffect(delayable=True),
+    Annot.RELEASE: OrderingEffect(store_fence_before=True),
+}
+
+#: Load annotations.  READ_ONCE bounds the versioning window after it
+#: executes (paper §10.1 Case 6, the Alpha rule); smp_load_acquire does
+#: the same and is itself never versioned (Case 4).
+LOAD_EFFECTS = {
+    Annot.PLAIN: OrderingEffect(versionable=True),
+    Annot.ONCE: OrderingEffect(versionable=True, load_fence_after=True),
+    Annot.ACQUIRE: OrderingEffect(load_fence_after=True),
+}
+
+#: Atomic RMW orderings.  ``clear_bit`` (RELAXED) orders nothing —
+#: paper Figure 8's bug; ``clear_bit_unlock`` (RELEASE) flushes earlier
+#: stores; ``test_and_set_bit`` (FULL) is a full barrier.
+ATOMIC_EFFECTS = {
+    AtomicOrdering.RELAXED: OrderingEffect(),
+    AtomicOrdering.ACQUIRE: OrderingEffect(load_fence_after=True),
+    AtomicOrdering.RELEASE: OrderingEffect(store_fence_before=True),
+    AtomicOrdering.FULL: OrderingEffect(store_fence_before=True, load_fence_after=True),
+}
+
+
+def store_effect(annot: Annot) -> OrderingEffect:
+    try:
+        return STORE_EFFECTS[annot]
+    except KeyError:
+        raise ValueError(f"annotation {annot} is not valid on a store")
+
+
+def load_effect(annot: Annot) -> OrderingEffect:
+    try:
+        return LOAD_EFFECTS[annot]
+    except KeyError:
+        raise ValueError(f"annotation {annot} is not valid on a load")
+
+
+def atomic_effect(ordering: AtomicOrdering) -> OrderingEffect:
+    return ATOMIC_EFFECTS[ordering]
+
+
+def implicit_barriers_for_store(annot: Annot) -> Tuple[BarrierKind, ...]:
+    """Barrier events to profile *before* an annotated store."""
+    return (BarrierKind.WMB,) if store_effect(annot).store_fence_before else ()
+
+
+def implicit_barriers_for_load(annot: Annot) -> Tuple[BarrierKind, ...]:
+    """Barrier events to profile *after* an annotated load."""
+    return (BarrierKind.RMB,) if load_effect(annot).load_fence_after else ()
+
+
+def implicit_barriers_for_atomic(ordering: AtomicOrdering) -> Tuple[Tuple[BarrierKind, ...], Tuple[BarrierKind, ...]]:
+    """(before, after) barrier events for an atomic RMW."""
+    eff = atomic_effect(ordering)
+    before = (BarrierKind.WMB,) if eff.store_fence_before else ()
+    after = (BarrierKind.RMB,) if eff.load_fence_after else ()
+    return before, after

@@ -1,0 +1,308 @@
+"""OEMU — in-vivo out-of-order execution emulation (paper §3).
+
+OEMU sits between the interpreter and physical memory for *instrumented*
+instructions, exactly where the compiled-in callbacks sit in the real
+system.  It implements the two reordering mechanisms:
+
+* **Delayed store operations** (§3.1): stores whose instruction address
+  was registered via :meth:`Oemu.delay_store_at` park in the per-thread
+  :class:`~repro.mem.store_buffer.VirtualStoreBuffer` instead of
+  committing, emulating store-store and store-load reordering.
+
+* **Versioned load operations** (§3.2): loads registered via
+  :meth:`Oemu.read_old_value_at` reconstruct, from the global
+  :class:`~repro.mem.store_history.StoreHistory`, the value the location
+  had at the start of the thread's *versioning window* ``(t_rmb, now]``,
+  emulating load-load reordering.
+
+All barrier/annotation semantics come from :mod:`repro.oemu.barriers`
+(Table 1), which keeps OEMU LKMM-compliant (§3.3, §10.1): store buffers
+flush on wmb/mb/release/atomics-with-release and on interrupts;
+versioning windows reset on rmb/mb/acquire/READ_ONCE/atomics-with-acquire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.clock import LogicalClock
+from repro.kir.insn import Annot, AtomicOrdering, BarrierKind
+from repro.mem.memory import Memory
+from repro.mem.store_buffer import PendingStore, VirtualStoreBuffer
+from repro.mem.store_history import StoreHistory
+from repro.oemu.barriers import (
+    atomic_effect,
+    implicit_barriers_for_atomic,
+    implicit_barriers_for_load,
+    implicit_barriers_for_store,
+    load_effect,
+    store_effect,
+)
+from repro.oemu.profiler import Profiler
+
+
+@dataclass
+class OemuStats:
+    """Counters for throughput/overhead reporting."""
+
+    stores: int = 0
+    loads: int = 0
+    delayed: int = 0
+    versioned_reads: int = 0
+    commits: int = 0
+    flushes: int = 0
+    barriers: int = 0
+
+
+@dataclass
+class ThreadState:
+    """Per-thread OEMU state (store buffer + versioning window + controls)."""
+
+    thread_id: int
+    buffer: VirtualStoreBuffer = field(default_factory=VirtualStoreBuffer)
+    window_start: int = 0  # t_rmb: most recent load-ordering event
+    delay_set: Set[int] = field(default_factory=set)
+    version_set: Set[int] = field(default_factory=set)
+    #: Per-byte coherence floor: the timestamp of the newest version this
+    #: thread has already *observed* for a byte.  Read-read coherence
+    #: (CoRR) forbids a later load from the same location returning an
+    #: older value, on every architecture the LKMM covers, so versioned
+    #: loads never reach below this floor.
+    read_floor: Dict[int, int] = field(default_factory=dict)
+
+
+class Oemu:
+    """The OEMU runtime for one simulated machine."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        clock: LogicalClock,
+        history: Optional[StoreHistory] = None,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
+        self.memory = memory
+        self.clock = clock
+        self.history = history if history is not None else StoreHistory()
+        self.profiler = profiler
+        self.stats = OemuStats()
+        self._threads: Dict[int, ThreadState] = {}
+
+    # -- control interface (paper Table 2) ---------------------------------
+
+    def delay_store_at(self, thread_id: int, inst_addr: int) -> None:
+        """When thread ``thread_id`` executes instruction ``inst_addr``,
+        its store operation will be delayed."""
+        self.thread_state(thread_id).delay_set.add(inst_addr)
+
+    def read_old_value_at(self, thread_id: int, inst_addr: int) -> None:
+        """When thread ``thread_id`` executes instruction ``inst_addr``,
+        its load operation will read an old value."""
+        self.thread_state(thread_id).version_set.add(inst_addr)
+
+    def clear_controls(self, thread_id: int) -> None:
+        state = self.thread_state(thread_id)
+        state.delay_set.clear()
+        state.version_set.clear()
+
+    # -- thread lifecycle ----------------------------------------------------
+
+    def thread_state(self, thread_id: int) -> ThreadState:
+        state = self._threads.get(thread_id)
+        if state is None:
+            state = ThreadState(thread_id=thread_id, window_start=self.clock.now)
+            self._threads[thread_id] = state
+        return state
+
+    def on_syscall_entry(self, thread_id: int) -> None:
+        """Entering the kernel implies full ordering with earlier work."""
+        state = self.thread_state(thread_id)
+        self._flush(state)
+        state.window_start = self.clock.now
+
+    def on_syscall_exit(self, thread_id: int) -> None:
+        """Returning to userspace commits everything (implicit mb)."""
+        state = self.thread_state(thread_id)
+        self._flush(state)
+        state.window_start = self.clock.now
+
+    def on_interrupt(self, thread_id: int) -> None:
+        """An interrupt on the executing CPU flushes the buffer (§3.1)."""
+        self._flush(self.thread_state(thread_id))
+
+    # -- store path (§3.1) ------------------------------------------------------
+
+    def on_store(
+        self,
+        thread_id: int,
+        inst_addr: int,
+        annot: Annot,
+        addr: int,
+        size: int,
+        value: int,
+        function: str = "",
+    ) -> None:
+        state = self.thread_state(thread_id)
+        effect = store_effect(annot)
+        self.stats.stores += 1
+        for kind in implicit_barriers_for_store(annot):
+            self._note_barrier(state, inst_addr, kind, implicit=True, function=function)
+        if effect.store_fence_before:
+            self._flush(state)
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        self._profile_access(state, inst_addr, addr, size, True, annot, function)
+        if effect.delayable and inst_addr in state.delay_set:
+            state.buffer.delay(inst_addr, addr, size, data)
+            self.stats.delayed += 1
+        else:
+            self._commit_bytes(state, inst_addr, addr, data)
+
+    # -- load path (§3.2) ---------------------------------------------------------
+
+    def on_load(
+        self,
+        thread_id: int,
+        inst_addr: int,
+        annot: Annot,
+        addr: int,
+        size: int,
+        function: str = "",
+    ) -> int:
+        state = self.thread_state(thread_id)
+        effect = load_effect(annot)
+        self.stats.loads += 1
+        versioned = effect.versionable and inst_addr in state.version_set
+        if versioned:
+            floor = max(
+                [state.window_start]
+                + [state.read_floor.get(addr + i, 0) for i in range(size)]
+            )
+            base, any_old = self.history.read_old(
+                addr, size, floor, self._current_byte, thread=thread_id
+            )
+            if any_old:
+                self.stats.versioned_reads += 1
+            observed_ts = floor
+        else:
+            base = self.memory.read_bytes(addr, size)
+            observed_ts = self.clock.now
+        for i in range(size):
+            byte = addr + i
+            if observed_ts > state.read_floor.get(byte, 0):
+                state.read_floor[byte] = observed_ts
+        # Hierarchical search (§3.1): the thread's own in-flight stores win.
+        data = state.buffer.forward_overlay(addr, size, base)
+        self._profile_access(state, inst_addr, addr, size, False, annot, function)
+        for kind in implicit_barriers_for_load(annot):
+            self._note_barrier(state, inst_addr, kind, implicit=True, function=function)
+        if effect.load_fence_after:
+            state.window_start = self.clock.now
+        return int.from_bytes(data, "little")
+
+    # -- explicit barriers -------------------------------------------------------------
+
+    def on_barrier(self, thread_id: int, inst_addr: int, kind: BarrierKind, function: str = "") -> None:
+        state = self.thread_state(thread_id)
+        self._note_barrier(state, inst_addr, kind, implicit=False, function=function)
+        if kind.orders_stores:
+            self._flush(state)
+        if kind.orders_loads:
+            state.window_start = self.clock.now
+
+    # -- atomics ---------------------------------------------------------------------------
+
+    def on_atomic(
+        self,
+        thread_id: int,
+        inst_addr: int,
+        ordering: AtomicOrdering,
+        addr: int,
+        size: int,
+        rmw: Callable[[int], int],
+        function: str = "",
+    ) -> int:
+        """Execute an atomic RMW; returns the old value.
+
+        Atomics are never delayed or versioned.  Their ordering attribute
+        decides what they fence: FULL both ways, RELEASE earlier stores,
+        ACQUIRE later loads, RELAXED nothing (``clear_bit``, Figure 8).
+        """
+        state = self.thread_state(thread_id)
+        effect = atomic_effect(ordering)
+        before, after = implicit_barriers_for_atomic(ordering)
+        for kind in before:
+            self._note_barrier(state, inst_addr, kind, implicit=True, function=function)
+        if effect.store_fence_before:
+            self._flush(state)
+        elif state.buffer.overlaps(addr, size):
+            # Single-thread consistency: an atomic on bytes we have in
+            # flight must see our own store.
+            self._flush(state)
+        old = self.memory.load(addr, size, check=False)
+        new = rmw(old) & ((1 << (8 * size)) - 1)
+        self._profile_access(state, inst_addr, addr, size, True, Annot.PLAIN, function, atomic=True)
+        self._commit_bytes(state, inst_addr, addr, new.to_bytes(size, "little"))
+        for kind in after:
+            self._note_barrier(state, inst_addr, kind, implicit=True, function=function)
+        if effect.load_fence_after:
+            state.window_start = self.clock.now
+        return old
+
+    # -- internals ----------------------------------------------------------------------------
+
+    def flush(self, thread_id: int) -> int:
+        """Commit all of a thread's delayed stores (testing/harness hook)."""
+        return self._flush(self.thread_state(thread_id))
+
+    def pending_stores(self, thread_id: int):
+        return self.thread_state(thread_id).buffer.pending
+
+    def window(self, thread_id: int) -> int:
+        return self.thread_state(thread_id).window_start
+
+    def _flush(self, state: ThreadState) -> int:
+        count = state.buffer.flush(
+            lambda entry: self._commit_pending(state, entry)
+        )
+        if count:
+            self.stats.flushes += 1
+        return count
+
+    def _commit_pending(self, state: ThreadState, entry: PendingStore) -> None:
+        self._commit_bytes(state, entry.inst_addr, entry.addr, entry.data)
+
+    def _commit_bytes(self, state: ThreadState, inst_addr: int, addr: int, data: bytes) -> None:
+        old = self.memory.read_bytes(addr, len(data))
+        self.memory.write_bytes(addr, data)
+        ts = self.clock.tick()
+        self.history.record(ts, addr, len(data), old, data, state.thread_id, inst_addr)
+        self.stats.commits += 1
+
+    def _current_byte(self, byte_addr: int) -> int:
+        return self.memory.read_bytes(byte_addr, 1)[0]
+
+    def _profile_access(
+        self,
+        state: ThreadState,
+        inst_addr: int,
+        addr: int,
+        size: int,
+        is_write: bool,
+        annot: Annot,
+        function: str,
+        atomic: bool = False,
+    ) -> None:
+        if self.profiler is not None:
+            self.profiler.on_access(
+                state.thread_id, inst_addr, addr, size, is_write, self.clock.now, annot, function, atomic
+            )
+
+    def _note_barrier(
+        self, state: ThreadState, inst_addr: int, kind: BarrierKind, implicit: bool, function: str
+    ) -> None:
+        self.stats.barriers += 1
+        if self.profiler is not None:
+            self.profiler.on_barrier(
+                state.thread_id, inst_addr, kind, self.clock.now, implicit, function
+            )

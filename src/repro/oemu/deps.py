@@ -1,0 +1,91 @@
+"""Register-provenance dependency tracking (paper Table 6, §10.1.2).
+
+Tracks, per thread, which *load instructions* each register value derives
+from.  From that it derives the LKMM's three dependency kinds:
+
+* **data**: a store's value derives from a load,
+* **address**: an access's base address derives from a load,
+* **control**: a store executes under a branch whose condition derives
+  from a load.
+
+OEMU itself never reorders a load with a later store (Case 7 holds by
+construction) and discharges Case 6 through READ_ONCE window resets, so
+the tracker is not consulted on the hot path; it exists so tests and the
+litmus enumerator can *verify* those claims, and so crash reports can
+explain why a reordering was legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.oemu.lkmm import DependencyKind
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """``later`` depends on the value loaded by ``load_inst``."""
+
+    load_inst: int
+    later_inst: int
+    kind: DependencyKind
+
+
+class DependencyTracker:
+    """Forward taint over one thread's register file.
+
+    The interpreter (when the tracker is attached) calls the ``on_*``
+    hooks as it executes; the tracker accumulates dependency edges.
+    """
+
+    def __init__(self) -> None:
+        self._taint: Dict[str, FrozenSet[int]] = {}
+        #: loads controlling the current control-flow path (approximate:
+        #: every branch taken so far taints subsequent stores).
+        self._control: Set[int] = set()
+        self.edges: List[DependencyEdge] = []
+
+    # -- taint propagation --------------------------------------------------
+
+    def taint_of(self, reg: Optional[str]) -> FrozenSet[int]:
+        if reg is None:
+            return frozenset()
+        return self._taint.get(reg, frozenset())
+
+    def on_load(self, inst_addr: int, dst: str, base_reg: Optional[str]) -> None:
+        for load in self.taint_of(base_reg):
+            self.edges.append(DependencyEdge(load, inst_addr, DependencyKind.ADDRESS))
+        self._taint[dst] = frozenset({inst_addr})
+
+    def on_store(self, inst_addr: int, src_reg: Optional[str], base_reg: Optional[str]) -> None:
+        for load in self.taint_of(src_reg):
+            self.edges.append(DependencyEdge(load, inst_addr, DependencyKind.DATA))
+        for load in self.taint_of(base_reg):
+            self.edges.append(DependencyEdge(load, inst_addr, DependencyKind.ADDRESS))
+        for load in self._control:
+            self.edges.append(DependencyEdge(load, inst_addr, DependencyKind.CONTROL))
+
+    def on_mov(self, dst: str, src_reg: Optional[str]) -> None:
+        self._taint[dst] = self.taint_of(src_reg)
+
+    def on_binop(self, dst: str, lhs_reg: Optional[str], rhs_reg: Optional[str]) -> None:
+        self._taint[dst] = self.taint_of(lhs_reg) | self.taint_of(rhs_reg)
+
+    def on_branch(self, lhs_reg: Optional[str], rhs_reg: Optional[str]) -> None:
+        self._control |= self.taint_of(lhs_reg) | self.taint_of(rhs_reg)
+
+    # -- queries -----------------------------------------------------------------
+
+    def edges_between(self, load_inst: int, later_inst: int) -> List[DependencyEdge]:
+        return [
+            e for e in self.edges if e.load_inst == load_inst and e.later_inst == later_inst
+        ]
+
+    def has_dependency(self, load_inst: int, later_inst: int, kind: DependencyKind) -> bool:
+        return any(e.kind is kind for e in self.edges_between(load_inst, later_inst))
+
+    def reset(self) -> None:
+        self._taint.clear()
+        self._control.clear()
+        self.edges.clear()

@@ -1,0 +1,110 @@
+"""LKMM compliance rules (paper §3.3 and Appendix §10.1).
+
+The Linux Kernel Memory Model defines seven cases in which two
+instructions X (earlier) and Y (later) must not be reordered: five
+enforced by barriers/annotations (Cases 1-5) and two by dependencies
+(Cases 6-7).  OEMU's mechanisms are *constructed* to respect them; this
+module states the rules declaratively so tests (litmus + property tests)
+can check the construction, and documents how each case is discharged.
+
+==== =========================================================== ==========
+Case Rule                                                         Discharged by
+==== =========================================================== ==========
+1    ``smp_mb()`` between X and Y orders everything              wmb flushes stores; rmb bounds the versioning window
+2    ``smp_wmb()`` between two stores                             flush commits X before Y executes
+3    ``smp_rmb()`` between two loads                              window ``(t_rmb, now]`` forbids Y reading pre-barrier values
+4    X is ``smp_load_acquire``                                    acquire load is never versioned and resets the window
+5    Y is ``smp_store_release``                                   release store flushes the buffer first and is never delayed
+6    address dependency X→Y, X is READ_ONCE/atomic (loads)        READ_ONCE/atomics reset the window, so Y cannot pre-date X
+7    data/address/control dependency from load X to store Y      OEMU never emulates load-store reordering at all (§3 scope)
+==== =========================================================== ==========
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kir.insn import Annot, BarrierKind
+
+
+class DependencyKind(enum.Enum):
+    """The three dependency types of paper Table 6."""
+
+    DATA = "data"        # load value feeds a store's value
+    ADDRESS = "address"  # load value feeds another access's address
+    CONTROL = "control"  # load value decides whether a store executes
+
+
+@dataclass(frozen=True)
+class PpoQuery:
+    """A question: may access Y be observed before access X completes?
+
+    ``x_*`` describe the program-order-earlier access, ``y_*`` the later
+    one.  ``barrier_between`` is the strongest explicit barrier between
+    them (None if none).  ``dependency`` is a dependency from X (a load)
+    to Y, if one exists.
+    """
+
+    x_is_store: bool
+    y_is_store: bool
+    x_annot: Annot = Annot.PLAIN
+    y_annot: Annot = Annot.PLAIN
+    barrier_between: Optional[BarrierKind] = None
+    dependency: Optional[DependencyKind] = None
+
+
+def reordering_allowed(q: PpoQuery) -> bool:
+    """Whether the LKMM permits observing Y before X.
+
+    This is the ground truth the litmus enumerator and property tests
+    compare OEMU's behaviour against.
+    """
+    # Load-store reordering (earlier load, later store) is out of the
+    # paper's scope and never performed; the LKMM would also forbid it
+    # whenever any dependency exists (Case 7).
+    if not q.x_is_store and q.y_is_store:
+        return False
+
+    # Case 1: full barrier.
+    if q.barrier_between is BarrierKind.FULL:
+        return False
+    # Case 2: store barrier between stores.
+    if q.x_is_store and q.y_is_store and q.barrier_between is BarrierKind.WMB:
+        return False
+    # Case 3: load barrier between loads.
+    if not q.x_is_store and not q.y_is_store and q.barrier_between is BarrierKind.RMB:
+        return False
+    # Case 4: acquire load earlier.
+    if not q.x_is_store and q.x_annot is Annot.ACQUIRE:
+        return False
+    # Case 5: release store later.
+    if q.y_is_store and q.y_annot is Annot.RELEASE:
+        return False
+    # Case 6: address dependency between loads with annotated first load.
+    if (
+        not q.x_is_store
+        and not q.y_is_store
+        and q.dependency is DependencyKind.ADDRESS
+        and q.x_annot in (Annot.ONCE, Annot.ACQUIRE)
+    ):
+        return False
+    # The Alpha rule: an *unannotated* first load allows load-load
+    # reordering even across an address dependency ("AND THEN THERE WAS
+    # ALPHA"), so we fall through.
+
+    # Everything else is fair game on some supported architecture.
+    return True
+
+
+def describes_store_store(q: PpoQuery) -> bool:
+    return q.x_is_store and q.y_is_store
+
+
+def describes_load_load(q: PpoQuery) -> bool:
+    return not q.x_is_store and not q.y_is_store
+
+
+def describes_store_load(q: PpoQuery) -> bool:
+    return q.x_is_store and not q.y_is_store

@@ -1,0 +1,134 @@
+"""Memory access & barrier profiler (paper §4.2).
+
+While a single-threaded input runs, OZZ records every instrumented
+memory access as a five-tuple — instruction address, accessed memory
+location, size, type (store/load), timestamp — and every memory barrier
+as a three-tuple — instruction address, barrier type, timestamp.  In the
+real system this lands in a per-thread mmap-shared region; here it is a
+per-thread event list the hint calculator consumes.
+
+Implicit barriers matter: ``smp_store_release`` behaves like a ``wmb``
+then a store, ``smp_load_acquire`` / ``READ_ONCE`` like a load then an
+``rmb``, and full-ordered atomics like both.  The profiler records these
+as barrier events (flagged ``implicit``) so Algorithm 1's grouping sees
+the same ordering boundaries OEMU enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kir.insn import Annot, BarrierKind
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One profiled memory access (the paper's five-tuple, plus context)."""
+
+    inst_addr: int
+    mem_addr: int
+    size: int
+    is_write: bool
+    ts: int
+    annot: Annot = Annot.PLAIN
+    function: str = ""
+    atomic: bool = False
+
+    @property
+    def kind(self) -> str:
+        return "store" if self.is_write else "load"
+
+    def overlaps(self, other: "AccessEvent") -> bool:
+        return (
+            self.mem_addr < other.mem_addr + other.size
+            and other.mem_addr < self.mem_addr + self.size
+        )
+
+
+@dataclass(frozen=True)
+class BarrierEvent:
+    """One profiled barrier (the paper's three-tuple)."""
+
+    inst_addr: int
+    kind: BarrierKind
+    ts: int
+    implicit: bool = False
+    function: str = ""
+
+
+ProfileEvent = object  # AccessEvent | BarrierEvent
+
+
+@dataclass
+class SyscallProfile:
+    """Everything one syscall execution did, in program order."""
+
+    syscall: str
+    events: List[object] = field(default_factory=list)
+    retval: int = 0
+    coverage: frozenset = frozenset()
+
+    @property
+    def accesses(self) -> List[AccessEvent]:
+        return [e for e in self.events if isinstance(e, AccessEvent)]
+
+    @property
+    def barriers(self) -> List[BarrierEvent]:
+        return [e for e in self.events if isinstance(e, BarrierEvent)]
+
+    def stores(self) -> List[AccessEvent]:
+        return [a for a in self.accesses if a.is_write]
+
+    def loads(self) -> List[AccessEvent]:
+        return [a for a in self.accesses if not a.is_write]
+
+
+class Profiler:
+    """Per-thread event recorder attached to OEMU during STI profiling."""
+
+    def __init__(self) -> None:
+        self._events: Dict[int, List[object]] = {}
+        self.enabled = True
+
+    def start_thread(self, thread: int) -> None:
+        self._events[thread] = []
+
+    def events_for(self, thread: int) -> List[object]:
+        return self._events.get(thread, [])
+
+    def on_access(
+        self,
+        thread: int,
+        inst_addr: int,
+        mem_addr: int,
+        size: int,
+        is_write: bool,
+        ts: int,
+        annot: Annot,
+        function: str,
+        atomic: bool = False,
+    ) -> None:
+        if not self.enabled:
+            return
+        self._events.setdefault(thread, []).append(
+            AccessEvent(inst_addr, mem_addr, size, is_write, ts, annot, function, atomic)
+        )
+
+    def on_barrier(
+        self,
+        thread: int,
+        inst_addr: int,
+        kind: BarrierKind,
+        ts: int,
+        implicit: bool,
+        function: str,
+    ) -> None:
+        if not self.enabled:
+            return
+        self._events.setdefault(thread, []).append(
+            BarrierEvent(inst_addr, kind, ts, implicit, function)
+        )
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,76 @@
+"""Kernel assertion oracle: ``BUG_ON`` / ``WARN_ON`` and return-value checks.
+
+Besides sanitizers, the paper's oracle list (§4.4) includes "manually
+inserted assertions".  Simulated kernel code triggers these via the
+``bug_on`` helper; the harness additionally supports *semantic* checks —
+Table 4's bug #8 manifests not as a crash but as "returning a wrong value
+to a system call" (✓*), which :class:`ReturnValueOracle` captures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import KernelCrash
+from repro.oracles.report import CrashReport, assertion_title
+
+
+class Assertions:
+    """BUG_ON / WARN_ON support for helper calls."""
+
+    name = "assert"
+
+    def bug_on(self, condition: bool, function: str, detail: str = "") -> None:
+        if condition:
+            raise KernelCrash(
+                CrashReport(
+                    title=assertion_title(function),
+                    oracle=self.name,
+                    function=function,
+                    detail=detail or "BUG_ON condition true",
+                )
+            )
+
+    def warn_on(self, condition: bool, function: str, detail: str = "") -> Optional[CrashReport]:
+        """WARN_ON does not kill the kernel; returns a report if it fired."""
+        if condition:
+            return CrashReport(
+                title=f"WARNING in {function}",
+                oracle=self.name,
+                function=function,
+                detail=detail or "WARN_ON condition true",
+            )
+        return None
+
+
+class ReturnValueOracle:
+    """Detects syscalls that return semantically impossible values.
+
+    Registered per syscall name with a predicate over the return value;
+    used for OOO bugs whose symptom is silent corruption rather than a
+    crash (paper Table 4 #8, tls_err_abort returning a bogus error).
+    """
+
+    name = "retval"
+
+    def __init__(self) -> None:
+        self._checks: Dict[str, Callable[[int], Optional[str]]] = {}
+
+    def register(self, syscall: str, check: Callable[[int], Optional[str]]) -> None:
+        """``check(retval)`` returns an error description or None."""
+        self._checks[syscall] = check
+
+    def on_return(self, syscall: str, retval: int) -> None:
+        check = self._checks.get(syscall)
+        if check is None:
+            return
+        problem = check(retval)
+        if problem is not None:
+            raise KernelCrash(
+                CrashReport(
+                    title=f"SEMANTIC: wrong return value from {syscall}",
+                    oracle=self.name,
+                    function=syscall,
+                    detail=f"returned {retval:#x}: {problem}",
+                )
+            )

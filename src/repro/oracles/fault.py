@@ -1,0 +1,53 @@
+"""Page-fault oracle: NULL dereference and general protection fault.
+
+The interpreter funnels every :class:`repro.mem.memory.MemoryFault` here;
+the oracle classifies it and raises a :class:`KernelCrash` with the crash
+title formats the paper's Table 3 uses ("BUG: unable to handle kernel
+NULL pointer dereference in X", "general protection fault in X",
+"KASAN: null-ptr-deref Write in X").
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelCrash
+from repro.mem.memory import FaultKind, MemoryFault
+from repro.oracles.report import CrashReport, gpf_title, null_deref_title
+
+
+class FaultOracle:
+    """Converts hardware-level faults into crash reports."""
+
+    name = "fault"
+
+    def on_fault(self, fault: MemoryFault, function: str, inst_addr: int = 0) -> None:
+        if fault.kind == FaultKind.NULL_DEREF:
+            title = null_deref_title(function, fault.is_write)
+        else:
+            title = gpf_title(function)
+        raise KernelCrash(
+            CrashReport(
+                title=title,
+                oracle=self.name,
+                function=function,
+                inst_addr=inst_addr,
+                detail=str(fault),
+            )
+        )
+
+    def on_bad_call(self, target: int, function: str, inst_addr: int = 0) -> None:
+        """Indirect call through NULL or a non-text value."""
+        if 0 <= target < 0x1000:
+            title = null_deref_title(function, is_write=False)
+            detail = f"indirect call through NULL-page value {target:#x}"
+        else:
+            title = gpf_title(function)
+            detail = f"indirect call through bad pointer {target:#x}"
+        raise KernelCrash(
+            CrashReport(
+                title=title,
+                oracle=self.name,
+                function=function,
+                inst_addr=inst_addr,
+                detail=detail,
+            )
+        )

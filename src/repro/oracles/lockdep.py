@@ -1,0 +1,93 @@
+"""Lockdep — runtime locking correctness validator.
+
+Models the two lockdep checks that matter for our kernel: lock-order
+inversion (a cycle in the global lock-acquisition-order graph, the
+classic ABBA deadlock) and locks still held when a syscall returns to
+userspace.  Lock classes are identified by the lock's address in
+simulated memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import KernelCrash
+from repro.oracles.report import CrashReport, lockdep_title
+
+
+class Lockdep:
+    """Global lock-order graph plus per-thread held-lock stacks."""
+
+    name = "lockdep"
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        # edge a -> b: lock b was acquired while a was held
+        self._order: Dict[int, Set[int]] = {}
+        self._held: Dict[int, List[int]] = {}
+
+    def held_by(self, thread: int) -> Tuple[int, ...]:
+        return tuple(self._held.get(thread, ()))
+
+    def on_acquire(self, thread: int, lock: int, function: str) -> None:
+        held = self._held.setdefault(thread, [])
+        if self.enabled:
+            for prior in held:
+                self._order.setdefault(prior, set()).add(lock)
+                if self._reachable(lock, prior):
+                    raise KernelCrash(
+                        CrashReport(
+                            title=lockdep_title("possible circular locking dependency detected", function),
+                            oracle=self.name,
+                            function=function,
+                            detail=(
+                                f"thread {thread} acquires {lock:#x} while holding {prior:#x},"
+                                f" but {lock:#x} -> {prior:#x} order exists"
+                            ),
+                        )
+                    )
+        held.append(lock)
+
+    def on_release(self, thread: int, lock: int, function: str) -> None:
+        held = self._held.setdefault(thread, [])
+        if lock in held:
+            held.remove(lock)
+        elif self.enabled:
+            raise KernelCrash(
+                CrashReport(
+                    title=lockdep_title("bad unlock balance detected", function),
+                    oracle=self.name,
+                    function=function,
+                    detail=f"thread {thread} releases {lock:#x} it does not hold",
+                )
+            )
+
+    def on_syscall_exit(self, thread: int, function: str) -> None:
+        """A syscall must not return to userspace with locks held."""
+        held = self._held.get(thread)
+        if self.enabled and held:
+            raise KernelCrash(
+                CrashReport(
+                    title=lockdep_title("lock held when returning to user space", function),
+                    oracle=self.name,
+                    function=function,
+                    detail=f"thread {thread} still holds {[hex(l) for l in held]}",
+                )
+            )
+
+    def _reachable(self, src: int, dst: int) -> bool:
+        """DFS in the order graph: can we get from src to dst?"""
+        stack = [src]
+        seen: Set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._order.get(node, ()))
+        return False
+
+    def reset_thread(self, thread: int) -> None:
+        self._held.pop(thread, None)

@@ -1,0 +1,18 @@
+"""Deterministic scheduling and the hypothetical-barrier test executor."""
+
+from repro.sched.executor import BarrierTestExecutor, ExecOutcome
+from repro.sched.scheduler import (
+    BreakPolicy,
+    Breakpoint,
+    CustomScheduler,
+    StopReason,
+)
+
+__all__ = [
+    "BarrierTestExecutor",
+    "BreakPolicy",
+    "Breakpoint",
+    "CustomScheduler",
+    "ExecOutcome",
+    "StopReason",
+]

@@ -1,0 +1,187 @@
+"""MTI execution engine — the hypothetical memory barrier test (§4.1).
+
+Implements the two test shapes of paper Figure 5 against any machine
+with an OEMU:
+
+* **store test** (Figure 5a): the victim thread's stores before a
+  hypothetical ``smp_wmb`` are delayed; the victim runs *through* the
+  scheduling point (the access after the hypothetical barrier) and is
+  suspended with those stores still in its buffer; the observer then
+  runs and sees the reordered world.
+
+* **load test** (Figure 5b): the victim is suspended just *before* the
+  scheduling point (the access before the hypothetical ``smp_rmb``);
+  the observer runs to completion, populating the store history; the
+  victim then resumes with its post-barrier loads versioned, reading
+  pre-observer values.
+
+Any oracle firing during any phase is captured as a crash report,
+annotated with the reordered instruction addresses and the hypothetical
+barrier location — the §4.4 report format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionLimitExceeded, KernelCrash
+from repro.kir.interp import ThreadCtx
+from repro.oracles.report import CrashReport
+from repro.sched.scheduler import BreakPolicy, Breakpoint, CustomScheduler, StopReason
+
+
+@dataclass
+class ExecOutcome:
+    """Result of one hypothetical-barrier test run."""
+
+    crash: Optional[CrashReport] = None
+    phase: str = ""            # where the crash (if any) happened
+    victim_ret: int = 0
+    observer_ret: int = 0
+    steps: int = 0
+    hung: bool = False
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+
+class BarrierTestExecutor:
+    """Runs Figure 5's two test shapes on a machine."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.scheduler = CustomScheduler(machine.interp)
+
+    # -- Figure 5a ---------------------------------------------------------
+
+    def run_store_test(
+        self,
+        victim: ThreadCtx,
+        observer: ThreadCtx,
+        sched_addr: int,
+        reorder_addrs: Sequence[int],
+        sched_hit: int = 1,
+        inject_interrupt: bool = False,
+    ) -> ExecOutcome:
+        """Hypothetical store barrier test (store-store / store-load).
+
+        ``inject_interrupt`` lands an interrupt on the victim's CPU at
+        the scheduling point; per §3.1 an interrupt flushes the virtual
+        store buffer, so the reordering evaporates — useful for testing
+        that property and for interrupt-sensitivity ablations.
+        """
+        oemu = self.machine.oemu
+        for addr in reorder_addrs:
+            oemu.delay_store_at(victim.thread_id, addr)
+        breakpoint = Breakpoint(sched_addr, BreakPolicy.AFTER, hit=sched_hit)
+        outcome = self._run_phases(
+            victim, observer, breakpoint, "store", inject_interrupt=inject_interrupt
+        )
+        self._finish(victim, observer, outcome, reorder_addrs, sched_addr, "store")
+        return outcome
+
+    # -- Figure 5b -----------------------------------------------------------
+
+    def run_load_test(
+        self,
+        victim: ThreadCtx,
+        observer: ThreadCtx,
+        sched_addr: int,
+        reorder_addrs: Sequence[int],
+        sched_hit: int = 1,
+    ) -> ExecOutcome:
+        """Hypothetical load barrier test (load-load)."""
+        oemu = self.machine.oemu
+        for addr in reorder_addrs:
+            oemu.read_old_value_at(victim.thread_id, addr)
+        breakpoint = Breakpoint(sched_addr, BreakPolicy.BEFORE, hit=sched_hit)
+        outcome = self._run_phases(victim, observer, breakpoint, "load")
+        self._finish(victim, observer, outcome, reorder_addrs, sched_addr, "load")
+        return outcome
+
+    # -- shared machinery ---------------------------------------------------------
+
+    def _run_phases(
+        self,
+        victim: ThreadCtx,
+        observer: ThreadCtx,
+        breakpoint: Breakpoint,
+        test_kind: str,
+        inject_interrupt: bool = False,
+    ) -> ExecOutcome:
+        outcome = ExecOutcome()
+        # (1) Reordering/positioning: victim runs to the scheduling point.
+        if self._guarded(outcome, "victim-to-sched", self.scheduler.run_until, victim, breakpoint):
+            return outcome
+        if inject_interrupt and self.machine.oemu is not None:
+            # An interrupt on the suspended vCPU flushes its buffer (§3.1).
+            self.machine.oemu.on_interrupt(victim.thread_id)
+        # (2) Interleaving: the observer runs to completion while the
+        # victim sits suspended (buffer NOT flushed).
+        if self._guarded(outcome, "observer", self._run_thread_syscall, observer):
+            return outcome
+        outcome.observer_ret = observer.retval
+        # (3) Resume the victim to completion.
+        if self._guarded(outcome, "victim-resume", self._run_thread_syscall, victim):
+            return outcome
+        outcome.victim_ret = victim.retval
+        return outcome
+
+    def _run_thread_syscall(self, thread: ThreadCtx) -> None:
+        self.scheduler.run_to_completion(thread)
+        # Returning to userspace: implicit full ordering + lockdep +
+        # return-value oracles (via the kernel's syscall-exit path).
+        finish = getattr(self.machine, "finish_syscall", None)
+        if finish is not None:
+            finish(thread, getattr(thread, "syscall_name", ""))
+            return
+        if self.machine.oemu is not None:
+            self.machine.oemu.on_syscall_exit(thread.thread_id)
+        lockdep = getattr(self.machine, "lockdep", None)
+        if lockdep is not None:
+            lockdep.on_syscall_exit(thread.thread_id, thread.current_function)
+
+    def _guarded(self, outcome: ExecOutcome, phase: str, fn: Callable, *args) -> bool:
+        """Run a phase, capturing crashes/hangs.  True if the test ended."""
+        try:
+            fn(*args)
+        except KernelCrash as crash:
+            outcome.crash = crash.report
+            outcome.phase = phase
+            return True
+        except ExecutionLimitExceeded:
+            outcome.hung = True
+            outcome.phase = phase
+            return True
+        return False
+
+    def _finish(
+        self,
+        victim: ThreadCtx,
+        observer: ThreadCtx,
+        outcome: ExecOutcome,
+        reorder_addrs: Sequence[int],
+        sched_addr: int,
+        test_kind: str,
+    ) -> None:
+        oemu = self.machine.oemu
+        oemu.clear_controls(victim.thread_id)
+        oemu.clear_controls(observer.thread_id)
+        # Leave no stale delayed stores behind for the next test.
+        oemu.flush(victim.thread_id)
+        oemu.flush(observer.thread_id)
+        outcome.steps = victim.steps + observer.steps
+        if outcome.crash is not None:
+            outcome.crash.reordered_insns = tuple(reorder_addrs)
+            outcome.crash.hypothetical_barrier = sched_addr
+            outcome.crash.barrier_test = test_kind
+            try:
+                from repro.kir.disasm import source_context
+
+                outcome.crash.source_context = source_context(
+                    self.machine.program, outcome.crash.inst_addr or sched_addr
+                )
+            except Exception:
+                pass

@@ -1,0 +1,158 @@
+"""Custom scheduler — deterministic thread interleaving (paper §10.3).
+
+The real OZZ implements this in the hypervisor: a guest thread issues a
+``schedule_at(addr)`` hypercall, the hypervisor plants a breakpoint and
+suspends/resumes virtual CPUs so exactly one runs at a time.  Our
+equivalent drives the stepwise interpreter: one thread runs until it
+hits its breakpoint (or finishes), then control passes to the other.
+
+Crucially — and this is the paper's Figure 9 — suspending a thread does
+**not** flush its virtual store buffer: a delayed store stays invisible
+to the thread that runs next, which is what makes the combination of
+interleaving control and OEMU reordering observable.
+
+Breakpoints carry a *policy*:
+
+* ``AFTER``  — switch after the breakpoint instruction executes (used by
+  the hypothetical **store** barrier test: the post-barrier store W(d)
+  must have committed before the observer runs, Figure 5a);
+* ``BEFORE`` — switch just before the instruction executes (used by the
+  hypothetical **load** barrier test: the observer must build the store
+  history before R(w) runs, Figure 5b).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ExecutionLimitExceeded
+from repro.kir.interp import Interpreter, ThreadCtx
+
+
+class BreakPolicy(enum.Enum):
+    BEFORE = "before"
+    AFTER = "after"
+
+
+@dataclass
+class Breakpoint:
+    """Stop condition: the Nth execution of an instruction address."""
+
+    inst_addr: int
+    policy: BreakPolicy = BreakPolicy.AFTER
+    hit: int = 1  # stop on the hit-th execution
+    _count: int = 0
+
+    def matches(self, addr: Optional[int]) -> bool:
+        return addr is not None and addr == self.inst_addr
+
+
+class StopReason(enum.Enum):
+    BREAKPOINT = "breakpoint"
+    FINISHED = "finished"
+
+
+class CustomScheduler:
+    """Runs threads one at a time with breakpoint-driven switches."""
+
+    #: Consecutive steps at one pc (a spinning helper) before a thread is
+    #: declared deadlocked.  Since exactly one thread runs at a time, a
+    #: spinlock held by a *suspended* thread can never be released while
+    #: the current thread spins — bail out fast instead of burning the
+    #: whole step budget.
+    SPIN_LIMIT = 512
+
+    def __init__(self, interp: Interpreter, max_steps: int = 60_000) -> None:
+        self.interp = interp
+        self.max_steps = max_steps
+
+    def run_until(self, thread: ThreadCtx, breakpoint: Optional[Breakpoint]) -> StopReason:
+        """Run ``thread`` until its breakpoint triggers or it finishes.
+
+        With no breakpoint, runs to completion.  Raises
+        :class:`ExecutionLimitExceeded` if the step budget is blown or
+        the thread spins in place (a lock that can never be released
+        under this schedule).
+        """
+        steps = 0
+        spin = 0
+        last_pc = None
+        while not thread.finished:
+            insn = thread.current_insn()
+            addr = insn.addr if insn is not None else None
+            pc = (len(thread.frames), addr)
+            if pc == last_pc:
+                spin += 1
+                if spin > self.SPIN_LIMIT:
+                    raise ExecutionLimitExceeded(
+                        f"thread {thread.thread_id} spinning at "
+                        f"{thread.current_function} (deadlocked schedule)"
+                    )
+            else:
+                spin = 0
+                last_pc = pc
+            if (
+                breakpoint is not None
+                and breakpoint.policy is BreakPolicy.BEFORE
+                and breakpoint.matches(addr)
+            ):
+                breakpoint._count += 1
+                if breakpoint._count >= breakpoint.hit:
+                    return StopReason.BREAKPOINT
+            self.interp.step(thread)
+            steps += 1
+            if steps > self.max_steps:
+                raise ExecutionLimitExceeded(
+                    f"thread {thread.thread_id} exceeded scheduler budget"
+                )
+            if (
+                breakpoint is not None
+                and breakpoint.policy is BreakPolicy.AFTER
+                and breakpoint.matches(addr)
+            ):
+                breakpoint._count += 1
+                if breakpoint._count >= breakpoint.hit:
+                    return StopReason.BREAKPOINT
+        return StopReason.FINISHED
+
+    def run_to_completion(self, thread: ThreadCtx) -> StopReason:
+        return self.run_until(thread, None)
+
+    def run_round_robin(self, threads: Sequence[ThreadCtx], quantum: int = 1) -> None:
+        """Fair interleaving at ``quantum`` instructions per turn.
+
+        Used by the in-order baseline fuzzer, which explores thread
+        interleavings but (running the plain kernel) never reorders
+        memory accesses.
+        """
+        pending: List[ThreadCtx] = [t for t in threads if not t.finished]
+        steps = 0
+        while pending:
+            for thread in list(pending):
+                for _ in range(quantum):
+                    if not self.interp.step(thread):
+                        break
+                    steps += 1
+                    if steps > self.max_steps:
+                        raise ExecutionLimitExceeded("round-robin budget exceeded")
+                if thread.finished:
+                    pending.remove(thread)
+
+    def run_random(self, threads: Sequence[ThreadCtx], rng, switch_prob: float = 0.1) -> None:
+        """Randomized interleaving (stress-style baseline)."""
+        pending: List[ThreadCtx] = [t for t in threads if not t.finished]
+        current = 0
+        steps = 0
+        while pending:
+            current %= len(pending)
+            thread = pending[current]
+            if not self.interp.step(thread):
+                pending.remove(thread)
+                continue
+            steps += 1
+            if steps > self.max_steps:
+                raise ExecutionLimitExceeded("random-schedule budget exceeded")
+            if rng.random() < switch_prob:
+                current += 1

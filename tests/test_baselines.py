@@ -1,0 +1,120 @@
+"""Tests for the comparison baselines (§6.2 in-vitro, §6.3.2 Syzkaller,
+§6.4 OFence)."""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.fuzzer.baselines import (
+    InVitroAnalyzer,
+    OFenceAnalyzer,
+    SyzkallerBaseline,
+)
+from repro.fuzzer.sti import Call, ResourceRef, STI, profile_sti
+from repro.fuzzer.templates import seed_inputs
+from repro.kernel import bugs
+from repro.kernel.kernel import KernelImage
+
+
+@pytest.fixture(scope="module")
+def plain_image():
+    return KernelImage(KernelConfig(instrumented=False))
+
+
+@pytest.fixture(scope="module")
+def buggy_image():
+    return KernelImage(KernelConfig())
+
+
+class TestSyzkallerBaseline:
+    def test_rejects_instrumented_image(self, buggy_image):
+        with pytest.raises(ValueError):
+            SyzkallerBaseline(buggy_image)
+
+    def test_runs_seed_corpus(self, plain_image):
+        baseline = SyzkallerBaseline(plain_image, seed=0)
+        baseline.run_seeds(rounds=1)
+        assert baseline.stats.stis_run == len(seed_inputs())
+        assert baseline.stats.pair_tests > 0
+
+    def test_finds_no_seeded_ooo_bugs(self, plain_image):
+        """The paper's core argument: interleaving-only fuzzing cannot
+        reach bugs that need memory access reordering."""
+        baseline = SyzkallerBaseline(plain_image, seed=4)
+        baseline.run_seeds(rounds=2)
+        seeded = {b.title for b in bugs.all_bugs()}
+        assert not (set(baseline.crashdb.unique_titles) & seeded)
+
+    def test_kernel_reuse_until_crash(self, plain_image):
+        baseline = SyzkallerBaseline(plain_image, seed=0)
+        baseline.fuzz_one(seed_inputs()[0])
+        k1 = baseline._live_kernel
+        baseline.fuzz_one(seed_inputs()[1])
+        assert baseline._live_kernel is k1  # same VM across tests
+
+
+class TestInVitro:
+    def test_flags_candidates_on_rds(self, buggy_image):
+        sti = STI((Call("rds_socket"), Call("rds_sendmsg", (1,)), Call("rds_sendmsg", (0,))))
+        profile = profile_sti(buggy_image, sti)
+        analyzer = InVitroAnalyzer()
+        candidates = analyzer.analyze_pair(
+            profile.profiles[1].events, profile.profiles[2].events
+        )
+        assert candidates
+        assert any(c.kind == "store-store" for c in candidates)
+
+    def test_cannot_confirm(self):
+        assert InVitroAnalyzer.can_confirm_consequences is False
+
+    def test_no_shared_memory_no_candidates(self, buggy_image):
+        sti = STI((Call("null"), Call("vlan_add")))
+        profile = profile_sti(buggy_image, sti)
+        candidates = InVitroAnalyzer().analyze_pair(
+            profile.profiles[0].events, profile.profiles[1].events
+        )
+        assert candidates == []
+
+
+class TestOFence:
+    @pytest.fixture(scope="class")
+    def analyzer(self, plain_image):
+        return OFenceAnalyzer(plain_image.plain_program)
+
+    def test_verdicts_match_registry(self, analyzer, plain_image):
+        for spec in bugs.table3_bugs():
+            assert analyzer.detects_bug(spec.bug_id, plain_image) == spec.ofence_pattern, spec.bug_id
+
+    def test_paper_headline_8_of_11(self, analyzer, plain_image):
+        undetected = sum(
+            not analyzer.detects_bug(b.bug_id, plain_image) for b in bugs.table3_bugs()
+        )
+        assert undetected == 8
+
+    def test_inconsistent_writer_found_in_xsk_bind(self, analyzer):
+        findings = analyzer.inconsistent_writers()
+        assert any(f.anchor_function == "sys_xsk_bind" for f in findings)
+
+    def test_unpaired_wmb_points_at_smc_release(self, analyzer):
+        findings = analyzer.unpaired_wmb()
+        assert any(
+            f.anchor_function == "sys_smc_accept" and f.missing_in == "sys_smc_release"
+            for f in findings
+        )
+
+    def test_indirect_only_functions_out_of_reach(self, analyzer):
+        """tls_getsockopt is only reachable through the proto table's
+        function pointers; static pairing cannot anchor there."""
+        assert "tls_getsockopt" not in analyzer._direct
+        assert "sys_tls_getsockopt" in analyzer._direct
+
+    def test_patched_kernel_has_fewer_findings(self, analyzer):
+        patched_image = KernelImage(
+            KernelConfig(instrumented=False, patched=frozenset(bugs.all_bug_ids()))
+        )
+        patched = OFenceAnalyzer(patched_image.plain_program)
+        # Patched readers gained their barriers, so the unpaired-wmb
+        # pairs that pointed into bug paths disappear.
+        before = {(f.anchor_function, f.missing_in) for f in analyzer.unpaired_wmb()}
+        after = {(f.anchor_function, f.missing_in) for f in patched.unpaired_wmb()}
+        assert ("sys_smc_accept", "sys_smc_release") in before
+        assert ("sys_smc_accept", "sys_smc_release") not in after

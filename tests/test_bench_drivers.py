@@ -1,0 +1,90 @@
+"""Tests for the bench drivers (they back every evaluation table)."""
+
+import pytest
+
+from repro.bench.campaign import (
+    measure_throughput,
+    reproduce_bug,
+    run_table3_campaign,
+    sti_for_bug,
+)
+from repro.bench.lmbench import WORKLOADS, run_lmbench
+from repro.bench.tables import fmt_ratio, fmt_us, render_table
+from repro.config import KernelConfig
+from repro.kernel import bugs
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table("T", ["a", "bb"], [["x", 1], ["yyyy", 22]], note="n")
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        widths = {len(l) for l in lines[1:-1]}
+        assert len(widths) == 1  # all rows padded to one width
+        assert lines[-1] == "n"
+
+    def test_render_pads_missing_cells(self):
+        text = render_table("T", ["a", "b", "c"], [["only"]])
+        assert "only" in text
+
+    def test_formatters(self):
+        assert fmt_ratio(2.5) == "2.5x"
+        assert fmt_us(0.000123) == "123.0"
+
+
+class TestLmbenchDriver:
+    def test_rows_cover_paper_mix(self):
+        names = [w.name for w in WORKLOADS]
+        for required in ("null", "stat", "open/close", "ctxsw 2p/0k", "pipe",
+                         "unix", "fork", "mmap"):
+            assert required in names
+
+    def test_small_run_produces_rows(self):
+        rows = run_lmbench(reps=2, workloads=WORKLOADS[:2])
+        assert len(rows) == 2
+        for r in rows:
+            assert r.plain_us > 0 and r.oemu_us > 0 and r.overhead > 0
+
+
+class TestCampaignDrivers:
+    def test_reproduce_bug_counts_tests(self):
+        result = reproduce_bug(bugs.get("t4_watch_queue"))
+        assert result.reproduced and result.n_tests >= 2
+
+    def test_hint_order_variants_run(self):
+        spec = bugs.get("t4_watch_queue")
+        for order in ("max", "min", "random"):
+            assert reproduce_bug(spec, hint_order=order).reproduced
+
+    def test_reproduce_respects_max_tests(self):
+        spec = bugs.get("t4_sbitmap")  # never reproduces
+        result = reproduce_bug(spec, max_tests=3)
+        assert not result.reproduced and result.n_tests <= 3
+
+    def test_table3_campaign_driver(self):
+        result = run_table3_campaign(seed=1, iterations=22)
+        assert len(result.found_table3) == 11
+        assert result.tests_run > 22
+        assert all(v >= 1 for v in result.first_hit_tests.values())
+
+    def test_throughput_driver(self):
+        tp = measure_throughput(iterations=3, seed=9)
+        assert tp.ozz_tests_per_sec > 0
+        assert tp.baseline_tests_per_sec > 0
+
+
+class TestStiForBug:
+    @pytest.mark.parametrize("spec", bugs.all_bugs(), ids=lambda s: s.bug_id)
+    def test_input_is_well_formed(self, spec):
+        sti, (i, j) = sti_for_bug(spec)
+        assert j == i + 1 == len(sti.calls) - 1
+        names = {c.name for c in sti.calls}
+        assert spec.victim_syscall in names and spec.observer_syscall in names
+
+    def test_setup_args_threaded(self):
+        from repro.fuzzer.sti import ResourceRef
+
+        sti, _ = sti_for_bug(bugs.get("t3_tls_getsockopt"))
+        # tls_init consumes the socket's fd via a ResourceRef.
+        init = next(c for c in sti.calls if c.name == "tls_init")
+        assert init.args == (ResourceRef(0),)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fuzz", "--iterations", "3", "--seed", "2"],
+            ["table4"],
+            ["lmbench", "--reps", "2"],
+            ["litmus"],
+            ["ofence"],
+            ["bugs"],
+            ["throughput", "--iterations", "2"],
+        ],
+        ids=lambda a: a[0],
+    )
+    def test_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.fn)
+
+
+class TestExecution:
+    def test_bugs_lists_registry(self, capsys):
+        assert main(["bugs"]) == 0
+        out = capsys.readouterr().out
+        assert "t3_rds_xmit" in out and "t4_unix" in out
+
+    def test_fuzz_small_campaign(self, capsys):
+        assert main(["fuzz", "--iterations", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "tests in" in out
+
+    def test_fuzz_with_patches(self, capsys):
+        code = main([
+            "fuzz", "--iterations", "2", "--seed", "1",
+            "--patch", "t4_watch_queue", "--patch", "t3_wq_find_first_bit",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipe_read" not in out  # the patched bug stayed silent
+
+    def test_ofence_matches_paper(self, capsys):
+        assert main(["ofence"]) == 0
+        assert "8/11" in capsys.readouterr().out
+
+    def test_lmbench_small(self, capsys):
+        assert main(["lmbench", "--reps", "1"]) == 0
+        assert "Overhead" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for the §4.5-discussion extensions: hardware concurrency (RDMA)
+and interrupt injection."""
+
+import pytest
+
+from repro.bench.campaign import reproduce_bug
+from repro.config import KernelConfig
+from repro.kernel import Kernel, KernelImage, bugs
+from repro.kernel.subsystems.rdma import CQE, CQE_MAGIC, DEVICE_THREAD
+from repro.kir.insn import Store
+from repro.sched import BarrierTestExecutor
+
+
+@pytest.fixture(scope="module")
+def image():
+    return KernelImage(KernelConfig())
+
+
+class TestRdmaHardwareConcurrency:
+    def test_normal_poll_round_trip(self, image):
+        kernel = Kernel(image)
+        kernel.run_syscall("rdma_kick")
+        assert kernel.run_syscall("rdma_poll_cq") == CQE_MAGIC
+
+    def test_poll_on_empty_cq(self, image):
+        kernel = Kernel(image)
+        assert kernel.run_syscall("rdma_poll_cq") == 0
+
+    def test_device_writes_recorded_in_history(self, image):
+        """The DMA agent's stores commit under the device identity and
+        are visible to versioned loads (the §4.5 mechanism)."""
+        kernel = Kernel(image)
+        kernel.run_syscall("rdma_kick")
+        cq = kernel.glob("rdma_cq")
+        recs = [r for r in kernel.history.records if r.thread == DEVICE_THREAD]
+        assert {r.addr for r in recs} == {cq + CQE.data, cq + CQE.valid}
+
+    def test_driver_load_load_reorder_vs_dma_triggers(self):
+        result = reproduce_bug(bugs.get("ext_rdma_cq"))
+        assert result.reproduced
+        assert result.title == "kernel BUG at rdma_poll_cq"
+        assert result.trigger_type == "L-L"
+
+    def test_irdma_style_read_barrier_fixes_it(self):
+        result = reproduce_bug(
+            bugs.get("ext_rdma_cq"),
+            config=KernelConfig(patched=frozenset({"ext_rdma_cq"})),
+        )
+        assert not result.reproduced
+
+    def test_cpu_delay_controls_cannot_touch_device_stores(self, image):
+        """delay_store_at on the DMA pseudo-instructions is inert: the
+        device's stores always commit on the bus."""
+        from repro.kernel.subsystems.rdma import DMA_DATA_INSN, DMA_VALID_INSN
+
+        kernel = Kernel(image)
+        thread = kernel.spawn_syscall("rdma_kick")
+        kernel.oemu.delay_store_at(thread.thread_id, DMA_DATA_INSN)
+        kernel.oemu.delay_store_at(thread.thread_id, DMA_VALID_INSN)
+        kernel.interp.run(thread)
+        cq = kernel.glob("rdma_cq")
+        assert kernel.peek(cq + CQE.valid) == 1
+        assert kernel.peek(cq + CQE.data) == CQE_MAGIC
+
+
+class TestInterruptInjection:
+    def _figure1_setup(self, image):
+        kernel = Kernel(image)
+        kernel.run_syscall("watch_queue_create")
+        stores = [
+            i
+            for i in kernel.program.function("post_one_notification").insns
+            if isinstance(i, Store)
+        ]
+        victim = kernel.spawn_syscall("watch_queue_post", (9,), cpu=0)
+        observer = kernel.spawn_syscall("pipe_read", (), cpu=1)
+        executor = BarrierTestExecutor(kernel)
+        return executor, victim, observer, stores
+
+    def test_interrupt_flushes_and_suppresses_the_bug(self, image):
+        """§3.1: an interrupt commits delayed stores, so the Figure 1
+        reordering cannot be observed across it."""
+        executor, victim, observer, stores = self._figure1_setup(image)
+        outcome = executor.run_store_test(
+            victim, observer, stores[2].addr, [s.addr for s in stores[:2]],
+            inject_interrupt=True,
+        )
+        assert not outcome.crashed
+
+    def test_without_interrupt_the_bug_manifests(self, image):
+        executor, victim, observer, stores = self._figure1_setup(image)
+        outcome = executor.run_store_test(
+            victim, observer, stores[2].addr, [s.addr for s in stores[:2]],
+        )
+        assert outcome.crashed

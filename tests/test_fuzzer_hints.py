@@ -1,0 +1,179 @@
+"""Tests for scheduling-hint calculation — Algorithms 1 and 2 (§4.3)."""
+
+import pytest
+
+from repro.fuzzer.hints import (
+    LD,
+    ST,
+    calculate_hints,
+    filter_out,
+    group_by_barriers,
+    hints_for_group,
+    shared_memory_locations,
+)
+from repro.kir.insn import Annot, BarrierKind
+from repro.oemu.profiler import AccessEvent, BarrierEvent, SyscallProfile
+
+
+def store(inst, addr, ts=0, annot=Annot.PLAIN):
+    return AccessEvent(inst, addr, 8, True, ts, annot, "f")
+
+
+def load(inst, addr, ts=0, annot=Annot.PLAIN):
+    return AccessEvent(inst, addr, 8, False, ts, annot, "f")
+
+
+def wmb(inst=0x900, ts=0):
+    return BarrierEvent(inst, BarrierKind.WMB, ts)
+
+
+def rmb(inst=0x901, ts=0):
+    return BarrierEvent(inst, BarrierKind.RMB, ts)
+
+
+def profile(events, name="sc"):
+    return SyscallProfile(syscall=name, events=list(events))
+
+
+class TestAlgorithm2Filter:
+    def test_shared_requires_one_writer(self):
+        a = [store(1, 0x100), load(2, 0x200)]
+        b = [load(3, 0x100), load(4, 0x200)]
+        shared = shared_memory_locations(a, b)
+        assert 0x100 in shared       # W vs R -> shared
+        assert 0x200 not in shared   # R vs R -> irrelevant
+
+    def test_filter_drops_private_accesses(self):
+        a = [store(1, 0x100), store(2, 0x300)]  # 0x300 never seen by b
+        b = [load(3, 0x100)]
+        fa, fb = filter_out(a, b)
+        assert [e.inst_addr for e in fa] == [1]
+        assert [e.inst_addr for e in fb] == [3]
+
+    def test_filter_keeps_barriers(self):
+        a = [store(1, 0x100), wmb(), store(2, 0x300)]
+        b = [load(3, 0x100)]
+        fa, _ = filter_out(a, b)
+        assert any(isinstance(e, BarrierEvent) for e in fa)
+
+    def test_partial_overlap_is_shared(self):
+        a = [AccessEvent(1, 0x100, 8, True, 0, Annot.PLAIN, "f")]
+        b = [AccessEvent(2, 0x104, 4, False, 0, Annot.PLAIN, "f")]
+        assert shared_memory_locations(a, b)
+
+    def test_write_write_conflicts_are_shared(self):
+        a = [store(1, 0x100)]
+        b = [store(2, 0x100)]
+        assert 0x100 in shared_memory_locations(a, b)
+
+
+class TestGrouping:
+    def test_store_groups_split_at_wmb(self):
+        events = [store(1, 0x100), wmb(), store(2, 0x108), store(3, 0x110)]
+        groups = group_by_barriers(events, ST)
+        assert [[e.inst_addr for e in g] for g in groups] == [[1], [2, 3]]
+
+    def test_store_groups_ignore_rmb(self):
+        events = [store(1, 0x100), rmb(), store(2, 0x108)]
+        groups = group_by_barriers(events, ST)
+        assert len(groups) == 1
+
+    def test_load_groups_split_at_rmb(self):
+        events = [load(1, 0x100), rmb(), load(2, 0x108)]
+        groups = group_by_barriers(events, LD)
+        assert len(groups) == 2
+
+    def test_full_barrier_splits_both(self):
+        events = [store(1, 0x100), BarrierEvent(9, BarrierKind.FULL, 0), load(2, 0x108)]
+        assert len(group_by_barriers(events, ST)) == 2
+        assert len(group_by_barriers(events, LD)) == 2
+
+    def test_implicit_barriers_split_too(self):
+        events = [
+            load(1, 0x100, annot=Annot.ONCE),
+            BarrierEvent(1, BarrierKind.RMB, 0, implicit=True),
+            load(2, 0x108),
+        ]
+        assert len(group_by_barriers(events, LD)) == 2
+
+
+class TestAlgorithm1Hints:
+    def test_store_hints_are_shrinking_prefixes(self):
+        group = [store(1, 0x100), store(2, 0x108), store(3, 0x110), store(4, 0x118)]
+        hints = hints_for_group(group, group, ST, 0)
+        assert [h.reorder for h in hints] == [(1, 2, 3), (1, 2), (1,)]
+        assert all(h.sched_addr == 4 for h in hints)
+
+    def test_load_hints_are_shrinking_suffixes(self):
+        group = [load(1, 0x100), load(2, 0x108), load(3, 0x110)]
+        hints = hints_for_group(group, group, LD, 1)
+        assert [h.reorder for h in hints] == [(2, 3), (3,)]
+        assert all(h.sched_addr == 1 for h in hints)
+
+    def test_singleton_group_yields_nothing(self):
+        group = [store(1, 0x100)]
+        assert hints_for_group(group, group, ST, 0) == []
+
+    def test_store_hints_count_only_delayable_stores(self):
+        """Loads in a store group ride along but do not count (OEMU only
+        delays stores), and pure-load prefixes are dropped."""
+        group = [load(1, 0x100), store(2, 0x108), store(3, 0x110)]
+        hints = hints_for_group(group, group, ST, 0)
+        assert [h.nreorder for h in hints] == [1]  # just the store at 2
+
+    def test_sched_hit_counts_dynamic_occurrence(self):
+        # the same instruction executed twice; sched is its 2nd execution
+        e1, e2 = store(5, 0x100, ts=1), store(5, 0x108, ts=2)
+        group = [store(1, 0x110), e2]
+        hints = hints_for_group(group, [e1, store(1, 0x110, ts=3), e2], ST, 0)
+        assert hints[0].sched_addr == 5 and hints[0].sched_hit == 2
+
+    def test_duplicate_reorder_sets_deduplicated(self):
+        # Algorithm 1's pseudocode would emit the full prefix twice.
+        group = [store(1, 0x100), store(2, 0x108)]
+        hints = hints_for_group(group, group, ST, 0)
+        assert len(hints) == len({h.reorder for h in hints})
+
+
+class TestCalculateHints:
+    def make_pair(self):
+        # side 0: writer with two stores, no barrier; side 1: reader.
+        p0 = profile([store(1, 0x100, 1), store(2, 0x108, 2)])
+        p1 = profile([load(11, 0x100, 3), load(12, 0x108, 4)])
+        return p0, p1
+
+    def test_four_cases_covered(self):
+        p0, p1 = self.make_pair()
+        hints = calculate_hints(p0, p1)
+        kinds = {(h.barrier_type, h.reorder_side) for h in hints}
+        assert (ST, 0) in kinds   # writer's store test
+        assert (LD, 1) in kinds   # reader's load test
+
+    def test_sorted_by_reorder_count_descending(self):
+        p0 = profile([store(i, 0x100 + 8 * i, i) for i in range(1, 5)])
+        p1 = profile([load(10 + i, 0x100 + 8 * i, 10 + i) for i in range(1, 5)])
+        hints = calculate_hints(p0, p1)
+        counts = [h.nreorder for h in hints]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_no_shared_memory_no_hints(self):
+        p0 = profile([store(1, 0x100)])
+        p1 = profile([load(2, 0x900)])
+        assert calculate_hints(p0, p1) == []
+
+    def test_barrier_protected_writer_yields_no_store_hints(self):
+        p0 = profile([store(1, 0x100, 1), wmb(ts=2), store(2, 0x108, 3)])
+        p1 = profile([load(11, 0x100, 4), load(12, 0x108, 5)])
+        hints = calculate_hints(p0, p1)
+        assert not [h for h in hints if h.barrier_type == ST and h.reorder_side == 0]
+
+    def test_atomic_accesses_are_not_delayable(self):
+        atomic = AccessEvent(7, 0x100, 8, True, 1, Annot.PLAIN, "f", atomic=True)
+        p0 = profile([atomic, store(2, 0x108, 2)])
+        p1 = profile([load(11, 0x100, 3), load(12, 0x108, 4)])
+        store_hints = [
+            h for h in calculate_hints(p0, p1)
+            if h.barrier_type == ST and h.reorder_side == 0
+        ]
+        for h in store_hints:
+            assert 7 not in h.reorder

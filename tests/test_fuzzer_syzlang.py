@@ -1,0 +1,92 @@
+"""Tests for the mini-Syzlang parser (paper §4.2's description language)."""
+
+import pytest
+
+from repro.errors import SyzlangError
+from repro.fuzzer.syzlang import ArgTemplate, parse
+
+
+class TestParsing:
+    def test_no_args_with_resource(self):
+        (t,) = parse("socket() sock_fd")
+        assert t.name == "socket" and t.produces == "sock_fd" and t.args == ()
+
+    def test_int_range(self):
+        (t,) = parse("write(n int[0:255])")
+        (arg,) = t.args
+        assert arg.kind == "int" and (arg.lo, arg.hi) == (0, 255)
+
+    def test_flags(self):
+        (t,) = parse("bind(len flags[16,32,64])")
+        assert t.args[0].values == (16, 32, 64)
+
+    def test_const(self):
+        (t,) = parse("ioctl(cmd const[7])")
+        assert t.args[0].kind == "const" and t.args[0].values == (7,)
+
+    def test_resource_argument(self):
+        (t,) = parse("use(fd sock_fd)")
+        assert t.args[0].kind == "resource" and t.args[0].resource == "sock_fd"
+        assert t.consumed_resources() == ("sock_fd",)
+
+    def test_multiple_args_with_bracketed_commas(self):
+        (t,) = parse("mix(fd sock_fd, len flags[1,2], n int[0:3])")
+        assert [a.kind for a in t.args] == ["resource", "flags", "int"]
+
+    def test_comments_and_blank_lines(self):
+        ts = parse("# header\n\nsocket() fd\n  # trailing\nclose(fd fd)\n")
+        assert [t.name for t in ts] == ["socket", "close"]
+
+    def test_inline_comment(self):
+        (t,) = parse("socket() fd # makes a socket")
+        assert t.produces == "fd"
+
+
+class TestErrors:
+    def test_garbage_line(self):
+        with pytest.raises(SyzlangError, match="line 1"):
+            parse("not a syscall at all!")
+
+    def test_bad_type(self):
+        with pytest.raises(SyzlangError, match="cannot parse type"):
+            parse("f(x strange[1])")
+
+    def test_missing_type(self):
+        with pytest.raises(SyzlangError, match="malformed argument"):
+            parse("f(x)")
+
+    def test_empty_range(self):
+        with pytest.raises(SyzlangError, match="empty range"):
+            parse("f(x int[5:1])")
+
+    def test_duplicate_syscall(self):
+        with pytest.raises(SyzlangError, match="duplicate"):
+            parse("f()\nf()")
+
+
+class TestKernelConsistency:
+    def test_full_description_parses(self):
+        from repro.fuzzer.templates import SYZLANG, templates
+
+        ts = templates()
+        assert len(ts) >= 50
+
+    def test_validation_catches_missing_template(self):
+        from repro.config import KernelConfig
+        from repro.fuzzer.syzlang import validate_against_kernel
+        from repro.kernel.kernel import KernelImage
+
+        image = KernelImage(KernelConfig(instrumented=False))
+        problems = validate_against_kernel(parse("socket() sock_fd"), image)
+        assert any("has no template" in p for p in problems)
+
+    def test_validation_catches_unknown_syscall(self):
+        from repro.config import KernelConfig
+        from repro.fuzzer.syzlang import validate_against_kernel
+        from repro.fuzzer.templates import templates
+        from repro.kernel.kernel import KernelImage
+
+        image = KernelImage(KernelConfig(instrumented=False))
+        extra = templates() + parse("made_up()")
+        problems = validate_against_kernel(extra, image)
+        assert any("no such syscall" in p for p in problems)

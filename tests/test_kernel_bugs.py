@@ -1,0 +1,112 @@
+"""The seeded-bug matrix: every registry bug triggers on the buggy
+kernel and is silent on the patched kernel.
+
+This is the repository's ground-truth integrity check: if a seeded bug
+stops reproducing (or a patch stops holding), every evaluation table
+built on top of it is wrong.
+"""
+
+import pytest
+
+from repro.bench.campaign import reproduce_bug, sti_for_bug
+from repro.config import KernelConfig
+from repro.kernel import bugs
+
+REPRODUCIBLE = [b for b in bugs.all_bugs() if b.reproducible]
+ALL = bugs.all_bugs()
+
+
+class TestRegistry:
+    def test_tables_have_paper_row_counts(self):
+        assert len(bugs.table3_bugs()) == 11
+        assert len(bugs.table4_bugs()) == 9
+
+    def test_titles_unique(self):
+        titles = [b.title for b in ALL]
+        assert len(titles) == len(set(titles))
+
+    def test_reorder_types_match_paper_distribution(self):
+        """Table 4: 5 store-store (+1 irreproducible), 3 load-load."""
+        t4 = bugs.table4_bugs()
+        assert sum(1 for b in t4 if b.reorder_type == "S-S") == 6
+        assert sum(1 for b in t4 if b.reorder_type == "L-L") == 3
+
+    def test_exactly_one_irreproducible(self):
+        assert [b.bug_id for b in ALL if not b.reproducible] == ["t4_sbitmap"]
+
+    def test_exactly_one_non_crash_symptom(self):
+        assert [b.bug_id for b in ALL if not b.crash_symptom] == ["t4_tls_err"]
+
+
+@pytest.mark.parametrize("spec", REPRODUCIBLE, ids=lambda s: s.bug_id)
+class TestBugMatrix:
+    def test_triggers_on_buggy_kernel(self, spec):
+        result = reproduce_bug(spec)
+        assert result.reproduced, f"{spec.bug_id} did not reproduce"
+        assert result.title == spec.title
+        assert result.n_tests <= 10
+
+    def test_patch_holds(self, spec):
+        config = KernelConfig(patched=frozenset({spec.bug_id}))
+        result = reproduce_bug(spec, config=config)
+        assert not result.reproduced, f"patched {spec.bug_id} still crashed"
+
+    def test_trigger_type_matches_registry(self, spec):
+        result = reproduce_bug(spec)
+        assert result.trigger_type == spec.reorder_type
+
+
+class TestSbitmapNegativeResult:
+    """Paper §6.2's one failure, reproduced as a failure."""
+
+    def test_not_reproducible_with_pinned_threads(self):
+        spec = bugs.get("t4_sbitmap")
+        result = reproduce_bug(spec)
+        assert not result.reproduced
+
+    def test_manual_percpu_modification_recovers_it(self):
+        spec = bugs.get("t4_sbitmap")
+        result = reproduce_bug(spec, config=KernelConfig(sbitmap_manual_percpu=True))
+        assert result.reproduced
+        assert result.title == spec.title
+
+
+class TestCrossPatchIsolation:
+    """Patching one bug must not mask another (fixes are independent)."""
+
+    @pytest.mark.parametrize(
+        "patched_id,still_buggy_id",
+        [
+            ("t3_xsk_poll", "t3_xsk_xmit"),
+            ("t3_tls_setsockopt", "t3_tls_getsockopt"),
+            ("t3_smc_connect", "t3_smc_fput"),
+            ("t4_watch_queue", "t3_wq_find_first_bit"),
+        ],
+    )
+    def test_sibling_bug_survives_patch(self, patched_id, still_buggy_id):
+        config = KernelConfig(patched=frozenset({patched_id}))
+        result = reproduce_bug(bugs.get(still_buggy_id), config=config)
+        assert result.reproduced
+
+
+class TestStiConstruction:
+    def test_load_bugs_profile_observer_first(self):
+        spec = bugs.get("t4_fget_light")
+        sti, pair = sti_for_bug(spec)
+        names = [c.name for c in sti.calls]
+        assert names.index(spec.observer_syscall) < names.index(spec.victim_syscall)
+
+    def test_store_bugs_profile_victim_first(self):
+        spec = bugs.get("t4_watch_queue")
+        sti, pair = sti_for_bug(spec)
+        names = [c.name for c in sti.calls]
+        assert names.index(spec.victim_syscall) < names.index(spec.observer_syscall)
+
+    def test_resource_refs_resolve(self):
+        from repro.fuzzer.sti import ResourceRef
+
+        spec = bugs.get("t3_tls_setsockopt")
+        sti, _ = sti_for_bug(spec)
+        assert any(
+            isinstance(a, ResourceRef) for c in sti.calls for a in c.args
+        )

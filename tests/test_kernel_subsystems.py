@@ -1,0 +1,189 @@
+"""Functional depth tests per simulated-kernel subsystem.
+
+The bug matrix (test_kernel_bugs) covers the seeded races; these tests
+cover each subsystem's *normal* semantics — the part that must be
+correct for the races to mean anything.
+"""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.kernel import Kernel, KernelImage
+
+
+@pytest.fixture(scope="module")
+def image():
+    return KernelImage(KernelConfig())
+
+
+@pytest.fixture()
+def kernel(image):
+    return Kernel(image)
+
+
+class TestWatchQueue:
+    def test_post_then_read_round_trip(self, kernel):
+        kernel.run_syscall("watch_queue_create")
+        kernel.run_syscall("watch_queue_post", (42,))
+        assert kernel.run_syscall("pipe_read") == 42
+
+    def test_read_empty_pipe(self, kernel):
+        kernel.run_syscall("watch_queue_create")
+        assert kernel.run_syscall("pipe_read") == 0
+
+    def test_ring_wraps_around(self, kernel):
+        from repro.kernel.subsystems.watch_queue import RING_SLOTS
+
+        kernel.run_syscall("watch_queue_create")
+        for i in range(RING_SLOTS + 3):
+            kernel.run_syscall("watch_queue_post", (i + 1,))
+            assert kernel.run_syscall("pipe_read") == i + 1
+
+    def test_set_size_enables_bitmap_scan(self, kernel):
+        kernel.run_syscall("watch_queue_create")
+        kernel.run_syscall("watch_queue_set_size", (8,))
+        kernel.run_syscall("watch_queue_post", (5,))  # scans the bitmap, no crash
+
+
+class TestRds:
+    def test_try_lock_excludes(self, kernel):
+        from repro.kernel.subsystems.rds import IN_XMIT_BIT, RDS_CONN
+
+        conn = kernel.glob("rds_conn")
+        kernel.poke(conn + RDS_CONN.cp_flags, 1 << IN_XMIT_BIT)  # lock held
+        assert kernel.run_syscall("rds_sendmsg", (1,)) == 0  # busy
+        kernel.poke(conn + RDS_CONN.cp_flags, 0)
+        assert kernel.run_syscall("rds_sendmsg", (1,)) == 1
+
+    def test_shrink_updates_buffer(self, kernel):
+        from repro.kernel.subsystems.rds import RDS_CONN, SHRUNK_BUF_LEN
+
+        kernel.run_syscall("rds_sendmsg", (1,))
+        conn = kernel.glob("rds_conn")
+        assert kernel.peek(conn + RDS_CONN.len) == SHRUNK_BUF_LEN
+
+
+class TestTls:
+    def test_dispatch_through_proto_tables(self, kernel):
+        fd = kernel.run_syscall("socket")
+        # Before tls_init, setsockopt goes to the default handler.
+        assert kernel.run_syscall("setsockopt", (fd,)) == 0
+        kernel.run_syscall("tls_init", (fd,))
+        # Now it dispatches into tls_setsockopt via the tls proto table.
+        kernel.run_syscall("setsockopt", (fd,))
+
+    def test_crypto_round_trip(self, kernel):
+        fd = kernel.run_syscall("socket")
+        kernel.run_syscall("tls_init", (fd,))
+        kernel.run_syscall("tls_set_crypto", (fd, 99))
+        assert kernel.run_syscall("tls_getsockopt", (fd,)) == 99
+
+    def test_err_abort_reports_reason(self, kernel):
+        from repro.kernel.subsystems.tls import ERR_REASON
+
+        fd = kernel.run_syscall("socket")
+        assert kernel.run_syscall("tls_getsockopt_err", (fd,)) == 0
+        kernel.run_syscall("tls_err_abort", (fd,))
+        assert kernel.run_syscall("tls_getsockopt_err", (fd,)) == 1000 + ERR_REASON
+
+
+class TestXsk:
+    def test_bind_publishes_rings(self, kernel):
+        fd = kernel.run_syscall("xsk_socket")
+        assert kernel.run_syscall("xsk_poll", (fd,)) == 0  # not bound yet
+        kernel.run_syscall("xsk_bind", (fd,))
+        kernel.run_syscall("xsk_poll", (fd,))
+        kernel.run_syscall("xsk_sendmsg", (fd,))
+
+    def test_activate_unbind_cycle(self, kernel):
+        fd = kernel.run_syscall("xsk_socket")
+        kernel.run_syscall("xsk_activate", (fd,))
+        kernel.run_syscall("xsk_state_xmit", (fd,))
+        kernel.run_syscall("xsk_unbind", (fd,))
+        assert kernel.run_syscall("xsk_state_xmit", (fd,)) == 0  # guard bails
+
+
+class TestRamfs:
+    def test_write_read_round_trip(self, kernel):
+        kernel.run_syscall("creat", (3,))
+        fd = kernel.run_syscall("fs_open", (3,))
+        written = kernel.run_syscall("fs_write", (fd, 4))
+        assert written == 32
+        total = kernel.run_syscall("fs_read", (fd,))
+        assert total == sum(range(0, 32, 8))
+        kernel.run_syscall("fs_close", (fd,))
+
+    def test_open_missing_file(self, kernel):
+        assert kernel.run_syscall("fs_open", (6,)) == 0
+
+    def test_unlink_frees_data(self, kernel):
+        kernel.run_syscall("creat", (2,))
+        live_before = kernel.allocator.live_bytes
+        kernel.run_syscall("unlink", (2,))
+        assert kernel.allocator.live_bytes < live_before
+
+    def test_stat_reads_inode(self, kernel):
+        kernel.run_syscall("creat", (1,))
+        assert kernel.run_syscall("stat", (1,)) > 0
+
+
+class TestCore:
+    def test_fork_increments_pid(self, kernel):
+        first = kernel.run_syscall("fork")
+        second = kernel.run_syscall("fork")
+        assert second == first + 1
+
+    def test_pipe_and_unix_echo(self, kernel):
+        assert kernel.run_syscall("pipe_lat", (123,)) == 123
+        assert kernel.run_syscall("unix_lat", (99,)) == 99
+
+    def test_mmap_allocates_and_releases(self, kernel):
+        live = kernel.allocator.live_bytes
+        kernel.run_syscall("mmap", (8,))
+        assert kernel.allocator.live_bytes == live  # mapped then unmapped
+
+
+class TestPercpu:
+    def test_blocks_isolated_per_cpu(self, image):
+        kernel = Kernel(image)
+        t0 = kernel.spawn_syscall("blk_complete", (), cpu=0)
+        kernel.interp.run(t0)
+        kernel.finish_syscall(t0, "blk_complete")
+        from repro.kernel.subsystems.sbitmap import SBQ_CLEARED_OFF
+
+        cpu0 = kernel.memory.percpu_base(0) + SBQ_CLEARED_OFF
+        cpu1 = kernel.memory.percpu_base(1) + SBQ_CLEARED_OFF
+        assert kernel.peek(cpu0) == 1
+        assert kernel.peek(cpu1) == 0
+
+    def test_manual_modification_aliases_blocks(self):
+        image = KernelImage(KernelConfig(sbitmap_manual_percpu=True))
+        kernel = Kernel(image)
+        t1 = kernel.spawn_syscall("blk_complete", (), cpu=1)
+        kernel.interp.run(t1)
+        kernel.finish_syscall(t1, "blk_complete")
+        from repro.kernel.subsystems.sbitmap import SBQ_CLEARED_OFF
+
+        assert kernel.peek(kernel.memory.percpu_base(0) + SBQ_CLEARED_OFF) == 1
+
+
+class TestLocksInKernel:
+    def test_spin_unlock_flushes_critical_section(self, image):
+        """LKMM: unlock has release semantics — delayed stores commit."""
+        from repro.kir.insn import Store
+
+        kernel = Kernel(image)
+        thread = kernel.spawn_syscall("vlan_add")
+        func = kernel.program.function("sys_vlan_add")
+        stores = [i for i in func.insns if isinstance(i, Store)]
+        for s in stores:
+            kernel.oemu.delay_store_at(thread.thread_id, s.addr)
+        kernel.interp.run(thread)
+        # The unlock (before ret) flushed everything:
+        from repro.kernel.subsystems.vlan import VLAN_GROUP
+
+        assert kernel.peek(kernel.glob("vlan_group") + VLAN_GROUP.count) == 1
+
+    def test_lockdep_tracks_kernel_spinlocks(self, kernel):
+        kernel.run_syscall("creat", (1,))
+        assert kernel.lockdep.held_by(1) == ()  # released at syscall end

@@ -1,0 +1,123 @@
+"""Tests for the litmus suite and the LKMM-compliance enumerator."""
+
+import pytest
+
+from repro.litmus import (
+    LitmusRunner,
+    coherence_rr,
+    coherence_wr,
+    dependent_loads,
+    load_buffering,
+    message_passing,
+    message_passing_acqrel,
+    standard_suite,
+    store_buffering,
+)
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    return {t.name: LitmusRunner(t).check() for t in standard_suite()}
+
+
+class TestSuiteCompliance:
+    def test_every_test_passes(self, verdicts):
+        for name, verdict in verdicts.items():
+            assert verdict.ok, verdict.render()
+
+    def test_no_forbidden_outcome_anywhere(self, verdicts):
+        for verdict in verdicts.values():
+            assert not verdict.forbidden_hit
+
+    def test_sc_outcomes_exact(self, verdicts):
+        for verdict in verdicts.values():
+            assert verdict.sc_observed == verdict.test.sc_outcomes
+
+
+class TestMessagePassing:
+    """The Figure 1 shape at litmus granularity (§2.2's analysis)."""
+
+    @pytest.mark.parametrize("wmb,rmb", [(False, False), (True, False), (False, True)])
+    def test_any_missing_barrier_readmits_the_bug(self, verdicts, wmb, rmb):
+        v = verdicts[f"MP(wmb={int(wmb)},rmb={int(rmb)})"]
+        assert (0, 10) in v.weak_observed  # r1=1 ∧ r2=0
+
+    def test_both_barriers_forbid_it(self, verdicts):
+        v = verdicts["MP(wmb=1,rmb=1)"]
+        assert (0, 10) not in v.weak_observed
+
+    def test_acquire_release_also_forbids(self, verdicts):
+        assert (0, 10) not in verdicts["MP(release/acquire)"].weak_observed
+
+    def test_weak_outcome_needs_reordering(self, verdicts):
+        """(0,10) is never reachable by interleaving alone."""
+        v = verdicts["MP(wmb=0,rmb=0)"]
+        assert (0, 10) not in v.sc_observed
+
+
+class TestStoreBuffering:
+    def test_relaxed_reaches_both_zero(self, verdicts):
+        assert (0, 0) in verdicts["SB(mb=0)"].weak_observed
+
+    def test_mb_forbids_both_zero(self, verdicts):
+        assert (0, 0) not in verdicts["SB(mb=1)"].weak_observed
+
+    def test_one_fence_is_not_enough(self, verdicts):
+        assert (0, 0) in verdicts["SB(half-fenced)"].weak_observed
+
+
+class TestOneSidedProtections:
+    def test_write_once_does_not_order(self, verdicts):
+        """The Figure 7 non-fix, at litmus granularity."""
+        assert (0, 10) in verdicts["MP(ONCE-only)"].weak_observed
+
+    def test_release_alone_leaves_the_reader_exposed(self, verdicts):
+        assert (0, 10) in verdicts["MP(release-only)"].weak_observed
+
+
+class TestScopeAndCoherence:
+    def test_load_buffering_unreachable(self, verdicts):
+        """Load-store reordering is out of OEMU's scope (paper §3)."""
+        assert (1, 1) not in verdicts["LB"].weak_observed
+
+    def test_corr_coherence(self, verdicts):
+        """Two reads of one location never go backwards in time."""
+        assert (0, 10) not in verdicts["CoRR"].weak_observed
+
+    def test_cowr_own_store_visible(self, verdicts):
+        assert (0, 0) not in verdicts["CoWR"].weak_observed
+
+    def test_alpha_rule(self, verdicts):
+        """Address-dependent loads reorder iff the first load is plain
+        (LKMM Case 6 / 'AND THEN THERE WAS ALPHA')."""
+        assert (0, 10) in verdicts["MP+addr-dep(read_once=0)"].weak_observed
+        assert (0, 10) not in verdicts["MP+addr-dep(read_once=1)"].weak_observed
+
+
+class TestRunnerMechanics:
+    def test_run_single_schedule(self):
+        test = store_buffering(False)
+        runner = LitmusRunner(test)
+        n1 = len(test.functions[0].insns)
+        n2 = len(test.functions[1].insns)
+        outcome = runner.run_schedule([0] * n1 + [1] * n2, None)
+        assert outcome == (0, 1)  # t1 entirely before t2
+
+    def test_infeasible_schedule_returns_none(self):
+        test = store_buffering(False)
+        runner = LitmusRunner(test)
+        assert runner.run_schedule([0] * 50, None) is None
+
+    def test_controls_enumeration_is_per_single_thread(self):
+        """OZZ tests one hypothetical barrier (one thread's controls) at
+        a time (§4.5)."""
+        runner = LitmusRunner(store_buffering(False))
+        for side in (0, 1):
+            for controls in runner._controls_for_side(side):
+                assert controls[0] == side
+                assert controls[1] or controls[2]
+
+    def test_verdict_render(self):
+        verdict = LitmusRunner(coherence_wr()).check()
+        text = verdict.render()
+        assert "CoWR" in text and "OK" in text

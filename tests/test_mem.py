@@ -1,0 +1,194 @@
+"""Unit tests for the memory substrate: memory, shadow, allocator, buffers."""
+
+import pytest
+
+from repro.mem.allocator import AllocatorViolation, QUARANTINE_DEPTH, SlabAllocator
+from repro.mem.memory import (
+    DATA_BASE,
+    FaultKind,
+    HEAP_BASE,
+    Memory,
+    MemoryFault,
+)
+from repro.mem.shadow import ShadowMemory, ShadowState
+from repro.mem.store_buffer import VirtualStoreBuffer
+from repro.mem.store_history import StoreHistory
+
+
+class TestMemory:
+    def test_little_endian_round_trip(self):
+        mem = Memory()
+        mem.store(DATA_BASE, 8, 0x0102030405060708)
+        assert mem.read_bytes(DATA_BASE, 1) == b"\x08"
+        assert mem.load(DATA_BASE, 8) == 0x0102030405060708
+
+    def test_cross_page_access(self):
+        mem = Memory()
+        addr = DATA_BASE + 0xFFE  # straddles a page boundary
+        mem.store(addr, 4, 0xAABBCCDD)
+        assert mem.load(addr, 4) == 0xAABBCCDD
+
+    def test_null_page_faults(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault) as e:
+            mem.load(8, 8)
+        assert e.value.kind == FaultKind.NULL_DEREF
+
+    def test_wild_address_is_gpf(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault) as e:
+            mem.store(0xDEAD_BEEF_0000, 8, 1)
+        assert e.value.kind == FaultKind.GPF
+
+    def test_percpu_regions_disjoint(self):
+        mem = Memory(ncpus=4)
+        bases = {mem.percpu_base(c) for c in range(4)}
+        assert len(bases) == 4
+        for base in bases:
+            mem.store(base, 8, 7)  # all mapped
+
+
+class TestShadow:
+    def test_heap_defaults_unallocated(self):
+        sh = ShadowMemory()
+        assert sh.state_at(HEAP_BASE) == ShadowState.UNALLOCATED
+        assert sh.first_bad_byte(HEAP_BASE, 8) == HEAP_BASE
+
+    def test_non_heap_not_governed(self):
+        sh = ShadowMemory()
+        assert sh.first_bad_byte(DATA_BASE, 8) is None
+
+    def test_poison_unpoison(self):
+        sh = ShadowMemory()
+        sh.set_state(HEAP_BASE, 16, ShadowState.ADDRESSABLE)
+        assert sh.first_bad_byte(HEAP_BASE, 16) is None
+        sh.set_state(HEAP_BASE + 8, 8, ShadowState.FREED)
+        assert sh.first_bad_byte(HEAP_BASE, 16) == HEAP_BASE + 8
+
+
+class TestAllocator:
+    def make(self):
+        mem = Memory()
+        sh = ShadowMemory()
+        return SlabAllocator(mem, sh), mem, sh
+
+    def test_kzalloc_zeroes(self):
+        alloc, mem, _ = self.make()
+        addr = alloc.kzalloc(32)
+        assert mem.read_bytes(addr, 32) == bytes(32)
+
+    def test_object_addressable_redzone_poisoned(self):
+        alloc, _, sh = self.make()
+        addr = alloc.kmalloc(20)  # slot 32
+        assert sh.first_bad_byte(addr, 20) is None
+        assert sh.state_at(addr + 20) == ShadowState.REDZONE
+        assert sh.state_at(addr + 32) == ShadowState.REDZONE
+
+    def test_free_poisons_whole_slot(self):
+        alloc, _, sh = self.make()
+        addr = alloc.kmalloc(20)
+        alloc.kfree(addr)
+        assert sh.state_at(addr) == ShadowState.FREED
+
+    def test_double_free_detected(self):
+        alloc, _, _ = self.make()
+        addr = alloc.kmalloc(16)
+        alloc.kfree(addr)
+        with pytest.raises(AllocatorViolation, match="double-free"):
+            alloc.kfree(addr)
+
+    def test_invalid_free_detected(self):
+        alloc, _, _ = self.make()
+        with pytest.raises(AllocatorViolation, match="invalid-free"):
+            alloc.kfree(HEAP_BASE + 12345)
+
+    def test_kfree_null_is_noop(self):
+        alloc, _, _ = self.make()
+        alloc.kfree(0)
+
+    def test_quarantine_delays_reuse(self):
+        alloc, _, _ = self.make()
+        first = alloc.kmalloc(16)
+        alloc.kfree(first)
+        # Immediately reallocating must NOT reuse the quarantined slot.
+        second = alloc.kmalloc(16)
+        assert second != first
+
+    def test_reuse_after_quarantine_drains(self):
+        alloc, _, sh = self.make()
+        first = alloc.kmalloc(16)
+        alloc.kfree(first)
+        others = [alloc.kmalloc(16) for _ in range(QUARANTINE_DEPTH + 1)]
+        for addr in others:
+            alloc.kfree(addr)  # pushes `first` out of the quarantine
+        addrs = {alloc.kmalloc(16) for _ in range(QUARANTINE_DEPTH + 2)}
+        assert first in addrs
+
+    def test_find_object_covers_redzone(self):
+        alloc, _, _ = self.make()
+        addr = alloc.kmalloc(16)
+        info = alloc.find_object(addr + 17)  # in the redzone
+        assert info is not None and info.addr == addr
+
+
+class TestStoreBuffer:
+    def test_forwarding_latest_wins(self):
+        buf = VirtualStoreBuffer()
+        buf.delay(1, 0x1000, 8, (111).to_bytes(8, "little"))
+        buf.delay(2, 0x1000, 8, (222).to_bytes(8, "little"))
+        out = buf.forward_overlay(0x1000, 8, bytes(8))
+        assert int.from_bytes(out, "little") == 222
+
+    def test_partial_overlap_byte_accurate(self):
+        buf = VirtualStoreBuffer()
+        buf.delay(1, 0x1002, 2, b"\xaa\xbb")
+        base = bytes(range(8))
+        out = buf.forward_overlay(0x1000, 8, base)
+        assert out == bytes([0, 1, 0xAA, 0xBB, 4, 5, 6, 7])
+
+    def test_flush_is_fifo(self):
+        buf = VirtualStoreBuffer()
+        buf.delay(1, 0x1000, 8, bytes(8))
+        buf.delay(2, 0x2000, 8, bytes(8))
+        order = []
+        buf.flush(lambda e: order.append(e.inst_addr))
+        assert order == [1, 2]
+        assert len(buf) == 0
+
+    def test_overlaps(self):
+        buf = VirtualStoreBuffer()
+        buf.delay(1, 0x1000, 8, bytes(8))
+        assert buf.overlaps(0x1004, 8)
+        assert not buf.overlaps(0x1008, 8)
+
+
+class TestStoreHistory:
+    def test_read_old_reconstructs_window_start(self):
+        hist = StoreHistory()
+        mem = {0x1000 + i: 0xFF for i in range(8)}
+        # value was 0, then 1 at t=5, then 2 at t=9
+        hist.record(5, 0x1000, 8, (0).to_bytes(8, "little"), (1).to_bytes(8, "little"), 1, 0)
+        hist.record(9, 0x1000, 8, (1).to_bytes(8, "little"), (2).to_bytes(8, "little"), 1, 0)
+        val, any_old = hist.read_old(0x1000, 8, window_start=3, current=lambda a: mem[a])
+        assert any_old and int.from_bytes(val, "little") == 0
+        val, any_old = hist.read_old(0x1000, 8, window_start=5, current=lambda a: mem[a])
+        assert any_old and int.from_bytes(val, "little") == 1
+
+    def test_no_in_window_write_reads_memory(self):
+        hist = StoreHistory()
+        hist.record(5, 0x1000, 8, bytes(8), (1).to_bytes(8, "little"), 1, 0)
+        val, any_old = hist.read_old(0x1000, 8, window_start=7, current=lambda a: 0xAB)
+        assert not any_old and val == bytes([0xAB] * 8)
+
+    def test_writes_in_window_filters(self):
+        hist = StoreHistory()
+        hist.record(5, 0x1000, 8, bytes(8), bytes(8), 1, 100)
+        hist.record(9, 0x2000, 8, bytes(8), bytes(8), 1, 200)
+        recs = hist.writes_in_window(0x1000, 8, window_start=1)
+        assert [r.inst_addr for r in recs] == [100]
+
+    def test_capacity_bounded(self):
+        hist = StoreHistory(max_entries=10)
+        for i in range(25):
+            hist.record(i, 0x1000, 1, b"\x00", b"\x01", 1, i)
+        assert len(hist) <= 10

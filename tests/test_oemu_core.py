@@ -1,0 +1,342 @@
+"""OEMU runtime tests: delayed stores (Figure 3), versioned loads
+(Figure 4), forwarding, windows, and the Table 2 interfaces."""
+
+import pytest
+
+from repro.kir import Annot, Builder, Program
+from repro.kir.insn import Load, Store
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE
+from repro.oemu.instrument import instrument_program
+
+X = DATA_BASE
+Y = DATA_BASE + 8
+Z = DATA_BASE + 16
+W = DATA_BASE + 24
+
+
+def make_machine(*funcs, **kw):
+    prog, _ = instrument_program(Program(list(funcs)))
+    return Machine(prog, **kw)
+
+
+def writer_xy():
+    """Figure 3's writer: I1: X=1; I2: Y=2; smp_wmb()."""
+    b = Builder("writer")
+    b.store(X, 0, 1)   # I1
+    b.store(Y, 0, 2)   # I2
+    b.wmb()
+    b.ret()
+    return b.function()
+
+
+def store_insn_addrs(machine, func_name):
+    return [
+        i.addr
+        for i in machine.program.function(func_name).insns
+        if isinstance(i, Store)
+    ]
+
+
+def load_insn_addrs(machine, func_name):
+    return [
+        i.addr
+        for i in machine.program.function(func_name).insns
+        if isinstance(i, Load)
+    ]
+
+
+class TestFigure3DelayedStore:
+    def test_delayed_store_invisible_until_barrier(self):
+        """Reproduces Figure 3 step by step."""
+        m = make_machine(writer_xy())
+        i1, i2 = store_insn_addrs(m, "writer")
+        thread = m.spawn("writer")
+        m.oemu.delay_store_at(thread.thread_id, i1)  # (1) delay_store_at(I1)
+
+        m.interp.step(thread)  # I1 executes: value held in the buffer (3)
+        assert m.memory.load(X, 8) == 0
+        assert len(m.oemu.pending_stores(thread.thread_id)) == 1
+
+        m.interp.step(thread)  # I2 executes: commits immediately (4)
+        assert m.memory.load(Y, 8) == 2
+        assert m.memory.load(X, 8) == 0  # reordered world visible
+
+        m.interp.step(thread)  # smp_wmb flushes (5)
+        assert m.memory.load(X, 8) == 1
+        assert len(m.oemu.pending_stores(thread.thread_id)) == 0
+
+    def test_default_is_in_order(self):
+        """Without delay_store_at the buffer commits immediately."""
+        m = make_machine(writer_xy())
+        thread = m.spawn("writer")
+        m.interp.step(thread)
+        assert m.memory.load(X, 8) == 1
+
+    def test_store_forwarding_same_thread(self):
+        """A core always sees its own delayed stores (§3.1)."""
+        b = Builder("selfread")
+        b.store(X, 0, 7)
+        v = b.load(X, 0)
+        b.ret(v)
+        m = make_machine(b.function())
+        thread = m.spawn("selfread")
+        st = store_insn_addrs(m, "selfread")[0]
+        m.oemu.delay_store_at(thread.thread_id, st)
+        assert m.interp.run(thread) == 7   # forwarded from the buffer
+        assert m.memory.load(X, 8) == 0    # ... while memory is untouched
+
+    def test_release_store_flushes_and_commits(self):
+        b = Builder("rel")
+        b.store(X, 0, 1)
+        b.store_release(Y, 0, 2)
+        b.ret()
+        m = make_machine(b.function())
+        thread = m.spawn("rel")
+        st = store_insn_addrs(m, "rel")[0]
+        m.oemu.delay_store_at(thread.thread_id, st)
+        m.interp.run(thread)
+        assert m.memory.load(X, 8) == 1
+        assert m.memory.load(Y, 8) == 2
+
+    def test_release_store_itself_never_delayed(self):
+        b = Builder("rel2")
+        b.store_release(X, 0, 5)
+        b.ret()
+        m = make_machine(b.function())
+        thread = m.spawn("rel2")
+        st = store_insn_addrs(m, "rel2")[0]
+        m.oemu.delay_store_at(thread.thread_id, st)
+        m.interp.run(thread)
+        assert m.memory.load(X, 8) == 5
+
+    def test_write_once_is_delayable(self):
+        """WRITE_ONCE is relaxed (Table 1) — the Figure 7 trap."""
+        b = Builder("wo")
+        b.write_once(X, 0, 9)
+        b.ret()
+        m = make_machine(b.function())
+        thread = m.spawn("wo")
+        st = store_insn_addrs(m, "wo")[0]
+        m.oemu.delay_store_at(thread.thread_id, st)
+        m.interp.run(thread)
+        assert m.memory.load(X, 8) == 0  # still parked
+        m.oemu.flush(thread.thread_id)
+        assert m.memory.load(X, 8) == 9
+
+    def test_full_barrier_flushes(self):
+        b = Builder("mbf")
+        b.store(X, 0, 1)
+        b.mb()
+        b.ret()
+        m = make_machine(b.function())
+        thread = m.spawn("mbf")
+        m.oemu.delay_store_at(thread.thread_id, store_insn_addrs(m, "mbf")[0])
+        m.interp.run(thread)
+        assert m.memory.load(X, 8) == 1
+
+    def test_interrupt_flushes(self):
+        m = make_machine(writer_xy())
+        thread = m.spawn("writer")
+        i1, _ = store_insn_addrs(m, "writer")
+        m.oemu.delay_store_at(thread.thread_id, i1)
+        m.interp.step(thread)
+        assert m.memory.load(X, 8) == 0
+        m.oemu.on_interrupt(thread.thread_id)
+        assert m.memory.load(X, 8) == 1
+
+
+def reader_wz():
+    """Figure 4's reader: smp_rmb(); I1: r1=W; I2: r2=Z; returns r1*1000+r2."""
+    b = Builder("reader")
+    b.rmb()
+    r1 = b.load(W, 0)  # I1
+    r2 = b.load(Z, 0)  # I2
+    scaled = b.mul(r1, 1000)
+    total = b.add(scaled, r2)
+    b.ret(total)
+    return b.function()
+
+
+def writer_zw():
+    """Figure 4's other core: Z=1 at t4; W=2 at t5."""
+    b = Builder("writer2")
+    b.store(Z, 0, 1)
+    b.store(W, 0, 2)
+    b.ret()
+    return b.function()
+
+
+class TestFigure4VersionedLoad:
+    def test_versioned_load_reads_window_start_value(self):
+        """Reproduces Figure 4: r1 reads updated W, r2 reads old Z."""
+        m = make_machine(reader_wz(), writer_zw())
+        reader = m.spawn("reader", cpu=0)
+        i2 = load_insn_addrs(m, "reader")[1]
+        m.oemu.read_old_value_at(reader.thread_id, i2)  # (1)
+
+        m.interp.step(reader)  # smp_rmb at t3 (3): window starts here
+        m.run("writer2", cpu=1)  # (4)(5): Z=1, W=2 committed to memory
+        result = m.interp.run(reader)  # (6) reads W=2, (7) reads old Z=0
+        assert result == 2 * 1000 + 0
+
+    def test_unversioned_load_reads_memory(self):
+        m = make_machine(reader_wz(), writer_zw())
+        reader = m.spawn("reader", cpu=0)
+        m.interp.step(reader)
+        m.run("writer2", cpu=1)
+        assert m.interp.run(reader) == 2 * 1000 + 1
+
+    def test_window_excludes_pre_barrier_writes(self):
+        """Values committed before the rmb are not 'old' candidates."""
+        m = make_machine(reader_wz(), writer_zw())
+        m.run("writer2", cpu=1)  # writes happen BEFORE the reader's rmb
+        reader = m.spawn("reader", cpu=0)
+        i2 = load_insn_addrs(m, "reader")[1]
+        m.oemu.read_old_value_at(reader.thread_id, i2)
+        assert m.interp.run(reader) == 2 * 1000 + 1  # must see Z=1
+
+    def test_store_buffer_beats_history(self):
+        """§3.2: the local store buffer is searched before the history."""
+        b = Builder("own")
+        b.rmb()
+        b.store(Z, 0, 42)
+        v = b.load(Z, 0)
+        b.ret(v)
+        m = make_machine(b.function(), writer_zw())
+        t = m.spawn("own", cpu=0)
+        loads = load_insn_addrs(m, "own")
+        stores = store_insn_addrs(m, "own")
+        m.interp.step(t)  # rmb
+        m.run("writer2", cpu=1)  # Z=1 in history window
+        m.oemu.delay_store_at(t.thread_id, stores[0])
+        m.oemu.read_old_value_at(t.thread_id, loads[0])
+        assert m.interp.run(t) == 42  # own in-flight store wins
+
+    def test_read_once_bounds_window(self):
+        """A READ_ONCE load resets t_rmb: later versioned loads cannot
+        read values older than the READ_ONCE's execution (Case 6)."""
+        b = Builder("ro")
+        b.rmb()
+        b.read_once(W, 0)
+        v = b.load(Z, 0)
+        b.ret(v)
+        m = make_machine(b.function(), writer_zw())
+        t = m.spawn("ro", cpu=0)
+        i_z = load_insn_addrs(m, "ro")[1]
+        m.oemu.read_old_value_at(t.thread_id, i_z)
+        m.interp.step(t)          # rmb
+        m.run("writer2", cpu=1)   # Z=1, W=2
+        m.interp.step(t)          # READ_ONCE(W): window resets to now
+        assert m.interp.run(t) == 1  # Z's old value no longer reachable
+
+    def test_acquire_load_never_versioned(self):
+        b = Builder("acq")
+        b.rmb()
+        v = b.load_acquire(Z, 0)
+        b.ret(v)
+        m = make_machine(b.function(), writer_zw())
+        t = m.spawn("acq", cpu=0)
+        i_z = load_insn_addrs(m, "acq")[0]
+        m.oemu.read_old_value_at(t.thread_id, i_z)
+        m.interp.step(t)
+        m.run("writer2", cpu=1)
+        assert m.interp.run(t) == 1  # acquire ignores the version request
+
+
+class TestAtomics:
+    def test_relaxed_clear_bit_does_not_flush(self):
+        """The Figure 8 semantics: clear_bit leaves delayed stores parked."""
+        b = Builder("unlock_relaxed")
+        b.store(X, 0, 1)
+        b.clear_bit(0, Y, 0)
+        b.ret()
+        m = make_machine(b.function())
+        t = m.spawn("unlock_relaxed")
+        m.oemu.delay_store_at(t.thread_id, store_insn_addrs(m, "unlock_relaxed")[0])
+        m.interp.run(t)
+        assert m.memory.load(X, 8) == 0  # still in the buffer: bug surface
+
+    def test_clear_bit_unlock_flushes(self):
+        b = Builder("unlock_release")
+        b.store(X, 0, 1)
+        b.clear_bit_unlock(0, Y, 0)
+        b.ret()
+        m = make_machine(b.function())
+        t = m.spawn("unlock_release")
+        m.oemu.delay_store_at(t.thread_id, store_insn_addrs(m, "unlock_release")[0])
+        m.interp.run(t)
+        assert m.memory.load(X, 8) == 1  # release semantics committed it
+
+    def test_test_and_set_bit_full_barrier(self):
+        b = Builder("tasb")
+        b.store(X, 0, 1)
+        old = b.test_and_set_bit(3, Y, 0)
+        b.ret(old)
+        m = make_machine(b.function())
+        t = m.spawn("tasb")
+        m.oemu.delay_store_at(t.thread_id, store_insn_addrs(m, "tasb")[0])
+        assert m.interp.run(t) == 0
+        assert m.memory.load(X, 8) == 1
+        assert m.memory.load(Y, 8) == 8
+
+    def test_atomic_on_buffered_address_flushes_for_consistency(self):
+        b = Builder("overlap")
+        b.store(X, 0, 0b100)
+        old = b.test_and_set_bit(0, X, 0)
+        v = b.load(X, 0)
+        b.ret(v)
+        m = make_machine(b.function())
+        t = m.spawn("overlap")
+        m.oemu.delay_store_at(t.thread_id, store_insn_addrs(m, "overlap")[0])
+        assert m.interp.run(t) == 0b101
+
+    def test_cmpxchg(self):
+        b = Builder("cas", params=["addr"])
+        b.store("addr", 0, 5)
+        old = b.cmpxchg("addr", 0, 5, 9)
+        v = b.load("addr", 0)
+        total = b.mul(old, 100)
+        total = b.add(total, v)
+        b.ret(total)
+        m = make_machine(b.function())
+        assert m.run("cas", (X,)) == 5 * 100 + 9
+
+
+class TestTable2Interfaces:
+    def test_controls_are_per_thread(self):
+        m = make_machine(writer_xy())
+        t1 = m.spawn("writer", cpu=0)
+        t2 = m.spawn("writer", cpu=1)
+        i1, _ = store_insn_addrs(m, "writer")
+        m.oemu.delay_store_at(t1.thread_id, i1)
+        m.interp.step(t2)  # thread 2 is unaffected
+        assert m.memory.load(X, 8) == 1
+
+    def test_clear_controls(self):
+        m = make_machine(writer_xy())
+        t = m.spawn("writer")
+        i1, _ = store_insn_addrs(m, "writer")
+        m.oemu.delay_store_at(t.thread_id, i1)
+        m.oemu.clear_controls(t.thread_id)
+        m.interp.step(t)
+        assert m.memory.load(X, 8) == 1
+
+    def test_syscall_exit_flushes(self):
+        m = make_machine(writer_xy())
+        t = m.spawn("writer")
+        i1, _ = store_insn_addrs(m, "writer")
+        m.oemu.delay_store_at(t.thread_id, i1)
+        m.interp.step(t)
+        m.oemu.on_syscall_exit(t.thread_id)
+        assert m.memory.load(X, 8) == 1
+
+    def test_stats_counters(self):
+        m = make_machine(writer_xy())
+        t = m.spawn("writer")
+        i1, _ = store_insn_addrs(m, "writer")
+        m.oemu.delay_store_at(t.thread_id, i1)
+        m.interp.run(t)
+        assert m.oemu.stats.stores == 2
+        assert m.oemu.stats.delayed == 1
+        assert m.oemu.stats.commits == 2

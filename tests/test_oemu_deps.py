@@ -1,0 +1,114 @@
+"""Tests for register-provenance dependency tracking (paper Table 6)."""
+
+import pytest
+
+from repro.kir import Builder, Program
+from repro.kir.insn import Load, Store
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE
+from repro.oemu.deps import DependencyTracker
+from repro.oemu.lkmm import DependencyKind
+
+X = DATA_BASE
+PTR = DATA_BASE + 0x40
+
+
+def run_with_deps(build):
+    b = Builder("f")
+    build(b)
+    b.ret()
+    prog = Program([b.function()])
+    m = Machine(prog, track_deps=True, with_oemu=False)
+    m.run("f")
+    func = prog.function("f")
+    loads = [i.addr for i in func.insns if isinstance(i, Load)]
+    stores = [i.addr for i in func.insns if isinstance(i, Store)]
+    return m.deps, loads, stores
+
+
+class TestDependencyKinds:
+    def test_data_dependency(self):
+        """r = *X; *Y = r  — the store's value derives from the load."""
+        def build(b):
+            v = b.load(X, 0)
+            b.store(X, 8, v)
+
+        deps, loads, stores = run_with_deps(build)
+        assert deps.has_dependency(loads[0], stores[0], DependencyKind.DATA)
+
+    def test_address_dependency_store(self):
+        """p = *PTR; *p = 1 — the store's address derives from the load."""
+        def build(b):
+            b.store(PTR, 0, X)  # PTR points at X
+            p = b.load(PTR, 0)
+            b.store(p, 0, 1)
+
+        deps, loads, stores = run_with_deps(build)
+        assert deps.has_dependency(loads[0], stores[1], DependencyKind.ADDRESS)
+
+    def test_address_dependency_load(self):
+        """p = *PTR; v = *p — Table 6: address deps also cover loads."""
+        def build(b):
+            b.store(PTR, 0, X)
+            p = b.load(PTR, 0)
+            b.load(p, 0)
+
+        deps, loads, _ = run_with_deps(build)
+        assert deps.has_dependency(loads[0], loads[1], DependencyKind.ADDRESS)
+
+    def test_control_dependency(self):
+        """if (*X) *Y = 1 — the store is control-dependent on the load."""
+        def build(b):
+            v = b.load(X, 0)
+            skip = b.label()
+            b.bne(v, 0, skip)
+            b.store(X, 8, 1)
+            b.bind(skip)
+
+        deps, loads, stores = run_with_deps(build)
+        assert deps.has_dependency(loads[0], stores[0], DependencyKind.CONTROL)
+
+    def test_dependency_through_arithmetic(self):
+        """Dependencies propagate through ALU ops (v+1 still depends)."""
+        def build(b):
+            v = b.load(X, 0)
+            w = b.add(v, 1)
+            b.store(X, 8, w)
+
+        deps, loads, stores = run_with_deps(build)
+        assert deps.has_dependency(loads[0], stores[0], DependencyKind.DATA)
+
+    def test_dependency_through_mov(self):
+        def build(b):
+            v = b.load(X, 0)
+            w = b.mov(v)
+            b.store(X, 8, w)
+
+        deps, loads, stores = run_with_deps(build)
+        assert deps.has_dependency(loads[0], stores[0], DependencyKind.DATA)
+
+    def test_overwrite_kills_taint(self):
+        """Reassigning the register breaks the dependency."""
+        def build(b):
+            v = b.load(X, 0)
+            b.mov(7, dst=v)  # overwrite with a constant
+            b.store(X, 8, v)
+
+        deps, loads, stores = run_with_deps(build)
+        assert not deps.has_dependency(loads[0], stores[0], DependencyKind.DATA)
+
+    def test_independent_accesses_have_no_edge(self):
+        def build(b):
+            b.load(X, 0)
+            b.store(X + 0x20, 0, 5)
+
+        deps, loads, stores = run_with_deps(build)
+        assert not deps.edges_between(loads[0], stores[0])
+
+    def test_reset(self):
+        tracker = DependencyTracker()
+        tracker.on_load(1, "r", None)
+        tracker.on_store(2, "r", None)
+        assert tracker.edges
+        tracker.reset()
+        assert not tracker.edges and not tracker.taint_of("r")

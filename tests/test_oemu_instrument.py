@@ -1,0 +1,107 @@
+"""Tests for the OEMU compiler pass (paper Figure 2)."""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.kernel.kernel import Kernel, KernelImage
+from repro.kir import Builder, Program
+from repro.kir.insn import AtomicRMW, Barrier, Load, Store
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE
+from repro.oemu.instrument import instrument_program, is_instrumented
+
+
+def sample_program():
+    b = Builder("f", params=["addr"])
+    v = b.load("addr", 0)
+    b.store("addr", 8, v)
+    b.wmb()
+    b.test_and_set_bit(0, "addr", 16)
+    b.add(v, 1)
+    b.ret()
+    return Program([b.function()])
+
+
+class TestPass:
+    def test_rewrites_memory_instructions_only(self):
+        prog, report = instrument_program(sample_program())
+        kinds = {type(i).__name__: i.instrumented for i in prog.function("f").insns}
+        assert kinds["Load"] and kinds["Store"] and kinds["Barrier"] and kinds["AtomicRMW"]
+        assert not kinds["BinOp"] and not kinds["Ret"]
+        assert report.rewritten == 4
+        assert report.total_insns == 6
+
+    def test_original_program_untouched(self):
+        original = sample_program()
+        instrument_program(original)
+        assert not is_instrumented(original)
+
+    def test_addresses_preserved(self):
+        """Profiles recorded on the instrumented build must reference
+        the same addresses as the plain build (one source tree, two
+        kernels — §5)."""
+        original = sample_program()
+        instrumented, _ = instrument_program(original)
+        for a, b in zip(original.all_insns(), instrumented.all_insns()):
+            assert a.addr == b.addr
+            assert type(a) is type(b)
+
+    def test_selective_instrumentation(self):
+        b1 = Builder("hot")
+        b1.store(DATA_BASE, 0, 1)
+        b1.ret()
+        b2 = Builder("cold")
+        b2.store(DATA_BASE + 8, 0, 1)
+        b2.ret()
+        prog = Program([b1.function(), b2.function()])
+        instrumented, report = instrument_program(prog, only=lambda fn: fn == "hot")
+        hot = next(i for i in instrumented.function("hot").insns if isinstance(i, Store))
+        cold = next(i for i in instrumented.function("cold").insns if isinstance(i, Store))
+        assert hot.instrumented and not cold.instrumented
+        assert report.skipped_functions == 1
+
+    def test_fraction(self):
+        _, report = instrument_program(sample_program())
+        assert 0 < report.fraction < 1
+
+
+class TestKernelBuilds:
+    def test_kernel_image_instruments_everything_by_default(self):
+        image = KernelImage(KernelConfig())
+        assert image.instrument_report is not None
+        assert image.instrument_report.rewritten > 200
+        assert is_instrumented(image.program)
+
+    def test_plain_build_has_no_instrumentation(self):
+        image = KernelImage(KernelConfig(instrumented=False))
+        assert image.instrument_report is None
+        assert not is_instrumented(image.program)
+
+    def test_plain_and_instrumented_same_addresses(self):
+        image = KernelImage(KernelConfig())
+        for a, b in zip(image.plain_program.all_insns(), image.program.all_insns()):
+            assert a.addr == b.addr
+
+    def test_uninstrumented_kernel_ignores_oemu_controls(self):
+        """Without the pass, delay_store_at has no effect — the Figure 2
+        rewrite is what gives OEMU its hooks."""
+        image = KernelImage(KernelConfig(instrumented=False))
+        kernel = Kernel(image)
+        func = kernel.program.function("post_one_notification")
+        stores = [i for i in func.insns if isinstance(i, Store)]
+        thread = kernel.spawn_syscall("watch_queue_post", (9,))
+        for s in stores:
+            kernel.oemu.delay_store_at(thread.thread_id, s.addr)
+        kernel.interp.run(thread)
+        # All stores committed despite the delay requests.
+        pipe = kernel.glob("wq_pipe")
+        assert kernel.peek(pipe) == 1  # head incremented
+
+    def test_instrument_only_config_by_subsystem(self):
+        image = KernelImage(KernelConfig(instrument_only=("rds",)))
+        rds_store = next(
+            i for i in image.program.function("sys_rds_sendmsg").insns if isinstance(i, Store)
+        )
+        core_insns = image.program.function("sys_ctxsw").insns
+        assert rds_store.instrumented
+        assert not any(i.instrumented for i in core_insns)

@@ -1,0 +1,139 @@
+"""Tests for the LKMM ppo rules (paper §3.3, Appendix §10.1).
+
+The seven cases, expressed as a decision matrix over
+:func:`repro.oemu.lkmm.reordering_allowed`, plus the barrier-semantics
+table (Table 1) that OEMU and the hint calculator share.
+"""
+
+import pytest
+
+from repro.kir.insn import Annot, AtomicOrdering, BarrierKind
+from repro.oemu.barriers import (
+    atomic_effect,
+    implicit_barriers_for_atomic,
+    implicit_barriers_for_load,
+    implicit_barriers_for_store,
+    load_effect,
+    store_effect,
+)
+from repro.oemu.lkmm import DependencyKind, PpoQuery, reordering_allowed
+
+
+def q(x, y, **kw):
+    return PpoQuery(x_is_store=(x == "W"), y_is_store=(y == "W"), **kw)
+
+
+class TestSevenCases:
+    # Case 1: smp_mb orders everything.
+    @pytest.mark.parametrize("x,y", [("W", "W"), ("W", "R"), ("R", "R"), ("R", "W")])
+    def test_case1_full_barrier(self, x, y):
+        assert not reordering_allowed(q(x, y, barrier_between=BarrierKind.FULL))
+
+    # Case 2: smp_wmb orders store-store only.
+    def test_case2_wmb_orders_stores(self):
+        assert not reordering_allowed(q("W", "W", barrier_between=BarrierKind.WMB))
+
+    def test_case2_wmb_does_not_order_loads(self):
+        assert reordering_allowed(q("R", "R", barrier_between=BarrierKind.WMB))
+
+    def test_case2_wmb_does_not_order_store_load(self):
+        assert reordering_allowed(q("W", "R", barrier_between=BarrierKind.WMB))
+
+    # Case 3: smp_rmb orders load-load only.
+    def test_case3_rmb_orders_loads(self):
+        assert not reordering_allowed(q("R", "R", barrier_between=BarrierKind.RMB))
+
+    def test_case3_rmb_does_not_order_stores(self):
+        assert reordering_allowed(q("W", "W", barrier_between=BarrierKind.RMB))
+
+    # Case 4: an acquire load is ordered before everything after it.
+    @pytest.mark.parametrize("y", ["W", "R"])
+    def test_case4_acquire(self, y):
+        assert not reordering_allowed(q("R", y, x_annot=Annot.ACQUIRE))
+
+    # Case 5: a release store is ordered after everything before it.
+    @pytest.mark.parametrize("x", ["W", "R"])
+    def test_case5_release(self, x):
+        assert not reordering_allowed(q(x, "W", y_annot=Annot.RELEASE))
+
+    # Case 6: address dependency + annotated first load.
+    def test_case6_read_once_addr_dep(self):
+        assert not reordering_allowed(
+            q("R", "R", x_annot=Annot.ONCE, dependency=DependencyKind.ADDRESS)
+        )
+
+    def test_case6_alpha_rule_plain_load(self):
+        """Without READ_ONCE the LKMM *allows* reordering dependent
+        loads — the Alpha rule."""
+        assert reordering_allowed(
+            q("R", "R", x_annot=Annot.PLAIN, dependency=DependencyKind.ADDRESS)
+        )
+
+    # Case 7: any dependency forbids load-store reordering (and OEMU
+    # never emulates it regardless).
+    @pytest.mark.parametrize(
+        "dep", [DependencyKind.DATA, DependencyKind.ADDRESS, DependencyKind.CONTROL, None]
+    )
+    def test_case7_load_store_never_reordered(self, dep):
+        assert not reordering_allowed(q("R", "W", dependency=dep))
+
+    # Defaults: unordered plain accesses may reorder.
+    @pytest.mark.parametrize("x,y", [("W", "W"), ("W", "R"), ("R", "R")])
+    def test_unordered_plain_accesses_may_reorder(self, x, y):
+        assert reordering_allowed(q(x, y))
+
+
+class TestTable1Semantics:
+    def test_plain_store_delayable(self):
+        eff = store_effect(Annot.PLAIN)
+        assert eff.delayable and not eff.store_fence_before
+
+    def test_write_once_is_relaxed(self):
+        assert store_effect(Annot.ONCE).delayable
+
+    def test_release_store_fences(self):
+        eff = store_effect(Annot.RELEASE)
+        assert eff.store_fence_before and not eff.delayable
+
+    def test_plain_load_versionable(self):
+        eff = load_effect(Annot.PLAIN)
+        assert eff.versionable and not eff.load_fence_after
+
+    def test_read_once_bounds_window(self):
+        eff = load_effect(Annot.ONCE)
+        assert eff.versionable and eff.load_fence_after
+
+    def test_acquire_load(self):
+        eff = load_effect(Annot.ACQUIRE)
+        assert eff.load_fence_after and not eff.versionable
+
+    def test_invalid_annotations_rejected(self):
+        with pytest.raises(ValueError):
+            store_effect(Annot.ACQUIRE)
+        with pytest.raises(ValueError):
+            load_effect(Annot.RELEASE)
+
+    @pytest.mark.parametrize(
+        "ordering,before,after",
+        [
+            (AtomicOrdering.RELAXED, False, False),
+            (AtomicOrdering.ACQUIRE, False, True),
+            (AtomicOrdering.RELEASE, True, False),
+            (AtomicOrdering.FULL, True, True),
+        ],
+    )
+    def test_atomic_orderings(self, ordering, before, after):
+        eff = atomic_effect(ordering)
+        assert eff.store_fence_before == before
+        assert eff.load_fence_after == after
+
+    def test_implicit_barrier_events(self):
+        assert implicit_barriers_for_store(Annot.RELEASE) == (BarrierKind.WMB,)
+        assert implicit_barriers_for_store(Annot.ONCE) == ()
+        assert implicit_barriers_for_load(Annot.ACQUIRE) == (BarrierKind.RMB,)
+        assert implicit_barriers_for_load(Annot.ONCE) == (BarrierKind.RMB,)
+        assert implicit_barriers_for_atomic(AtomicOrdering.FULL) == (
+            (BarrierKind.WMB,),
+            (BarrierKind.RMB,),
+        )
+        assert implicit_barriers_for_atomic(AtomicOrdering.RELAXED) == ((), ())

@@ -1,0 +1,242 @@
+"""Tests for the bug-detecting oracles (paper §4.4's oracle list)."""
+
+import pytest
+
+from repro.errors import KernelCrash
+from repro.kir import Builder, Program
+from repro.kir.insn import Annot
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE, HEAP_BASE
+from repro.oemu.profiler import AccessEvent
+from repro.oracles.assertions import Assertions, ReturnValueOracle
+from repro.oracles.kcsan import Kcsan
+from repro.oracles.lockdep import Lockdep
+from repro.oracles.report import (
+    CrashReport,
+    gpf_title,
+    kasan_title,
+    null_deref_title,
+)
+
+
+def machine_with(build, name="f", params=()):
+    b = Builder(name, params=params)
+    build(b)
+    prog = Program([b.function()])
+    return Machine(prog)
+
+
+class TestFaultOracle:
+    def test_null_read_title(self):
+        m = machine_with(lambda b: (b.load(0, 8), b.ret()))
+        with pytest.raises(KernelCrash) as e:
+            m.run("f")
+        assert e.value.report.title == "BUG: unable to handle kernel NULL pointer dereference in f"
+
+    def test_null_write_is_kasan_style_title(self):
+        """Table 3 #10's distinctive 'KASAN: null-ptr-deref Write' form."""
+        m = machine_with(lambda b: (b.store(8, 0, 1), b.ret()))
+        with pytest.raises(KernelCrash) as e:
+            m.run("f")
+        assert e.value.report.title == "KASAN: null-ptr-deref Write in f"
+
+    def test_wild_pointer_is_gpf(self):
+        m = machine_with(lambda b: (b.load(0xDEAD_BEEF_0000, 0), b.ret()))
+        with pytest.raises(KernelCrash) as e:
+            m.run("f")
+        assert e.value.report.title == "general protection fault in f"
+
+    def test_indirect_call_through_null(self):
+        m = machine_with(lambda b: (b.icall(0), b.ret()))
+        with pytest.raises(KernelCrash) as e:
+            m.run("f")
+        assert "NULL pointer dereference in f" in e.value.report.title
+
+    def test_indirect_call_through_garbage(self):
+        m = machine_with(lambda b: (b.icall(0x1234_5678), b.ret()))
+        with pytest.raises(KernelCrash) as e:
+            m.run("f")
+        assert e.value.report.title == "general protection fault in f"
+
+    def test_crash_names_innermost_function(self):
+        """Crash titles name the function the access executed in."""
+        inner = Builder("victim_fn", params=["p"])
+        inner.load("p", 0)
+        inner.ret()
+        outer = Builder("entry")
+        outer.call("victim_fn", 0)
+        outer.ret()
+        m = Machine(Program([inner.function(), outer.function()]))
+        with pytest.raises(KernelCrash) as e:
+            m.run("entry")
+        assert "victim_fn" in e.value.report.title
+
+
+class TestKasanOracle:
+    def test_oob_read(self):
+        m = machine_with(lambda b: (b.load("obj", 24), b.ret()), params=["obj"])
+        obj = m.allocator.kmalloc(16)
+        with pytest.raises(KernelCrash) as e:
+            m.run("f", (obj,))
+        assert e.value.report.title == "KASAN: slab-out-of-bounds Read in f"
+        assert "first bad byte" in e.value.report.detail
+
+    def test_oob_write(self):
+        m = machine_with(lambda b: (b.store("obj", 24, 1), b.ret()), params=["obj"])
+        obj = m.allocator.kmalloc(16)
+        with pytest.raises(KernelCrash) as e:
+            m.run("f", (obj,))
+        assert "Write" in e.value.report.title
+
+    def test_use_after_free(self):
+        m = machine_with(lambda b: (b.load("obj", 0), b.ret()), params=["obj"])
+        obj = m.allocator.kmalloc(16)
+        m.allocator.kfree(obj)
+        with pytest.raises(KernelCrash) as e:
+            m.run("f", (obj,))
+        assert e.value.report.title == "KASAN: use-after-free Read in f"
+        assert "freed by thread" in e.value.report.detail
+
+    def test_wild_heap_access(self):
+        m = machine_with(lambda b: (b.load(HEAP_BASE + 0x8000, 0), b.ret()))
+        with pytest.raises(KernelCrash) as e:
+            m.run("f")
+        assert "wild-memory-access" in e.value.report.title
+
+    def test_disabled_kasan_lets_access_through(self):
+        b = Builder("f", params=["obj"])
+        v = b.load("obj", 24)
+        b.ret(v)
+        m = Machine(Program([b.function()]), kasan_enabled=False)
+        obj = m.allocator.kmalloc(16)
+        m.run("f", (obj,))  # no crash
+
+    def test_report_includes_allocation_provenance(self):
+        m = machine_with(lambda b: (b.load("obj", 20), b.ret()), params=["obj"])
+        obj = m.allocator.kmalloc(16, site=0xABC, thread=7)
+        with pytest.raises(KernelCrash) as e:
+            m.run("f", (obj,))
+        assert "allocated by thread 7" in e.value.report.detail
+
+
+class TestLockdep:
+    def test_abba_deadlock_detected(self):
+        lockdep = Lockdep()
+        lockdep.on_acquire(1, 0xA, "f")
+        lockdep.on_acquire(1, 0xB, "f")  # order A -> B
+        lockdep.on_release(1, 0xB, "f")
+        lockdep.on_release(1, 0xA, "f")
+        lockdep.on_acquire(2, 0xB, "g")
+        with pytest.raises(KernelCrash) as e:
+            lockdep.on_acquire(2, 0xA, "g")  # order B -> A: cycle
+        assert "circular locking dependency" in e.value.report.title
+
+    def test_consistent_order_is_fine(self):
+        lockdep = Lockdep()
+        for thread in (1, 2):
+            lockdep.on_acquire(thread, 0xA, "f")
+            lockdep.on_acquire(thread, 0xB, "f")
+            lockdep.on_release(thread, 0xB, "f")
+            lockdep.on_release(thread, 0xA, "f")
+
+    def test_unbalanced_unlock(self):
+        lockdep = Lockdep()
+        with pytest.raises(KernelCrash) as e:
+            lockdep.on_release(1, 0xA, "f")
+        assert "bad unlock balance" in e.value.report.title
+
+    def test_lock_held_at_syscall_exit(self):
+        lockdep = Lockdep()
+        lockdep.on_acquire(1, 0xA, "f")
+        with pytest.raises(KernelCrash) as e:
+            lockdep.on_syscall_exit(1, "f")
+        assert "returning to user space" in e.value.report.title
+
+    def test_disabled_lockdep_is_silent(self):
+        lockdep = Lockdep(enabled=False)
+        lockdep.on_release(1, 0xA, "f")
+        lockdep.on_acquire(1, 0xB, "f")
+        lockdep.on_syscall_exit(1, "f")
+
+
+class TestAssertions:
+    def test_bug_on(self):
+        with pytest.raises(KernelCrash) as e:
+            Assertions().bug_on(True, "sbitmap_queue_clear")
+        assert e.value.report.title == "kernel BUG at sbitmap_queue_clear"
+
+    def test_bug_on_false_is_silent(self):
+        Assertions().bug_on(False, "f")
+
+    def test_warn_on_returns_report(self):
+        report = Assertions().warn_on(True, "f")
+        assert report is not None and report.title == "WARNING in f"
+        assert Assertions().warn_on(False, "f") is None
+
+
+class TestReturnValueOracle:
+    def test_registered_check_fires(self):
+        oracle = ReturnValueOracle()
+        oracle.register("sc", lambda rv: None if rv == 0 else "nonzero")
+        oracle.on_return("sc", 0)
+        with pytest.raises(KernelCrash) as e:
+            oracle.on_return("sc", 5)
+        assert "wrong return value from sc" in e.value.report.title
+
+    def test_unregistered_syscall_ignored(self):
+        ReturnValueOracle().on_return("other", 12345)
+
+
+def ev(inst, addr, write, annot=Annot.PLAIN, func="f"):
+    return AccessEvent(inst, addr, 8, write, 0, annot, func)
+
+
+class TestKcsan:
+    def test_plain_write_read_race(self):
+        races = Kcsan().find_races([ev(1, 0x100, True)], [ev(2, 0x100, False)])
+        assert len(races) == 1
+
+    def test_read_read_is_not_a_race(self):
+        assert not Kcsan().find_races([ev(1, 0x100, False)], [ev(2, 0x100, False)])
+
+    def test_annotated_pair_is_exempt(self):
+        races = Kcsan().find_races(
+            [ev(1, 0x100, True, Annot.ONCE)], [ev(2, 0x100, False, Annot.ONCE)]
+        )
+        assert not races
+
+    def test_disjoint_addresses_do_not_race(self):
+        assert not Kcsan().find_races([ev(1, 0x100, True)], [ev(2, 0x108, False)])
+
+    def test_model_covers_single_plain_access(self):
+        assert Kcsan().can_see_reordering([ev(1, 0x100, True)])
+
+    def test_model_misses_multi_access_reordering(self):
+        assert not Kcsan().can_see_reordering(
+            [ev(1, 0x100, True), ev(2, 0x108, True)]
+        )
+
+    def test_model_misses_annotated_window(self):
+        assert not Kcsan().can_see_reordering([ev(1, 0x100, True, Annot.ONCE)])
+
+    def test_model_misses_cross_function_window(self):
+        window = [ev(1, 0x100, False, func="a"), ev(2, 0x108, False, func="b")]
+        assert not Kcsan().can_see_reordering(window)
+
+
+class TestCrashReport:
+    def test_render_includes_ooo_context(self):
+        report = CrashReport(
+            title="T", oracle="fault", function="f", inst_addr=0x100,
+            reordered_insns=(0x10, 0x20), hypothetical_barrier=0x30,
+            barrier_test="store",
+        )
+        text = report.render()
+        assert "hypothetical store barrier at 0x30" in text
+        assert "0x10, 0x20" in text
+
+    def test_title_helpers(self):
+        assert null_deref_title("f", False).startswith("BUG:")
+        assert null_deref_title("f", True).startswith("KASAN:")
+        assert gpf_title("f") == "general protection fault in f"
+        assert kasan_title("use-after-free", True, "f") == "KASAN: use-after-free Write in f"

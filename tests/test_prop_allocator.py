@@ -1,0 +1,89 @@
+"""Property tests on the slab allocator's safety invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.allocator import AllocatorViolation, SIZE_CLASSES, SlabAllocator
+from repro.mem.memory import Memory
+from repro.mem.shadow import ShadowMemory, ShadowState
+
+req_sizes = st.integers(min_value=1, max_value=SIZE_CLASSES[-1])
+
+
+@st.composite
+def alloc_free_scripts(draw):
+    """A sequence of 'alloc size' / 'free idx' operations."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    script = []
+    live_count = 0
+    for _ in range(n):
+        if live_count and draw(st.booleans()):
+            script.append(("free", draw(st.integers(min_value=0, max_value=live_count - 1))))
+            live_count -= 1
+        else:
+            script.append(("alloc", draw(req_sizes)))
+            live_count += 1
+    return script
+
+
+def run_script(script):
+    mem = Memory()
+    shadow = ShadowMemory()
+    alloc = SlabAllocator(mem, shadow)
+    live = []
+    for op, arg in script:
+        if op == "alloc":
+            addr = alloc.kmalloc(arg)
+            live.append((addr, arg))
+        else:
+            addr, _ = live.pop(arg)
+            alloc.kfree(addr)
+    return alloc, shadow, live
+
+
+class TestAllocatorInvariants:
+    @given(alloc_free_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_live_objects_never_overlap(self, script):
+        _, _, live = run_script(script)
+        spans = sorted(
+            (addr, addr + SlabAllocator.size_class(size)) for addr, size in live
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @given(alloc_free_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_shadow_consistent_with_liveness(self, script):
+        _, shadow, live = run_script(script)
+        for addr, size in live:
+            assert shadow.first_bad_byte(addr, size) is None
+            slot = SlabAllocator.size_class(size)
+            if size < slot:
+                assert shadow.state_at(addr + size) == ShadowState.REDZONE
+
+    @given(alloc_free_scripts())
+    @settings(max_examples=40, deadline=None)
+    def test_double_free_always_caught(self, script):
+        alloc, _, live = run_script(script)
+        if not live:
+            return
+        addr, _ = live[0]
+        alloc.kfree(addr)
+        with pytest.raises(AllocatorViolation, match="double-free"):
+            alloc.kfree(addr)
+
+    @given(req_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_size_class_covers_request(self, size):
+        assert SlabAllocator.size_class(size) >= size
+
+    @given(alloc_free_scripts())
+    @settings(max_examples=40, deadline=None)
+    def test_accounting(self, script):
+        alloc, _, live = run_script(script)
+        allocs = sum(1 for op, _ in script if op == "alloc")
+        frees = sum(1 for op, _ in script if op == "free")
+        assert alloc.total_allocs == allocs
+        assert alloc.total_frees == frees
+        assert alloc.live_bytes == sum(size for _, size in live)

@@ -1,0 +1,132 @@
+"""Property tests: the virtual store buffer and store history agree with
+brute-force reference semantics (paper §3.1/§3.2 invariants)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.store_buffer import VirtualStoreBuffer
+from repro.mem.store_history import StoreHistory
+
+BASE = 0x1000
+SPAN = 64
+
+addrs = st.integers(min_value=BASE, max_value=BASE + SPAN - 8)
+sizes = st.sampled_from([1, 2, 4, 8])
+values = st.binary(min_size=8, max_size=8)
+
+
+@st.composite
+def pending_stores(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    return [(draw(addrs), draw(sizes), draw(values)) for _ in range(n)]
+
+
+class TestStoreBufferForwarding:
+    @given(pending_stores())
+    @settings(max_examples=80, deadline=None)
+    def test_forwarding_equals_apply_in_order(self, stores):
+        """Reading through the buffer == applying pending stores to the
+        base bytes in FIFO order."""
+        buf = VirtualStoreBuffer()
+        base = bytes(range(SPAN % 256)) + bytes(SPAN - (SPAN % 256))
+        base = (bytes(range(256)) * 2)[:SPAN]
+        ref = bytearray(base)
+        for i, (addr, size, value) in enumerate(stores):
+            buf.delay(i, addr, size, value[:size])
+            ref[addr - BASE : addr - BASE + size] = value[:size]
+        got = buf.forward_overlay(BASE, SPAN, base)
+        assert got == bytes(ref)
+
+    @given(pending_stores())
+    @settings(max_examples=40, deadline=None)
+    def test_flush_commits_in_fifo_order(self, stores):
+        buf = VirtualStoreBuffer()
+        for i, (addr, size, value) in enumerate(stores):
+            buf.delay(i, addr, size, value[:size])
+        order = []
+        buf.flush(lambda e: order.append(e.seq))
+        assert order == sorted(order)
+        assert len(buf) == 0
+
+    @given(pending_stores())
+    @settings(max_examples=40, deadline=None)
+    def test_overlaps_is_accurate(self, stores):
+        buf = VirtualStoreBuffer()
+        for i, (addr, size, value) in enumerate(stores):
+            buf.delay(i, addr, size, value[:size])
+        for probe in range(BASE, BASE + SPAN, 8):
+            expected = any(
+                a < probe + 8 and probe < a + s for (a, s, _) in stores
+            )
+            assert buf.overlaps(probe, 8) == expected
+
+
+@st.composite
+def committed_stores(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    out = []
+    for ts in range(1, n + 1):
+        addr = draw(addrs)
+        size = draw(sizes)
+        new = draw(values)[:size]
+        thread = draw(st.integers(min_value=1, max_value=3))
+        out.append((ts, addr, size, new, thread))
+    return out
+
+
+def replay(commits, upto_ts):
+    """Reference: memory contents after applying commits with ts <= upto."""
+    mem = bytearray(SPAN)
+    for ts, addr, size, new, _ in commits:
+        if ts <= upto_ts:
+            mem[addr - BASE : addr - BASE + size] = new
+    return mem
+
+
+class TestStoreHistoryReconstruction:
+    @given(committed_stores(), st.integers(min_value=0, max_value=13))
+    @settings(max_examples=80, deadline=None)
+    def test_read_old_equals_replay_at_window_start(self, commits, window):
+        """A versioned read of any byte returns exactly the value memory
+        held at the window start (the §3.2 semantics)."""
+        hist = StoreHistory()
+        mem = bytearray(SPAN)
+        for ts, addr, size, new, thread in commits:
+            old = bytes(mem[addr - BASE : addr - BASE + size])
+            hist.record(ts, addr, size, old, new, thread, inst_addr=ts)
+            mem[addr - BASE : addr - BASE + size] = new
+        expected = replay(commits, window)
+        got, _ = hist.read_old(
+            BASE, SPAN, window, current=lambda a: mem[a - BASE]
+        )
+        assert got == bytes(expected)
+
+    @given(committed_stores())
+    @settings(max_examples=60, deadline=None)
+    def test_own_thread_coherence_bound(self, commits):
+        """With the thread bound, no byte the thread itself wrote inside
+        the window can read back its pre-write value (po-loc)."""
+        hist = StoreHistory()
+        mem = bytearray(SPAN)
+        for ts, addr, size, new, thread in commits:
+            old = bytes(mem[addr - BASE : addr - BASE + size])
+            hist.record(ts, addr, size, old, new, thread, inst_addr=ts)
+            mem[addr - BASE : addr - BASE + size] = new
+        for reader in (1, 2, 3):
+            got, _ = hist.read_old(BASE, SPAN, 0, lambda a: mem[a - BASE], thread=reader)
+            # Every byte the reader wrote must reflect a state at or
+            # after its own last write to that byte.
+            own_last = {}
+            for ts, addr, size, new, thread in commits:
+                if thread == reader:
+                    for k in range(size):
+                        own_last[addr + k] = ts
+            for byte_addr, ts_own in own_last.items():
+                expected_floor = replay(commits, ts_own)[byte_addr - BASE]
+                # got must be value at some time >= ts_own; check that it
+                # equals replay at the earliest legal point OR any later
+                # committed state of that byte.
+                legal = {
+                    replay(commits, t)[byte_addr - BASE]
+                    for t in range(ts_own, len(commits) + 1)
+                }
+                assert got[byte_addr - BASE] in legal

@@ -1,0 +1,92 @@
+"""Property tests on Algorithm 1/2's structural invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzzer.hints import LD, ST, calculate_hints, filter_out
+from repro.kir.insn import Annot, BarrierKind
+from repro.oemu.profiler import AccessEvent, BarrierEvent, SyscallProfile
+
+SLOTS = [0x1000 + 8 * i for i in range(5)]
+
+
+@st.composite
+def event_streams(draw):
+    n = draw(st.integers(min_value=0, max_value=10))
+    events = []
+    ts = 0
+    inst = draw(st.integers(min_value=1, max_value=1000)) * 0x100
+    for _ in range(n):
+        ts += 1
+        inst += 4
+        kind = draw(st.sampled_from(["store", "load", "wmb", "rmb", "mb"]))
+        if kind in ("store", "load"):
+            events.append(
+                AccessEvent(
+                    inst,
+                    draw(st.sampled_from(SLOTS)),
+                    8,
+                    kind == "store",
+                    ts,
+                    Annot.PLAIN,
+                    "f",
+                )
+            )
+        else:
+            bk = {"wmb": BarrierKind.WMB, "rmb": BarrierKind.RMB, "mb": BarrierKind.FULL}[kind]
+            events.append(BarrierEvent(inst, bk, ts))
+    return events
+
+
+class TestHintInvariants:
+    @given(event_streams(), event_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_structural_invariants(self, ev_i, ev_j):
+        p_i = SyscallProfile("a", list(ev_i))
+        p_j = SyscallProfile("b", list(ev_j))
+        hints = calculate_hints(p_i, p_j)
+        profiles = (p_i, p_j)
+        counts = [h.nreorder for h in hints]
+        assert counts == sorted(counts, reverse=True)  # the greedy order
+        for h in hints:
+            side_accesses = {a.inst_addr for a in profiles[h.reorder_side].accesses}
+            assert h.reorder, "empty reorder set is a useless test"
+            assert set(h.reorder) <= side_accesses
+            assert h.sched_addr in side_accesses
+            assert h.sched_addr not in h.reorder
+            assert h.barrier_type in (ST, LD)
+            assert h.sched_hit >= 1
+            assert h.nreorder == len(h.reorder)
+
+    @given(event_streams(), event_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_filter_only_removes_accesses(self, ev_i, ev_j):
+        fa, fb = filter_out(ev_i, ev_j)
+        assert len(fa) <= len(ev_i) and len(fb) <= len(ev_j)
+        # Barriers all survive.
+        assert sum(isinstance(e, BarrierEvent) for e in fa) == sum(
+            isinstance(e, BarrierEvent) for e in ev_i
+        )
+        # Order is preserved.
+        kept = [e for e in ev_i if e in fa]
+        assert kept == fa
+
+    @given(event_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_no_hints_against_disjoint_partner(self, ev):
+        """A partner touching disjoint memory yields zero hints."""
+        far = [
+            AccessEvent(0x9000, 0x9000 + 8 * i, 8, True, i, Annot.PLAIN, "g")
+            for i in range(3)
+        ]
+        hints = calculate_hints(SyscallProfile("a", list(ev)), SyscallProfile("b", far))
+        for h in hints:
+            assert h.reorder_side in (0, 1)
+        # accesses on the far side can never be 'shared'
+        assert not [h for h in hints if h.reorder_side == 1]
+
+    @given(event_streams(), event_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, ev_i, ev_j):
+        p_i = SyscallProfile("a", list(ev_i))
+        p_j = SyscallProfile("b", list(ev_j))
+        assert calculate_hints(p_i, p_j) == calculate_hints(p_i, p_j)

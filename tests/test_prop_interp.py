@@ -1,0 +1,79 @@
+"""Property tests: the interpreter's ALU/control flow vs a Python model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kir import Builder, Program
+from repro.kir.insn import BinOpKind, MASK64, eval_binop
+from repro.machine import Machine
+
+ops = st.sampled_from(list(BinOpKind))
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestAluChain:
+    @given(st.lists(st.tuples(ops, u64), min_size=1, max_size=10), u64)
+    @settings(max_examples=60, deadline=None)
+    def test_chained_binops_match_reference(self, chain, start):
+        b = Builder("f", params=["x"])
+        acc = b.reg("x")
+        for op, operand in chain:
+            acc = b.binop(op, acc, operand)
+        b.ret(acc)
+        m = Machine(Program([b.function()]), with_oemu=False)
+        got = m.run("f", (start,))
+        expected = start
+        for op, operand in chain:
+            expected = eval_binop(op, expected, operand)
+        assert got == expected
+
+    @given(u64, u64)
+    @settings(max_examples=60, deadline=None)
+    def test_branch_equivalence_with_python(self, a, bval):
+        """max(a, b) via a KIR branch == Python max on u64."""
+        b = Builder("umax", params=["a", "b"])
+        take_b = b.label()
+        b.blt("a", "b", take_b)
+        b.ret("a")
+        b.bind(take_b)
+        b.ret("b")
+        m = Machine(Program([b.function()]), with_oemu=False)
+        assert m.run("umax", (a, bval)) == max(a, bval)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_loop_iteration_count(self, n):
+        b = Builder("count", params=["n"])
+        b.mov(0, dst="i")
+        top = b.label()
+        done = b.label()
+        b.bind(top)
+        b.bge("i", "n", done)
+        b.add("i", 1, dst="i")
+        b.jmp(top)
+        b.bind(done)
+        b.ret("i")
+        m = Machine(Program([b.function()]), with_oemu=False)
+        assert m.run("count", (n,)) == n
+
+    @given(st.lists(u64, min_size=0, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_call_stack_depth(self, args):
+        """Nested calls return through the whole chain correctly."""
+        funcs = []
+        prev = None
+        for i, value in enumerate(args):
+            b = Builder(f"f{i}", params=["x"])
+            v = b.binop(BinOpKind.XOR, "x", value)
+            if prev is not None:
+                v = b.call(prev, v)
+            b.ret(v)
+            funcs.append(b.function())
+            prev = f"f{i}"
+        if not funcs:
+            return
+        m = Machine(Program(funcs), with_oemu=False)
+        got = m.run(prev, (0,))
+        expected = 0
+        for value in reversed(args):
+            expected ^= value
+        assert got == expected

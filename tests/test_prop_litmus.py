@@ -1,0 +1,81 @@
+"""Property test over the litmus machinery itself.
+
+For randomly generated publish/consume programs (N init stores, a flag
+store, a guarded reader) the LKMM verdict is fully determined: the
+"flag observed but some initialization missing" outcome is reachable
+**iff** the writer lacks its store barrier or the reader lacks its load
+barrier.  OEMU's exhaustively enumerated behaviour must agree for every
+generated program — a randomized version of §2.2's Figure 1 analysis.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kir import Builder, Program
+from repro.litmus.programs import LitmusTest
+from repro.litmus.runner import LitmusRunner
+from repro.mem.memory import DATA_BASE
+
+FLAG = DATA_BASE + 0x200
+SLOTS = [DATA_BASE + 0x208 + 8 * i for i in range(3)]
+
+
+def publish_consume(n_slots: int, wmb: bool, rmb: bool) -> LitmusTest:
+    """Writer initializes ``n_slots`` values then raises the flag;
+    reader checks the flag, then reads every slot.  Returns 1 iff the
+    flag was seen with any slot still uninitialized (the OOO outcome)."""
+    w = Builder("writer")
+    for slot in SLOTS[:n_slots]:
+        w.store(slot, 0, 1)
+    if wmb:
+        w.wmb()
+    w.store(FLAG, 0, 1)
+    w.ret(0)
+
+    r = Builder("reader")
+    flag = r.load(FLAG, 0)
+    not_ready = r.label()
+    r.beq(flag, 0, not_ready)
+    if rmb:
+        r.rmb()
+    r.mov(n_slots, dst="total")
+    for slot in SLOTS[:n_slots]:
+        v = r.load(slot, 0)
+        r.sub("total", v, dst="total")
+    bug = r.label()
+    r.bne("total", 0, bug)
+    r.ret(0)   # all initialized: fine
+    r.bind(bug)
+    r.ret(1)   # OOO outcome: flag up, init missing
+    r.bind(not_ready)
+    r.ret(0)
+
+    protected = wmb and rmb
+    return LitmusTest(
+        name=f"pub/consume(n={n_slots},wmb={int(wmb)},rmb={int(rmb)})",
+        functions=(w.function(), r.function()),
+        sc_outcomes=frozenset({(0, 0)}),
+        weak_outcomes=frozenset() if protected else frozenset({(0, 1)}),
+        forbidden=frozenset({(0, 1)}) if protected else frozenset(),
+    )
+
+
+class TestPublishConsumeFamily:
+    @given(
+        st.integers(min_value=1, max_value=2),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_ooo_outcome_reachable_iff_a_barrier_is_missing(self, n, wmb, rmb):
+        test = publish_consume(n, wmb, rmb)
+        verdict = LitmusRunner(test).check()
+        assert verdict.ok, verdict.render()
+        reachable = (0, 1) in verdict.weak_observed
+        assert reachable == (not (wmb and rmb))
+
+    def test_interleaving_alone_never_reaches_it(self):
+        """Even fully unprotected, the OOO outcome needs reordering —
+        the §1 argument for why interleaving-only tools cannot see it."""
+        verdict = LitmusRunner(publish_consume(2, False, False)).check()
+        assert (0, 1) not in verdict.sc_observed
+        assert (0, 1) in verdict.weak_observed

@@ -1,0 +1,62 @@
+"""Property tests: paged memory behaves like a flat byte array."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.memory import DATA_BASE, DATA_SIZE, Memory
+
+REGION = 0x2000  # stay well inside the data region
+
+offsets = st.integers(min_value=0, max_value=REGION - 8)
+sizes = st.sampled_from([1, 2, 4, 8])
+values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@st.composite
+def access_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    return [
+        (draw(offsets), draw(sizes), draw(values))
+        for _ in range(n)
+    ]
+
+
+class TestMemoryVsReferenceModel:
+    @given(access_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_flat_bytearray(self, seq):
+        mem = Memory()
+        ref = bytearray(REGION)
+        for off, size, value in seq:
+            data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+            mem.write_bytes(DATA_BASE + off, data)
+            ref[off : off + size] = data
+        for off, size, _ in seq:
+            got = mem.read_bytes(DATA_BASE + off, size)
+            assert got == bytes(ref[off : off + size])
+
+    @given(offsets, sizes, values)
+    @settings(max_examples=60, deadline=None)
+    def test_store_load_roundtrip(self, off, size, value):
+        mem = Memory()
+        mem.store(DATA_BASE + off, size, value)
+        assert mem.load(DATA_BASE + off, size) == value & ((1 << (8 * size)) - 1)
+
+    @given(st.integers(min_value=0, max_value=0xFFF), sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_null_page_always_faults(self, addr, size):
+        from repro.mem.memory import FaultKind, MemoryFault
+
+        mem = Memory()
+        with pytest.raises(MemoryFault) as e:
+            mem.load(addr, size)
+        assert e.value.kind == FaultKind.NULL_DEREF
+
+    @given(offsets, sizes, values)
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_writes_do_not_interfere(self, off, size, value):
+        mem = Memory()
+        sentinel_off = REGION + 0x100
+        mem.store(DATA_BASE + sentinel_off, 8, 0xA5A5A5A5)
+        mem.store(DATA_BASE + off, size, value)
+        assert mem.load(DATA_BASE + sentinel_off, 8) == 0xA5A5A5A5

@@ -1,0 +1,158 @@
+"""Property tests on OEMU's core soundness invariants.
+
+These are the claims the whole tool rests on:
+
+1. **Transparency**: with no controls installed, the instrumented kernel
+   computes exactly what the plain kernel computes.
+2. **Value provenance**: a versioned load only ever returns a value that
+   the location actually held at some point in its history.
+3. **Flush completeness**: after a full barrier every delayed store is
+   in memory, in program order.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kir import Builder, Program
+from repro.kir.insn import Annot, Load, Store
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE
+from repro.oemu.instrument import instrument_program
+
+NSLOTS = 4
+annots_store = st.sampled_from([Annot.PLAIN, Annot.ONCE, Annot.RELEASE])
+annots_load = st.sampled_from([Annot.PLAIN, Annot.ONCE, Annot.ACQUIRE])
+
+
+@st.composite
+def straightline_programs(draw):
+    """A random sequence of stores/loads/barriers over NSLOTS slots."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["store", "load", "wmb", "rmb", "mb"]))
+        slot = draw(st.integers(min_value=0, max_value=NSLOTS - 1))
+        value = draw(st.integers(min_value=0, max_value=255))
+        annot = draw(annots_store if kind == "store" else annots_load)
+        ops.append((kind, slot, value, annot))
+    return ops
+
+
+def build(ops, name="f"):
+    b = Builder(name)
+    acc = b.mov(0)
+    for kind, slot, value, annot in ops:
+        addr = DATA_BASE + 8 * slot
+        if kind == "store":
+            b.store(addr, 0, value, annot=annot)
+        elif kind == "load":
+            v = b.load(addr, 0, annot=annot)
+            acc = b.add(acc, v)
+            acc = b.mul(acc, 3)
+        elif kind == "wmb":
+            b.wmb()
+        elif kind == "rmb":
+            b.rmb()
+        else:
+            b.mb()
+    b.ret(acc)
+    return Program([b.function()])
+
+
+def final_state(machine):
+    return bytes(machine.memory.read_bytes(DATA_BASE, 8 * NSLOTS))
+
+
+class TestTransparency:
+    @given(straightline_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_instrumented_equals_plain_without_controls(self, ops):
+        prog = build(ops)
+        plain = Machine(prog, with_oemu=False)
+        plain_ret = plain.run("f")
+
+        iprog, _ = instrument_program(prog)
+        inst = Machine(iprog)
+        t = inst.spawn("f")
+        inst_ret = inst.interp.run(t)
+        inst.oemu.flush(t.thread_id)
+        assert inst_ret == plain_ret
+        assert final_state(inst) == final_state(plain)
+
+    @given(straightline_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_single_thread_semantics_unchanged_by_delays(self, ops):
+        """Even with every store delayed, a single thread computes the
+        same result (store forwarding) and the same final memory (flush)."""
+        prog = build(ops)
+        plain = Machine(prog, with_oemu=False)
+        plain_ret = plain.run("f")
+
+        iprog, _ = instrument_program(prog)
+        inst = Machine(iprog)
+        t = inst.spawn("f")
+        for insn in iprog.function("f").insns:
+            if isinstance(insn, Store):
+                inst.oemu.delay_store_at(t.thread_id, insn.addr)
+        inst_ret = inst.interp.run(t)
+        inst.oemu.on_syscall_exit(t.thread_id)
+        assert inst_ret == plain_ret
+        assert final_state(inst) == final_state(plain)
+
+
+@st.composite
+def writer_ops(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    return [
+        (
+            draw(st.integers(min_value=0, max_value=NSLOTS - 1)),
+            draw(st.integers(min_value=1, max_value=255)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestValueProvenance:
+    @given(writer_ops(), st.integers(min_value=0, max_value=NSLOTS - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_versioned_load_returns_some_historical_value(self, writes, slot):
+        """A reader with every load versioned still only sees values the
+        slot actually held (0 or one of the written values)."""
+        wb = Builder("writer")
+        history_values = {slot_i: {0} for slot_i in range(NSLOTS)}
+        for s, v in writes:
+            wb.store(DATA_BASE + 8 * s, 0, v)
+            history_values[s].add(v)
+        wb.ret()
+        rb = Builder("reader")
+        v = rb.load(DATA_BASE + 8 * slot, 0)
+        rb.ret(v)
+        prog, _ = instrument_program(Program([wb.function(), rb.function()]))
+        m = Machine(prog)
+        reader = m.spawn("reader", cpu=0)
+        load = next(i for i in prog.function("reader").insns if isinstance(i, Load))
+        m.oemu.read_old_value_at(reader.thread_id, load.addr)
+        m.run("writer", cpu=1)
+        got = m.interp.run(reader)
+        assert got in history_values[slot]
+
+    @given(writer_ops())
+    @settings(max_examples=40, deadline=None)
+    def test_flush_applies_stores_in_program_order(self, writes):
+        b = Builder("w")
+        for s, v in writes:
+            b.store(DATA_BASE + 8 * s, 0, v)
+        b.ret()
+        prog, _ = instrument_program(Program([b.function()]))
+        m = Machine(prog)
+        t = m.spawn("w")
+        for insn in prog.function("w").insns:
+            if isinstance(insn, Store):
+                m.oemu.delay_store_at(t.thread_id, insn.addr)
+        m.interp.run(t)
+        m.oemu.flush(t.thread_id)
+        expected = [0] * NSLOTS
+        for s, v in writes:
+            expected[s] = v
+        for s in range(NSLOTS):
+            assert m.memory.load(DATA_BASE + 8 * s, 8) == expected[s]

@@ -1,0 +1,111 @@
+"""Tests for reproducer serialization/replay and crash minimization."""
+
+import pytest
+
+from repro.bench.campaign import sti_for_bug
+from repro.config import KernelConfig
+from repro.fuzzer.hints import calculate_hints
+from repro.fuzzer.minimize import minimize, minimize_reorder_set
+from repro.fuzzer.mti import MTI, run_mti
+from repro.fuzzer.reproducer import Reproducer
+from repro.fuzzer.sti import Call, STI, profile_sti
+from repro.kernel import KernelImage, bugs
+
+
+@pytest.fixture(scope="module")
+def image():
+    return KernelImage(KernelConfig())
+
+
+@pytest.fixture(scope="module")
+def figure1_crash(image):
+    """A crashing MTI for the Figure 1 bug, found the OZZ way."""
+    spec = bugs.get("t4_watch_queue")
+    sti, pair = sti_for_bug(spec)
+    profile = profile_sti(image, sti)
+    hints = calculate_hints(profile.profiles[pair[0]], profile.profiles[pair[1]])
+    for hint in hints:
+        if hint.barrier_type != "st":
+            continue
+        result = run_mti(image, MTI(sti, pair, hint))
+        if result.crashed and result.crash.title == spec.title:
+            return result
+    pytest.fail("setup: figure-1 bug did not reproduce")
+
+
+class TestReproducer:
+    def test_round_trip_json(self, figure1_crash):
+        repro = Reproducer.from_result(figure1_crash)
+        again = Reproducer.from_json(repro.to_json())
+        assert again == repro
+
+    def test_replay_retriggers(self, figure1_crash, image):
+        repro = Reproducer.from_result(figure1_crash)
+        assert repro.still_triggers(image)
+
+    def test_replay_against_patched_kernel_validates_fix(self, figure1_crash):
+        repro = Reproducer.from_result(figure1_crash)
+        patched = KernelImage(KernelConfig(patched=frozenset({"t4_watch_queue"})))
+        assert not repro.still_triggers(patched)
+
+    def test_describe_resolves_addresses(self, figure1_crash, image):
+        repro = Reproducer.from_result(figure1_crash)
+        text = repro.describe(image)
+        assert "post_one_notification" in text
+        assert "pipe_read" in text or "watch_queue" in text
+
+    def test_from_non_crash_rejected(self, image):
+        sti = STI((Call("null"), Call("getpid")))
+        from repro.fuzzer.hints import SchedulingHint
+
+        hint = SchedulingHint("st", 0, 0x1234, 1, (0x1234,), 1)
+        result = run_mti(image, MTI(sti, (0, 1), hint))
+        with pytest.raises(ValueError):
+            Reproducer.from_result(result)
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            Reproducer.from_json('{"version": 99}')
+
+
+class TestMinimization:
+    def test_figure1_minimizes_to_the_ops_store(self, figure1_crash, image):
+        """Figure 1's essence: only the buf->ops store must be delayed —
+        the minimal evidence for where the smp_wmb belongs."""
+        from repro.kir.insn import Store
+
+        result = minimize(image, figure1_crash.mti, figure1_crash.crash.title)
+        minimal = result.mti.hint.reorder
+        stores = [
+            i
+            for i in image.program.function("post_one_notification").insns
+            if isinstance(i, Store)
+        ]
+        ops_store = stores[1].addr  # buf->len is stores[0], buf->ops is stores[1]
+        assert minimal == (ops_store,)
+
+    def test_minimized_mti_still_crashes(self, figure1_crash, image):
+        result = minimize(image, figure1_crash.mti, figure1_crash.crash.title)
+        replay = run_mti(image, result.mti)
+        assert replay.crashed and replay.crash.title == figure1_crash.crash.title
+
+    def test_input_minimization_keeps_the_pair(self, figure1_crash, image):
+        result = minimize(image, figure1_crash.mti, figure1_crash.crash.title)
+        i, j = result.mti.pair
+        names = {result.mti.sti.calls[i].name, result.mti.sti.calls[j].name}
+        assert names == {"watch_queue_post", "pipe_read"}
+
+    def test_non_crashing_input_rejected(self, image):
+        sti = STI((Call("null"), Call("getpid")))
+        from repro.fuzzer.hints import SchedulingHint
+
+        hint = SchedulingHint("st", 0, 0x1234, 1, (0x1234,), 1)
+        with pytest.raises(ValueError):
+            minimize(image, MTI(sti, (0, 1), hint), "whatever")
+
+    def test_reorder_minimization_counts_tests(self, figure1_crash, image):
+        _, tests, dropped = minimize_reorder_set(
+            image, figure1_crash.mti, figure1_crash.crash.title
+        )
+        assert tests >= 1
+        assert dropped >= 0

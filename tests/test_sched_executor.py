@@ -1,0 +1,183 @@
+"""Tests for the hypothetical-barrier-test executor (paper Figure 5)."""
+
+import pytest
+
+from repro.kir import Builder, Program
+from repro.kir.insn import Load, Store
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE
+from repro.oemu.instrument import instrument_program
+from repro.sched import BarrierTestExecutor
+
+A = DATA_BASE + 0x00
+B = DATA_BASE + 0x08
+C = DATA_BASE + 0x10
+D = DATA_BASE + 0x18
+
+
+def figure5a_machine():
+    """CPU1 writes a, b, c then d (hypothetical wmb before d);
+    CPU2 reads d then a, b, c and returns the packed observation."""
+    w = Builder("cpu1")
+    w.store(A, 0, 1)
+    w.store(B, 0, 1)
+    w.store(C, 0, 1)
+    w.store(D, 0, 1)
+    w.ret()
+    r = Builder("cpu2")
+    rd = r.load(D, 0)
+    ra = r.load(A, 0)
+    rb = r.load(B, 0)
+    rc = r.load(C, 0)
+    s = r.mul(rd, 1000)
+    t = r.mul(ra, 100)
+    u = r.mul(rb, 10)
+    acc = r.add(s, t)
+    acc = r.add(acc, u)
+    acc = r.add(acc, rc)
+    r.ret(acc)
+    prog, _ = instrument_program(Program([w.function(), r.function()]))
+    return Machine(prog)
+
+
+class TestStoreBarrierTest:
+    def test_figure5a_observer_sees_reordered_world(self):
+        m = figure5a_machine()
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        outcome = ex.run_store_test(
+            victim, observer, sched_addr=stores[3].addr,
+            reorder_addrs=[s.addr for s in stores[:3]],
+        )
+        # CPU2 observed W(d) without W(a), W(b), W(c): d=1, a=b=c=0.
+        assert not outcome.crashed
+        assert outcome.observer_ret == 1000
+
+    def test_final_state_is_consistent_after_flush(self):
+        """Step 3 of Figure 5a: the victim resumes and the test ends
+        with every store committed (implicit mb at syscall exit)."""
+        m = figure5a_machine()
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        ex.run_store_test(victim, observer, stores[3].addr, [s.addr for s in stores[:3]])
+        for addr in (A, B, C, D):
+            assert m.memory.load(addr, 8) == 1
+
+    def test_without_reorder_set_observer_sees_program_order(self):
+        m = figure5a_machine()
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        outcome = ex.run_store_test(victim, observer, stores[3].addr, [])
+        assert outcome.observer_ret == 1111
+
+    def test_controls_cleared_after_test(self):
+        m = figure5a_machine()
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        ex.run_store_test(victim, observer, stores[3].addr, [stores[0].addr])
+        state = m.oemu.thread_state(victim.thread_id)
+        assert not state.delay_set and not state.version_set
+        assert len(state.buffer) == 0
+
+
+def figure5b_machine():
+    """CPU1 writes x, y, z, w; CPU2 reads w (after its actual rmb) then
+    z, y, x.  The hypothetical rmb sits right after R(w)."""
+    w = Builder("cpu1")
+    w.store(A, 0, 1)  # x
+    w.store(B, 0, 1)  # y
+    w.store(C, 0, 1)  # z
+    w.store(D, 0, 1)  # w
+    w.ret()
+    r = Builder("cpu2")
+    r.rmb()  # the actual barrier of Figure 5b
+    rw = r.load(D, 0)
+    rz = r.load(C, 0)
+    ry = r.load(B, 0)
+    rx = r.load(A, 0)
+    s = r.mul(rw, 1000)
+    t = r.mul(rz, 100)
+    u = r.mul(ry, 10)
+    acc = r.add(s, t)
+    acc = r.add(acc, u)
+    acc = r.add(acc, rx)
+    r.ret(acc)
+    prog, _ = instrument_program(Program([w.function(), r.function()]))
+    return Machine(prog)
+
+
+class TestLoadBarrierTest:
+    def test_figure5b_versioned_loads_read_history(self):
+        m = figure5b_machine()
+        ex = BarrierTestExecutor(m)
+        loads = [i for i in m.program.function("cpu2").insns if isinstance(i, Load)]
+        victim = m.spawn("cpu2", cpu=0)     # the reader reorders its loads
+        observer = m.spawn("cpu1", cpu=1)   # the writer builds the history
+        outcome = ex.run_load_test(
+            victim, observer, sched_addr=loads[0].addr,
+            reorder_addrs=[l.addr for l in loads[1:]],
+        )
+        # R(w) reads the updated value; R(z), R(y), R(x) read old values.
+        assert outcome.victim_ret == 1000
+
+    def test_without_version_set_reader_sees_updates(self):
+        m = figure5b_machine()
+        ex = BarrierTestExecutor(m)
+        loads = [i for i in m.program.function("cpu2").insns if isinstance(i, Load)]
+        victim = m.spawn("cpu2", cpu=0)
+        observer = m.spawn("cpu1", cpu=1)
+        outcome = ex.run_load_test(victim, observer, loads[0].addr, [])
+        assert outcome.victim_ret == 1111
+
+    def test_partial_reorder_set(self):
+        """Sliding the hypothetical barrier down (Algorithm 1 step 3):
+        only the last two loads reordered."""
+        m = figure5b_machine()
+        ex = BarrierTestExecutor(m)
+        loads = [i for i in m.program.function("cpu2").insns if isinstance(i, Load)]
+        victim = m.spawn("cpu2", cpu=0)
+        observer = m.spawn("cpu1", cpu=1)
+        outcome = ex.run_load_test(
+            victim, observer, loads[0].addr, [l.addr for l in loads[2:]]
+        )
+        assert outcome.victim_ret == 1100  # w, z updated; y, x old
+
+
+class TestCrashCapture:
+    def test_crash_in_observer_is_annotated(self):
+        w = Builder("pub")
+        w.store(A, 0, 0)       # pointer slot, stays NULL when delayed...
+        w.store(A, 0, B)       # publish &B
+        w.store(C, 0, 1)       # ready flag
+        w.ret()
+        r = Builder("consume")
+        ready = r.load(C, 0)
+        skip = r.label()
+        r.beq(ready, 0, skip)
+        p = r.load(A, 0)
+        v = r.load(p, 0)       # NULL deref when the publish store is delayed
+        r.ret(v)
+        r.bind(skip)
+        r.ret(0)
+        prog, _ = instrument_program(Program([w.function(), r.function()]))
+        m = Machine(prog)
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in prog.function("pub").insns if isinstance(i, Store)]
+        victim = m.spawn("pub", cpu=0)
+        observer = m.spawn("consume", cpu=1)
+        outcome = ex.run_store_test(
+            victim, observer, stores[2].addr, [stores[1].addr]
+        )
+        assert outcome.crashed and outcome.phase == "observer"
+        assert outcome.crash.barrier_test == "store"
+        assert outcome.crash.hypothetical_barrier == stores[2].addr
+        assert outcome.crash.reordered_insns == (stores[1].addr,)
+        assert "consume" in outcome.crash.title

@@ -1,0 +1,162 @@
+"""Tests for the custom scheduler (paper §10.3, Figure 9)."""
+
+import random
+
+import pytest
+
+from repro.errors import ExecutionLimitExceeded
+from repro.kir import Builder, Program
+from repro.kir.insn import Store
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE
+from repro.oemu.instrument import instrument_program
+from repro.sched import BreakPolicy, Breakpoint, CustomScheduler, StopReason
+
+X = DATA_BASE
+Y = DATA_BASE + 8
+
+
+def counter_program():
+    b = Builder("count", params=["n"])
+    b.mov(0, dst="i")
+    top = b.label()
+    done = b.label()
+    b.bind(top)
+    b.bge("i", "n", done)
+    b.store(X, 0, "i")
+    b.add("i", 1, dst="i")
+    b.jmp(top)
+    b.bind(done)
+    b.ret("i")
+    return Program([b.function()])
+
+
+def writer_program():
+    b = Builder("w")
+    b.store(X, 0, 1)
+    b.store(Y, 0, 2)
+    b.ret()
+    return b.function()
+
+
+class TestBreakpoints:
+    def test_after_policy_stops_past_instruction(self):
+        prog = Program([writer_program()])
+        m = Machine(prog)
+        sched = CustomScheduler(m.interp)
+        store_y = [i for i in prog.function("w").insns if isinstance(i, Store)][1]
+        t = m.spawn("w")
+        reason = sched.run_until(t, Breakpoint(store_y.addr, BreakPolicy.AFTER))
+        assert reason is StopReason.BREAKPOINT
+        assert m.memory.load(Y, 8) == 2  # the instruction executed
+
+    def test_before_policy_stops_short(self):
+        prog = Program([writer_program()])
+        m = Machine(prog)
+        sched = CustomScheduler(m.interp)
+        store_y = [i for i in prog.function("w").insns if isinstance(i, Store)][1]
+        t = m.spawn("w")
+        reason = sched.run_until(t, Breakpoint(store_y.addr, BreakPolicy.BEFORE))
+        assert reason is StopReason.BREAKPOINT
+        assert m.memory.load(X, 8) == 1   # earlier store done
+        assert m.memory.load(Y, 8) == 0   # breakpointed store NOT done
+
+    def test_hit_count_selects_nth_occurrence(self):
+        prog = counter_program()
+        m = Machine(prog)
+        sched = CustomScheduler(m.interp)
+        store = next(i for i in prog.function("count").insns if isinstance(i, Store))
+        t = m.spawn("count", (5,))
+        reason = sched.run_until(t, Breakpoint(store.addr, BreakPolicy.AFTER, hit=3))
+        assert reason is StopReason.BREAKPOINT
+        assert m.memory.load(X, 8) == 2  # third store wrote i == 2
+
+    def test_missed_breakpoint_runs_to_completion(self):
+        prog = Program([writer_program()])
+        m = Machine(prog)
+        sched = CustomScheduler(m.interp)
+        t = m.spawn("w")
+        reason = sched.run_until(t, Breakpoint(0xDEAD_0000, BreakPolicy.AFTER))
+        assert reason is StopReason.FINISHED
+
+    def test_resume_after_breakpoint(self):
+        prog = Program([writer_program()])
+        m = Machine(prog)
+        sched = CustomScheduler(m.interp)
+        store_x = [i for i in prog.function("w").insns if isinstance(i, Store)][0]
+        t = m.spawn("w")
+        sched.run_until(t, Breakpoint(store_x.addr, BreakPolicy.AFTER))
+        assert sched.run_to_completion(t) is StopReason.FINISHED
+        assert m.memory.load(Y, 8) == 2
+
+
+class TestFigure9Semantics:
+    def test_suspension_does_not_flush_store_buffer(self):
+        """The load-bearing property of Figure 9: a delayed store stays
+        uncommitted while its thread is suspended at a breakpoint."""
+        prog, _ = instrument_program(Program([writer_program()]))
+        m = Machine(prog)
+        sched = CustomScheduler(m.interp)
+        stores = [i for i in prog.function("w").insns if isinstance(i, Store)]
+        t = m.spawn("w")
+        m.oemu.delay_store_at(t.thread_id, stores[0].addr)
+        sched.run_until(t, Breakpoint(stores[1].addr, BreakPolicy.AFTER))
+        # Suspended: Y committed, X still parked in the buffer.
+        assert m.memory.load(Y, 8) == 2
+        assert m.memory.load(X, 8) == 0
+        assert len(m.oemu.pending_stores(t.thread_id)) == 1
+
+
+class TestSpinDetection:
+    def test_helper_retry_loop_detected_quickly(self):
+        b = Builder("locker", params=["lock"])
+        b.helper_void("spin_lock", "lock")
+        b.ret()
+        prog = Program([b.function()])
+        m = Machine(prog)
+
+        from repro.kernel.helpers import h_spin_lock
+
+        m.register_helper("spin_lock", h_spin_lock)
+        m.lockdep.enabled = False
+        m.memory.store(X, 8, 1, check=False)  # lock already held
+        t = m.spawn("locker", (X,))
+        sched = CustomScheduler(m.interp)
+        with pytest.raises(ExecutionLimitExceeded, match="spinning"):
+            sched.run_to_completion(t)
+        # Detection happens in ~SPIN_LIMIT steps, not the whole budget.
+        assert t.steps < CustomScheduler.SPIN_LIMIT + 16
+
+    def test_normal_loop_is_not_flagged_as_spin(self):
+        prog = counter_program()
+        m = Machine(prog)
+        sched = CustomScheduler(m.interp)
+        t = m.spawn("count", (2000,))
+        assert sched.run_to_completion(t) is StopReason.FINISHED
+
+
+class TestAlternativeSchedules:
+    def test_round_robin_completes_both(self):
+        prog = counter_program()
+        m = Machine(prog)
+        t1 = m.spawn("count", (10,))
+        t2 = m.spawn("count", (20,))
+        CustomScheduler(m.interp).run_round_robin([t1, t2], quantum=3)
+        assert t1.finished and t2.finished
+        assert (t1.retval, t2.retval) == (10, 20)
+
+    def test_random_schedule_completes_both(self):
+        prog = counter_program()
+        m = Machine(prog)
+        t1 = m.spawn("count", (10,))
+        t2 = m.spawn("count", (20,))
+        CustomScheduler(m.interp).run_random([t1, t2], random.Random(0))
+        assert t1.finished and t2.finished
+
+    def test_step_budget_enforced(self):
+        prog = counter_program()
+        m = Machine(prog)
+        t = m.spawn("count", (100_000,))
+        sched = CustomScheduler(m.interp, max_steps=500)
+        with pytest.raises(ExecutionLimitExceeded):
+            sched.run_to_completion(t)
