@@ -1,0 +1,103 @@
+"""Parallel campaign scaling — tests/s at jobs ∈ {1, 2, 4}.
+
+Companion to ``bench_throughput.py``: the same OZZ campaign budget run
+through the unified :func:`repro.campaign_api.run_campaign` entry point
+serially and sharded across worker processes.  On a multi-core machine
+the sharded runs should approach linear scaling (the shards share no
+state); on a single core they mostly measure fork/merge overhead.
+
+Besides the printed table, the run emits a JSON artifact
+(``benchmarks/artifacts/parallel_scaling.json``) with the per-job-count
+numbers, so scaling can be tracked across machines alongside the
+``bench_throughput.py`` figures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.campaign_api import CampaignSpec, run_campaign
+
+JOBS = (1, 2, 4)
+ITERATIONS = 24
+SEED = 3
+
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "artifacts", "parallel_scaling.json"
+)
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    return {
+        jobs: run_campaign(CampaignSpec(iterations=ITERATIONS, seed=SEED, jobs=jobs))
+        for jobs in JOBS
+    }
+
+
+def test_parallel_scaling(benchmark, scaling_results):
+    """Benchmark a small sharded campaign; print + persist the scaling table."""
+    benchmark.pedantic(
+        lambda: run_campaign(CampaignSpec(iterations=8, seed=9, jobs=2)),
+        rounds=3,
+        iterations=1,
+    )
+
+    serial = scaling_results[1]
+    rows = []
+    artifact = {
+        "iterations": ITERATIONS,
+        "seed": SEED,
+        "ncpus": os.cpu_count(),
+        "jobs": {},
+    }
+    for jobs, result in sorted(scaling_results.items()):
+        speedup = result.tests_per_sec / serial.tests_per_sec
+        rows.append(
+            (
+                jobs,
+                result.stats.tests_run,
+                f"{result.seconds:.2f}",
+                f"{result.tests_per_sec:.1f}",
+                f"{speedup:.2f}x",
+                f"{len(result.found_table3)}/11",
+                f"{len(result.found_table4)}/9",
+            )
+        )
+        artifact["jobs"][str(jobs)] = {
+            "tests_run": result.stats.tests_run,
+            "seconds": result.seconds,
+            "tests_per_sec": result.tests_per_sec,
+            "speedup_vs_serial": speedup,
+            "coverage": result.stats.coverage,
+            "found_table3": len(result.found_table3),
+            "found_table4": len(result.found_table4),
+        }
+    print()
+    print(
+        render_table(
+            "Parallel campaign scaling (sharded run_campaign)",
+            ["jobs", "tests", "seconds", "tests/s", "speedup", "T3", "T4"],
+            rows,
+            note=f"{os.cpu_count()} CPU(s); shards derive seed*10_000+k and split the seed corpus [k::N]",
+        )
+    )
+
+    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
+    with open(ARTIFACT_PATH, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"wrote {ARTIFACT_PATH}")
+
+    # Sharded campaigns must not lose bugs vs the serial run at the same
+    # total budget (the seed-corpus slicing guarantees full seed cover).
+    for jobs, result in scaling_results.items():
+        assert set(result.found_table3) >= set(serial.found_table3), (
+            f"jobs={jobs} lost Table 3 bugs"
+        )
+        assert set(result.found_table4) >= set(serial.found_table4), (
+            f"jobs={jobs} lost Table 4 bugs"
+        )

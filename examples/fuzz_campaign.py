@@ -4,22 +4,24 @@
 Fuzzes the buggy simulated kernel end to end — STI generation and
 profiling, scheduling-hint calculation (Algorithms 1+2), hypothetical
 memory barrier tests — and prints the crash database with the Table 3 /
-Table 4 bugs it rediscovers.
+Table 4 bugs it rediscovers.  With ``jobs > 1`` the iteration budget is
+sharded across worker processes and the results merged back into one
+campaign result (see ``repro.campaign_api``).
 
-Run:  python examples/fuzz_campaign.py [iterations] [seed]
+Run:  python examples/fuzz_campaign.py [iterations] [seed] [jobs]
 """
 
 import sys
-import time
 
+from repro.campaign_api import CampaignSpec, run_campaign
 from repro.config import KernelConfig
-from repro.fuzzer import OzzFuzzer
 from repro.kernel import KernelImage, bugs
 
 
 def main() -> None:
     iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 40
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 1
 
     print(f"building kernel image (every seeded bug present) ...")
     image = KernelImage(KernelConfig())
@@ -29,25 +31,25 @@ def main() -> None:
         f"instructions in {report.functions} functions"
     )
 
-    fuzzer = OzzFuzzer(image, seed=seed)
-    print(f"fuzzing for {iterations} iterations (seed={seed}) ...")
-    start = time.perf_counter()
-    fuzzer.run(iterations)
-    elapsed = time.perf_counter() - start
+    spec = CampaignSpec(iterations=iterations, seed=seed, jobs=jobs)
+    print(f"fuzzing for {iterations} iterations (seed={seed}, jobs={jobs}) ...")
+    result = run_campaign(spec)
 
-    stats = fuzzer.stats
+    stats = result.stats
     print(
         f"\n{stats.tests_run} tests ({stats.stis_run} STIs + {stats.mtis_run} MTIs) "
-        f"in {elapsed:.1f}s = {stats.tests_run / elapsed:.1f} tests/s"
+        f"in {result.seconds:.1f}s = {result.tests_per_sec:.1f} tests/s"
     )
     print(f"coverage: {stats.coverage} instructions, corpus: {stats.corpus_size} inputs")
+    for s in result.shards:
+        print(f"  shard {s.shard}: seed {s.seed}, {s.iterations} iterations, "
+              f"{s.tests_run} tests in {s.seconds:.1f}s")
     print()
-    print(fuzzer.crashdb.summary())
+    print(result.summary())
 
-    t3 = fuzzer.crashdb.found_table3()
-    t4 = fuzzer.crashdb.found_table4()
-    print(f"\nTable 3 bugs found: {len(t3)}/11  {t3}")
-    print(f"Table 4 bugs found: {len(t4)}/9   {t4}")
+    t3, t4 = result.found_table3, result.found_table4
+    print(f"\nTable 3 bugs found: {len(t3)}/11  {list(t3)}")
+    print(f"Table 4 bugs found: {len(t4)}/9   {list(t4)}")
     missing = {b.bug_id for b in bugs.table4_bugs()} - set(t4)
     if missing:
         print(f"not found: {sorted(missing)} (t4_sbitmap needs thread migration — paper §6.2)")

@@ -11,18 +11,18 @@ Out-of-Order Concurrency Bugs with In-Vivo Memory Access Reordering"
 * :mod:`repro.oracles` — KASAN, fault, lockdep, KCSAN, assertions,
 * :mod:`repro.kernel` — the simulated Linux with 19 seeded OOO bugs,
 * :mod:`repro.fuzzer` — OZZ itself (§4) plus comparison baselines,
+* :mod:`repro.campaign_api` — the unified campaign entry point
+  (:class:`CampaignSpec` → :func:`run_campaign` → :class:`CampaignResult`),
+  with sharded multi-process execution in :mod:`repro.fuzzer.parallel`,
 * :mod:`repro.litmus` — LKMM-compliance litmus suite (§3.3),
 * :mod:`repro.bench` — drivers regenerating every evaluation table.
 
 Quickstart::
 
-    from repro.config import KernelConfig
-    from repro.kernel import KernelImage
-    from repro.fuzzer import OzzFuzzer
+    from repro.campaign_api import CampaignSpec, run_campaign
 
-    fuzzer = OzzFuzzer(KernelImage(KernelConfig()), seed=1)
-    fuzzer.run(40)
-    print(fuzzer.crashdb.summary())
+    result = run_campaign(CampaignSpec(iterations=40, seed=1, jobs=4))
+    print(result.summary())
 """
 
 from repro.config import KernelConfig, buggy_config, fixed_config

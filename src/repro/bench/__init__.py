@@ -4,6 +4,7 @@ from repro.bench.campaign import (
     CampaignResult,
     KcsanVerdict,
     ReproResult,
+    Table3CampaignResult,
     ThroughputResult,
     heuristic_ablation,
     kcsan_comparison,
@@ -21,6 +22,7 @@ __all__ = [
     "KcsanVerdict",
     "LmbenchRow",
     "ReproResult",
+    "Table3CampaignResult",
     "ThroughputResult",
     "WORKLOADS",
     "Workload",

@@ -12,6 +12,12 @@ These functions regenerate the paper's evaluation artifacts:
 * :func:`heuristic_ablation` — §4.3: max-reorder-first hint ordering vs
   alternatives.
 * :func:`kcsan_comparison` — §7: which seeded bugs KCSAN's model covers.
+
+The campaign-shaped drivers (:func:`run_table3_campaign`,
+:func:`measure_throughput`) are thin wrappers over the unified
+:func:`repro.campaign_api.run_campaign` entry point — prefer building a
+:class:`~repro.campaign_api.CampaignSpec` directly in new code; the
+wrappers exist so established benchmarks and examples keep working.
 """
 
 from __future__ import annotations
@@ -21,13 +27,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign_api import CampaignSpec, run_campaign
 from repro.config import KernelConfig
 from repro.fuzzer.baselines import SyzkallerBaseline
-from repro.fuzzer.fuzzer import OzzFuzzer
 from repro.fuzzer.hints import SchedulingHint, calculate_hints
 from repro.fuzzer.mti import MTI, run_mti
 from repro.fuzzer.sti import STI, Call, ResourceRef, profile_sti
-from repro.fuzzer.templates import seed_inputs
 from repro.kernel import bugs
 from repro.kernel.kernel import KernelImage
 from repro.oracles.kcsan import Kcsan
@@ -160,7 +165,10 @@ def run_table4(*, with_sbitmap_modification: bool = True) -> List[ReproResult]:
 
 
 @dataclass
-class CampaignResult:
+class Table3CampaignResult:
+    """Legacy result shape of :func:`run_table3_campaign` (pre-dates the
+    unified :class:`~repro.campaign_api.CampaignResult`)."""
+
     found_table3: List[str]
     found_table4: List[str]
     unique_titles: List[str]
@@ -169,25 +177,29 @@ class CampaignResult:
     first_hit_tests: Dict[str, int] = field(default_factory=dict)
 
 
-def run_table3_campaign(*, seed: int = 1, iterations: int = 30) -> CampaignResult:
-    """§6.1: fuzz the buggy kernel from the seed corpus."""
-    image = KernelImage(KernelConfig())
-    fuzzer = OzzFuzzer(image, seed=seed)
-    start = time.perf_counter()
-    fuzzer.run(iterations)
-    elapsed = time.perf_counter() - start
-    first_hits = {
-        rec.bug_id: rec.first_test_index
-        for rec in fuzzer.crashdb.records.values()
-        if rec.bug_id
-    }
-    return CampaignResult(
-        found_table3=fuzzer.crashdb.found_table3(),
-        found_table4=fuzzer.crashdb.found_table4(),
-        unique_titles=fuzzer.crashdb.unique_titles,
-        tests_run=fuzzer.stats.tests_run,
-        seconds=elapsed,
-        first_hit_tests=first_hits,
+#: Deprecated alias, kept for established imports; new code should use
+#: :class:`repro.campaign_api.CampaignResult`.
+CampaignResult = Table3CampaignResult
+
+
+def run_table3_campaign(
+    *, seed: int = 1, iterations: int = 30, jobs: int = 1
+) -> Table3CampaignResult:
+    """§6.1: fuzz the buggy kernel from the seed corpus.
+
+    Deprecated thin wrapper over :func:`repro.campaign_api.run_campaign`;
+    kept so existing benchmarks and examples keep their result shape.
+    """
+    result = run_campaign(CampaignSpec(iterations=iterations, seed=seed, jobs=jobs))
+    return Table3CampaignResult(
+        found_table3=list(result.found_table3),
+        found_table4=list(result.found_table4),
+        unique_titles=[c.title for c in result.crashes],
+        tests_run=result.stats.tests_run,
+        seconds=result.seconds,
+        first_hit_tests={
+            c.bug_id: c.first_test_index for c in result.crashes if c.bug_id
+        },
     )
 
 
@@ -201,14 +213,18 @@ class ThroughputResult:
         return self.baseline_tests_per_sec / self.ozz_tests_per_sec
 
 
-def measure_throughput(*, iterations: int = 21, seed: int = 3) -> ThroughputResult:
+def measure_throughput(
+    *, iterations: int = 21, seed: int = 3, jobs: int = 1
+) -> ThroughputResult:
     """§6.3.2: OZZ (instrumented, hint-driven) vs the Syzkaller-like
-    in-order baseline (plain kernel, random schedules)."""
-    ozz_image = KernelImage(KernelConfig())
-    ozz = OzzFuzzer(ozz_image, seed=seed)
-    start = time.perf_counter()
-    ozz.run(iterations)
-    ozz_rate = ozz.stats.tests_run / (time.perf_counter() - start)
+    in-order baseline (plain kernel, random schedules).
+
+    Deprecated thin wrapper: the OZZ side now runs through
+    :func:`repro.campaign_api.run_campaign`, so ``jobs>1`` shards it
+    across worker processes while the baseline stays single-process.
+    """
+    ozz = run_campaign(CampaignSpec(iterations=iterations, seed=seed, jobs=jobs))
+    ozz_rate = ozz.tests_per_sec
 
     plain_image = KernelImage(KernelConfig(instrumented=False))
     baseline = SyzkallerBaseline(plain_image, seed=seed)

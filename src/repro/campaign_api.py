@@ -1,0 +1,237 @@
+"""The unified campaign API: one entry point for every fuzzing campaign.
+
+Historically each evaluation drove the fuzzer through its own ad-hoc
+function (``OzzFuzzer.run``, ``run_table3_campaign``, ``run_table4``,
+``measure_throughput``) with inconsistent signatures and result types.
+This module replaces them with a single declarative pair:
+
+* :class:`CampaignSpec` — what to run: iteration budget, RNG seed,
+  patched bug ids, worker count, optional wall-clock budget.
+* :class:`CampaignResult` — what happened: merged
+  :class:`~repro.fuzzer.fuzzer.FuzzStats`, deduplicated crash records
+  with first-finder attribution, found bug ids, wall time, and a
+  per-shard breakdown.  JSON round-trips via :meth:`CampaignResult.to_json`
+  / :meth:`CampaignResult.from_json`.
+
+:func:`run_campaign` executes a spec.  ``jobs=1`` runs in-process with
+zero fork overhead; ``jobs>1`` shards the budget across
+``multiprocessing`` workers (see :mod:`repro.fuzzer.parallel`).  Shard
+``k`` of ``N`` derives its RNG seed as ``seed * 10_000 + k`` and fuzzes
+the seed-corpus slice ``[k::N]``, so a sharded campaign covers exactly
+the serial campaign's seed inputs and its merged Table 3/4 counts are
+comparable to (never systematically below) a serial run of the same
+total budget.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.fuzzer.fuzzer import FuzzStats
+from repro.fuzzer.triage import CrashDB
+
+#: Shard-seed derivation stride: worker k runs with ``seed * SEED_STRIDE + k``.
+SEED_STRIDE = 10_000
+
+JSON_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one fuzzing campaign.
+
+    ``iterations``   total pipeline rounds, partitioned across ``jobs``.
+    ``seed``         base RNG seed; shard k derives ``seed*10_000+k``.
+    ``patched``      bug ids whose fixing barriers are compiled in.
+    ``jobs``         worker processes (1 = in-process, no fork).
+    ``time_budget``  optional wall-clock cap in seconds per shard.
+    ``use_seeds``    start from the Syzlang seed corpus (§6.1) or not.
+    """
+
+    iterations: int = 40
+    seed: int = 1
+    patched: Tuple[str, ...] = ()
+    jobs: int = 1
+    time_budget: Optional[float] = None
+    use_seeds: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ConfigError("iterations must be >= 0")
+        if self.jobs < 1:
+            raise ConfigError("need at least one job")
+        if self.time_budget is not None and self.time_budget < 0:
+            raise ConfigError("time_budget must be >= 0")
+        object.__setattr__(self, "patched", tuple(sorted(set(self.patched))))
+
+    def shard_seed(self, shard: int) -> int:
+        """The derived deterministic RNG seed for one worker."""
+        return self.seed * SEED_STRIDE + shard
+
+    def shard_iterations(self) -> Tuple[int, ...]:
+        """Partition the iteration budget across shards (remainder first)."""
+        base, rem = divmod(self.iterations, self.jobs)
+        return tuple(base + (1 if k < rem else 0) for k in range(self.jobs))
+
+
+@dataclass(frozen=True)
+class CrashSummary:
+    """One merged crash title with first-finder attribution.
+
+    ``first_test_index`` is the minimum shard-local test count at which
+    any shard first hit this title — the sharded analogue of the serial
+    campaign's tests-to-trigger number.
+    """
+
+    title: str
+    count: int
+    first_test_index: int
+    bug_id: Optional[str] = None
+    oracle: str = ""
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Per-worker breakdown of a campaign."""
+
+    shard: int
+    seed: int
+    iterations: int
+    tests_run: int
+    crashes: int
+    coverage: int
+    seconds: float
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, merged across shards.
+
+    ``stats.coverage`` is recomputed from the union of the shards'
+    covered-address sets (not a sum), so it is directly comparable to a
+    serial run's coverage.  ``crashdb`` is the full merged crash
+    database (with reproducers) when the result came from
+    :func:`run_campaign`; it is excluded from equality and JSON, and is
+    ``None`` after :meth:`from_json`.
+    """
+
+    spec: CampaignSpec
+    stats: FuzzStats
+    crashes: Tuple[CrashSummary, ...]
+    found_bug_ids: Tuple[str, ...]
+    found_table3: Tuple[str, ...]
+    found_table4: Tuple[str, ...]
+    seconds: float
+    shards: Tuple[ShardStats, ...]
+    crashdb: Optional[CrashDB] = field(default=None, compare=False, repr=False)
+
+    @property
+    def tests_per_sec(self) -> float:
+        return self.stats.tests_run / self.seconds if self.seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        """Crash-database style text summary (same shape as CrashDB's)."""
+        lines = [f"{len(self.crashes)} unique crash titles:"]
+        for c in self.crashes:
+            tag = f" [{c.bug_id}]" if c.bug_id else ""
+            lines.append(f"  x{c.count:<4d} {c.title}{tag}")
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "version": JSON_FORMAT_VERSION,
+            "spec": {
+                "iterations": self.spec.iterations,
+                "seed": self.spec.seed,
+                "patched": list(self.spec.patched),
+                "jobs": self.spec.jobs,
+                "time_budget": self.spec.time_budget,
+                "use_seeds": self.spec.use_seeds,
+            },
+            "stats": {
+                "stis_run": self.stats.stis_run,
+                "mtis_run": self.stats.mtis_run,
+                "hints_computed": self.stats.hints_computed,
+                "crashes": self.stats.crashes,
+                "hangs": self.stats.hangs,
+                "corpus_size": self.stats.corpus_size,
+                "coverage": self.stats.coverage,
+            },
+            "crashes": [
+                {
+                    "title": c.title,
+                    "count": c.count,
+                    "first_test_index": c.first_test_index,
+                    "bug_id": c.bug_id,
+                    "oracle": c.oracle,
+                }
+                for c in self.crashes
+            ],
+            "found_bug_ids": list(self.found_bug_ids),
+            "found_table3": list(self.found_table3),
+            "found_table4": list(self.found_table4),
+            "seconds": self.seconds,
+            "shards": [
+                {
+                    "shard": s.shard,
+                    "seed": s.seed,
+                    "iterations": s.iterations,
+                    "tests_run": s.tests_run,
+                    "crashes": s.crashes,
+                    "coverage": s.coverage,
+                    "seconds": s.seconds,
+                }
+                for s in self.shards
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        payload = json.loads(text)
+        if payload.get("version") != JSON_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported campaign result version {payload.get('version')!r}"
+            )
+        sp = payload["spec"]
+        spec = CampaignSpec(
+            iterations=sp["iterations"],
+            seed=sp["seed"],
+            patched=tuple(sp["patched"]),
+            jobs=sp["jobs"],
+            time_budget=sp["time_budget"],
+            use_seeds=sp["use_seeds"],
+        )
+        return cls(
+            spec=spec,
+            stats=FuzzStats(**payload["stats"]),
+            crashes=tuple(CrashSummary(**c) for c in payload["crashes"]),
+            found_bug_ids=tuple(payload["found_bug_ids"]),
+            found_table3=tuple(payload["found_table3"]),
+            found_table4=tuple(payload["found_table4"]),
+            seconds=payload["seconds"],
+            shards=tuple(ShardStats(**s) for s in payload["shards"]),
+        )
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignResult:
+    """Execute a campaign spec; the one entry point for all campaigns.
+
+    ``spec.jobs == 1`` runs the single shard in-process (no fork
+    overhead); ``spec.jobs > 1`` fans shards out to a process pool and
+    merges their stats, coverage and crash records.  Both paths go
+    through the same shard runner, so serial and parallel results are
+    produced by one code path.
+    """
+    from repro.fuzzer.parallel import merge_shards, run_sharded
+
+    start = time.perf_counter()
+    shards = run_sharded(spec)
+    seconds = time.perf_counter() - start
+    return merge_shards(spec, shards, seconds)

@@ -19,31 +19,42 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
+
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    import time
-
+    from repro.campaign_api import CampaignSpec, run_campaign
     from repro.config import KernelConfig
-    from repro.fuzzer import OzzFuzzer
+    from repro.fuzzer.fuzzer import minimize_reproducer
     from repro.kernel.kernel import KernelImage
 
-    patched = frozenset(args.patch or [])
-    image = KernelImage(KernelConfig(patched=patched))
-    fuzzer = OzzFuzzer(image, seed=args.seed)
-    start = time.perf_counter()
-    fuzzer.run(args.iterations)
-    elapsed = time.perf_counter() - start
-    print(fuzzer.crashdb.summary())
-    print(
-        f"\n{fuzzer.stats.tests_run} tests in {elapsed:.1f}s "
-        f"({fuzzer.stats.tests_run / elapsed:.1f} tests/s), "
-        f"coverage {fuzzer.stats.coverage}"
+    spec = CampaignSpec(
+        iterations=args.iterations,
+        seed=args.seed,
+        patched=tuple(args.patch or ()),
+        jobs=args.jobs,
     )
-    print(f"Table 3: {len(fuzzer.crashdb.found_table3())}/11, "
-          f"Table 4: {len(fuzzer.crashdb.found_table4())}/9")
-    if args.repro:
-        for title in fuzzer.crashdb.unique_titles:
-            mini = fuzzer.minimized_reproducer(title)
+    result = run_campaign(spec)
+    print(result.summary())
+    print(
+        f"\n{result.stats.tests_run} tests in {result.seconds:.1f}s "
+        f"({result.tests_per_sec:.1f} tests/s, jobs={spec.jobs}), "
+        f"coverage {result.stats.coverage}"
+    )
+    if spec.jobs > 1:
+        for s in result.shards:
+            print(f"  shard {s.shard}: seed {s.seed}, {s.tests_run} tests "
+                  f"in {s.seconds:.1f}s")
+    print(f"Table 3: {len(result.found_table3)}/11, "
+          f"Table 4: {len(result.found_table4)}/9")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json())
+        print(f"wrote {args.json}")
+    if args.repro and result.crashdb is not None:
+        image = KernelImage(KernelConfig(patched=frozenset(spec.patched)))
+        for title in result.crashdb.unique_titles:
+            mini = minimize_reproducer(image, result.crashdb, title)
             if mini is not None:
                 print()
                 print(mini.describe(image))
@@ -81,12 +92,31 @@ def cmd_lmbench(args: argparse.Namespace) -> int:
 
 
 def cmd_throughput(args: argparse.Namespace) -> int:
+    import json
+
     from repro.bench.campaign import measure_throughput
 
-    tp = measure_throughput(iterations=args.iterations, seed=args.seed)
-    print(f"OZZ:      {tp.ozz_tests_per_sec:8.1f} tests/s")
+    tp = measure_throughput(
+        iterations=args.iterations, seed=args.seed, jobs=args.jobs
+    )
+    print(f"OZZ:      {tp.ozz_tests_per_sec:8.1f} tests/s (jobs={args.jobs})")
     print(f"baseline: {tp.baseline_tests_per_sec:8.1f} tests/s")
     print(f"OZZ is {tp.slowdown:.1f}x slower (paper: 7.9x) — and the baseline finds no OOO bugs")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(
+                {
+                    "jobs": args.jobs,
+                    "iterations": args.iterations,
+                    "seed": args.seed,
+                    "ozz_tests_per_sec": tp.ozz_tests_per_sec,
+                    "baseline_tests_per_sec": tp.baseline_tests_per_sec,
+                    "slowdown": tp.slowdown,
+                },
+                fh,
+                indent=2,
+            )
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -137,6 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=40)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--patch", action="append", help="bug id to patch (repeatable)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes to shard the budget across")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the CampaignResult as JSON to PATH")
     p.add_argument(
         "--repro", action="store_true",
         help="print a minimized reproducer per unique crash",
@@ -153,6 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("throughput", help="OZZ vs baseline tests/s")
     p.add_argument("--iterations", type=int, default=21)
     p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the OZZ side")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the throughput numbers as JSON to PATH")
     p.set_defaults(fn=cmd_throughput)
 
     p = sub.add_parser("litmus", help="LKMM-compliance litmus suite")
@@ -169,7 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -16,13 +16,17 @@ Everything is deterministic given the RNG seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigError
 from repro.fuzzer.corpus import Corpus
 from repro.fuzzer.generator import InputGenerator
 from repro.fuzzer.hints import SchedulingHint, calculate_hints
+from repro.fuzzer.minimize import minimize
 from repro.fuzzer.mti import MTI, MTIResult, run_mti
+from repro.fuzzer.reproducer import Reproducer
 from repro.fuzzer.sti import STI, profile_sti
 from repro.fuzzer.templates import seed_inputs, templates
 from repro.fuzzer.triage import CrashDB
@@ -46,6 +50,24 @@ class FuzzStats:
         """Total executed tests (the §6.3.2 throughput unit)."""
         return self.stis_run + self.mtis_run
 
+    def merge(self, other: "FuzzStats") -> "FuzzStats":
+        """Field-wise sum of two shards' counters (pure and associative).
+
+        ``coverage`` and ``corpus_size`` are set-cardinalities, so their
+        sums are only upper bounds; the campaign-level merge in
+        :mod:`repro.fuzzer.parallel` recomputes ``coverage`` from the
+        union of the shards' address sets.
+        """
+        return FuzzStats(
+            stis_run=self.stis_run + other.stis_run,
+            mtis_run=self.mtis_run + other.mtis_run,
+            hints_computed=self.hints_computed + other.hints_computed,
+            crashes=self.crashes + other.crashes,
+            hangs=self.hangs + other.hangs,
+            corpus_size=self.corpus_size + other.corpus_size,
+            coverage=self.coverage + other.coverage,
+        )
+
 
 class OzzFuzzer:
     """The OOO-bug fuzzer."""
@@ -59,7 +81,11 @@ class OzzFuzzer:
         max_hints_per_pair: int = 6,
         max_pairs_per_sti: int = 4,
         mutate_prob: float = 0.6,
+        shard: int = 0,
+        nshards: int = 1,
     ) -> None:
+        if not (0 <= shard < nshards):
+            raise ConfigError(f"shard {shard} out of range for {nshards} shards")
         self.image = image
         self.rng = random.Random(seed)
         self.generator = InputGenerator(templates(), self.rng)
@@ -69,7 +95,12 @@ class OzzFuzzer:
         self.max_hints_per_pair = max_hints_per_pair
         self.max_pairs_per_sti = max_pairs_per_sti
         self.mutate_prob = mutate_prob
-        self._pending_seeds: List[STI] = list(seed_inputs()) if use_seeds else []
+        # A shard takes every nshards-th seed input, so an N-shard
+        # campaign collectively covers the same seed corpus as a serial
+        # one even when each shard's iteration slice is small.
+        self._pending_seeds: List[STI] = (
+            list(seed_inputs())[shard::nshards] if use_seeds else []
+        )
 
     # -- input selection -----------------------------------------------------
 
@@ -112,40 +143,19 @@ class OzzFuzzer:
                     self.stats.crashes += 1
                     record = self.crashdb.add(result.crash, self.stats.tests_run)
                     if record.count == 1 and record.reproducer is None:
-                        from repro.fuzzer.reproducer import Reproducer
-
                         record.reproducer = Reproducer.from_result(
                             result, self.image.config
                         )
         return results
 
-    def minimized_reproducer(self, title: str):
+    def minimized_reproducer(self, title: str) -> Optional[Reproducer]:
         """Minimize a found crash's trigger (syzkaller-style repro).
 
         Returns a :class:`~repro.fuzzer.reproducer.Reproducer` whose
         input and reorder set have been shrunk to the essentials — the
         minimal evidence for the missing barrier's location.
         """
-        from dataclasses import replace as dc_replace
-
-        from repro.fuzzer.minimize import minimize
-        from repro.fuzzer.reproducer import Reproducer
-
-        record = self.crashdb.records.get(title)
-        if record is None or record.reproducer is None:
-            return None
-        original: Reproducer = record.reproducer
-        result = minimize(
-            self.image,
-            MTI(sti=original.sti, pair=original.pair, hint=original.hint),
-            title,
-        )
-        return dc_replace(
-            original,
-            sti=result.mti.sti,
-            pair=result.mti.pair,
-            hint=result.mti.hint,
-        )
+        return minimize_reproducer(self.image, self.crashdb, title)
 
     def _choose_pairs(self, n: int) -> List[Tuple[int, int]]:
         """Adjacent pairs first (most likely to share state), then others."""
@@ -158,8 +168,16 @@ class OzzFuzzer:
 
     # -- campaign drivers ------------------------------------------------------------
 
-    def run(self, iterations: int) -> FuzzStats:
+    def run(self, iterations: int, *, deadline: Optional[float] = None) -> FuzzStats:
+        """Run ``iterations`` pipeline rounds.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp; when
+        given, the loop stops at the first iteration boundary past it
+        (how :mod:`repro.campaign_api` enforces ``time_budget``).
+        """
         for _ in range(iterations):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
             self.fuzz_one()
         return self.stats
 
@@ -173,3 +191,28 @@ class OzzFuzzer:
             if target.issubset(self.crashdb.found_bug_ids()):
                 break
         return self.stats, self.crashdb.found_bug_ids()
+
+
+def minimize_reproducer(
+    image: KernelImage, crashdb: CrashDB, title: str
+) -> Optional[Reproducer]:
+    """Minimize the recorded reproducer for ``title`` against ``image``.
+
+    Standalone so merged multi-shard crash databases (which outlive any
+    single fuzzer instance) can be minimized too.
+    """
+    record = crashdb.records.get(title)
+    if record is None or record.reproducer is None:
+        return None
+    original: Reproducer = record.reproducer
+    result = minimize(
+        image,
+        MTI(sti=original.sti, pair=original.pair, hint=original.hint),
+        title,
+    )
+    return dc_replace(
+        original,
+        sti=result.mti.sti,
+        pair=result.mti.pair,
+        hint=result.mti.hint,
+    )

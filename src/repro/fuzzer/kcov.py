@@ -41,6 +41,11 @@ class CoverageMap:
     def __len__(self) -> int:
         return len(self._seen)
 
+    @property
+    def addrs(self) -> FrozenSet[int]:
+        """The covered address set (for cross-shard set-union merging)."""
+        return frozenset(self._seen)
+
     def merge(self, addrs: Iterable[int]) -> int:
         """Merge new coverage; returns how many addresses were new."""
         before = len(self._seen)

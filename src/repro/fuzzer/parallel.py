@@ -1,0 +1,153 @@
+"""Sharded multi-process campaign execution.
+
+OZZ's campaign loop is embarrassingly parallel across RNG seeds: real
+kernel fuzzers get their throughput from fleets of VMs, and the
+simulated kernel here is a pure-Python object with no shared state
+between instances.  This module partitions a :class:`CampaignSpec`'s
+iteration budget across N ``multiprocessing`` workers, each running its
+own :class:`~repro.fuzzer.fuzzer.OzzFuzzer` on a private
+:class:`~repro.kernel.kernel.KernelImage`, and merges the shards back
+into one :class:`~repro.campaign_api.CampaignResult`:
+
+* **seeds** — shard k derives ``spec.seed * 10_000 + k`` and takes the
+  seed-corpus slice ``[k::N]``, so the union of shard seed inputs is
+  exactly the serial campaign's corpus,
+* **stats** — :meth:`FuzzStats.merge` (counter sums), with coverage
+  recomputed from the set-union of shard address sets,
+* **crashes** — :meth:`CrashDB.merge`, preserving first-finder
+  attribution (minimum tests-at-discovery across shards) so Table 3/4
+  numbers stay meaningful.
+
+Everything a worker receives or returns is picklable, so the pool works
+under both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, FrozenSet, List, Sequence
+
+from repro.config import KernelConfig
+from repro.fuzzer.fuzzer import FuzzStats, OzzFuzzer
+from repro.fuzzer.triage import CrashDB
+from repro.kernel.kernel import KernelImage
+
+if TYPE_CHECKING:  # deferred at runtime: campaign_api imports this package
+    from repro.campaign_api import CampaignResult, CampaignSpec
+
+
+@dataclass
+class ShardResult:
+    """One worker's raw output, shipped back over the pool."""
+
+    shard: int
+    seed: int
+    iterations: int
+    stats: FuzzStats
+    crashdb: CrashDB
+    coverage: FrozenSet[int]
+    seconds: float
+
+
+def run_shard(spec: "CampaignSpec", shard: int) -> ShardResult:
+    """Run one shard of a campaign (top-level, hence pool-picklable).
+
+    Builds a private kernel image and fuzzer with the shard's derived
+    seed, runs its slice of the iteration budget, and returns the
+    picklable pieces the merge needs.
+    """
+    iterations = spec.shard_iterations()[shard]
+    seed = spec.shard_seed(shard)
+    image = KernelImage(KernelConfig(patched=frozenset(spec.patched)))
+    fuzzer = OzzFuzzer(
+        image,
+        seed=seed,
+        use_seeds=spec.use_seeds,
+        shard=shard,
+        nshards=spec.jobs,
+    )
+    deadline = (
+        time.monotonic() + spec.time_budget if spec.time_budget is not None else None
+    )
+    start = time.perf_counter()
+    fuzzer.run(iterations, deadline=deadline)
+    seconds = time.perf_counter() - start
+    return ShardResult(
+        shard=shard,
+        seed=seed,
+        iterations=iterations,
+        stats=fuzzer.stats,
+        crashdb=fuzzer.crashdb,
+        coverage=fuzzer.corpus.coverage.addrs,
+        seconds=seconds,
+    )
+
+
+def run_sharded(spec: "CampaignSpec") -> List[ShardResult]:
+    """Run every shard of a campaign; the list is ordered by shard index.
+
+    ``jobs=1`` short-circuits to a direct in-process call — the serial
+    path pays no fork or pickling overhead but still goes through the
+    same :func:`run_shard` code as the parallel one.
+    """
+    if spec.jobs == 1:
+        return [run_shard(spec, 0)]
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    with ctx.Pool(processes=spec.jobs) as pool:
+        return pool.starmap(run_shard, [(spec, k) for k in range(spec.jobs)])
+
+
+def merge_shards(
+    spec: "CampaignSpec", shards: Sequence[ShardResult], seconds: float
+) -> "CampaignResult":
+    """Fold shard results into one campaign result.
+
+    Coverage is the cardinality of the shards' address-set union, so the
+    merged number is comparable to a serial run's (duplicate addresses
+    across shards are not double-counted).
+    """
+    from repro.campaign_api import CampaignResult, CrashSummary, ShardStats
+
+    stats = shards[0].stats
+    crashdb = shards[0].crashdb
+    for s in shards[1:]:
+        stats = stats.merge(s.stats)
+        crashdb = crashdb.merge(s.crashdb)
+    merged_cov: FrozenSet[int] = frozenset().union(*(s.coverage for s in shards))
+    stats = replace(stats, coverage=len(merged_cov))
+    crashes = tuple(
+        CrashSummary(
+            title=rec.title,
+            count=rec.count,
+            first_test_index=rec.first_test_index,
+            bug_id=rec.bug_id,
+            oracle=rec.first_report.oracle,
+        )
+        for _, rec in sorted(crashdb.records.items())
+    )
+    shard_stats = tuple(
+        ShardStats(
+            shard=s.shard,
+            seed=s.seed,
+            iterations=s.iterations,
+            tests_run=s.stats.tests_run,
+            crashes=s.stats.crashes,
+            coverage=s.stats.coverage,
+            seconds=s.seconds,
+        )
+        for s in shards
+    )
+    return CampaignResult(
+        spec=spec,
+        stats=stats,
+        crashes=crashes,
+        found_bug_ids=tuple(crashdb.found_bug_ids()),
+        found_table3=tuple(crashdb.found_table3()),
+        found_table4=tuple(crashdb.found_table4()),
+        seconds=seconds,
+        shards=shard_stats,
+        crashdb=crashdb,
+    )

@@ -8,7 +8,7 @@ benchmarks can report which paper bugs were (re)found.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.kernel import bugs
@@ -47,6 +47,29 @@ class CrashDB:
         else:
             record.count += 1
         return record
+
+    def merge(self, other: "CrashDB") -> "CrashDB":
+        """Combine two shards' crash databases into a new one.
+
+        Pure and associative: occurrence counts sum, and first-finder
+        attribution is preserved — the merged record keeps the *minimum*
+        ``first_test_index`` across shards (ties break toward ``self``),
+        along with that finder's report, so Table 3/4 tests-to-trigger
+        numbers stay meaningful after a sharded campaign.
+        """
+        out = CrashDB()
+        for db in (self, other):
+            for title, rec in db.records.items():
+                cur = out.records.get(title)
+                if cur is None:
+                    out.records[title] = replace(rec)
+                    continue
+                first = cur if cur.first_test_index <= rec.first_test_index else rec
+                merged = replace(first, count=cur.count + rec.count)
+                if merged.reproducer is None:
+                    merged.reproducer = cur.reproducer or rec.reproducer
+                out.records[title] = merged
+        return out
 
     @property
     def unique_titles(self) -> List[str]:
