@@ -1,0 +1,121 @@
+"""KIRA static hint seeding — campaign ablation at equal budget.
+
+The same Table-3-style campaign run twice through
+:func:`repro.campaign_api.run_campaign`: once dynamic-only (the paper's
+pipeline) and once with ``static_hints=True``, which (a) orders each
+pair's scheduling hints by :func:`repro.fuzzer.hints.hint_static_tier`
+against KIRA's static reordering candidates and (b) schedules syscall
+pairs whose static candidate sets overlap on the same addresses first.
+Both knobs only *reorder* work — the selected pairs and the per-pair
+hint budget are unchanged — so the two runs execute the same number of
+tests and the comparison isolates search order.
+
+The interesting figure is tests-to-first-crash per seeded bug: static
+seeding must never find a bug later than the dynamic-only baseline at
+the same budget, and should find some strictly earlier (the lint's
+candidates point at the buggy pairs before any profile exists).
+
+Besides the printed table, the run emits a JSON artifact
+(``benchmarks/artifacts/static_hints.json``) with the per-bug numbers,
+alongside the other bench artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.campaign_api import CampaignSpec, run_campaign
+
+ITERATIONS = 40
+SEED = 1
+
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "artifacts", "static_hints.json"
+)
+
+
+def _first_hits(result):
+    return {c.bug_id: c.first_test_index for c in result.crashes if c.bug_id}
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    off = run_campaign(CampaignSpec(iterations=ITERATIONS, seed=SEED))
+    on = run_campaign(
+        CampaignSpec(iterations=ITERATIONS, seed=SEED, static_hints=True)
+    )
+    return off, on
+
+
+def test_static_hints_ablation(benchmark, ablation_results):
+    """Benchmark a small static-hints campaign; print + persist the
+    per-bug tests-to-first-crash comparison."""
+    benchmark.pedantic(
+        lambda: run_campaign(
+            CampaignSpec(iterations=8, seed=9, static_hints=True)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    off, on = ablation_results
+    hits_off, hits_on = _first_hits(off), _first_hits(on)
+
+    rows = []
+    artifact = {
+        "iterations": ITERATIONS,
+        "seed": SEED,
+        "tests_run": {"off": off.stats.tests_run, "on": on.stats.tests_run},
+        "bugs": {},
+    }
+    improved = []
+    for bug_id in sorted(set(hits_off) | set(hits_on)):
+        t_off = hits_off.get(bug_id)
+        t_on = hits_on.get(bug_id)
+        if t_off is not None and t_on is not None:
+            delta = t_off - t_on
+            verdict = "earlier" if delta > 0 else ("same" if delta == 0 else "later")
+        else:
+            verdict = "only static" if t_off is None else "only dynamic"
+        if verdict == "earlier":
+            improved.append(bug_id)
+        rows.append((bug_id, t_off if t_off is not None else "-",
+                     t_on if t_on is not None else "-", verdict))
+        artifact["bugs"][bug_id] = {
+            "tests_to_first_crash_dynamic": t_off,
+            "tests_to_first_crash_static": t_on,
+            "verdict": verdict,
+        }
+    print()
+    print(
+        render_table(
+            "Static hint seeding (tests to first crash, equal budget)",
+            ["bug", "dynamic-only", "w/ static hints", "verdict"],
+            rows,
+            note=f"{ITERATIONS} iterations, seed {SEED}; "
+            f"{len(improved)} bugs found strictly earlier",
+        )
+    )
+
+    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
+    with open(ARTIFACT_PATH, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"wrote {ARTIFACT_PATH}")
+
+    # Equal budget: static seeding reorders the search, it must not
+    # change how much work runs.
+    assert on.stats.tests_run == off.stats.tests_run
+
+    # Never worse on any seeded bug the baseline finds ...
+    for bug_id, t_off in hits_off.items():
+        t_on = hits_on.get(bug_id)
+        assert t_on is not None, f"static hints lost {bug_id}"
+        assert t_on <= t_off, (
+            f"{bug_id}: static hints slower ({t_on} vs {t_off} tests)"
+        )
+    # ... and strictly better on at least two.
+    assert len(improved) >= 2, f"only improved {improved}"

@@ -1,0 +1,44 @@
+"""KIRA: static analysis over KIR programs.
+
+The static sibling of the dynamic OEMU pipeline.  Where the fuzzer
+*executes* instrumented code to discover reorderable access pairs, KIRA
+derives the same class of facts from the program text alone:
+
+* :mod:`repro.analysis.reaching` — flow-sensitive reaching definitions
+  (backs the use-before-def check in :mod:`repro.kir.validate`);
+* :mod:`repro.analysis.barriers` — the barrier lint and the
+  :func:`~repro.analysis.barriers.static_reordering_candidates` hint
+  source consumed by the fuzzer;
+* :mod:`repro.analysis.locks` — lockdep-style lock-pairing checks;
+* :mod:`repro.analysis.lint` — orchestration + reporting
+  (the ``repro lint`` CLI and KernelImage strict mode).
+
+Built on :mod:`repro.kir.cfg` and :mod:`repro.kir.dataflow`.  This
+package may import from ``repro.kir`` and ``repro.oemu`` but never from
+``repro.kernel`` or the fuzzer, so every layer above can use it freely.
+"""
+
+from repro.analysis.barriers import (
+    StaticCandidate,
+    candidate_addr_sets,
+    candidate_pairs,
+    static_reordering_candidates,
+)
+from repro.analysis.lint import Finding, LintReport, lint_program, render_report
+from repro.analysis.locks import LockFinding, check_lock_pairing
+from repro.analysis.reaching import reaching_definitions, undefined_reads
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LockFinding",
+    "StaticCandidate",
+    "candidate_addr_sets",
+    "candidate_pairs",
+    "check_lock_pairing",
+    "lint_program",
+    "reaching_definitions",
+    "render_report",
+    "static_reordering_candidates",
+    "undefined_reads",
+]

@@ -1,0 +1,315 @@
+"""Barrier lint: static enumeration of OOO reordering candidates.
+
+The static counterpart of the paper's dynamic pipeline.  Where OZZ
+profiles an execution (§4.2) and slides hypothetical barriers through
+the observed access stream (§4.3), this pass walks each KIR function's
+CFG and asks, for every program-ordered pair of memory accesses X..Y to
+*distinct* locations: could the LKMM — evaluated through the same seven
+ppo cases OEMU is built on (:mod:`repro.oemu.lkmm`) — permit Y to be
+observed before X?
+
+A pair is reported as a :class:`StaticCandidate` when all of:
+
+* **mechanism** — OEMU's delayed-store / versioned-load machinery could
+  actually produce the reordering (a release store is never delayed, an
+  acquire load never versioned);
+* **path** — some CFG path from X to Y avoids every ordering edge of the
+  pair's kind: explicit barriers, fence-ordered atomics, implicit
+  barriers from RELEASE/ACQUIRE/ONCE annotations, ordered helper calls
+  (``spin_lock``/``spin_unlock``), and calls to functions that order the
+  kind on *all* of their own paths (interprocedural summaries);
+* **ppo** — :func:`repro.oemu.lkmm.reordering_allowed` says the LKMM
+  permits it, given the pair's annotations and any static address
+  dependency from :class:`repro.oemu.deps.StaticDeps` (Cases 4-6).
+
+Candidates are exactly the pairs a missing barrier would leave exposed,
+so they double as fuzzing hints: :func:`static_reordering_candidates`
+feeds :mod:`repro.fuzzer.hints` and the fuzzer's pair scheduler before
+any dynamic profile exists.
+
+The analysis is intraprocedural over access pairs (X and Y in one
+function) with callee *ordering* summaries; a pair spanning a call
+boundary (store in caller, store in callee) is approximated by the
+pairs inside each function — adequate for hint seeding, where the
+dynamic stage confirms or refutes every candidate anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.kir.cfg import CFG
+from repro.kir.function import Function, Program
+from repro.kir.insn import (
+    Annot,
+    Call,
+    Helper,
+    Imm,
+    Insn,
+    Load,
+    Ret,
+    Store,
+)
+from repro.oemu.deps import StaticDeps
+from repro.oemu.lkmm import (
+    DependencyKind,
+    PpoQuery,
+    insn_orders_loads,
+    insn_orders_stores,
+    load_pair_mechanism_possible,
+    reordering_allowed,
+    store_pair_mechanism_possible,
+)
+
+#: Barrier-type tags, matching :data:`repro.fuzzer.hints.ST` / ``LD``.
+ST = "st"
+LD = "ld"
+
+#: Kernel helpers with ordering semantics (see
+#: :func:`repro.kernel.helpers.h_spin_lock` / ``h_spin_unlock``):
+#: taking a spin lock resets the versioning window (acquire), releasing
+#: it flushes the store buffer (release).
+ORDERED_HELPERS = {
+    "spin_lock": LD,
+    "spin_unlock": ST,
+}
+
+
+@dataclass(frozen=True)
+class StaticCandidate:
+    """One statically-enumerated reordering candidate X..Y."""
+
+    kind: str            # ST ("st": store-store) | LD ("ld": load-load)
+    function: str
+    x_index: int
+    y_index: int
+    x_addr: int          # linked instruction addresses (0 if unlinked)
+    y_addr: int
+    x_loc: str           # symbolic location keys ("[base+off]")
+    y_loc: str
+
+    def __repr__(self) -> str:
+        return (
+            f"<cand {self.kind} {self.function}[{self.x_index}->{self.y_index}] "
+            f"{self.x_loc}..{self.y_loc}>"
+        )
+
+
+def location_key(insn) -> str:
+    """Symbolic location of a memory access: base operand + offset.
+
+    Immediate bases are global addresses; register bases stay symbolic
+    per (function-local) register name.  Two accesses with different
+    keys are treated as *potentially distinct* locations — conservative
+    toward reporting, which is the right direction for hints.
+    """
+    if isinstance(insn.base, Imm):
+        return f"[{insn.base.value:#x}+{insn.offset:#x}]"
+    return f"[%{insn.base.name}+{insn.offset:#x}]"
+
+
+# ---------------------------------------------------------------------------
+# Callee ordering summaries (interprocedural fixpoint).
+# ---------------------------------------------------------------------------
+
+
+def _insn_orders(insn: Insn, kind: str, summaries: Dict[str, Set[str]]) -> bool:
+    """Does ``insn`` act as an ordering edge of ``kind`` between a pair?"""
+    if kind == ST and insn_orders_stores(insn):
+        return True
+    if kind == LD and insn_orders_loads(insn):
+        return True
+    if isinstance(insn, Helper):
+        return ORDERED_HELPERS.get(insn.name) in (kind, "full")
+    if isinstance(insn, Call):
+        return kind in summaries.get(insn.func, set())
+    return False
+
+
+def _function_orders_on_all_paths(
+    func: Function, cfg: CFG, kind: str, summaries: Dict[str, Set[str]]
+) -> bool:
+    """True if every entry→ret path crosses an ordering edge of ``kind``.
+
+    Computed as the *absence* of an avoiding path: DFS from entry over
+    instruction successors, refusing to step across ordering edges; if
+    no ``ret`` is reachable, the function is a guaranteed barrier.
+    """
+    insns = func.insns
+    if not insns:
+        return False
+    stack = [0]
+    seen: Set[int] = set()
+    while stack:
+        i = stack.pop()
+        if i in seen:
+            continue
+        seen.add(i)
+        if _insn_orders(insns[i], kind, summaries):
+            continue  # paths through i are ordered; do not cross
+        if isinstance(insns[i], Ret):
+            return False  # found an entry→ret path with no ordering edge
+        stack.extend(cfg.insn_succs(i))
+    return True
+
+
+def ordering_summaries(program: Program) -> Dict[str, Set[str]]:
+    """Per-function guaranteed-ordering summary, to a call-graph fixpoint.
+
+    ``summaries[f]`` contains ``"st"`` when every path through ``f``
+    orders stores, ``"ld"`` likewise for loads.  Starts optimistic-empty
+    (recursive/unknown callees assumed non-ordering — the conservative
+    direction for candidate enumeration) and grows monotonically.
+    """
+    cfgs = {name: CFG.build(func) for name, func in program.functions.items()}
+    summaries: Dict[str, Set[str]] = {name: set() for name in program.functions}
+    changed = True
+    while changed:
+        changed = False
+        for name, func in program.functions.items():
+            for kind in (ST, LD):
+                if kind in summaries[name]:
+                    continue
+                if _function_orders_on_all_paths(func, cfgs[name], kind, summaries):
+                    summaries[name].add(kind)
+                    changed = True
+    return summaries
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration.
+# ---------------------------------------------------------------------------
+
+
+def _unordered_path_exists(
+    cfg: CFG, x: int, y: int, kind: str, summaries: Dict[str, Set[str]]
+) -> bool:
+    """Is there a path from X to Y avoiding every ordering edge of ``kind``?
+
+    X and Y themselves are not treated as between-edges here; their own
+    annotations are judged by the mechanism/ppo checks instead.
+    """
+    insns = cfg.func.insns
+    stack = list(cfg.insn_succs(x))
+    seen: Set[int] = set()
+    while stack:
+        i = stack.pop()
+        if i == y:
+            return True
+        if i in seen:
+            continue
+        seen.add(i)
+        if _insn_orders(insns[i], kind, summaries):
+            continue
+        stack.extend(cfg.insn_succs(i))
+    return False
+
+
+def _accesses(func: Function, want_store: bool) -> List[Tuple[int, Insn]]:
+    cls = Store if want_store else Load
+    return [(i, insn) for i, insn in enumerate(func.insns) if isinstance(insn, cls)]
+
+
+def function_candidates(
+    func: Function, summaries: Optional[Dict[str, Set[str]]] = None
+) -> List[StaticCandidate]:
+    """All reordering candidates inside one function."""
+    if summaries is None:
+        summaries = {}
+    cfg = CFG.build(func)
+    live = cfg.reachable_blocks(0) | {0}
+    deps: Optional[StaticDeps] = None
+    out: List[StaticCandidate] = []
+    for kind, want_store in ((ST, True), (LD, False)):
+        sites = [
+            (i, insn)
+            for i, insn in _accesses(func, want_store)
+            if cfg.block_of[i] in live
+        ]
+        for xi, x in sites:
+            for yi, y in sites:
+                if xi == yi or not cfg.reaches(xi, yi):
+                    continue
+                if location_key(x) == location_key(y):
+                    continue  # same location: coherence, not an OOO pair
+                if want_store:
+                    if not store_pair_mechanism_possible(x.annot, y.annot):
+                        continue
+                else:
+                    if not load_pair_mechanism_possible(x.annot, y.annot):
+                        continue
+                if not _unordered_path_exists(cfg, xi, yi, kind, summaries):
+                    continue
+                dependency: Optional[DependencyKind] = None
+                if not want_store:
+                    if deps is None:
+                        deps = StaticDeps(func)
+                    if deps.address_dependency(xi, yi):
+                        dependency = DependencyKind.ADDRESS
+                query = PpoQuery(
+                    x_is_store=want_store,
+                    y_is_store=want_store,
+                    x_annot=x.annot,
+                    y_annot=y.annot,
+                    barrier_between=None,
+                    dependency=dependency,
+                )
+                if not reordering_allowed(query):
+                    continue
+                out.append(
+                    StaticCandidate(
+                        kind=kind,
+                        function=func.name,
+                        x_index=xi,
+                        y_index=yi,
+                        x_addr=func.insns[xi].addr,
+                        y_addr=func.insns[yi].addr,
+                        x_loc=location_key(x),
+                        y_loc=location_key(y),
+                    )
+                )
+    return out
+
+
+def static_reordering_candidates(program: Program) -> List[StaticCandidate]:
+    """Every reordering candidate in a linked program.
+
+    The zero-execution analogue of running Algorithms 1+2 on perfect
+    profiles: each candidate names two instruction addresses that some
+    interleaving could observe out of program order.  Consumed by
+    :func:`repro.fuzzer.hints.prioritize_hints` and the fuzzer's
+    pair scheduler.
+    """
+    summaries = ordering_summaries(program)
+    out: List[StaticCandidate] = []
+    for func in program.functions.values():
+        out.extend(function_candidates(func, summaries))
+    return out
+
+
+def candidate_addr_sets(
+    candidates: Iterable[StaticCandidate],
+) -> Dict[str, FrozenSet[int]]:
+    """Instruction addresses per barrier type (the fuzzer's pair
+    scheduler uses the union to weight syscall pairs)."""
+    addrs: Dict[str, Set[int]] = {ST: set(), LD: set()}
+    for c in candidates:
+        addrs[c.kind].update((c.x_addr, c.y_addr))
+    return {k: frozenset(v) for k, v in addrs.items()}
+
+
+def candidate_pairs(
+    candidates: Iterable[StaticCandidate],
+) -> Dict[str, FrozenSet[Tuple[int, int]]]:
+    """(x_addr, y_addr) instruction-address pairs per barrier type.
+
+    Pair-level is what :func:`repro.fuzzer.hints.prioritize_hints`
+    needs: a scheduling hint only *exercises* a candidate when it moves
+    one member of the pair and leaves the other in place — moving both
+    preserves their relative order (stores) or reads a consistent stale
+    snapshot (loads)."""
+    pairs: Dict[str, Set[Tuple[int, int]]] = {ST: set(), LD: set()}
+    for c in candidates:
+        pairs[c.kind].add((c.x_addr, c.y_addr))
+    return {k: frozenset(v) for k, v in pairs.items()}

@@ -1,0 +1,191 @@
+"""KIRA lint orchestration: run every static check over a program.
+
+Bundles the three analyses into one report with a stable JSON shape:
+
+* ``use-before-def`` — :func:`repro.analysis.reaching.undefined_reads`,
+* ``missing-barrier`` — :func:`repro.analysis.barriers.static_reordering_candidates`,
+* ``lock-pairing`` — :func:`repro.analysis.locks.check_lock_pairing`.
+
+The report powers three consumers: the ``repro lint`` CLI subcommand
+(:mod:`repro.cli`), the optional strict mode of kernel image building
+(:class:`repro.kernel.kernel.KernelImage` with
+``KernelConfig.strict_lint``), and — via the raw candidates — the
+fuzzer's static hint seeding.
+
+JSON schema (``version`` 1)::
+
+    {"version": 1,
+     "counts": {"use-before-def": N, "missing-barrier": N, "lock-pairing": N},
+     "findings": [
+       {"check": ..., "kind": ..., "subsystem": ..., "function": ...,
+        "index": ..., "message": ...}, ...]}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.barriers import (
+    StaticCandidate,
+    static_reordering_candidates,
+)
+from repro.analysis.locks import check_lock_pairing
+from repro.analysis.reaching import undefined_reads
+from repro.kir.function import Program
+
+#: JSON report schema version.
+LINT_SCHEMA_VERSION = 1
+
+#: Check names, in report order.
+CHECKS = ("use-before-def", "missing-barrier", "lock-pairing")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, uniform across checks."""
+
+    check: str       # one of CHECKS
+    kind: str        # subcategory: register name, "st"/"ld", lock-pairing kind
+    subsystem: str   # owning subsystem, "" if unknown
+    function: str
+    index: int       # function-local instruction index (the pair's X for barriers)
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "kind": self.kind,
+            "subsystem": self.subsystem,
+            "function": self.function,
+            "index": self.index,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings for one program, plus the raw barrier candidates."""
+
+    findings: List[Finding]
+    candidates: List[StaticCandidate]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        out = {check: 0 for check in CHECKS}
+        for f in self.findings:
+            out[f.check] += 1
+        return out
+
+    def by_check(self, check: str) -> List[Finding]:
+        return [f for f in self.findings if f.check == check]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "version": LINT_SCHEMA_VERSION,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _barrier_message(c: StaticCandidate) -> str:
+    what = "stores" if c.kind == "st" else "loads"
+    return (
+        f"{what} at [{c.x_index}] {c.x_loc} and [{c.y_index}] {c.y_loc} "
+        f"may be observed out of order (no barrier/annotation/dependency "
+        f"orders them)"
+    )
+
+
+def lint_program(
+    program: Program,
+    function_owner: Optional[Dict[str, str]] = None,
+    subsystems: Optional[List[str]] = None,
+) -> LintReport:
+    """Run every KIRA check over ``program``.
+
+    ``function_owner`` maps function name to owning subsystem (as built
+    by :class:`~repro.kernel.kernel.KernelImage`); ``subsystems``
+    restricts the report to those owners (functions with unknown owners
+    are kept only when no restriction is given).
+    """
+    owner = function_owner or {}
+    wanted = set(subsystems) if subsystems is not None else None
+
+    def included(func_name: str) -> bool:
+        if wanted is None:
+            return True
+        return owner.get(func_name) in wanted
+
+    findings: List[Finding] = []
+
+    for name, func in program.functions.items():
+        if not included(name):
+            continue
+        for index, reg in undefined_reads(func):
+            findings.append(
+                Finding(
+                    check="use-before-def",
+                    kind=reg,
+                    subsystem=owner.get(name, ""),
+                    function=name,
+                    index=index,
+                    message=f"reads register %{reg} with no reaching definition",
+                )
+            )
+
+    candidates = [
+        c
+        for c in static_reordering_candidates(program)
+        if included(c.function)
+    ]
+    for c in candidates:
+        findings.append(
+            Finding(
+                check="missing-barrier",
+                kind=c.kind,
+                subsystem=owner.get(c.function, ""),
+                function=c.function,
+                index=c.x_index,
+                message=_barrier_message(c),
+            )
+        )
+
+    for name, func in program.functions.items():
+        if not included(name):
+            continue
+        for lf in check_lock_pairing(func):
+            findings.append(
+                Finding(
+                    check="lock-pairing",
+                    kind=lf.kind,
+                    subsystem=owner.get(name, ""),
+                    function=name,
+                    index=lf.index,
+                    message=f"{lf.kind} of lock {lf.lock}",
+                )
+            )
+
+    return LintReport(findings=findings, candidates=candidates)
+
+
+def render_report(report: LintReport) -> str:
+    """Human-readable rendering, grouped by check."""
+    if report.clean:
+        return "lint: clean (0 findings)"
+    lines: List[str] = []
+    counts = report.counts()
+    summary = ", ".join(f"{counts[c]} {c}" for c in CHECKS if counts[c])
+    lines.append(f"lint: {len(report.findings)} findings ({summary})")
+    for check in CHECKS:
+        group = report.by_check(check)
+        if not group:
+            continue
+        lines.append(f"\n{check} ({len(group)}):")
+        for f in group:
+            where = f"{f.subsystem}/" if f.subsystem else ""
+            lines.append(f"  {where}{f.function}[{f.index}]: {f.message}")
+    return "\n".join(lines)

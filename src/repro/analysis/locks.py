@@ -1,0 +1,127 @@
+"""Lockdep-style static lock-pairing checks over KIR functions.
+
+Kernel subsystems take and release spinlocks through the ``spin_lock``
+/ ``spin_unlock`` helpers (:mod:`repro.kernel.helpers`).  This pass runs
+a forward may-held dataflow per function — facts are the set of lock
+keys that *may* be held at a program point — and reports three
+imbalance classes, mirroring the kernel's lockdep:
+
+* **double-acquire** — ``spin_lock(L)`` while L may already be held on
+  some incoming path (self-deadlock: the simulated lock is not
+  recursive, see ``h_spin_lock``);
+* **release-without-acquire** — ``spin_unlock(L)`` while L is held on
+  *no* incoming path;
+* **acquire-no-release** — a ``ret`` reachable with L still held (a
+  leaked critical section: every later acquirer deadlocks).
+
+Lock identity is the helper's first argument: immediate lock addresses
+compare by value, register-held addresses by (function-local) register
+name.  The analysis is intraprocedural; subsystems in this codebase
+take and release locks within one function, matching the kernel's own
+convention that lock scopes do not cross function boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+from repro.kir.cfg import CFG
+from repro.kir.dataflow import SetUnionProblem, solve
+from repro.kir.function import Function
+from repro.kir.insn import Helper, Imm, Insn, Reg, Ret
+
+ACQUIRE_HELPERS = ("spin_lock",)
+RELEASE_HELPERS = ("spin_unlock",)
+
+
+@dataclass(frozen=True)
+class LockFinding:
+    """One lock-pairing violation."""
+
+    kind: str        # "double-acquire" | "release-without-acquire" | "acquire-no-release"
+    function: str
+    index: int       # instruction index of the offending helper / ret
+    lock: str        # lock key ("0xADDR" or "%reg")
+
+    def __repr__(self) -> str:
+        return f"<lock {self.kind} {self.function}[{self.index}] {self.lock}>"
+
+
+def lock_key(insn: Helper) -> Optional[str]:
+    """Identity of the lock a spin_lock/spin_unlock helper operates on."""
+    if not insn.args:
+        return None
+    arg = insn.args[0]
+    if isinstance(arg, Imm):
+        return f"{arg.value:#x}"
+    if isinstance(arg, Reg):
+        return f"%{arg.name}"
+    return None
+
+
+def _lock_op(insn: Insn) -> Optional[str]:
+    """"acquire" / "release" if the instruction is a lock helper."""
+    if not isinstance(insn, Helper):
+        return None
+    if insn.name in ACQUIRE_HELPERS:
+        return "acquire"
+    if insn.name in RELEASE_HELPERS:
+        return "release"
+    return None
+
+
+class MayHeldProblem(SetUnionProblem):
+    """Forward may-held-locks analysis; facts are frozensets of keys."""
+
+    def transfer(self, insn: Insn, index: int, fact: frozenset) -> frozenset:
+        op = _lock_op(insn)
+        if op is None:
+            return fact
+        key = lock_key(insn)
+        if key is None:
+            return fact
+        if op == "acquire":
+            return fact | {key}
+        return fact - {key}
+
+
+def check_lock_pairing(func: Function) -> List[LockFinding]:
+    """All lock-pairing violations in one function.
+
+    Reported conditions are chosen so every finding is real on at least
+    one path: double-acquire fires when *some* path reaches the acquire
+    already holding the lock, release-without-acquire when *no* path
+    holds it, acquire-no-release when *some* path reaches a ``ret``
+    still holding it.
+    """
+    cfg = CFG.build(func)
+    result = solve(cfg, MayHeldProblem())
+    live = cfg.reachable_blocks(0) | {0}
+    findings: List[LockFinding] = []
+    for block in cfg.blocks:
+        if block.index not in live:
+            continue
+        for index, fact in result.insn_facts(block):
+            insn = func.insns[index]
+            op = _lock_op(insn)
+            if op == "acquire":
+                key = lock_key(insn)
+                if key is not None and key in fact:
+                    findings.append(
+                        LockFinding("double-acquire", func.name, index, key)
+                    )
+            elif op == "release":
+                key = lock_key(insn)
+                if key is not None and key not in fact:
+                    findings.append(
+                        LockFinding(
+                            "release-without-acquire", func.name, index, key
+                        )
+                    )
+            elif isinstance(insn, Ret):
+                for key in sorted(fact):
+                    findings.append(
+                        LockFinding("acquire-no-release", func.name, index, key)
+                    )
+    return findings

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.campaign_api import CampaignSpec, run_campaign
 from repro.config import KernelConfig
 from repro.fuzzer.baselines import SyzkallerBaseline
-from repro.fuzzer.hints import SchedulingHint, calculate_hints
+from repro.fuzzer.hints import SchedulingHint, calculate_hints, prioritize_hints
 from repro.fuzzer.mti import MTI, run_mti
 from repro.fuzzer.sti import STI, Call, ResourceRef, profile_sti
 from repro.kernel import bugs
@@ -94,12 +94,16 @@ def reproduce_bug(
     hint_order: str = "max",
     rng_seed: int = 0,
     max_tests: int = 500,
+    static_hints: bool = False,
 ) -> ReproResult:
     """Sweep scheduling hints for a bug's input until its crash appears.
 
     ``hint_order`` selects the §4.3 search heuristic: ``max`` (the
     paper's, most-reordered first), ``min`` (fewest first) or ``random``
-    — used by the heuristic ablation.
+    — used by the heuristic ablation.  ``static_hints`` additionally
+    front-loads hints that overlap KIRA's static reordering candidates
+    (within each barrier-type partition, so the shape sweep order is
+    preserved) — the ``bench_static_hints`` benchmark's knob.
     """
     image = KernelImage(config if config is not None else KernelConfig())
     sti, pair = sti_for_bug(spec)
@@ -111,9 +115,17 @@ def reproduce_bug(
     # Table 4 reports the type OZZ reproduced each bug with; sweep the
     # spec's hypothetical-barrier shape first (both shapes still run).
     wanted = "ld" if spec.barrier_test == "load" else "st"
-    hints = [h for h in hints if h.barrier_type == wanted] + [
-        h for h in hints if h.barrier_type != wanted
-    ]
+    preferred = [h for h in hints if h.barrier_type == wanted]
+    other = [h for h in hints if h.barrier_type != wanted]
+    if static_hints:
+        from repro.analysis import candidate_pairs, static_reordering_candidates
+
+        pairs_by_kind = candidate_pairs(
+            static_reordering_candidates(image.plain_program)
+        )
+        preferred = prioritize_hints(preferred, pairs_by_kind)
+        other = prioritize_hints(other, pairs_by_kind)
+    hints = preferred + other
     if hint_order == "min":
         hints = list(reversed(hints))
     elif hint_order == "random":

@@ -50,6 +50,8 @@ class CampaignSpec:
     ``jobs``         worker processes (1 = in-process, no fork).
     ``time_budget``  optional wall-clock cap in seconds per shard.
     ``use_seeds``    start from the Syzlang seed corpus (§6.1) or not.
+    ``static_hints`` seed/prioritize scheduling hints from KIRA's static
+                     reordering candidates (zero-execution analysis).
     """
 
     iterations: int = 40
@@ -58,6 +60,7 @@ class CampaignSpec:
     jobs: int = 1
     time_budget: Optional[float] = None
     use_seeds: bool = True
+    static_hints: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 0:
@@ -153,6 +156,7 @@ class CampaignResult:
                 "jobs": self.spec.jobs,
                 "time_budget": self.spec.time_budget,
                 "use_seeds": self.spec.use_seeds,
+                "static_hints": self.spec.static_hints,
             },
             "stats": {
                 "stis_run": self.stats.stis_run,
@@ -207,6 +211,8 @@ class CampaignResult:
             jobs=sp["jobs"],
             time_budget=sp["time_budget"],
             use_seeds=sp["use_seeds"],
+            # absent in pre-KIRA artifacts; same format version
+            static_hints=sp.get("static_hints", False),
         )
         return cls(
             spec=spec,

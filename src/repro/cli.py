@@ -9,6 +9,7 @@ lmbench    measure OEMU instrumentation overhead (§6.3.1 / Table 5)
 throughput OZZ vs the in-order baseline (§6.3.2)
 litmus     validate OEMU against the LKMM (§3.3)
 ofence     static paired-barrier comparison (§6.4)
+lint       KIRA static analysis (barrier lint, locks, use-before-def)
 bugs       list the seeded bug registry
 ========== ===========================================================
 """
@@ -33,6 +34,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         patched=tuple(args.patch or ()),
         jobs=args.jobs,
+        static_hints=args.static_hints,
     )
     result = run_campaign(spec)
     print(result.summary())
@@ -147,6 +149,37 @@ def cmd_ofence(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import lint_program, render_report
+    from repro.config import KernelConfig
+    from repro.kernel.kernel import KernelImage
+
+    image = KernelImage(KernelConfig(instrumented=False))
+    if args.subsystem:
+        known = {s.name for s in image.subsystems}
+        unknown = [s for s in args.subsystem if s not in known]
+        if unknown:
+            print(
+                f"error: unknown subsystem(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+    report = lint_program(
+        image.plain_program,
+        image.function_owner,
+        subsystems=args.subsystem or None,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_json_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    print(render_report(report))
+    return 0 if report.clean else 1
+
+
 def cmd_bugs(args: argparse.Namespace) -> int:
     from repro.kernel import bugs
 
@@ -175,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--repro", action="store_true",
         help="print a minimized reproducer per unique crash",
     )
+    p.add_argument(
+        "--static-hints", action="store_true",
+        help="seed/prioritize scheduling hints from the static barrier lint",
+    )
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("table4", help="reproduce known bugs (Table 4)")
@@ -198,6 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ofence", help="OFence static comparison")
     p.set_defaults(fn=cmd_ofence)
+
+    p = sub.add_parser(
+        "lint",
+        help="KIRA static analysis over the built-in kernel",
+        description="Run the KIRA static checks (missing-barrier "
+        "candidates, lock pairing, use-before-def) over the built-in "
+        "kernel. Exit code 0 = clean, 1 = findings, 2 = usage error.",
+    )
+    p.add_argument(
+        "--subsystem", action="append", metavar="NAME",
+        help="restrict the report to one subsystem (repeatable)",
+    )
+    p.add_argument("--json", metavar="PATH",
+                   help="write the lint report as JSON to PATH")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("bugs", help="list the seeded bug registry")
     p.set_defaults(fn=cmd_bugs)

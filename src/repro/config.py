@@ -26,6 +26,10 @@ class KernelConfig:
     ``instrument_only`` optional subsystem whitelist for selective
                       instrumentation (§6.3.1 mitigation).
     ``kasan`` / ``lockdep``  oracle toggles.
+    ``strict_lint``   run the full KIRA lint at image-build time and
+                      refuse to build on definite defects (lock-pairing
+                      imbalances); the advisory missing-barrier report
+                      is attached to the image either way.
     ``ncpus``         number of simulated CPUs.
     ``sbitmap_manual_percpu``  the §6.2 "manual modification": force the
                       sbitmap per-CPU bug's threads to share one per-CPU
@@ -37,6 +41,7 @@ class KernelConfig:
     instrument_only: Optional[Tuple[str, ...]] = None
     kasan: bool = True
     lockdep: bool = True
+    strict_lint: bool = False
     ncpus: int = 2
     sbitmap_manual_percpu: bool = False
 

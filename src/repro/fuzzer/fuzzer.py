@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigError
 from repro.fuzzer.corpus import Corpus
 from repro.fuzzer.generator import InputGenerator
-from repro.fuzzer.hints import SchedulingHint, calculate_hints
+from repro.fuzzer.hints import SchedulingHint, calculate_hints, prioritize_hints
 from repro.fuzzer.minimize import minimize
 from repro.fuzzer.mti import MTI, MTIResult, run_mti
 from repro.fuzzer.reproducer import Reproducer
@@ -83,6 +83,7 @@ class OzzFuzzer:
         mutate_prob: float = 0.6,
         shard: int = 0,
         nshards: int = 1,
+        static_hints: bool = False,
     ) -> None:
         if not (0 <= shard < nshards):
             raise ConfigError(f"shard {shard} out of range for {nshards} shards")
@@ -95,6 +96,25 @@ class OzzFuzzer:
         self.max_hints_per_pair = max_hints_per_pair
         self.max_pairs_per_sti = max_pairs_per_sti
         self.mutate_prob = mutate_prob
+        # KIRA static seeding (opt-in): pre-compute the instruction
+        # address pairs the barrier lint flags as reordering candidates.
+        # Computed on the plain program — the instrumentation pass
+        # preserves addresses, so they match dynamic hint addresses.
+        self.static_hints = static_hints
+        self._static_pairs: Dict[str, frozenset] = {}
+        self._static_all: frozenset = frozenset()
+        if static_hints:
+            from repro.analysis import (
+                candidate_addr_sets,
+                candidate_pairs,
+                static_reordering_candidates,
+            )
+
+            candidates = static_reordering_candidates(image.plain_program)
+            self._static_pairs = dict(candidate_pairs(candidates))
+            self._static_all = frozenset().union(
+                *candidate_addr_sets(candidates).values()
+            )
         # A shard takes every nshards-th seed input, so an N-shard
         # campaign collectively covers the same seed corpus as a serial
         # one even when each shard's iteration slice is small.
@@ -130,9 +150,11 @@ class OzzFuzzer:
         self.stats.coverage = self.corpus.total_coverage
 
         results: List[MTIResult] = []
-        for i, j in self._choose_pairs(len(sti.calls)):
+        for i, j in self._choose_pairs(len(sti.calls), profile):
             hints = calculate_hints(profile.profiles[i], profile.profiles[j])
             self.stats.hints_computed += len(hints)
+            if self.static_hints:
+                hints = prioritize_hints(hints, self._static_pairs)
             for hint in hints[: self.max_hints_per_pair]:
                 result = run_mti(self.image, MTI(sti=sti, pair=(i, j), hint=hint))
                 self.stats.mtis_run += 1
@@ -157,14 +179,36 @@ class OzzFuzzer:
         """
         return minimize_reproducer(self.image, self.crashdb, title)
 
-    def _choose_pairs(self, n: int) -> List[Tuple[int, int]]:
-        """Adjacent pairs first (most likely to share state), then others."""
+    def _choose_pairs(self, n: int, profile=None) -> List[Tuple[int, int]]:
+        """Adjacent pairs first (most likely to share state), then others.
+
+        With static hints enabled, pairs whose profiles both touch memory
+        through statically-flagged instructions — i.e. whose static
+        candidate sets overlap on the same addresses — are scheduled
+        first (stable sort, so the adjacent-first order breaks ties).
+        """
         adjacent = [(i, i + 1) for i in range(n - 1)]
         others = [
             (i, j) for i in range(n) for j in range(i + 2, n)
         ]
         self.rng.shuffle(others)
-        return (adjacent + others)[: self.max_pairs_per_sti]
+        pairs = adjacent + others[: max(0, self.max_pairs_per_sti - len(adjacent))]
+        pairs = pairs[: self.max_pairs_per_sti]
+        if self.static_hints and profile is not None:
+            # Reorder (never replace) the selected pairs, so enabling
+            # static hints schedules promising pairs earlier without
+            # changing which pairs — and hence how many tests — run.
+            hot = [self._static_mem(p) for p in profile.profiles]
+            pairs.sort(key=lambda ij: -len(hot[ij[0]] & hot[ij[1]]))
+        return pairs
+
+    def _static_mem(self, syscall_profile) -> frozenset:
+        """Memory bytes one syscall touched via statically-flagged insns."""
+        out = set()
+        for e in syscall_profile.accesses:
+            if e.inst_addr in self._static_all:
+                out.update(range(e.mem_addr, e.mem_addr + e.size))
+        return frozenset(out)
 
     # -- campaign drivers ------------------------------------------------------------
 

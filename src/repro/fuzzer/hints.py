@@ -195,6 +195,68 @@ def hints_for_group(
     return hints
 
 
+def hint_static_tier(
+    hint: SchedulingHint,
+    static_pairs: Dict[str, Set[Tuple[int, int]]],
+) -> int:
+    """Rank a hint against KIRA's static candidate pairs (lower = first).
+
+    A candidate (X, Y) is *exercised* when the hint moves exactly one
+    member of the pair: for the store test the delayed store X flushes
+    after Y has hit memory; for the load test the versioned load Y reads
+    a stale value while X reads fresh.  Moving both members is inert for
+    that pair — two delayed stores keep their relative order, two stale
+    loads see a consistent old snapshot — so such a pair is *masked*.
+
+    * tier 0 — exercises at least one candidate pair (it may mask other
+      pairs too; whether the surviving tears crash is for the dynamic
+      stage to decide, so bigger reorder sets keep their max-reorder
+      precedence within the tier);
+    * tier 1 — only touches pairs it masks: moves whole pairs together,
+      so no statically-identified pair is observed out of order;
+    * tier 2 — no statically plausible reordering at all.
+    """
+    pairs = static_pairs.get(hint.barrier_type, frozenset())
+    moved = set(hint.reorder)
+    exercised = masked = False
+    for x_addr, y_addr in pairs:
+        # ST delays the earlier store X; LD versions the later load Y.
+        mover, anchor = (
+            (x_addr, y_addr) if hint.barrier_type == ST else (y_addr, x_addr)
+        )
+        if mover not in moved:
+            continue
+        if anchor in moved:
+            masked = True
+        else:
+            exercised = True
+    if exercised:
+        return 0
+    return 1 if masked else 2
+
+
+def prioritize_hints(
+    hints: Sequence[SchedulingHint],
+    static_pairs: Dict[str, Set[Tuple[int, int]]],
+) -> List[SchedulingHint]:
+    """Stable-sort hints by static-analysis interest (KIRA seeding).
+
+    ``static_pairs`` maps barrier type (``st``/``ld``) to the
+    (x_addr, y_addr) instruction-address pairs named by the static
+    reordering candidates (:func:`repro.analysis.barriers.candidate_pairs`).
+    Hints are ordered by :func:`hint_static_tier` — exercising a
+    candidate beats masking one beats matching nothing — and the sort is
+    stable, so the max-reorder heuristic still breaks ties within tiers.
+
+    Because the fuzzer truncates to ``max_hints_per_pair``, this changes
+    *which* hints survive truncation, not just their order: statically
+    plausible reorderings are tried before pairs the lint proved ordered.
+    """
+    if not static_pairs or not any(static_pairs.values()):
+        return list(hints)
+    return sorted(hints, key=lambda h: hint_static_tier(h, static_pairs))
+
+
 def calculate_hints(
     profile_i: SyscallProfile, profile_j: SyscallProfile
 ) -> List[SchedulingHint]:

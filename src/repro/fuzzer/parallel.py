@@ -67,6 +67,7 @@ def run_shard(spec: "CampaignSpec", shard: int) -> ShardResult:
         use_seeds=spec.use_seeds,
         shard=shard,
         nshards=spec.jobs,
+        static_hints=spec.static_hints,
     )
     deadline = (
         time.monotonic() + spec.time_budget if spec.time_budget is not None else None

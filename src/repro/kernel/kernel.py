@@ -62,6 +62,23 @@ class KernelImage:
                 self.function_owner[func.name] = subsystem.name
         self.plain_program = Program(functions)
         validate_program(self.plain_program, helper_names=set(DEFAULT_HELPERS))
+        self.lint_report = None
+        if config.strict_lint:
+            from repro.analysis import lint_program
+
+            self.lint_report = lint_program(
+                self.plain_program, self.function_owner
+            )
+            # Missing-barrier candidates are advisory (the seeded bugs
+            # *are* such candidates); definite defects refuse the build.
+            hard = self.lint_report.by_check("lock-pairing")
+            if hard:
+                raise KirError(
+                    "strict lint failed:\n  "
+                    + "\n  ".join(
+                        f"{f.function}[{f.index}]: {f.message}" for f in hard
+                    )
+                )
         self.instrument_report: Optional[InstrumentationReport] = None
         if config.instrumented:
             only = None

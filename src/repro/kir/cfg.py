@@ -1,0 +1,206 @@
+"""Control-flow graphs over KIR functions.
+
+The foundation of KIRA, the static analysis suite in
+:mod:`repro.analysis`.  A :class:`CFG` partitions a
+:class:`~repro.kir.function.Function`'s instruction list into basic
+blocks and records successor/predecessor edges, mirroring how the
+paper's dynamic machinery names program points: analyses speak in
+function-local instruction *indices*, which linking maps 1:1 to the
+machine-wide addresses OEMU's interfaces use (``base + index * 4``).
+
+Construction is the classic leader algorithm:
+
+* instruction 0 is a leader,
+* every branch/jump target is a leader,
+* every instruction following a branch, jump or ``ret`` is a leader.
+
+Edges follow KIR's control-flow instructions — ``Jump`` has one
+successor, ``Branch`` two (target + fall-through), ``Ret`` none, and
+everything else falls through.  ``Call``/``Helper`` instructions are
+*not* block terminators: calls return to the next instruction, and
+interprocedural effects are handled by the analyses themselves (e.g.
+the barrier lint's callee ordering summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.kir.function import Function
+from repro.kir.insn import Branch, Insn, Jump, Ret
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start``/``end`` delimit the half-open index range
+    ``[start, end)`` into the owning function's instruction list.
+    """
+
+    index: int
+    start: int
+    end: int
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def insn_indices(self) -> range:
+        return range(self.start, self.end)
+
+    def __repr__(self) -> str:
+        return f"<BB{self.index} [{self.start},{self.end}) -> {self.succs}>"
+
+
+class CFG:
+    """Basic blocks + edges for one function.
+
+    Build with :meth:`CFG.build`; blocks are ordered by start index, so
+    block 0 is always the entry block.
+    """
+
+    def __init__(self, func: Function, blocks: List[BasicBlock]) -> None:
+        self.func = func
+        self.blocks = blocks
+        #: instruction index -> index of the block containing it.
+        self.block_of: Dict[int, int] = {}
+        for block in blocks:
+            for i in block.insn_indices():
+                self.block_of[i] = block.index
+        self._reach_cache: Dict[int, FrozenSet[int]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, func: Function) -> "CFG":
+        insns = func.insns
+        n = len(insns)
+        leaders = {0} if n else set()
+        for i, insn in enumerate(insns):
+            if isinstance(insn, (Branch, Jump)):
+                leaders.add(insn.target)
+                if i + 1 < n:
+                    leaders.add(i + 1)
+            elif isinstance(insn, Ret) and i + 1 < n:
+                leaders.add(i + 1)
+        starts = sorted(leaders)
+        blocks: List[BasicBlock] = []
+        for bi, start in enumerate(starts):
+            end = starts[bi + 1] if bi + 1 < len(starts) else n
+            blocks.append(BasicBlock(index=bi, start=start, end=end))
+        start_to_block = {b.start: b.index for b in blocks}
+        for block in blocks:
+            last = insns[block.end - 1]
+            succs: List[int] = []
+            if isinstance(last, Jump):
+                succs.append(start_to_block[last.target])
+            elif isinstance(last, Branch):
+                succs.append(start_to_block[last.target])
+                if block.end < n:
+                    succs.append(start_to_block[block.end])
+            elif isinstance(last, Ret):
+                pass
+            elif block.end < n:
+                succs.append(start_to_block[block.end])
+            # dedupe while preserving order (branch target == fallthrough)
+            seen = set()
+            block.succs = [s for s in succs if not (s in seen or seen.add(s))]
+        for block in blocks:
+            for s in block.succs:
+                blocks[s].preds.append(block.index)
+        return cls(func, blocks)
+
+    # -- queries -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block_insns(self, block: BasicBlock) -> Sequence[Insn]:
+        return self.func.insns[block.start:block.end]
+
+    def insn_succs(self, i: int) -> Tuple[int, ...]:
+        """Instruction-level successor indices of instruction ``i``."""
+        insn = self.func.insns[i]
+        if isinstance(insn, Ret):
+            return ()
+        if isinstance(insn, Jump):
+            return (insn.target,)
+        out: List[int] = []
+        if isinstance(insn, Branch):
+            out.append(insn.target)
+        if i + 1 < len(self.func.insns):
+            out.append(i + 1)
+        seen: set = set()
+        return tuple(s for s in out if not (s in seen or seen.add(s)))
+
+    def reachable_blocks(self, start: int) -> FrozenSet[int]:
+        """Blocks reachable from block ``start`` via one or more edges."""
+        cached = self._reach_cache.get(start)
+        if cached is not None:
+            return cached
+        seen: set = set()
+        stack = list(self.blocks[start].succs)
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(self.blocks[b].succs)
+        result = frozenset(seen)
+        self._reach_cache[start] = result
+        return result
+
+    def reaches(self, i: int, j: int) -> bool:
+        """True if instruction ``j`` can execute after instruction ``i``.
+
+        Same-block positions compare directly; otherwise (or for a back
+        edge to an earlier/equal position) ``j``'s block must be in the
+        transitive successor set of ``i``'s block.
+        """
+        bi, bj = self.block_of[i], self.block_of[j]
+        if bi == bj and i < j:
+            return True
+        return bj in self.reachable_blocks(bi)
+
+    def reverse_postorder(self) -> List[int]:
+        """Block indices in reverse postorder (good forward iteration order)."""
+        seen: set = set()
+        order: List[int] = []
+
+        def visit(b: int) -> None:
+            stack = [(b, iter(self.blocks[b].succs))]
+            seen.add(b)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for s in it:
+                    if s not in seen:
+                        seen.add(s)
+                        stack.append((s, iter(self.blocks[s].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(0)
+        order.reverse()
+        # unreachable blocks go last, in index order
+        for b in range(len(self.blocks)):
+            if b not in seen:
+                order.append(b)
+                seen.add(b)
+        return order
+
+    def __repr__(self) -> str:
+        return f"<CFG {self.func.name} blocks={len(self.blocks)}>"

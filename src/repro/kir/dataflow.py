@@ -1,0 +1,194 @@
+"""Generic forward/backward dataflow over KIR control-flow graphs.
+
+The fixpoint engine behind KIRA's analyses (:mod:`repro.analysis`).  A
+client describes a monotone dataflow problem as a
+:class:`DataflowProblem` subclass — lattice operations plus a per-
+*instruction* transfer function — and :func:`solve` iterates a worklist
+over the CFG's basic blocks until the block-boundary facts stabilize.
+
+Facts can be any immutable value with ``==``; the common case is a
+``frozenset`` with union (may-analyses) or intersection
+(must-analyses) as the join.  Per-instruction facts are rematerialized
+on demand from the block-boundary solution
+(:meth:`DataflowResult.insn_facts`) rather than stored, keeping the
+fixpoint memory proportional to the number of blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Tuple, TypeVar
+
+from repro.kir.cfg import CFG, BasicBlock
+from repro.kir.insn import Insn
+
+F = TypeVar("F")  # the fact (lattice element) type
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem(Generic[F]):
+    """One monotone dataflow problem.
+
+    Subclasses define the lattice (``top``, ``boundary``, ``join``) and
+    the per-instruction ``transfer``.  ``direction`` selects whether
+    facts flow entry→exit (``forward``) or exit→entry (``backward``).
+    """
+
+    direction: str = FORWARD
+
+    def boundary(self) -> F:
+        """Fact at the program boundary (function entry or exit)."""
+        raise NotImplementedError
+
+    def top(self) -> F:
+        """Initial optimistic fact for interior program points."""
+        raise NotImplementedError
+
+    def join(self, a: F, b: F) -> F:
+        """Combine facts where control-flow paths meet."""
+        raise NotImplementedError
+
+    def transfer(self, insn: Insn, index: int, fact: F) -> F:
+        """Fact after executing ``insn`` given the fact before it.
+
+        For backward problems, "after" means earlier in program order.
+        """
+        raise NotImplementedError
+
+
+class DataflowResult(Generic[F]):
+    """Block-boundary facts plus per-instruction rematerialization."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        problem: DataflowProblem[F],
+        block_in: Dict[int, F],
+        block_out: Dict[int, F],
+        iterations: int,
+    ) -> None:
+        self.cfg = cfg
+        self.problem = problem
+        self.block_in = block_in
+        self.block_out = block_out
+        #: worklist iterations until fixpoint (for tests/diagnostics)
+        self.iterations = iterations
+
+    def insn_facts(self, block: BasicBlock) -> Iterator[Tuple[int, F]]:
+        """Yield ``(insn_index, fact_before_insn)`` through ``block``.
+
+        For backward problems the "before" fact is with respect to the
+        analysis direction, i.e. the fact at the program point *after*
+        the instruction in program order; iteration is still in program
+        order for the caller's convenience.
+        """
+        problem = self.problem
+        if problem.direction == FORWARD:
+            fact = self.block_in[block.index]
+            for i in block.insn_indices():
+                yield i, fact
+                fact = problem.transfer(self.cfg.func.insns[i], i, fact)
+        else:
+            fact = self.block_in[block.index]
+            facts: List[Tuple[int, F]] = []
+            for i in reversed(block.insn_indices()):
+                facts.append((i, fact))
+                fact = problem.transfer(self.cfg.func.insns[i], i, fact)
+            yield from reversed(facts)
+
+    def fact_before(self, index: int) -> F:
+        """The incoming fact at one instruction (linear in block size)."""
+        block = self.cfg.blocks[self.cfg.block_of[index]]
+        for i, fact in self.insn_facts(block):
+            if i == index:
+                return fact
+        raise KeyError(index)
+
+
+def _block_transfer(
+    problem: DataflowProblem[F], cfg: CFG, block: BasicBlock, fact: F
+) -> F:
+    indices = block.insn_indices()
+    if problem.direction == BACKWARD:
+        indices = reversed(indices)
+    for i in indices:
+        fact = problem.transfer(cfg.func.insns[i], i, fact)
+    return fact
+
+
+def solve(cfg: CFG, problem: DataflowProblem[F]) -> DataflowResult[F]:
+    """Run the worklist algorithm to fixpoint.
+
+    Forward problems seed the entry block with ``boundary()``; backward
+    problems seed every exit block (no successors).  Interior points
+    start at ``top()`` and descend monotonically under ``join``.
+    """
+    forward = problem.direction == FORWARD
+    if forward:
+        edges_in = lambda b: cfg.blocks[b].preds
+        edges_out = lambda b: cfg.blocks[b].succs
+        is_boundary = lambda b: b == 0
+        order = cfg.reverse_postorder()
+    else:
+        edges_in = lambda b: cfg.blocks[b].succs
+        edges_out = lambda b: cfg.blocks[b].preds
+        is_boundary = lambda b: not cfg.blocks[b].succs
+        order = list(reversed(cfg.reverse_postorder()))
+
+    block_in: Dict[int, F] = {}
+    block_out: Dict[int, F] = {}
+    for b in range(len(cfg.blocks)):
+        block_in[b] = problem.boundary() if is_boundary(b) else problem.top()
+        block_out[b] = _block_transfer(problem, cfg, cfg.blocks[b], block_in[b])
+
+    worklist = list(order)
+    queued = set(worklist)
+    iterations = 0
+    while worklist:
+        b = worklist.pop(0)
+        queued.discard(b)
+        iterations += 1
+        incoming = [block_out[p] for p in edges_in(b)]
+        if incoming:
+            fact = incoming[0]
+            for other in incoming[1:]:
+                fact = problem.join(fact, other)
+            if is_boundary(b):
+                fact = problem.join(fact, problem.boundary())
+        else:
+            fact = problem.boundary() if is_boundary(b) else problem.top()
+        new_out = _block_transfer(problem, cfg, cfg.blocks[b], fact)
+        if fact != block_in[b] or new_out != block_out[b]:
+            block_in[b] = fact
+            block_out[b] = new_out
+            for s in edges_out(b):
+                if s not in queued:
+                    worklist.append(s)
+                    queued.add(s)
+    return DataflowResult(cfg, problem, block_in, block_out, iterations)
+
+
+class SetUnionProblem(DataflowProblem[frozenset]):
+    """Convenience base for may-analyses over ``frozenset`` facts."""
+
+    def top(self) -> frozenset:
+        return frozenset()
+
+    def boundary(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+
+def gen_kill_transfer(
+    gen: Callable[[Insn, int], frozenset],
+    kill: Callable[[Insn, int, frozenset], frozenset],
+) -> Callable[[Insn, int, frozenset], frozenset]:
+    """Build the standard ``out = gen ∪ (in − kill)`` transfer."""
+
+    def transfer(insn: Insn, index: int, fact: frozenset) -> frozenset:
+        return gen(insn, index) | (fact - kill(insn, index, fact))
+
+    return transfer

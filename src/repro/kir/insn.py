@@ -369,6 +369,54 @@ class Nop(Insn):
 MEMORY_ACCESS_INSNS = (Load, Store)
 
 
+def regs_read(insn: Insn) -> "list[Reg]":
+    """Registers an instruction reads (the use set, in operand order)."""
+    regs: "list[Reg]" = []
+
+    def add(op) -> None:
+        if isinstance(op, Reg):
+            regs.append(op)
+
+    if isinstance(insn, Mov):
+        add(insn.src)
+    elif isinstance(insn, BinOp):
+        add(insn.lhs)
+        add(insn.rhs)
+    elif isinstance(insn, Load):
+        add(insn.base)
+    elif isinstance(insn, Store):
+        add(insn.base)
+        add(insn.src)
+    elif isinstance(insn, AtomicRMW):
+        add(insn.base)
+        add(insn.operand)
+        if insn.expected is not None:
+            add(insn.expected)
+    elif isinstance(insn, Branch):
+        add(insn.lhs)
+        add(insn.rhs)
+    elif isinstance(insn, (Call, Helper)):
+        for a in insn.args:
+            add(a)
+    elif isinstance(insn, ICall):
+        add(insn.target)
+        for a in insn.args:
+            add(a)
+    elif isinstance(insn, Ret):
+        if insn.src is not None:
+            add(insn.src)
+    return regs
+
+
+def reg_written(insn: Insn) -> Optional[Reg]:
+    """The register an instruction defines, if any (the def set)."""
+    if isinstance(insn, (Mov, BinOp, Load)):
+        return insn.dst
+    if isinstance(insn, (AtomicRMW, Call, ICall, Helper)):
+        return insn.dst
+    return None
+
+
 def is_memory_access(insn: Insn) -> bool:
     """True for plain loads/stores — the reordering candidates."""
     return isinstance(insn, MEMORY_ACCESS_INSNS)

@@ -5,103 +5,40 @@ classes of mistakes that are easy to make when hand-writing subsystem
 code and painful to debug at runtime:
 
 * functions that can fall off the end (no terminating ``ret``/``jmp``),
-* use of registers that are never defined on any path (approximate:
-  a register must be a parameter or written *somewhere* in the function),
+* reads of registers with no reaching definition on *any* path — a
+  flow-sensitive check backed by
+  :func:`repro.analysis.reaching.undefined_reads` (the seed version
+  accepted a register written anywhere in the function, even *after*
+  the read or on a disjoint path),
 * direct calls to unknown functions (also checked at link time),
 * helper calls to names not in the supplied helper registry.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.errors import KirError
 from repro.kir.function import Function, Program
-from repro.kir.insn import (
-    AtomicRMW,
-    BinOp,
-    Branch,
-    Call,
-    Helper,
-    ICall,
-    Imm,
-    Insn,
-    Jump,
-    Load,
-    Mov,
-    Reg,
-    Ret,
-    Store,
-)
-
-
-def _reads(insn: Insn) -> List[Reg]:
-    """Registers read by an instruction."""
-    regs: List[Reg] = []
-
-    def add(op) -> None:
-        if isinstance(op, Reg):
-            regs.append(op)
-
-    if isinstance(insn, Mov):
-        add(insn.src)
-    elif isinstance(insn, BinOp):
-        add(insn.lhs)
-        add(insn.rhs)
-    elif isinstance(insn, Load):
-        add(insn.base)
-    elif isinstance(insn, Store):
-        add(insn.base)
-        add(insn.src)
-    elif isinstance(insn, AtomicRMW):
-        add(insn.base)
-        add(insn.operand)
-        if insn.expected is not None:
-            add(insn.expected)
-    elif isinstance(insn, Branch):
-        add(insn.lhs)
-        add(insn.rhs)
-    elif isinstance(insn, (Call, Helper)):
-        for a in insn.args:
-            add(a)
-    elif isinstance(insn, ICall):
-        add(insn.target)
-        for a in insn.args:
-            add(a)
-    elif isinstance(insn, Ret):
-        if insn.src is not None:
-            add(insn.src)
-    return regs
-
-
-def _writes(insn: Insn) -> Optional[Reg]:
-    if isinstance(insn, (Mov, BinOp, Load)):
-        return insn.dst
-    if isinstance(insn, (AtomicRMW, Call, ICall, Helper)):
-        return insn.dst
-    return None
+from repro.kir.insn import Helper, Jump, Ret
 
 
 def validate_function(func: Function, helper_names: Optional[Set[str]] = None) -> List[str]:
     """Return a list of problems found in ``func`` (empty if clean)."""
+    from repro.analysis.reaching import undefined_reads
+
     problems: List[str] = []
     last = func.insns[-1] if func.insns else None
     if not isinstance(last, (Ret, Jump)):
         problems.append(f"{func.name}: does not end in ret/jmp")
 
-    defined: Set[str] = set(func.params)
-    for insn in func.insns:
-        w = _writes(insn)
-        if w is not None:
-            defined.add(w.name)
-    for index, insn in enumerate(func.insns):
-        for reg in _reads(insn):
-            if reg.name not in defined:
-                problems.append(
-                    f"{func.name}[{index}]: reads undefined register %{reg.name}"
-                )
-        if helper_names is not None and isinstance(insn, Helper):
-            if insn.name not in helper_names:
+    for index, reg in undefined_reads(func):
+        problems.append(
+            f"{func.name}[{index}]: reads undefined register %{reg}"
+        )
+    if helper_names is not None:
+        for index, insn in enumerate(func.insns):
+            if isinstance(insn, Helper) and insn.name not in helper_names:
                 problems.append(
                     f"{func.name}[{index}]: unknown helper {insn.name!r}"
                 )

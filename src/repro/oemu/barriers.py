@@ -70,6 +70,10 @@ ATOMIC_EFFECTS = {
 }
 
 
+def barrier_effect(kind: BarrierKind) -> OrderingEffect:
+    return BARRIER_EFFECTS[kind]
+
+
 def store_effect(annot: Annot) -> OrderingEffect:
     try:
         return STORE_EFFECTS[annot]

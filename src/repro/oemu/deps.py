@@ -32,6 +32,99 @@ class DependencyEdge:
     kind: DependencyKind
 
 
+class StaticDeps(object):
+    """Static (compile-time) register-provenance analysis.
+
+    The static counterpart of :class:`DependencyTracker`: instead of
+    observing an execution, it runs a forward dataflow over a function's
+    CFG whose facts are ``(register, load_index)`` pairs — "this
+    register's value may derive from the load at that instruction
+    index".  KIRA's barrier lint uses it to discharge ppo Case 6
+    (address dependency from an annotated load) without running the
+    program.
+
+    Destinations written by calls, helpers and atomics sever the taint
+    (their results are not load-derived), which *under*-approximates
+    dependencies — the safe direction for a candidate enumerator, since
+    a missed dependency only over-reports a reordering candidate that
+    the dynamic stage will fail to confirm.
+    """
+
+    def __init__(self, func) -> None:
+        from repro.kir.cfg import CFG
+        from repro.kir.dataflow import solve
+
+        self._cfg = CFG.build(func)
+        self._result = solve(self._cfg, _StaticTaintProblem())
+
+    def taint_before(self, index: int) -> FrozenSet:
+        """``(reg, load_index)`` pairs live at the point before ``index``."""
+        return self._result.fact_before(index)
+
+    def address_dependency(self, load_index: int, later_index: int) -> bool:
+        """May ``later_index``'s base address derive from the load at
+        ``load_index``?  (Table 6's address dependency, statically.)"""
+        from repro.kir.insn import AtomicRMW, Load, Reg, Store
+
+        insn = self._cfg.func.insns[later_index]
+        if not isinstance(insn, (Load, Store, AtomicRMW)):
+            return False
+        base = insn.base
+        if not isinstance(base, Reg):
+            return False
+        return (base.name, load_index) in self.taint_before(later_index)
+
+    def data_dependency(self, load_index: int, store_index: int) -> bool:
+        """May the store's *value* derive from the load at ``load_index``?"""
+        from repro.kir.insn import Reg, Store
+
+        insn = self._cfg.func.insns[store_index]
+        if not isinstance(insn, Store) or not isinstance(insn.src, Reg):
+            return False
+        return (insn.src.name, load_index) in self.taint_before(store_index)
+
+
+class _StaticTaintProblem(object):
+    """Forward may-taint: facts are frozensets of (reg, load_index)."""
+
+    direction = "forward"
+
+    def boundary(self) -> frozenset:
+        return frozenset()
+
+    def top(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, insn, index: int, fact: frozenset):
+        from repro.kir.insn import BinOp, Load, Mov, Reg, reg_written
+
+        def origins(op) -> frozenset:
+            if not isinstance(op, Reg):
+                return frozenset()
+            return frozenset(o for r, o in fact if r == op.name)
+
+        if isinstance(insn, Load):
+            return frozenset(
+                p for p in fact if p[0] != insn.dst.name
+            ) | {(insn.dst.name, index)}
+        if isinstance(insn, Mov):
+            keep = frozenset(p for p in fact if p[0] != insn.dst.name)
+            return keep | frozenset((insn.dst.name, o) for o in origins(insn.src))
+        if isinstance(insn, BinOp):
+            keep = frozenset(p for p in fact if p[0] != insn.dst.name)
+            new = origins(insn.lhs) | origins(insn.rhs)
+            return keep | frozenset((insn.dst.name, o) for o in new)
+        written = reg_written(insn)
+        if written is not None:
+            # Calls/helpers/atomics produce values that are not
+            # load-derived: the taint is severed.
+            return frozenset(p for p in fact if p[0] != written.name)
+        return fact
+
+
 class DependencyTracker:
     """Forward taint over one thread's register file.
 

@@ -98,6 +98,72 @@ def reordering_allowed(q: PpoQuery) -> bool:
     return True
 
 
+# ---------------------------------------------------------------------------
+# Static faces of the ppo cases — instruction-level predicates used by
+# KIRA's barrier lint (:mod:`repro.analysis.barriers`) to evaluate the
+# same seven cases over a KIR function *without executing it*.  They
+# consult :mod:`repro.oemu.barriers`, the single source of ordering
+# truth, so the static lint and the dynamic emulator cannot disagree.
+# ---------------------------------------------------------------------------
+
+
+def insn_orders_stores(insn) -> bool:
+    """Would this instruction, sitting between two stores X and Y,
+    forbid observing Y before X (ppo Cases 1-2 plus implicit flushes)?"""
+    from repro.kir.insn import AtomicRMW, Barrier, Store
+
+    from repro.oemu.barriers import atomic_effect, barrier_effect, store_effect
+
+    if isinstance(insn, Barrier):
+        return barrier_effect(insn.kind).store_fence_before
+    if isinstance(insn, AtomicRMW):
+        return atomic_effect(insn.ordering).store_fence_before
+    if isinstance(insn, Store):
+        # A release store between X and Y flushes X before itself.
+        return store_effect(insn.annot).store_fence_before
+    return False
+
+
+def insn_orders_loads(insn) -> bool:
+    """Would this instruction, sitting between two loads X and Y,
+    forbid Y reading a pre-X value (ppo Cases 1,3 plus window bounds)?"""
+    from repro.kir.insn import AtomicRMW, Barrier, Load
+
+    from repro.oemu.barriers import atomic_effect, barrier_effect, load_effect
+
+    if isinstance(insn, Barrier):
+        return barrier_effect(insn.kind).load_fence_after
+    if isinstance(insn, AtomicRMW):
+        return atomic_effect(insn.ordering).load_fence_after
+    if isinstance(insn, Load):
+        # READ_ONCE / smp_load_acquire bound the versioning window.
+        return load_effect(insn.annot).load_fence_after
+    return False
+
+
+def store_pair_mechanism_possible(x_annot: Annot, y_annot: Annot) -> bool:
+    """Can OEMU's delayed-store mechanism reorder stores X..Y at all?
+
+    The earlier store must be delayable (a release store is flushed,
+    never delayed — Case 5's static shadow for the *earlier* access).
+    """
+    from repro.oemu.barriers import store_effect
+
+    return store_effect(x_annot).delayable
+
+
+def load_pair_mechanism_possible(x_annot: Annot, y_annot: Annot) -> bool:
+    """Can OEMU's versioning mechanism reorder loads X..Y at all?
+
+    The later load must be versionable and the earlier one must not
+    bound the window (Cases 4 and 6 are re-checked precisely via
+    :func:`reordering_allowed`; this is the mechanism precondition).
+    """
+    from repro.oemu.barriers import load_effect
+
+    return load_effect(y_annot).versionable and not load_effect(x_annot).load_fence_after
+
+
 def describes_store_store(q: PpoQuery) -> bool:
     return q.x_is_store and q.y_is_store
 

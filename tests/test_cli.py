@@ -20,6 +20,8 @@ class TestParser:
             ["ofence"],
             ["bugs"],
             ["throughput", "--iterations", "2"],
+            ["lint", "--subsystem", "vlan"],
+            ["fuzz", "--iterations", "2", "--static-hints"],
         ],
         ids=lambda a: a[0],
     )
@@ -55,3 +57,36 @@ class TestExecution:
     def test_lmbench_small(self, capsys):
         assert main(["lmbench", "--reps", "1"]) == 0
         assert "Overhead" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_lint_finds_seeded_bugs_and_exits_1(self, capsys):
+        # The built-in kernel is deliberately buggy: findings => exit 1.
+        assert main(["lint"]) == 1
+        out = capsys.readouterr().out
+        assert "missing-barrier" in out
+
+    def test_lint_subsystem_filter(self, capsys):
+        assert main(["lint", "--subsystem", "vlan"]) == 1
+        out = capsys.readouterr().out
+        assert "sys_vlan_add" in out
+        assert "sys_nbd_ioctl" not in out
+
+    def test_lint_unknown_subsystem_is_usage_error(self, capsys):
+        assert main(["lint", "--subsystem", "nope"]) == 2
+        assert "unknown subsystem" in capsys.readouterr().err
+
+    def test_lint_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "lint.json"
+        assert main(["lint", "--subsystem", "vlan", "--json", str(path)]) == 1
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["counts"]["missing-barrier"] > 0
+        assert all(f["subsystem"] == "vlan" for f in payload["findings"])
+
+    def test_fuzz_static_hints_campaign(self, capsys):
+        assert main(["fuzz", "--iterations", "2", "--seed", "1",
+                     "--static-hints"]) == 0
+        assert "tests in" in capsys.readouterr().out

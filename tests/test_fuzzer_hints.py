@@ -177,3 +177,83 @@ class TestCalculateHints:
         ]
         for h in store_hints:
             assert 7 not in h.reorder
+
+
+class TestPrioritizeHints:
+    def _hint(self, btype, sched, reorder, n):
+        from repro.fuzzer.hints import SchedulingHint
+
+        return SchedulingHint(
+            barrier_type=btype, reorder_side=0, sched_addr=sched,
+            sched_hit=1, reorder=tuple(reorder), nreorder=n,
+        )
+
+    def test_exercising_hints_move_first(self):
+        from repro.fuzzer.hints import prioritize_hints
+
+        # candidate pair (X=0x20, Y=0x24): delaying only X exercises it.
+        cold = self._hint(ST, 0x50, (0x10, 0x14), 2)
+        hot = self._hint(ST, 0x54, (0x20,), 1)
+        out = prioritize_hints([cold, hot], {ST: {(0x20, 0x24)}, LD: set()})
+        assert out == [hot, cold]
+
+    def test_masking_both_members_ranks_below_exercising(self):
+        from repro.fuzzer.hints import prioritize_hints
+
+        # Delaying both X and Y preserves their relative order: the
+        # candidate is masked, so the smaller exercising hint wins even
+        # though the max-reorder heuristic put it second.
+        masked = self._hint(ST, 0x50, (0x20, 0x24), 2)
+        exercising = self._hint(ST, 0x50, (0x20,), 1)
+        out = prioritize_hints(
+            [masked, exercising], {ST: {(0x20, 0x24)}, LD: set()}
+        )
+        assert out == [exercising, masked]
+
+    def test_masking_still_ranks_above_unmatched(self):
+        from repro.fuzzer.hints import prioritize_hints
+
+        masked = self._hint(ST, 0x50, (0x20, 0x24), 2)
+        unmatched = self._hint(ST, 0x54, (0x10,), 1)
+        out = prioritize_hints(
+            [unmatched, masked], {ST: {(0x20, 0x24)}, LD: set()}
+        )
+        assert out == [masked, unmatched]
+
+    def test_load_hint_moves_the_later_load(self):
+        from repro.fuzzer.hints import prioritize_hints
+
+        # For the load test the versioned (stale) load is the pair's Y.
+        hot = self._hint(LD, 0x50, (0x24,), 1)     # Y stale, X fresh
+        cold = self._hint(LD, 0x50, (0x20,), 2)    # moves X: not a tear
+        out = prioritize_hints([cold, hot], {ST: set(), LD: {(0x20, 0x24)}})
+        assert out == [hot, cold]
+
+    def test_relative_order_preserved_within_tiers(self):
+        from repro.fuzzer.hints import prioritize_hints
+
+        h1 = self._hint(ST, 0x50, (0x10,), 3)
+        h2 = self._hint(ST, 0x54, (0x20,), 2)
+        h3 = self._hint(ST, 0x58, (0x30,), 1)
+        out = prioritize_hints(
+            [h1, h2, h3], {ST: {(0x20, 0x44), (0x30, 0x44)}, LD: set()}
+        )
+        assert out == [h2, h3, h1]
+
+    def test_kind_must_match(self):
+        from repro.fuzzer.hints import prioritize_hints
+
+        ld_hint = self._hint(LD, 0x50, (0x24,), 1)
+        st_hint = self._hint(ST, 0x54, (0x20,), 1)
+        # the pair is flagged for stores only: the LD hint is not promoted
+        out = prioritize_hints(
+            [ld_hint, st_hint], {ST: {(0x20, 0x24)}, LD: set()}
+        )
+        assert out == [st_hint, ld_hint]
+
+    def test_empty_static_sets_are_identity(self):
+        from repro.fuzzer.hints import prioritize_hints
+
+        hints = [self._hint(ST, 0x50, (0x10,), 1)]
+        assert prioritize_hints(hints, {}) == hints
+        assert prioritize_hints(hints, {ST: set(), LD: set()}) == hints
