@@ -1,0 +1,176 @@
+"""ExecTrace bus overhead — the no-op sink must stay under 5%.
+
+Every retired instruction passes the bus's dispatch point
+(``Interpreter.step``), so the refactor's hot-path budget is explicit:
+with the default :data:`~repro.trace.sink.NULL_SINK` attached, the
+dispatch costs one attribute load and a falsy branch per step — no
+event object is ever constructed.
+
+The A/B here pits the shipped interpreter (NULL_SINK attached) against
+a ``_BaselineInterpreter`` whose ``step`` replicates the pre-ExecTrace
+body with no trace dispatch at all, on the most adversarial workload: a
+tight arithmetic + load/store loop where per-step dispatch is the
+largest possible fraction of the work.  Real fuzzing workloads
+(syscalls, OEMU callbacks, oracles) only dilute the ratio further.
+
+Informational numbers for the recording sinks (ring recorder, metrics)
+ride along, and everything lands in
+``benchmarks/artifacts/trace_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.errors import ExecutionLimitExceeded
+from repro.kir import Builder, Program
+from repro.kir.interp import HelperRetry, Interpreter
+from repro.machine import Machine
+from repro.mem.memory import DATA_BASE
+from repro.oemu.instrument import instrument_program
+from repro.trace import TeeSink, TraceMetrics, TraceRecorder
+
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "artifacts", "trace_overhead.json"
+)
+
+LOOP_ITERS = 15_000   # ~6 instructions per iteration, well under fuel
+ROUNDS = 9            # interleaved min-of-N keeps scheduler noise out
+OVERHEAD_BUDGET = 0.05
+
+
+class _BaselineInterpreter(Interpreter):
+    """``Interpreter.step`` exactly as it was before the ExecTrace
+    refactor: same body, no trace dispatch.  The A side of the A/B."""
+
+    def step(self, thread):
+        if thread.finished:
+            return False
+        if thread.fuel <= 0:
+            raise ExecutionLimitExceeded(
+                f"thread {thread.thread_id} exceeded fuel in {thread.current_function}"
+            )
+        thread.fuel -= 1
+        thread.steps += 1
+        frame = thread.frames[-1]
+        insn = frame.function.insns[frame.index]
+        machine = self.machine
+        if machine.kcov is not None:
+            machine.kcov.on_insn(thread.thread_id, insn.addr)
+        advance = True
+        try:
+            advance = self._execute(thread, frame, insn)
+        except HelperRetry:
+            return True
+        if advance and not thread.finished and thread.frames and thread.frames[-1] is frame:
+            frame.index += 1
+        return not thread.finished
+
+
+def _loop_program() -> Program:
+    """A tight loop: store, load, two adds, compare-branch per iteration."""
+    b = Builder("spin", params=["n"])
+    i = b.mov(0)
+    acc = b.mov(0)
+    top = b.label()
+    b.bind(top)
+    b.store(DATA_BASE, 0, i)
+    v = b.load(DATA_BASE, 0)
+    b.add(acc, v, dst=acc)
+    b.add(i, 1, dst=i)
+    b.blt(i, b.reg("n"), top)
+    b.ret(acc)
+    prog, _ = instrument_program(Program([b.function()]))
+    return prog
+
+
+PROGRAM = _loop_program()
+EXPECTED = sum(range(LOOP_ITERS))
+
+
+def _run(make_machine) -> int:
+    m = make_machine()
+    return m.run("spin", (LOOP_ITERS,))
+
+
+def _time_once(make_machine) -> float:
+    t0 = time.perf_counter()
+    result = _run(make_machine)
+    elapsed = time.perf_counter() - t0
+    assert result == EXPECTED
+    return elapsed
+
+
+def _null_machine() -> Machine:
+    return Machine(PROGRAM)  # default sink: NULL_SINK
+
+
+def _baseline_machine() -> Machine:
+    m = Machine(PROGRAM)
+    m.interp = _BaselineInterpreter(m)
+    return m
+
+
+def test_null_sink_overhead_under_budget():
+    """The tentpole's perf gate: NULL_SINK dispatch costs < 5%."""
+    # Warm up both paths (bytecode caches, allocator pools).
+    _time_once(_baseline_machine)
+    _time_once(_null_machine)
+    baseline = nullsink = float("inf")
+    for _ in range(ROUNDS):
+        baseline = min(baseline, _time_once(_baseline_machine))
+        nullsink = min(nullsink, _time_once(_null_machine))
+    overhead = nullsink / baseline - 1.0
+
+    # Informational: what attaching a real sink costs on the same loop.
+    recorder = TraceRecorder()
+    rec_time = _time_once(lambda: Machine(PROGRAM, trace=recorder))
+    metrics = TraceMetrics()
+    met_time = _time_once(lambda: Machine(PROGRAM, trace=metrics))
+    tee_time = _time_once(
+        lambda: Machine(PROGRAM, trace=TeeSink([TraceRecorder(), TraceMetrics()]))
+    )
+
+    # store + load + 2 adds + branch retire per iteration; 2 movs + ret outside.
+    steps = LOOP_ITERS * 5 + 3
+    artifact = {
+        "workload": {
+            "description": "tight store/load/add loop (adversarial for dispatch)",
+            "loop_iters": LOOP_ITERS,
+            "approx_steps": steps,
+            "rounds": ROUNDS,
+        },
+        "baseline_no_dispatch_s": baseline,
+        "null_sink_s": nullsink,
+        "null_sink_overhead": overhead,
+        "budget": OVERHEAD_BUDGET,
+        "sinks": {
+            "recorder_s": rec_time,
+            "recorder_slowdown": rec_time / baseline,
+            "metrics_s": met_time,
+            "metrics_slowdown": met_time / baseline,
+            "tee_recorder_metrics_s": tee_time,
+            "tee_slowdown": tee_time / baseline,
+        },
+        "metrics_sample": metrics.to_json_dict(),
+    }
+    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
+    with open(ARTIFACT_PATH, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+
+    print(
+        f"\nno-op sink: {overhead:+.2%} vs no-dispatch baseline "
+        f"(budget {OVERHEAD_BUDGET:.0%}); recorder {rec_time / baseline:.2f}x, "
+        f"metrics {met_time / baseline:.2f}x, tee {tee_time / baseline:.2f}x"
+    )
+    print(f"wrote {ARTIFACT_PATH}")
+
+    # The recording sinks really consumed the stream.
+    assert recorder.index >= steps
+    assert metrics.events_by_kind["step"] >= steps
+    assert overhead < OVERHEAD_BUDGET, (
+        f"NULL_SINK dispatch overhead {overhead:.2%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} budget"
+    )

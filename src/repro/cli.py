@@ -4,6 +4,7 @@ Commands mirror the paper's evaluation:
 
 ========== ===========================================================
 fuzz       run the OZZ campaign on the buggy kernel (§6.1 / Table 3)
+replay     deterministically replay a recorded crash artifact
 table4     reproduce the previously-reported bugs (§6.2 / Table 4)
 lmbench    measure OEMU instrumentation overhead (§6.3.1 / Table 5)
 throughput OZZ vs the in-order baseline (§6.3.2)
@@ -60,7 +61,53 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             if mini is not None:
                 print()
                 print(mini.describe(image))
+    if args.artifacts and result.crashdb is not None:
+        _dump_artifacts(result.crashdb, spec.patched, args.artifacts)
     return 0
+
+
+def _dump_artifacts(crashdb, patched, outdir: str) -> None:
+    """Write each unique crash's schedule artifact as JSON under outdir."""
+    import os
+    import re
+
+    from repro.config import KernelConfig
+    from repro.kernel.kernel import KernelImage
+
+    os.makedirs(outdir, exist_ok=True)
+    image = None
+    for title in crashdb.unique_titles:
+        rec = crashdb.records[title]
+        artifact = rec.artifact
+        if artifact is None and rec.reproducer is not None:
+            if image is None:
+                image = KernelImage(KernelConfig(patched=frozenset(patched)))
+            try:
+                artifact = rec.reproducer.record_artifact(image)
+            except ValueError:
+                continue
+        if artifact is None:
+            continue
+        slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:64]
+        path = os.path.join(outdir, f"{slug}.json")
+        artifact.save(path)
+        print(f"wrote {path}")
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.trace.replayer import CrashArtifact, replay_artifact
+
+    try:
+        artifact = CrashArtifact.load(args.artifact)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"replaying: {artifact.title}")
+    print(f"  {len(artifact.schedule.get('events', []))} recorded events, "
+          f"oracle {artifact.oracle!r} at event {artifact.event_index}")
+    verdict = replay_artifact(artifact)
+    print(verdict.render())
+    return 0 if verdict.ok else 1
 
 
 def cmd_table4(args: argparse.Namespace) -> int:
@@ -212,7 +259,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--static-hints", action="store_true",
         help="seed/prioritize scheduling hints from the static barrier lint",
     )
+    p.add_argument(
+        "--artifacts", metavar="DIR",
+        help="write a replayable schedule artifact per unique crash to DIR",
+    )
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "replay",
+        help="deterministically replay a recorded crash artifact",
+        description="Re-drive the hypothetical-barrier executor from a "
+        "crash artifact recorded by `repro fuzz --artifacts` and verify "
+        "the same oracle fires with the same reordered accesses and the "
+        "same event schedule, byte-for-byte. Exit 0 = reproduced, "
+        "1 = diverged, 2 = bad artifact.",
+    )
+    p.add_argument("artifact", help="path to a crash-artifact JSON file")
+    p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser("table4", help="reproduce known bugs (Table 4)")
     p.set_defaults(fn=cmd_table4)

@@ -84,6 +84,7 @@ class OzzFuzzer:
         shard: int = 0,
         nshards: int = 1,
         static_hints: bool = False,
+        record_artifacts: bool = True,
     ) -> None:
         if not (0 <= shard < nshards):
             raise ConfigError(f"shard {shard} out of range for {nshards} shards")
@@ -96,6 +97,10 @@ class OzzFuzzer:
         self.max_hints_per_pair = max_hints_per_pair
         self.max_pairs_per_sti = max_pairs_per_sti
         self.mutate_prob = mutate_prob
+        # Record a replayable schedule artifact (repro.trace.replayer)
+        # for the first occurrence of each crash title.  Costs one extra
+        # (traced) run per unique crash — rare enough to be on by default.
+        self.record_artifacts = record_artifacts
         # KIRA static seeding (opt-in): pre-compute the instruction
         # address pairs the barrier lint flags as reordering candidates.
         # Computed on the plain program — the instrumentation pass
@@ -168,7 +173,29 @@ class OzzFuzzer:
                         record.reproducer = Reproducer.from_result(
                             result, self.image.config
                         )
+                        if self.record_artifacts:
+                            self._record_artifact(record, result.mti)
         return results
+
+    def _record_artifact(self, record, mti: MTI) -> None:
+        """Attach a replayable schedule artifact to a fresh crash record."""
+        # Lazy import: the replayer pulls in the whole execution stack,
+        # and the fuzzer core should stay import-light.
+        from repro.trace.replayer import record_crash_artifact
+
+        try:
+            artifact = record_crash_artifact(self.image, mti)
+        except ValueError:
+            # The traced re-run didn't crash — a nondeterministic trigger
+            # (should not happen; execution is deterministic).  Keep the
+            # reproducer, skip the artifact.
+            return
+        record.artifact = artifact
+        # The dedup'd report now carries its schedule, per §4.4's
+        # "report of memory accesses that were reordered".
+        record.first_report.schedule = artifact.schedule
+        if record.first_report.event_index is None:
+            record.first_report.event_index = artifact.event_index
 
     def minimized_reproducer(self, title: str) -> Optional[Reproducer]:
         """Minimize a found crash's trigger (syzkaller-style repro).

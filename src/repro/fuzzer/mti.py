@@ -24,6 +24,8 @@ from repro.fuzzer.sti import STI, Call, resolve_args
 from repro.kernel.kernel import Kernel, KernelImage
 from repro.oracles.report import CrashReport
 from repro.sched.executor import BarrierTestExecutor, ExecOutcome
+from repro.trace.events import OracleFired
+from repro.trace.sink import NULL_SINK, TraceSink
 
 
 @dataclass(frozen=True)
@@ -54,10 +56,15 @@ class MTIResult:
         return self.crash is not None
 
 
-def run_mti(image: KernelImage, mti: MTI) -> MTIResult:
-    """Execute one MTI on a fresh kernel."""
+def run_mti(image: KernelImage, mti: MTI, *, trace: TraceSink = NULL_SINK) -> MTIResult:
+    """Execute one MTI on a fresh kernel.
+
+    ``trace`` attaches an ExecTrace sink (e.g. a
+    :class:`~repro.trace.recorder.TraceRecorder`) to the booted kernel;
+    the default no-op sink records nothing.
+    """
     result = MTIResult(mti=mti)
-    kernel = Kernel(image)
+    kernel = Kernel(image, trace=trace)
     i, j = mti.pair
     # Indexed by call position so ResourceRefs resolve correctly even
     # when calls between the pair run after it.
@@ -72,6 +79,13 @@ def run_mti(image: KernelImage, mti: MTI) -> MTIResult:
             # without OOO context.
             result.crash = crash.report
             result.phase = f"sequential[{index}]"
+            if trace.active:
+                result.crash.event_index = trace.index
+                trace.emit(
+                    OracleFired(
+                        crash.report.title, crash.report.oracle, crash.report.inst_addr
+                    )
+                )
             return False
         except ExecutionLimitExceeded:
             result.hung = True

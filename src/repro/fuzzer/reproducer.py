@@ -60,6 +60,25 @@ class Reproducer:
         result = self.replay(image)
         return result.crashed and result.crash.title == self.expected_title
 
+    def record_artifact(self, image: Optional[KernelImage] = None):
+        """Record a replayable schedule artifact for this trigger.
+
+        Runs the exact failing test with an ExecTrace recorder attached
+        and returns a :class:`repro.trace.replayer.CrashArtifact` whose
+        event schedule can be validated deterministically with
+        :func:`repro.trace.replayer.replay_artifact` (or ``repro replay``)
+        instead of re-searching for the crash.  Raises ``ValueError`` if
+        the test no longer crashes (e.g. against a patched image).
+        """
+        # Lazy import: the replayer imports this module.
+        from repro.trace.replayer import record_crash_artifact
+
+        if image is None:
+            image = KernelImage(KernelConfig(patched=frozenset(self.patched)))
+        return record_crash_artifact(
+            image, MTI(sti=self.sti, pair=self.pair, hint=self.hint)
+        )
+
     # -- serialization -----------------------------------------------------------
 
     def to_json(self) -> str:

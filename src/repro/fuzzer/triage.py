@@ -25,6 +25,7 @@ class CrashRecord:
     first_test_index: int = 0     # the test number that first hit it
     bug_id: Optional[str] = None  # registry match, if any
     reproducer: object = None     # repro.fuzzer.reproducer.Reproducer
+    artifact: object = None       # repro.trace.replayer.CrashArtifact
 
 
 class CrashDB:
@@ -68,6 +69,8 @@ class CrashDB:
                 merged = replace(first, count=cur.count + rec.count)
                 if merged.reproducer is None:
                     merged.reproducer = cur.reproducer or rec.reproducer
+                if merged.artifact is None:
+                    merged.artifact = cur.artifact or rec.artifact
                 out.records[title] = merged
         return out
 

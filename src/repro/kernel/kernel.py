@@ -31,6 +31,8 @@ from repro.mem.memory import DATA_BASE, DATA_SIZE
 from repro.oemu.instrument import InstrumentationReport, instrument_program
 from repro.oemu.profiler import Profiler
 from repro.oracles.assertions import ReturnValueOracle
+from repro.trace.events import SyscallEnter
+from repro.trace.sink import NULL_SINK, TraceSink
 
 
 def default_subsystems() -> List[Subsystem]:
@@ -118,13 +120,20 @@ class KernelImage:
 class Kernel(Machine):
     """One booted kernel instance."""
 
-    def __init__(self, image: KernelImage, *, profiler: Optional[Profiler] = None) -> None:
+    def __init__(
+        self,
+        image: KernelImage,
+        *,
+        profiler: Optional[Profiler] = None,
+        trace: TraceSink = NULL_SINK,
+    ) -> None:
         super().__init__(
             image.program,
             ncpus=image.config.ncpus,
             with_oemu=True,
             profiler=profiler,
             kasan_enabled=image.config.kasan,
+            trace=trace,
         )
         self.image = image
         self.config = image.config
@@ -172,6 +181,8 @@ class Kernel(Machine):
         argv = self._fit_args(args, len(func.params))
         thread = self.spawn(sc.func, argv, cpu=cpu)
         thread.syscall_name = name  # used by the executor's exit path
+        if self.trace.active:
+            self.trace.emit(SyscallEnter(thread.thread_id, name))
         if self.oemu is not None:
             self.oemu.on_syscall_entry(thread.thread_id)
         return thread
@@ -188,9 +199,7 @@ class Kernel(Machine):
 
     def finish_syscall(self, thread: ThreadCtx, name: str = "") -> None:
         """Syscall-exit path: ordering, lockdep, return-value oracle."""
-        if self.oemu is not None:
-            self.oemu.on_syscall_exit(thread.thread_id)
-        self.lockdep.on_syscall_exit(thread.thread_id, name or thread.current_function)
+        super().finish_syscall(thread, name)
         if name:
             self.retval_oracle.on_return(name, thread.retval)
 

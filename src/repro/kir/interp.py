@@ -14,7 +14,8 @@ a real kernel faults and how KASAN's compile-time checks fire when the
 access executes.
 
 The interpreter is generic over a ``machine`` object (in practice
-:class:`repro.kernel.kernel.Kernel`) that provides::
+:class:`repro.kernel.kernel.Kernel`; see the
+:class:`repro.machine.ExecutionMachine` protocol) that provides::
 
     program        linked Program being executed
     memory         repro.mem.Memory
@@ -23,6 +24,8 @@ The interpreter is generic over a ``machine`` object (in practice
     fault_oracle   repro.oracles.FaultOracle
     helpers        dict name -> callable(machine, thread, *args) -> int|None
     deps           repro.oemu.DependencyTracker or None
+    kcov           repro.fuzzer.kcov.KCov or None
+    trace          repro.trace.TraceSink (NULL_SINK when not tracing)
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ from repro.kir.insn import (
     eval_binop,
 )
 from repro.mem.memory import MemoryFault
+from repro.trace.events import Step
 
 #: Default per-syscall instruction budget.
 DEFAULT_FUEL = 200_000
@@ -90,6 +94,7 @@ class ThreadCtx:
         self.retval: int = 0
         self.fuel = fuel
         self.steps = 0
+        self.syscall_name: str = ""  # set when entering through a syscall
 
     @property
     def frame(self) -> Frame:
@@ -133,7 +138,13 @@ class Interpreter:
         return thread
 
     def step(self, thread: ThreadCtx) -> bool:
-        """Execute one instruction; returns True while the thread runs."""
+        """Execute one instruction; returns True while the thread runs.
+
+        This is the execution stack's single retirement dispatch point:
+        every instruction that retires emits exactly one
+        :class:`~repro.trace.events.Step` event through the machine's
+        trace sink (skipped entirely when the no-op sink is attached).
+        """
         if thread.finished:
             return False
         if thread.fuel <= 0:
@@ -144,16 +155,19 @@ class Interpreter:
         thread.steps += 1
         frame = thread.frames[-1]
         insn = frame.function.insns[frame.index]
-        kcov = getattr(self.machine, "kcov", None)
-        if kcov is not None:
-            kcov.on_insn(thread.thread_id, insn.addr)
+        machine = self.machine
+        if machine.kcov is not None:
+            machine.kcov.on_insn(thread.thread_id, insn.addr)
         advance = True
         try:
             advance = self._execute(thread, frame, insn)
         except HelperRetry:
-            return True  # same pc next step
+            return True  # same pc next step; the instruction did not retire
         if advance and not thread.finished and thread.frames and thread.frames[-1] is frame:
             frame.index += 1
+        trace = machine.trace
+        if trace.active:
+            trace.emit(Step(thread.thread_id, insn.addr))
         return not thread.finished
 
     def run(self, thread: ThreadCtx, max_steps: Optional[int] = None) -> int:
@@ -193,7 +207,7 @@ class Interpreter:
     def _execute(self, thread: ThreadCtx, frame: Frame, insn: Insn) -> bool:
         """Returns True if the pc should advance normally."""
         m = self.machine
-        deps = getattr(m, "deps", None)
+        deps = m.deps
 
         if isinstance(insn, Mov):
             frame.regs[insn.dst.name] = self._eval(frame, insn.src)

@@ -4,11 +4,25 @@
 directly by the litmus-test runner and unit tests; the full simulated
 kernel (:class:`repro.kernel.kernel.Kernel`) builds on top of it, adding
 syscalls, an allocator-backed heap API, globals and helpers.
+
+:class:`ExecutionMachine` is the structural protocol the execution stack
+(interpreter, scheduler, Figure 5 executor) programs against — it
+replaces the old ``getattr(machine, ...)`` duck-typing with a typed
+seam, and every machine carries an ExecTrace sink (``trace``) through
+which the stack emits :mod:`repro.trace` events.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional
+
+try:  # pragma: no cover - typing.Protocol is 3.8+, soft fallback anyway
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object
+
+    def runtime_checkable(cls):
+        return cls
 
 from repro.clock import LogicalClock
 from repro.kir.function import Program
@@ -24,6 +38,28 @@ from repro.oracles.assertions import Assertions
 from repro.oracles.fault import FaultOracle
 from repro.oracles.kasan import Kasan
 from repro.oracles.lockdep import Lockdep
+from repro.trace.events import SyscallExit
+from repro.trace.sink import NULL_SINK, TraceSink
+
+
+@runtime_checkable
+class ExecutionMachine(Protocol):
+    """What the execution stack requires of a machine.
+
+    Satisfied structurally by :class:`Machine` and
+    :class:`repro.kernel.kernel.Kernel`; the interpreter, scheduler and
+    :class:`~repro.sched.executor.BarrierTestExecutor` access these
+    members directly instead of probing with ``getattr``.
+    """
+
+    program: Program
+    memory: Memory
+    oemu: Optional[Oemu]
+    trace: TraceSink
+    interp: Interpreter
+    helpers: Dict[str, Callable]
+
+    def finish_syscall(self, thread: ThreadCtx, name: str = "") -> None: ...
 
 
 class Machine:
@@ -38,6 +74,7 @@ class Machine:
         profiler: Optional[Profiler] = None,
         kasan_enabled: bool = True,
         track_deps: bool = False,
+        trace: TraceSink = NULL_SINK,
     ) -> None:
         self.program = program
         self.ncpus = ncpus
@@ -47,8 +84,11 @@ class Machine:
         self.allocator = SlabAllocator(self.memory, self.shadow)
         self.history = StoreHistory()
         self.profiler = profiler
+        self.trace: TraceSink = trace
         self.oemu: Optional[Oemu] = (
-            Oemu(self.memory, self.clock, self.history, profiler) if with_oemu else None
+            Oemu(self.memory, self.clock, self.history, profiler, trace=trace)
+            if with_oemu
+            else None
         )
         self.kasan = Kasan(self.shadow, self.allocator, enabled=kasan_enabled)
         self.fault_oracle = FaultOracle()
@@ -75,3 +115,17 @@ class Machine:
         """Run a function to completion on one thread; returns its value."""
         thread = self.spawn(func_name, args, cpu=cpu)
         return self.interp.run(thread)
+
+    def finish_syscall(self, thread: ThreadCtx, name: str = "") -> None:
+        """Return-to-userspace path: implicit full ordering + exit oracles.
+
+        The kernel subclass extends this with its return-value oracle;
+        the base version is what bare-machine tests and the litmus
+        runner get.
+        """
+        name = name or thread.syscall_name
+        if self.trace.active:
+            self.trace.emit(SyscallExit(thread.thread_id, name))
+        if self.oemu is not None:
+            self.oemu.on_syscall_exit(thread.thread_id)
+        self.lockdep.on_syscall_exit(thread.thread_id, name or thread.current_function)

@@ -40,6 +40,14 @@ from repro.oemu.barriers import (
     store_effect,
 )
 from repro.oemu.profiler import Profiler
+from repro.trace.events import (
+    BufferFlush,
+    InterruptInjected,
+    StoreDelayed,
+    VersionedLoad,
+    WindowReset,
+)
+from repro.trace.sink import NULL_SINK, TraceSink
 
 
 @dataclass
@@ -81,11 +89,14 @@ class Oemu:
         clock: LogicalClock,
         history: Optional[StoreHistory] = None,
         profiler: Optional[Profiler] = None,
+        *,
+        trace: TraceSink = NULL_SINK,
     ) -> None:
         self.memory = memory
         self.clock = clock
         self.history = history if history is not None else StoreHistory()
         self.profiler = profiler
+        self.trace = trace
         self.stats = OemuStats()
         self._threads: Dict[int, ThreadState] = {}
 
@@ -118,18 +129,20 @@ class Oemu:
     def on_syscall_entry(self, thread_id: int) -> None:
         """Entering the kernel implies full ordering with earlier work."""
         state = self.thread_state(thread_id)
-        self._flush(state)
-        state.window_start = self.clock.now
+        self._flush(state, reason="syscall-enter")
+        self._reset_window(state)
 
     def on_syscall_exit(self, thread_id: int) -> None:
         """Returning to userspace commits everything (implicit mb)."""
         state = self.thread_state(thread_id)
-        self._flush(state)
-        state.window_start = self.clock.now
+        self._flush(state, reason="syscall-exit")
+        self._reset_window(state)
 
     def on_interrupt(self, thread_id: int) -> None:
         """An interrupt on the executing CPU flushes the buffer (§3.1)."""
-        self._flush(self.thread_state(thread_id))
+        if self.trace.active:
+            self.trace.emit(InterruptInjected(thread_id))
+        self._flush(self.thread_state(thread_id), reason="interrupt")
 
     # -- store path (§3.1) ------------------------------------------------------
 
@@ -149,12 +162,14 @@ class Oemu:
         for kind in implicit_barriers_for_store(annot):
             self._note_barrier(state, inst_addr, kind, implicit=True, function=function)
         if effect.store_fence_before:
-            self._flush(state)
+            self._flush(state, reason="store-fence")
         data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
         self._profile_access(state, inst_addr, addr, size, True, annot, function)
         if effect.delayable and inst_addr in state.delay_set:
             state.buffer.delay(inst_addr, addr, size, data)
             self.stats.delayed += 1
+            if self.trace.active:
+                self.trace.emit(StoreDelayed(state.thread_id, inst_addr, addr, size))
         else:
             self._commit_bytes(state, inst_addr, addr, data)
 
@@ -183,6 +198,10 @@ class Oemu:
             )
             if any_old:
                 self.stats.versioned_reads += 1
+            if self.trace.active:
+                self.trace.emit(
+                    VersionedLoad(thread_id, inst_addr, addr, size, bool(any_old))
+                )
             observed_ts = floor
         else:
             base = self.memory.read_bytes(addr, size)
@@ -197,7 +216,7 @@ class Oemu:
         for kind in implicit_barriers_for_load(annot):
             self._note_barrier(state, inst_addr, kind, implicit=True, function=function)
         if effect.load_fence_after:
-            state.window_start = self.clock.now
+            self._reset_window(state)
         return int.from_bytes(data, "little")
 
     # -- explicit barriers -------------------------------------------------------------
@@ -206,9 +225,9 @@ class Oemu:
         state = self.thread_state(thread_id)
         self._note_barrier(state, inst_addr, kind, implicit=False, function=function)
         if kind.orders_stores:
-            self._flush(state)
+            self._flush(state, reason="barrier")
         if kind.orders_loads:
-            state.window_start = self.clock.now
+            self._reset_window(state)
 
     # -- atomics ---------------------------------------------------------------------------
 
@@ -234,11 +253,11 @@ class Oemu:
         for kind in before:
             self._note_barrier(state, inst_addr, kind, implicit=True, function=function)
         if effect.store_fence_before:
-            self._flush(state)
+            self._flush(state, reason="atomic-fence")
         elif state.buffer.overlaps(addr, size):
             # Single-thread consistency: an atomic on bytes we have in
             # flight must see our own store.
-            self._flush(state)
+            self._flush(state, reason="atomic-overlap")
         old = self.memory.load(addr, size, check=False)
         new = rmw(old) & ((1 << (8 * size)) - 1)
         self._profile_access(state, inst_addr, addr, size, True, Annot.PLAIN, function, atomic=True)
@@ -246,14 +265,14 @@ class Oemu:
         for kind in after:
             self._note_barrier(state, inst_addr, kind, implicit=True, function=function)
         if effect.load_fence_after:
-            state.window_start = self.clock.now
+            self._reset_window(state)
         return old
 
     # -- internals ----------------------------------------------------------------------------
 
     def flush(self, thread_id: int) -> int:
         """Commit all of a thread's delayed stores (testing/harness hook)."""
-        return self._flush(self.thread_state(thread_id))
+        return self._flush(self.thread_state(thread_id), reason="harness")
 
     def pending_stores(self, thread_id: int):
         return self.thread_state(thread_id).buffer.pending
@@ -261,13 +280,21 @@ class Oemu:
     def window(self, thread_id: int) -> int:
         return self.thread_state(thread_id).window_start
 
-    def _flush(self, state: ThreadState) -> int:
+    def _flush(self, state: ThreadState, reason: str = "") -> int:
         count = state.buffer.flush(
             lambda entry: self._commit_pending(state, entry)
         )
         if count:
             self.stats.flushes += 1
+            if self.trace.active:
+                self.trace.emit(BufferFlush(state.thread_id, count, reason))
         return count
+
+    def _reset_window(self, state: ThreadState) -> None:
+        """Move t_rmb to now (the §3.2 versioning-window reset)."""
+        state.window_start = self.clock.now
+        if self.trace.active:
+            self.trace.emit(WindowReset(state.thread_id, state.window_start))
 
     def _commit_pending(self, state: ThreadState, entry: PendingStore) -> None:
         self._commit_bytes(state, entry.inst_addr, entry.addr, entry.data)

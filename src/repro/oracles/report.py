@@ -27,6 +27,9 @@ class CrashReport:
     hypothetical_barrier: Optional[int] = None
     barrier_test: str = ""            # "store" | "load" | ""
     source_context: str = ""
+    # ExecTrace context, attached when the run was traced:
+    event_index: Optional[int] = None  # bus index at which the oracle fired
+    schedule: Optional[dict] = None    # recorded schedule artifact (schema v1)
 
     def render(self) -> str:
         """Multi-line human-readable report."""
@@ -35,6 +38,8 @@ class CrashReport:
             lines.append(self.detail)
         if self.inst_addr:
             lines.append(f"crashing instruction: {self.inst_addr:#x}")
+        if self.event_index is not None:
+            lines.append(f"trace event index: {self.event_index}")
         if self.hypothetical_barrier is not None:
             lines.append(
                 f"hypothetical {self.barrier_test} barrier at {self.hypothetical_barrier:#x}"

@@ -1,7 +1,7 @@
 """MTI execution engine — the hypothetical memory barrier test (§4.1).
 
 Implements the two test shapes of paper Figure 5 against any machine
-with an OEMU:
+satisfying the :class:`repro.machine.ExecutionMachine` protocol:
 
 * **store test** (Figure 5a): the victim thread's stores before a
   hypothetical ``smp_wmb`` are delayed; the victim runs *through* the
@@ -17,18 +17,26 @@ with an OEMU:
 
 Any oracle firing during any phase is captured as a crash report,
 annotated with the reordered instruction addresses and the hypothetical
-barrier location — the §4.4 report format.
+barrier location — the §4.4 report format.  Every phase transition,
+interrupt injection and oracle firing is emitted on the machine's
+ExecTrace bus, and crash reports carry the bus index at which their
+oracle fired (``event_index``), so a recorded run can be replayed and
+compared event-for-event.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from repro.errors import ExecutionLimitExceeded, KernelCrash
+from repro.errors import ConfigError, ExecutionLimitExceeded, KernelCrash, KirError
 from repro.kir.interp import ThreadCtx
 from repro.oracles.report import CrashReport
 from repro.sched.scheduler import BreakPolicy, Breakpoint, CustomScheduler, StopReason
+from repro.trace.events import OracleFired, PhaseBegin, TraceNote
+
+if TYPE_CHECKING:
+    from repro.machine import ExecutionMachine
 
 
 @dataclass
@@ -50,7 +58,7 @@ class ExecOutcome:
 class BarrierTestExecutor:
     """Runs Figure 5's two test shapes on a machine."""
 
-    def __init__(self, machine) -> None:
+    def __init__(self, machine: "ExecutionMachine") -> None:
         self.machine = machine
         self.scheduler = CustomScheduler(machine.interp)
 
@@ -72,9 +80,10 @@ class BarrierTestExecutor:
         store buffer, so the reordering evaporates — useful for testing
         that property and for interrupt-sensitivity ablations.
         """
-        oemu = self.machine.oemu
-        for addr in reorder_addrs:
-            oemu.delay_store_at(victim.thread_id, addr)
+        oemu = self._oemu_for(reorder_addrs)
+        if oemu is not None:
+            for addr in reorder_addrs:
+                oemu.delay_store_at(victim.thread_id, addr)
         breakpoint = Breakpoint(sched_addr, BreakPolicy.AFTER, hit=sched_hit)
         outcome = self._run_phases(
             victim, observer, breakpoint, "store", inject_interrupt=inject_interrupt
@@ -93,15 +102,30 @@ class BarrierTestExecutor:
         sched_hit: int = 1,
     ) -> ExecOutcome:
         """Hypothetical load barrier test (load-load)."""
-        oemu = self.machine.oemu
-        for addr in reorder_addrs:
-            oemu.read_old_value_at(victim.thread_id, addr)
+        oemu = self._oemu_for(reorder_addrs)
+        if oemu is not None:
+            for addr in reorder_addrs:
+                oemu.read_old_value_at(victim.thread_id, addr)
         breakpoint = Breakpoint(sched_addr, BreakPolicy.BEFORE, hit=sched_hit)
         outcome = self._run_phases(victim, observer, breakpoint, "load")
         self._finish(victim, observer, outcome, reorder_addrs, sched_addr, "load")
         return outcome
 
     # -- shared machinery ---------------------------------------------------------
+
+    def _oemu_for(self, reorder_addrs: Sequence[int]):
+        """The machine's OEMU, or None on uninstrumented machines.
+
+        Reordering controls require OEMU; an interleaving-only test
+        (empty reorder set) is legal on a plain machine.
+        """
+        oemu = self.machine.oemu
+        if oemu is None and reorder_addrs:
+            raise ConfigError(
+                "reordering controls require an OEMU-instrumented machine "
+                "(machine.oemu is None)"
+            )
+        return oemu
 
     def _run_phases(
         self,
@@ -113,6 +137,7 @@ class BarrierTestExecutor:
     ) -> ExecOutcome:
         outcome = ExecOutcome()
         # (1) Reordering/positioning: victim runs to the scheduling point.
+        self._phase("victim-to-sched", test_kind)
         if self._guarded(outcome, "victim-to-sched", self.scheduler.run_until, victim, breakpoint):
             return outcome
         if inject_interrupt and self.machine.oemu is not None:
@@ -120,10 +145,12 @@ class BarrierTestExecutor:
             self.machine.oemu.on_interrupt(victim.thread_id)
         # (2) Interleaving: the observer runs to completion while the
         # victim sits suspended (buffer NOT flushed).
+        self._phase("observer", test_kind)
         if self._guarded(outcome, "observer", self._run_thread_syscall, observer):
             return outcome
         outcome.observer_ret = observer.retval
         # (3) Resume the victim to completion.
+        self._phase("victim-resume", test_kind)
         if self._guarded(outcome, "victim-resume", self._run_thread_syscall, victim):
             return outcome
         outcome.victim_ret = victim.retval
@@ -132,16 +159,13 @@ class BarrierTestExecutor:
     def _run_thread_syscall(self, thread: ThreadCtx) -> None:
         self.scheduler.run_to_completion(thread)
         # Returning to userspace: implicit full ordering + lockdep +
-        # return-value oracles (via the kernel's syscall-exit path).
-        finish = getattr(self.machine, "finish_syscall", None)
-        if finish is not None:
-            finish(thread, getattr(thread, "syscall_name", ""))
-            return
-        if self.machine.oemu is not None:
-            self.machine.oemu.on_syscall_exit(thread.thread_id)
-        lockdep = getattr(self.machine, "lockdep", None)
-        if lockdep is not None:
-            lockdep.on_syscall_exit(thread.thread_id, thread.current_function)
+        # return-value oracles (via the machine's syscall-exit path).
+        self.machine.finish_syscall(thread, thread.syscall_name)
+
+    def _phase(self, name: str, test_kind: str) -> None:
+        trace = self.machine.trace
+        if trace.active:
+            trace.emit(PhaseBegin(name, test_kind))
 
     def _guarded(self, outcome: ExecOutcome, phase: str, fn: Callable, *args) -> bool:
         """Run a phase, capturing crashes/hangs.  True if the test ended."""
@@ -150,6 +174,14 @@ class BarrierTestExecutor:
         except KernelCrash as crash:
             outcome.crash = crash.report
             outcome.phase = phase
+            trace = self.machine.trace
+            if trace.active:
+                outcome.crash.event_index = trace.index
+                trace.emit(
+                    OracleFired(
+                        crash.report.title, crash.report.oracle, crash.report.inst_addr
+                    )
+                )
             return True
         except ExecutionLimitExceeded:
             outcome.hung = True
@@ -166,12 +198,14 @@ class BarrierTestExecutor:
         sched_addr: int,
         test_kind: str,
     ) -> None:
+        self._phase("finish", test_kind)
         oemu = self.machine.oemu
-        oemu.clear_controls(victim.thread_id)
-        oemu.clear_controls(observer.thread_id)
-        # Leave no stale delayed stores behind for the next test.
-        oemu.flush(victim.thread_id)
-        oemu.flush(observer.thread_id)
+        if oemu is not None:
+            oemu.clear_controls(victim.thread_id)
+            oemu.clear_controls(observer.thread_id)
+            # Leave no stale delayed stores behind for the next test.
+            oemu.flush(victim.thread_id)
+            oemu.flush(observer.thread_id)
         outcome.steps = victim.steps + observer.steps
         if outcome.crash is not None:
             outcome.crash.reordered_insns = tuple(reorder_addrs)
@@ -183,5 +217,15 @@ class BarrierTestExecutor:
                 outcome.crash.source_context = source_context(
                     self.machine.program, outcome.crash.inst_addr or sched_addr
                 )
-            except Exception:
-                pass
+            except (KirError, KeyError, IndexError) as exc:
+                # A crash address outside the text segment (helper-made
+                # reports, boot-time addresses) has no listing; note it
+                # on the bus instead of swallowing it silently.
+                trace = self.machine.trace
+                if trace.active:
+                    trace.emit(
+                        TraceNote(
+                            f"source-context unavailable for "
+                            f"{outcome.crash.inst_addr or sched_addr:#x}: {exc}"
+                        )
+                    )

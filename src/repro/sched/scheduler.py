@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import ExecutionLimitExceeded
 from repro.kir.interp import Interpreter, ThreadCtx
+from repro.trace.events import BreakpointHit
 
 
 class BreakPolicy(enum.Enum):
@@ -100,6 +101,7 @@ class CustomScheduler:
             ):
                 breakpoint._count += 1
                 if breakpoint._count >= breakpoint.hit:
+                    self._note_breakpoint(thread, breakpoint)
                     return StopReason.BREAKPOINT
             self.interp.step(thread)
             steps += 1
@@ -114,8 +116,21 @@ class CustomScheduler:
             ):
                 breakpoint._count += 1
                 if breakpoint._count >= breakpoint.hit:
+                    self._note_breakpoint(thread, breakpoint)
                     return StopReason.BREAKPOINT
         return StopReason.FINISHED
+
+    def _note_breakpoint(self, thread: ThreadCtx, breakpoint: Breakpoint) -> None:
+        trace = self.interp.machine.trace
+        if trace.active:
+            trace.emit(
+                BreakpointHit(
+                    thread.thread_id,
+                    breakpoint.inst_addr,
+                    breakpoint.policy.value,
+                    breakpoint._count,
+                )
+            )
 
     def run_to_completion(self, thread: ThreadCtx) -> StopReason:
         return self.run_until(thread, None)

@@ -1,0 +1,70 @@
+"""ExecTrace — the typed execution event bus (record/replay seam).
+
+Every interesting effect of a simulated execution — instruction
+retirements, store-buffer delays and flushes, versioned loads,
+breakpoint hits, interrupt injections, syscall boundaries, oracle
+firings — is a typed :class:`~repro.trace.events.ExecEvent` emitted
+through a single pluggable :class:`~repro.trace.sink.TraceSink`
+attached to the machine.  The default sink is the no-op
+:data:`~repro.trace.sink.NULL_SINK`, whose cost on the hot path is one
+attribute load and a falsy branch per dispatch point (see
+``benchmarks/bench_trace_overhead.py``).
+
+Three sinks ship with the bus:
+
+* :class:`~repro.trace.recorder.TraceRecorder` — a bounded ring buffer
+  whose output is the JSON *schedule artifact* attached to crash
+  reports (schema v1, documented in DESIGN.md);
+* the replayer (:mod:`repro.trace.replayer`, imported explicitly to
+  keep this package import-light) — re-drives the Figure 5 executor
+  from a recorded artifact and compares event streams byte-for-byte;
+* :class:`~repro.trace.metrics.TraceMetrics` — per-phase step counts,
+  store-buffer occupancy histogram, and the callback overhead split.
+"""
+
+from repro.trace.events import (
+    SCHEMA_VERSION,
+    BreakpointHit,
+    BufferFlush,
+    ExecEvent,
+    InterruptInjected,
+    OracleFired,
+    PhaseBegin,
+    Step,
+    StoreDelayed,
+    SyscallEnter,
+    SyscallExit,
+    TraceNote,
+    VersionedLoad,
+    WindowReset,
+    event_from_dict,
+    event_kinds,
+)
+from repro.trace.metrics import TraceMetrics
+from repro.trace.recorder import TraceRecorder
+from repro.trace.sink import NULL_SINK, NullSink, TeeSink, TraceSink
+
+__all__ = [
+    "BreakpointHit",
+    "BufferFlush",
+    "ExecEvent",
+    "InterruptInjected",
+    "NULL_SINK",
+    "NullSink",
+    "OracleFired",
+    "PhaseBegin",
+    "SCHEMA_VERSION",
+    "Step",
+    "StoreDelayed",
+    "SyscallEnter",
+    "SyscallExit",
+    "TeeSink",
+    "TraceMetrics",
+    "TraceNote",
+    "TraceRecorder",
+    "TraceSink",
+    "VersionedLoad",
+    "WindowReset",
+    "event_from_dict",
+    "event_kinds",
+]

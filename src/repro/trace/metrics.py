@@ -1,0 +1,104 @@
+"""TraceMetrics — aggregate profiling sink over the event bus.
+
+Consumes the same event stream the recorder does, but keeps only
+aggregates:
+
+* **per-phase step counts** — how many instructions each Figure 5
+  phase retired (phase context comes from ``PhaseBegin`` events);
+* **store-buffer occupancy histogram** — sampled at every buffer
+  mutation (delay or flush), per the §3.1 delayed-store mechanism;
+* **callback overhead split** — events bucketed by the layer that
+  emitted them (interpreter / OEMU / scheduler / kernel boundary /
+  oracles), the shape ``bench_trace_overhead.py`` reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.trace.events import (
+    BreakpointHit,
+    BufferFlush,
+    ExecEvent,
+    PhaseBegin,
+    Step,
+    StoreDelayed,
+)
+
+#: Which layer each event kind is emitted from (the overhead split).
+LAYER_OF_KIND = {
+    "step": "interp",
+    "store-delayed": "oemu",
+    "buffer-flush": "oemu",
+    "versioned-load": "oemu",
+    "window-reset": "oemu",
+    "interrupt": "oemu",
+    "breakpoint-hit": "sched",
+    "phase": "sched",
+    "syscall-enter": "kernel",
+    "syscall-exit": "kernel",
+    "oracle-report": "oracle",
+    "note": "oracle",
+}
+
+
+class TraceMetrics:
+    """A :class:`~repro.trace.sink.TraceSink` computing run aggregates."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self.index = 0
+        self.phase = ""  # current executor phase ("" outside barrier tests)
+        self.steps_by_phase: Dict[str, int] = {}
+        self.events_by_kind: Dict[str, int] = {}
+        self.occupancy_histogram: Dict[int, int] = {}
+        self.breakpoint_hits = 0
+        self._depth: Dict[int, int] = {}  # thread -> pending delayed stores
+
+    def emit(self, event: ExecEvent) -> None:
+        self.index += 1
+        kind = event.kind
+        self.events_by_kind[kind] = self.events_by_kind.get(kind, 0) + 1
+        if isinstance(event, Step):
+            self.steps_by_phase[self.phase] = (
+                self.steps_by_phase.get(self.phase, 0) + 1
+            )
+        elif isinstance(event, PhaseBegin):
+            self.phase = event.name
+        elif isinstance(event, StoreDelayed):
+            depth = self._depth.get(event.thread, 0) + 1
+            self._depth[event.thread] = depth
+            self._sample_occupancy(depth)
+        elif isinstance(event, BufferFlush):
+            self._depth[event.thread] = 0
+            self._sample_occupancy(0)
+        elif isinstance(event, BreakpointHit):
+            self.breakpoint_hits += 1
+
+    def _sample_occupancy(self, depth: int) -> None:
+        self.occupancy_histogram[depth] = (
+            self.occupancy_histogram.get(depth, 0) + 1
+        )
+
+    # -- reporting ---------------------------------------------------------
+
+    def overhead_split(self) -> Dict[str, int]:
+        """Event counts bucketed by emitting layer."""
+        split: Dict[str, int] = {}
+        for kind, count in self.events_by_kind.items():
+            layer = LAYER_OF_KIND.get(kind, "other")
+            split[layer] = split.get(layer, 0) + count
+        return split
+
+    def to_json_dict(self) -> dict:
+        return {
+            "events": self.index,
+            "steps_by_phase": dict(self.steps_by_phase),
+            "events_by_kind": dict(self.events_by_kind),
+            "occupancy_histogram": {
+                str(k): v for k, v in sorted(self.occupancy_histogram.items())
+            },
+            "overhead_split": self.overhead_split(),
+            "breakpoint_hits": self.breakpoint_hits,
+        }

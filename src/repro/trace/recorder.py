@@ -1,0 +1,73 @@
+"""TraceRecorder — bounded ring-buffer event recorder.
+
+Keeps the most recent ``capacity`` events (rr-style: the interesting
+part of a crashing execution is its tail) together with their global
+bus indices, and renders them as the ``schedule`` section of the crash
+artifact (schema v1):
+
+.. code-block:: json
+
+    {"version": 1, "capacity": 65536, "dropped": 0, "n_events": 412,
+     "events": [{"i": 0, "kind": "syscall-enter", "thread": 1, ...}, ...]}
+
+``dropped`` counts events that fell off the front of the ring; the
+replayer compares only the retained window when it is non-zero.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.trace.events import SCHEMA_VERSION, ExecEvent
+
+#: Default ring capacity — comfortably holds every event of a seeded-bug
+#: MTI (a few thousand) while bounding memory for runaway schedules.
+DEFAULT_CAPACITY = 65536
+
+
+class TraceRecorder:
+    """A :class:`~repro.trace.sink.TraceSink` that remembers the tail."""
+
+    active = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.index = 0  # total events emitted through this sink
+        self._ring: Deque[Tuple[int, ExecEvent]] = deque(maxlen=capacity)
+
+    def emit(self, event: ExecEvent) -> None:
+        self._ring.append((self.index, event))
+        self.index += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the front of the bounded ring."""
+        return self.index - len(self._ring)
+
+    def events(self) -> List[ExecEvent]:
+        """The retained events, oldest first."""
+        return [event for _, event in self._ring]
+
+    def indexed_events(self) -> List[Tuple[int, ExecEvent]]:
+        return list(self._ring)
+
+    def schedule_dict(self) -> dict:
+        """The JSON-safe schedule artifact section (schema v1)."""
+        events = []
+        for i, event in self._ring:
+            payload = event.to_dict()
+            payload["i"] = i
+            events.append(payload)
+        return {
+            "version": SCHEMA_VERSION,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "n_events": self.index,
+            "events": events,
+        }

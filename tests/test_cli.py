@@ -90,3 +90,43 @@ class TestLint:
         assert main(["fuzz", "--iterations", "2", "--seed", "1",
                      "--static-hints"]) == 0
         assert "tests in" in capsys.readouterr().out
+
+
+class TestReplay:
+    def test_replay_parses(self):
+        args = build_parser().parse_args(["replay", "crash.json"])
+        assert callable(args.fn) and args.artifact == "crash.json"
+
+    def test_fuzz_artifacts_then_replay_ok(self, tmp_path, capsys):
+        outdir = tmp_path / "artifacts"
+        assert main(["fuzz", "--iterations", "4", "--seed", "1",
+                     "--artifacts", str(outdir)]) == 0
+        paths = sorted(outdir.glob("*.json"))
+        assert paths, "fuzz --artifacts wrote nothing"
+        capsys.readouterr()
+        assert main(["replay", str(paths[0])]) == 0
+        out = capsys.readouterr().out
+        assert "replay OK" in out and "byte-for-byte" in out
+
+    def test_replay_detects_forged_artifact(self, tmp_path, capsys):
+        import json
+
+        outdir = tmp_path / "artifacts"
+        assert main(["fuzz", "--iterations", "4", "--seed", "1",
+                     "--artifacts", str(outdir)]) == 0
+        path = sorted(outdir.glob("*.json"))[0]
+        payload = json.loads(path.read_text())
+        payload["crash"]["oracle"] = "never-this-oracle"
+        path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["replay", str(path)]) == 1
+        assert "replay FAILED" in capsys.readouterr().out
+
+    def test_replay_rejects_non_artifact(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        path.write_text('{"kind": "not-an-artifact"}')
+        assert main(["replay", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_missing_file_is_io_error(self, tmp_path):
+        assert main(["replay", str(tmp_path / "missing.json")]) == 2

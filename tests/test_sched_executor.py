@@ -2,12 +2,14 @@
 
 import pytest
 
+from repro.errors import ConfigError, KirError
 from repro.kir import Builder, Program
 from repro.kir.insn import Load, Store
 from repro.machine import Machine
 from repro.mem.memory import DATA_BASE
 from repro.oemu.instrument import instrument_program
 from repro.sched import BarrierTestExecutor
+from repro.trace import TraceRecorder
 
 A = DATA_BASE + 0x00
 B = DATA_BASE + 0x08
@@ -181,3 +183,173 @@ class TestCrashCapture:
         assert outcome.crash.hypothetical_barrier == stores[2].addr
         assert outcome.crash.reordered_insns == (stores[1].addr,)
         assert "consume" in outcome.crash.title
+
+    def test_crash_event_index_recorded_when_traced(self):
+        rec = TraceRecorder()
+        m = figure5a_machine()
+        m.trace = rec  # bare machines accept a sink post-construction too
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        outcome = ex.run_store_test(victim, observer, stores[3].addr, [])
+        assert not outcome.crashed
+        assert any(e.kind == "phase" for e in rec.events())
+
+
+class TestInterruptInjection:
+    """§3.1: an interrupt flushes the virtual store buffer."""
+
+    def test_interrupt_evaporates_the_reordering(self):
+        m = figure5a_machine()
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        outcome = ex.run_store_test(
+            victim, observer, stores[3].addr,
+            [s.addr for s in stores[:3]], inject_interrupt=True,
+        )
+        # The delayed stores were committed by the interrupt before the
+        # observer ran: it sees plain program order, no reordered world.
+        assert not outcome.crashed
+        assert outcome.observer_ret == 1111
+
+    def test_without_interrupt_same_controls_reorder(self):
+        m = figure5a_machine()
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        outcome = ex.run_store_test(
+            victim, observer, stores[3].addr,
+            [s.addr for s in stores[:3]], inject_interrupt=False,
+        )
+        assert outcome.observer_ret == 1000
+
+    def test_interrupt_on_uninstrumented_machine_is_a_noop(self):
+        m = uninstrumented_machine()
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        outcome = ex.run_store_test(
+            victim, observer, stores[3].addr, [], inject_interrupt=True
+        )
+        assert not outcome.crashed
+        assert outcome.observer_ret == 1111
+
+
+def uninstrumented_machine():
+    """The figure 5a program on a plain machine: no OEMU at all."""
+    w = Builder("cpu1")
+    w.store(A, 0, 1)
+    w.store(B, 0, 1)
+    w.store(C, 0, 1)
+    w.store(D, 0, 1)
+    w.ret()
+    r = Builder("cpu2")
+    rd = r.load(D, 0)
+    ra = r.load(A, 0)
+    rb = r.load(B, 0)
+    rc = r.load(C, 0)
+    s = r.mul(rd, 1000)
+    t = r.mul(ra, 100)
+    u = r.mul(rb, 10)
+    acc = r.add(s, t)
+    acc = r.add(acc, u)
+    acc = r.add(acc, rc)
+    r.ret(acc)
+    return Machine(Program([w.function(), r.function()]), with_oemu=False)
+
+
+class TestUninstrumentedMachine:
+    """Regression: _finish used to call oemu.clear_controls/oemu.flush
+    unconditionally and crash with AttributeError when oemu is None."""
+
+    def test_interleaving_only_store_test_completes(self):
+        m = uninstrumented_machine()
+        assert m.oemu is None
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        outcome = ex.run_store_test(victim, observer, stores[3].addr, [])
+        assert not outcome.crashed
+        assert outcome.observer_ret == 1111  # no OEMU, so program order
+        assert outcome.victim_ret == 0
+
+    def test_interleaving_only_load_test_completes(self):
+        m = uninstrumented_machine()
+        ex = BarrierTestExecutor(m)
+        loads = [i for i in m.program.function("cpu2").insns if isinstance(i, Load)]
+        victim = m.spawn("cpu2", cpu=0)
+        observer = m.spawn("cpu1", cpu=1)
+        outcome = ex.run_load_test(victim, observer, loads[0].addr, [])
+        assert not outcome.crashed
+        assert outcome.victim_ret == 1111
+
+    def test_reordering_controls_require_oemu(self):
+        m = uninstrumented_machine()
+        ex = BarrierTestExecutor(m)
+        stores = [i for i in m.program.function("cpu1").insns if isinstance(i, Store)]
+        victim = m.spawn("cpu1", cpu=0)
+        observer = m.spawn("cpu2", cpu=1)
+        with pytest.raises(ConfigError, match="OEMU-instrumented"):
+            ex.run_store_test(
+                victim, observer, stores[3].addr, [stores[0].addr]
+            )
+        victim2 = m.spawn("cpu1", cpu=0)
+        observer2 = m.spawn("cpu2", cpu=1)
+        with pytest.raises(ConfigError, match="OEMU-instrumented"):
+            ex.run_load_test(victim2, observer2, stores[3].addr, [stores[0].addr])
+
+
+class TestSourceContextNarrowing:
+    """_finish's source-context lookup: narrowed exceptions + trace note."""
+
+    def test_out_of_range_address_raises_kir_error(self):
+        from repro.kir.disasm import source_context
+
+        m = figure5a_machine()
+        with pytest.raises(KirError):
+            source_context(m.program, 0xDEAD_BEEF)
+
+    def test_crash_with_unresolvable_addr_is_not_swallowed_silently(self):
+        """A crash whose inst_addr has no listing still finishes cleanly,
+        and the miss lands on the bus as a note instead of vanishing."""
+        w = Builder("boom")
+        w.helper("oops")
+        w.ret()
+        r = Builder("idle")
+        r.ret(0)
+        prog, _ = instrument_program(Program([w.function(), r.function()]))
+        m = Machine(prog)
+
+        def oops(machine, thread, *args):
+            from repro.errors import KernelCrash
+            from repro.oracles.report import CrashReport
+
+            raise KernelCrash(
+                CrashReport(
+                    title="kernel BUG at boom",
+                    oracle="assert",
+                    function="boom",
+                    inst_addr=0xDEAD_BEEF,  # outside the text segment
+                )
+            )
+
+        m.register_helper("oops", oops)
+        rec = TraceRecorder()
+        m.trace = rec
+        ex = BarrierTestExecutor(m)
+        victim = m.spawn("boom", cpu=0)
+        observer = m.spawn("idle", cpu=1)
+        first = m.program.function("boom").insns[0]
+        outcome = ex.run_store_test(victim, observer, first.addr, [])
+        assert outcome.crashed
+        assert outcome.crash.source_context == ""
+        notes = [e for e in rec.events() if e.kind == "note"]
+        assert len(notes) == 1
+        assert "source-context unavailable" in notes[0].message
+        assert "0xdeadbeef" in notes[0].message
