@@ -52,6 +52,10 @@ class CampaignSpec:
     ``use_seeds``    start from the Syzlang seed corpus (§6.1) or not.
     ``static_hints`` seed/prioritize scheduling hints from KIRA's static
                      reordering candidates (zero-execution analysis).
+    ``decoded_dispatch`` pre-decoded closure execution engine (default);
+                     off = reference isinstance-chain interpreter.
+    ``snapshot_reset`` reuse one booted kernel per shard via the boot
+                     snapshot; off = fresh boot per test.
     """
 
     iterations: int = 40
@@ -61,6 +65,8 @@ class CampaignSpec:
     time_budget: Optional[float] = None
     use_seeds: bool = True
     static_hints: bool = False
+    decoded_dispatch: bool = True
+    snapshot_reset: bool = True
 
     def __post_init__(self) -> None:
         if self.iterations < 0:
@@ -157,6 +163,8 @@ class CampaignResult:
                 "time_budget": self.spec.time_budget,
                 "use_seeds": self.spec.use_seeds,
                 "static_hints": self.spec.static_hints,
+                "decoded_dispatch": self.spec.decoded_dispatch,
+                "snapshot_reset": self.spec.snapshot_reset,
             },
             "stats": {
                 "stis_run": self.stats.stis_run,
@@ -213,6 +221,9 @@ class CampaignResult:
             use_seeds=sp["use_seeds"],
             # absent in pre-KIRA artifacts; same format version
             static_hints=sp.get("static_hints", False),
+            # absent in pre-engine-optimization artifacts (default on)
+            decoded_dispatch=sp.get("decoded_dispatch", True),
+            snapshot_reset=sp.get("snapshot_reset", True),
         )
         return cls(
             spec=spec,

@@ -36,6 +36,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         patched=tuple(args.patch or ()),
         jobs=args.jobs,
         static_hints=args.static_hints,
+        decoded_dispatch=not args.reference_interp,
+        snapshot_reset=not args.no_snapshot_reset,
     )
     result = run_campaign(spec)
     print(result.summary())
@@ -262,6 +264,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--artifacts", metavar="DIR",
         help="write a replayable schedule artifact per unique crash to DIR",
+    )
+    p.add_argument(
+        "--reference-interp", action="store_true",
+        help="use the reference isinstance-chain interpreter instead of "
+             "pre-decoded dispatch (differential debugging)",
+    )
+    p.add_argument(
+        "--no-snapshot-reset", action="store_true",
+        help="boot a fresh kernel per test instead of reusing one via "
+             "the boot snapshot",
     )
     p.set_defaults(fn=cmd_fuzz)
 

@@ -34,6 +34,15 @@ class KernelConfig:
     ``sbitmap_manual_percpu``  the §6.2 "manual modification": force the
                       sbitmap per-CPU bug's threads to share one per-CPU
                       block even though they run on different CPUs.
+    ``decoded_dispatch``  execute through the pre-decoded closure
+                      dispatcher (:mod:`repro.kir.decode`) instead of the
+                      reference ``isinstance`` interpreter.  Semantically
+                      identical (the differential tests prove it); off
+                      switches every run back to the reference engine.
+    ``snapshot_reset``  capture a boot snapshot so :meth:`Kernel.reset`
+                      can restore pristine state via dirty-page tracking
+                      and the fuzzer can reuse one kernel per shard
+                      instead of re-booting per test.
     """
 
     patched: FrozenSet[str] = frozenset()
@@ -44,6 +53,8 @@ class KernelConfig:
     strict_lint: bool = False
     ncpus: int = 2
     sbitmap_manual_percpu: bool = False
+    decoded_dispatch: bool = True
+    snapshot_reset: bool = True
 
     def __post_init__(self) -> None:
         if self.ncpus < 1:

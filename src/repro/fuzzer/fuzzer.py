@@ -30,7 +30,8 @@ from repro.fuzzer.reproducer import Reproducer
 from repro.fuzzer.sti import STI, profile_sti
 from repro.fuzzer.templates import seed_inputs, templates
 from repro.fuzzer.triage import CrashDB
-from repro.kernel.kernel import KernelImage
+from repro.kernel.kernel import KernelImage, KernelPool
+from repro.oemu.profiler import Profiler
 
 
 @dataclass
@@ -126,6 +127,13 @@ class OzzFuzzer:
         self._pending_seeds: List[STI] = (
             list(seed_inputs())[shard::nshards] if use_seeds else []
         )
+        # Boot-snapshot reuse: one kernel per shard, reset per test
+        # instead of re-booted.  Artifact recording still boots fresh
+        # kernels (run_mti does so whenever a trace sink is attached).
+        self._pool: Optional[KernelPool] = (
+            KernelPool(image) if image.config.snapshot_reset else None
+        )
+        self._sti_profiler = Profiler()
 
     # -- input selection -----------------------------------------------------
 
@@ -143,7 +151,12 @@ class OzzFuzzer:
         """Run one STI through the full pipeline; returns MTI results."""
         if sti is None:
             sti = self.next_sti()
-        profile = profile_sti(self.image, sti)
+        pool = self._pool
+        profile = profile_sti(
+            self.image,
+            sti,
+            kernel=pool.acquire(profiler=self._sti_profiler) if pool else None,
+        )
         self.stats.stis_run += 1
         if profile.crash is not None:
             # A single-threaded crash: not an OOO bug, but still recorded.
@@ -161,7 +174,11 @@ class OzzFuzzer:
             if self.static_hints:
                 hints = prioritize_hints(hints, self._static_pairs)
             for hint in hints[: self.max_hints_per_pair]:
-                result = run_mti(self.image, MTI(sti=sti, pair=(i, j), hint=hint))
+                result = run_mti(
+                    self.image,
+                    MTI(sti=sti, pair=(i, j), hint=hint),
+                    kernel=pool.acquire() if pool else None,
+                )
                 self.stats.mtis_run += 1
                 results.append(result)
                 if result.hung:

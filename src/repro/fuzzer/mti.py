@@ -56,15 +56,27 @@ class MTIResult:
         return self.crash is not None
 
 
-def run_mti(image: KernelImage, mti: MTI, *, trace: TraceSink = NULL_SINK) -> MTIResult:
-    """Execute one MTI on a fresh kernel.
+def run_mti(
+    image: KernelImage,
+    mti: MTI,
+    *,
+    trace: TraceSink = NULL_SINK,
+    kernel: Optional[Kernel] = None,
+) -> MTIResult:
+    """Execute one MTI on a pristine kernel.
 
     ``trace`` attaches an ExecTrace sink (e.g. a
     :class:`~repro.trace.recorder.TraceRecorder`) to the booted kernel;
     the default no-op sink records nothing.
+
+    ``kernel`` may supply a pooled, snapshot-reset kernel in boot state
+    so the fuzzer loop skips the per-test boot.  Recording runs always
+    boot fresh: an OEMU trace sink attaches at construction only, and a
+    fresh boot is exactly what replay reproduces.
     """
     result = MTIResult(mti=mti)
-    kernel = Kernel(image, trace=trace)
+    if kernel is None or trace.active:
+        kernel = Kernel(image, trace=trace)
     i, j = mti.pair
     # Indexed by call position so ResourceRefs resolve correctly even
     # when calls between the pair run after it.

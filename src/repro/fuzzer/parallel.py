@@ -60,7 +60,13 @@ def run_shard(spec: "CampaignSpec", shard: int) -> ShardResult:
     """
     iterations = spec.shard_iterations()[shard]
     seed = spec.shard_seed(shard)
-    image = KernelImage(KernelConfig(patched=frozenset(spec.patched)))
+    image = KernelImage(
+        KernelConfig(
+            patched=frozenset(spec.patched),
+            decoded_dispatch=spec.decoded_dispatch,
+            snapshot_reset=spec.snapshot_reset,
+        )
+    )
     fuzzer = OzzFuzzer(
         image,
         seed=seed,

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ExecutionLimitExceeded, KernelCrash
+from repro.errors import ConfigError, ExecutionLimitExceeded, KernelCrash
 from repro.fuzzer.kcov import KCov
 from repro.kernel.kernel import Kernel, KernelImage
 from repro.oemu.profiler import Profiler, SyscallProfile
@@ -88,16 +88,34 @@ class STIResult:
         return self.crash is None
 
 
-def profile_sti(image: KernelImage, sti: STI, *, with_coverage: bool = True) -> STIResult:
-    """Run an STI sequentially on a fresh kernel, profiling each call.
+def profile_sti(
+    image: KernelImage,
+    sti: STI,
+    *,
+    with_coverage: bool = True,
+    kernel: Optional[Kernel] = None,
+) -> STIResult:
+    """Run an STI sequentially, profiling each call.
 
     Single-threaded execution is in-order (no reordering controls are
     installed), so a crash here would be a non-concurrency bug — the
     seeded kernel never produces one, but the fuzzer checks anyway, as
     OZZ's first stage does with KASAN/lockdep.
+
+    ``kernel`` may supply a pooled, snapshot-reset kernel (must be in
+    boot state with a profiler already attached); otherwise a fresh one
+    is booted.  The per-call profiles alias the profiler's live per-thread
+    lists, which stay intact after ``Profiler.clear()`` — clearing drops
+    the dict entries while old lists keep their events.
     """
-    profiler = Profiler()
-    kernel = Kernel(image, profiler=profiler)
+    if kernel is None:
+        profiler = Profiler()
+        kernel = Kernel(image, profiler=profiler)
+    else:
+        profiler = kernel.profiler
+        if profiler is None:
+            raise ConfigError("pooled STI kernel needs a profiler attached")
+        profiler.clear()
     kcov = KCov() if with_coverage else None
     kernel.kcov = kcov
     result = STIResult(sti=sti)

@@ -29,7 +29,7 @@ from repro.kernel.syscalls import SyscallDef
 from repro.machine import Machine
 from repro.mem.memory import DATA_BASE, DATA_SIZE
 from repro.oemu.instrument import InstrumentationReport, instrument_program
-from repro.oemu.profiler import Profiler
+from repro.oemu.profiler import ENGINE_COUNTERS, Profiler
 from repro.oracles.assertions import ReturnValueOracle
 from repro.trace.events import SyscallEnter
 from repro.trace.sink import NULL_SINK, TraceSink
@@ -101,6 +101,12 @@ class KernelImage:
                 if not self.program.has_function(sc.func):
                     raise ConfigError(f"syscall {sc.name}: no function {sc.func}")
                 self.syscalls[sc.name] = sc
+        if config.decoded_dispatch:
+            # Decode once at image-build time; every Kernel booted from
+            # this image (all tests, all shards) shares the result.
+            from repro.kir.decode import decode_program
+
+            decode_program(self.program)
 
     def _assign_globals(self) -> None:
         cursor = DATA_BASE
@@ -134,6 +140,7 @@ class Kernel(Machine):
             profiler=profiler,
             kasan_enabled=image.config.kasan,
             trace=trace,
+            decoded_dispatch=image.config.decoded_dispatch,
         )
         self.image = image
         self.config = image.config
@@ -145,11 +152,42 @@ class Kernel(Machine):
         for name, fn in DEFAULT_HELPERS.items():
             self.register_helper(name, fn)
         self._boot()
+        ENGINE_COUNTERS.boots += 1
+        self._boot_snapshot = None
+        self._boot_trace = self.trace  # construction-time sink, == oemu's
+        if image.config.snapshot_reset:
+            from repro.kernel.snapshot import capture
+
+            self._boot_snapshot = capture(self)
 
     def _boot(self) -> None:
         for subsystem in self.image.subsystems:
             if subsystem.init is not None:
                 subsystem.init(self)
+
+    def reset(self) -> int:
+        """Rewind to the boot snapshot; returns memory pages restored.
+
+        Replaces drop-and-reboot in the fuzzer loop: the restore is
+        dirty-tracked (O(pages the last test wrote)), thread ids restart
+        from their boot value so traces stay byte-identical, and per-run
+        attachments (kcov, a post-boot trace sink) are detached.
+        """
+        if self._boot_snapshot is None:
+            raise ConfigError(
+                "Kernel.reset() requires KernelConfig(snapshot_reset=True)"
+            )
+        from repro.kernel.snapshot import restore
+
+        restored = restore(self, self._boot_snapshot)
+        self.kcov = None
+        # Back to the construction-time sink (which is what the OEMU still
+        # holds); the property setter re-binds the interpreter's hoisted
+        # copy, so a post-boot TraceRecorder attach is correctly dropped.
+        self.trace = self._boot_trace
+        ENGINE_COUNTERS.resets += 1
+        ENGINE_COUNTERS.dirty_pages_restored += restored
+        return restored
 
     # -- data access convenience ---------------------------------------------
 
@@ -214,3 +252,36 @@ class Kernel(Machine):
         argv = list(args)[:nparams]
         argv.extend([0] * (nparams - len(argv)))
         return tuple(argv)
+
+
+class KernelPool:
+    """One reusable kernel per image: boot once, reset per test.
+
+    ``acquire()`` hands out a pristine kernel — booted on first use,
+    snapshot-restored thereafter — so a fuzzing shard pays one boot for
+    its whole campaign.  A crashed kernel needs no special handling: the
+    next ``acquire()`` rewinds it the same way.  Only valid for images
+    built with ``snapshot_reset=True``; callers that need recording-grade
+    trace fidelity (artifact capture) should boot a fresh
+    :class:`Kernel` instead, since OEMU sinks attach at construction.
+    """
+
+    def __init__(self, image: KernelImage) -> None:
+        if not image.config.snapshot_reset:
+            raise ConfigError("KernelPool requires KernelConfig(snapshot_reset=True)")
+        self.image = image
+        self._kernel: Optional[Kernel] = None
+
+    def acquire(self, *, profiler: Optional[Profiler] = None) -> Kernel:
+        """A kernel in boot state, with ``profiler`` attached (or detached)."""
+        kernel = self._kernel
+        if kernel is None:
+            kernel = Kernel(self.image, profiler=profiler)
+            self._kernel = kernel
+        else:
+            kernel.reset()
+            if kernel.profiler is not profiler:
+                kernel.profiler = profiler
+                if kernel.oemu is not None:
+                    kernel.oemu.profiler = profiler
+        return kernel

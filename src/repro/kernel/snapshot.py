@@ -1,0 +1,89 @@
+"""Boot snapshot — capture a freshly booted kernel, restore it cheaply.
+
+The paper's harness drops a crashed kernel and boots a new one per test,
+"like rebooting a fuzzing VM".  Booting is cheap here but not free
+(subsystem init, allocator carving, helper registration), and the fuzzer
+runs thousands of tests per shard.  rr-style checkpointing shows the way
+out: snapshot the machine once right after boot, then *restore* instead
+of re-boot.
+
+The restore is dirty-tracked: :class:`~repro.mem.memory.Memory` and
+:class:`~repro.mem.shadow.ShadowMemory` remember which pages were written
+since the snapshot and only those pages are copied back, so a test that
+touched three pages pays for three pages — O(pages written), not
+O(address space).  The small mutable machine components (allocator
+bookkeeping, store history, OEMU thread state, lockdep graph, fd table,
+clock, thread-id counter) are restored wholesale; they are tiny.
+
+``_next_thread`` is part of the snapshot on purpose: thread ids restart
+from the same value after every reset, which is what keeps traces and
+replay artifacts byte-identical between a restored kernel and a freshly
+booted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BootSnapshot:
+    """Everything :func:`restore` needs to rewind a kernel to boot."""
+
+    memory: Dict[int, bytes]
+    shadow: Dict[int, bytes]
+    allocator: Any  # AllocatorSnapshot
+    history: Tuple
+    clock: int
+    oemu: Any
+    lockdep: Any
+    retval_checks: Dict
+    fdtable: Dict[int, int]
+    next_fd: int
+    next_thread: int
+    kasan_enabled: bool
+    warnings: Tuple
+
+
+def capture(kernel) -> BootSnapshot:
+    """Freeze the kernel's mutable state and restart dirty tracking."""
+    return BootSnapshot(
+        memory=kernel.memory.snapshot(),
+        shadow=kernel.shadow.snapshot(),
+        allocator=kernel.allocator.snapshot(),
+        history=kernel.history.snapshot(),
+        clock=kernel.clock.now,
+        oemu=kernel.oemu.snapshot() if kernel.oemu is not None else None,
+        lockdep=kernel.lockdep.snapshot(),
+        retval_checks=kernel.retval_oracle.snapshot(),
+        fdtable=dict(kernel.fdtable),
+        next_fd=kernel.next_fd,
+        next_thread=kernel._next_thread,
+        kasan_enabled=kernel.kasan.enabled,
+        warnings=tuple(kernel.warnings),
+    )
+
+
+def restore(kernel, snap: BootSnapshot) -> int:
+    """Rewind ``kernel`` to ``snap``; returns memory pages restored.
+
+    Attachments that are per-run by design — the kcov collector and the
+    trace sink hoisted by the interpreter — are reset/left to the caller
+    (:meth:`Kernel.reset` detaches kcov and re-binds the interpreter).
+    """
+    restored = kernel.memory.restore(snap.memory)
+    restored += kernel.shadow.restore(snap.shadow)
+    kernel.allocator.restore(snap.allocator)
+    kernel.history.restore(snap.history)
+    kernel.clock.reset(snap.clock)
+    if kernel.oemu is not None and snap.oemu is not None:
+        kernel.oemu.restore(snap.oemu)
+    kernel.lockdep.restore(snap.lockdep)
+    kernel.retval_oracle.restore(snap.retval_checks)
+    kernel.fdtable = dict(snap.fdtable)
+    kernel.next_fd = snap.next_fd
+    kernel._next_thread = snap.next_thread
+    kernel.kasan.enabled = snap.kasan_enabled
+    kernel.warnings[:] = snap.warnings
+    return restored

@@ -60,6 +60,7 @@ from repro.kir.insn import (
 )
 from repro.mem.memory import MemoryFault
 from repro.trace.events import Step
+from repro.trace.sink import NULL_SINK
 
 #: Default per-syscall instruction budget.
 DEFAULT_FUEL = 200_000
@@ -81,6 +82,9 @@ class Frame:
     index: int = 0
     regs: Dict[str, int] = field(default_factory=dict)
     ret_dst: Optional[Reg] = None  # where the caller wants the return value
+    #: Decoded-dispatch cache: this function's bound closures, filled in
+    #: by the interpreter on the frame's first step (never serialized).
+    ops: Optional[list] = field(default=None, repr=False, compare=False)
 
 
 class ThreadCtx:
@@ -125,10 +129,48 @@ class ThreadCtx:
 
 
 class Interpreter:
-    """Stepwise executor over a machine."""
+    """Stepwise executor over a machine.
 
-    def __init__(self, machine) -> None:
+    With ``decoded=True`` the step loop runs pre-compiled closures from
+    :mod:`repro.kir.decode`; otherwise it dispatches through
+    :meth:`_execute`, which stays as the reference engine for
+    differential testing.  Per-step machine attributes (``kcov``,
+    ``trace``) are hoisted into the interpreter and refreshed by
+    :meth:`rebind`, which the machine calls whenever a sink or coverage
+    collector is swapped (and on :meth:`Kernel.reset`).
+    """
+
+    def __init__(self, machine, *, decoded: bool = False) -> None:
         self.machine = machine
+        self._bound = None
+        self._codes = None
+        if decoded and getattr(machine, "deps", None) is None:
+            from repro.kir.decode import BoundProgram
+
+            self._bound = BoundProgram(machine)
+            self._codes = self._bound.by_func
+        self.rebind()
+
+    def rebind(self) -> None:
+        """Re-hoist machine attributes the step loop caches.
+
+        Must be called after swapping ``machine.trace`` / ``machine.kcov``
+        (the machine's property setters do) so the hoisted copies do not
+        go stale.  Decoded closures themselves never need re-binding:
+        they reference only machine components that live as long as the
+        machine (memory, oemu, oracles, the helpers dict).
+        """
+        machine = self.machine
+        self._kcov = getattr(machine, "kcov", None)
+        trace = getattr(machine, "trace", None)
+        self._trace = NULL_SINK if trace is None else trace
+
+    @property
+    def unobserved_decoded(self) -> bool:
+        """True when decoded closures can run without per-step dispatch:
+        the decoded engine is active and no observer (coverage collector
+        or trace sink) needs to see individual instruction retirements."""
+        return self._codes is not None and self._kcov is None and not self._trace.active
 
     # -- public API -----------------------------------------------------------
 
@@ -154,31 +196,107 @@ class Interpreter:
         thread.fuel -= 1
         thread.steps += 1
         frame = thread.frames[-1]
-        insn = frame.function.insns[frame.index]
-        machine = self.machine
-        if machine.kcov is not None:
-            machine.kcov.on_insn(thread.thread_id, insn.addr)
-        advance = True
+        if self._codes is None:
+            # Reference engine: isinstance dispatch over the Insn object.
+            insn = frame.function.insns[frame.index]
+            kcov = self._kcov
+            if kcov is not None:
+                kcov.on_insn(thread.thread_id, insn.addr)
+            try:
+                advance = self._execute(thread, frame, insn)
+            except HelperRetry:
+                return True  # same pc next step; the insn did not retire
+            if advance and not thread.finished and thread.frames and thread.frames[-1] is frame:
+                frame.index += 1
+            trace = self._trace
+            if trace.active:
+                trace.emit(Step(thread.thread_id, insn.addr))
+            return not thread.finished
+        # Decoded engine: the Insn object is only touched when an
+        # observer (kcov / trace sink) needs its address.
+        index = frame.index
+        addr = None
+        kcov = self._kcov
+        if kcov is not None:
+            addr = frame.function.insns[index].addr
+            kcov.on_insn(thread.thread_id, addr)
+        ops = frame.ops
+        if ops is None:
+            func = frame.function
+            ops = self._codes.get(id(func))
+            if ops is None:
+                ops = self._bound.bind_function(func)
+            frame.ops = ops
         try:
-            advance = self._execute(thread, frame, insn)
+            advance = ops[index](thread, frame)
         except HelperRetry:
-            return True  # same pc next step; the instruction did not retire
+            return True  # same pc next step; the insn did not retire
         if advance and not thread.finished and thread.frames and thread.frames[-1] is frame:
             frame.index += 1
-        trace = machine.trace
+        trace = self._trace
         if trace.active:
-            trace.emit(Step(thread.thread_id, insn.addr))
+            if addr is None:
+                addr = frame.function.insns[index].addr
+            trace.emit(Step(thread.thread_id, addr))
         return not thread.finished
 
     def run(self, thread: ThreadCtx, max_steps: Optional[int] = None) -> int:
         """Run a thread to completion; returns its return value."""
+        if max_steps is None and self.unobserved_decoded:
+            # Nobody observes instruction retirement (no coverage, no
+            # trace sink) and there is no step cap, so the per-step
+            # dispatch through step() is pure overhead — run the decoded
+            # closures in a tight loop instead.
+            return self._run_decoded(thread)
         steps = 0
-        while self.step(thread):
+        step = self.step  # hoisted: one bound-method lookup per run
+        while step(thread):
             steps += 1
             if max_steps is not None and steps >= max_steps:
                 raise ExecutionLimitExceeded(
                     f"thread {thread.thread_id} still running after {steps} steps"
                 )
+        return thread.retval
+
+    def _run_decoded(self, thread: ThreadCtx) -> int:
+        """Run-to-completion inner loop for the decoded engine.
+
+        Equivalent to ``while self.step(thread): pass`` when no observer
+        is attached: fuel/step accounting, frame switching, and
+        :class:`HelperRetry` behave identically — only the per-step
+        attribute re-checks and the method-call boundary are hoisted out.
+        """
+        codes = self._codes
+        bound = self._bound
+        frames = thread.frames
+        while not thread.finished:
+            frame = frames[-1]
+            ops = frame.ops
+            if ops is None:
+                func = frame.function
+                ops = codes.get(id(func))
+                if ops is None:
+                    ops = bound.bind_function(func)
+                frame.ops = ops
+            # Stay in this frame until a call/ret swaps the top of stack.
+            while True:
+                if thread.fuel <= 0:
+                    raise ExecutionLimitExceeded(
+                        f"thread {thread.thread_id} exceeded fuel in {thread.current_function}"
+                    )
+                thread.fuel -= 1
+                thread.steps += 1
+                index = frame.index
+                try:
+                    advance = ops[index](thread, frame)
+                except HelperRetry:
+                    continue  # same pc next step; the insn did not retire
+                if thread.finished:
+                    return thread.retval
+                if frames[-1] is not frame:
+                    break  # call/ret: re-enter outer loop with new frame
+                if advance:
+                    frame.index = index + 1
         return thread.retval
 
     def call_function(self, func_name: str, args: Tuple[int, ...] = (), *, thread_id: int = 0, cpu: int = 0) -> int:
@@ -290,16 +408,17 @@ class Interpreter:
 
         if isinstance(insn, Ret):
             value = self._eval(frame, insn.src) if insn.src is not None else 0
-            thread.frames.pop()
+            # The popped frame remembers where its caller wanted the
+            # return value; re-deriving it from insns[index - 1] breaks
+            # when the return point is reached via a branch target.
+            callee_frame = thread.frames.pop()
             if not thread.frames:
                 thread.finished = True
                 thread.retval = value
             else:
-                caller = thread.frames[-1]
-                ret_insn = caller.function.insns[caller.index - 1]
-                dst = getattr(ret_insn, "dst", None)
+                dst = callee_frame.ret_dst
                 if dst is not None:
-                    caller.regs[dst.name] = value
+                    thread.frames[-1].regs[dst.name] = value
             return False
 
         if isinstance(insn, Helper):
@@ -339,6 +458,10 @@ class Interpreter:
             old = m.memory.load(addr, insn.size, check=False)
             m.memory.store(addr, insn.size, rmw(old), check=False)
         if insn.dst is not None:
+            if "ret" not in result_box:
+                raise _missing_atomic_ret(
+                    frame.function.name, frame.index, insn.op, insn.dst.name
+                )
             frame.regs[insn.dst.name] = result_box["ret"] & MASK64
         return True
 
@@ -351,6 +474,18 @@ class Interpreter:
         except MemoryFault as fault:
             m.fault_oracle.on_fault(fault, thread.current_function, insn.addr)
         m.kasan.check_access(addr, size, is_write, thread.current_function, insn.addr)
+
+
+def _missing_atomic_ret(func_name: str, index: int, op: AtomicOp, dst: str) -> KirError:
+    """Diagnostic for an OEMU path that deferred the rmw callback.
+
+    Shared with :mod:`repro.kir.decode` so both engines raise the same
+    error instead of an opaque ``KeyError``.
+    """
+    return KirError(
+        f"{func_name}[{index}]: atomic {op.name} deferred its rmw callback; "
+        f"no return value for %{dst}"
+    )
 
 
 def _apply_atomic(op: AtomicOp, old: int, operand: int, expected: Optional[int]) -> Tuple[int, int]:

@@ -75,6 +75,7 @@ class Machine:
         kasan_enabled: bool = True,
         track_deps: bool = False,
         trace: TraceSink = NULL_SINK,
+        decoded_dispatch: bool = True,
     ) -> None:
         self.program = program
         self.ncpus = ncpus
@@ -84,7 +85,7 @@ class Machine:
         self.allocator = SlabAllocator(self.memory, self.shadow)
         self.history = StoreHistory()
         self.profiler = profiler
-        self.trace: TraceSink = trace
+        self._trace: TraceSink = trace
         self.oemu: Optional[Oemu] = (
             Oemu(self.memory, self.clock, self.history, profiler, trace=trace)
             if with_oemu
@@ -95,10 +96,38 @@ class Machine:
         self.lockdep = Lockdep()
         self.assertions = Assertions()
         self.deps: Optional[DependencyTracker] = DependencyTracker() if track_deps else None
-        self.kcov = None  # optional repro.fuzzer.kcov.KCov
+        self._kcov = None  # optional repro.fuzzer.kcov.KCov
         self.helpers: Dict[str, Callable] = {}
-        self.interp = Interpreter(self)
+        self.interp = Interpreter(self, decoded=decoded_dispatch)
         self._next_thread = 0
+
+    # The interpreter hoists ``trace`` and ``kcov`` into its step loop,
+    # so post-construction swaps (TraceRecorder attach, KCov attach) go
+    # through properties that tell it to re-bind.  The OEMU's sink is
+    # deliberately NOT touched here: it is fixed at construction, and
+    # propagating a late swap would change recorded event streams.
+
+    @property
+    def trace(self) -> TraceSink:
+        return self._trace
+
+    @trace.setter
+    def trace(self, sink: TraceSink) -> None:
+        self._trace = sink
+        interp = getattr(self, "interp", None)
+        if interp is not None:
+            interp.rebind()
+
+    @property
+    def kcov(self):
+        return self._kcov
+
+    @kcov.setter
+    def kcov(self, collector) -> None:
+        self._kcov = collector
+        interp = getattr(self, "interp", None)
+        if interp is not None:
+            interp.rebind()
 
     def register_helper(self, name: str, fn: Callable) -> None:
         """Register ``fn(machine, thread, *args) -> int|None`` as a helper."""

@@ -55,6 +55,18 @@ class ObjectInfo:
     live: bool = True
 
 
+@dataclass(frozen=True)
+class AllocatorSnapshot:
+    """Immutable copy of a :class:`SlabAllocator`'s bookkeeping."""
+
+    cursor: int
+    freelists: Dict[int, tuple]
+    quarantine: tuple  # object addresses, oldest first
+    objects: Dict[int, ObjectInfo]  # frozen copies; restore re-copies
+    total_allocs: int
+    total_frees: int
+
+
 class SlabAllocator:
     """kmalloc/kfree over the heap region of a :class:`Memory`."""
 
@@ -133,6 +145,34 @@ class SlabAllocator:
     def _release(self, info: ObjectInfo) -> None:
         self._freelists[info.slot_size].append(info.addr)
         del self.objects[info.addr]
+
+    # -- snapshot / restore (boot-snapshot reset) ------------------------------
+
+    def snapshot(self) -> "AllocatorSnapshot":
+        """Deep-copy the allocator's bookkeeping (object bytes live in
+        :class:`Memory`/:class:`ShadowMemory` and snapshot there)."""
+        from dataclasses import replace
+
+        return AllocatorSnapshot(
+            cursor=self._cursor,
+            freelists={c: tuple(lst) for c, lst in self._freelists.items()},
+            quarantine=tuple(info.addr for info in self._quarantine),
+            objects={addr: replace(info) for addr, info in self.objects.items()},
+            total_allocs=self.total_allocs,
+            total_frees=self.total_frees,
+        )
+
+    def restore(self, snap: "AllocatorSnapshot") -> None:
+        self._cursor = snap.cursor
+        self._freelists = {c: list(lst) for c, lst in snap.freelists.items()}
+        from dataclasses import replace
+
+        self.objects = {addr: replace(info) for addr, info in snap.objects.items()}
+        # Quarantine entries must be the same ObjectInfo instances as the
+        # ``objects`` values (kfree relies on shared identity).
+        self._quarantine = deque(self.objects[addr] for addr in snap.quarantine)
+        self.total_allocs = snap.total_allocs
+        self.total_frees = snap.total_frees
 
     # -- introspection (used by KASAN reports) ---------------------------------
 

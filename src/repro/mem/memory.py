@@ -72,6 +72,7 @@ class Memory:
 
     def __init__(self, ncpus: int = 2) -> None:
         self._pages: Dict[int, bytearray] = {}
+        self._dirty: set = set()  # page bases written since last snapshot/restore
         self.regions: List[Region] = []
         self.add_region("data", DATA_BASE, DATA_SIZE)
         self.add_region("heap", HEAP_BASE, HEAP_SIZE)
@@ -109,6 +110,14 @@ class Memory:
         return page
 
     def read_bytes(self, addr: int, size: int) -> bytes:
+        off = addr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            # Fast path: within one page (every aligned machine access).
+            # An unmapped page reads as zeros without being created.
+            page = self._pages.get(addr & PAGE_MASK)
+            if page is None:
+                return bytes(size)
+            return bytes(page[off : off + size])
         out = bytearray(size)
         i = 0
         while i < size:
@@ -121,14 +130,26 @@ class Memory:
         return bytes(out)
 
     def write_bytes(self, addr: int, data: bytes) -> None:
-        i = 0
         size = len(data)
+        off = addr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            base = addr & PAGE_MASK
+            page = self._pages.get(base)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[base] = page
+            page[off : off + size] = data
+            self._dirty.add(base)
+            return
+        i = 0
+        dirty = self._dirty
         while i < size:
             a = addr + i
             page = self._page(a)
             off = a & (PAGE_SIZE - 1)
             n = min(size - i, PAGE_SIZE - off)
             page[off : off + n] = data[i : i + n]
+            dirty.add(a & PAGE_MASK)
             i += n
 
     # -- integer access -------------------------------------------------------
@@ -150,3 +171,47 @@ class Memory:
 
     def clear(self) -> None:
         self._pages.clear()
+        self._dirty.clear()
+
+    # -- snapshot / dirty-tracked restore (boot-snapshot reset) --------------
+
+    def snapshot(self) -> Dict[int, bytes]:
+        """Freeze current contents and restart dirty tracking from here."""
+        snap = {base: bytes(page) for base, page in self._pages.items()}
+        self._dirty.clear()
+        return snap
+
+    def restore(self, snap: Dict[int, bytes]) -> int:
+        """Undo every write since :meth:`snapshot`; returns pages touched.
+
+        Only dirty pages are visited — O(pages written), not O(memory).
+        Pages created *by reads* since the snapshot stay mapped: they are
+        all-zero either way, so contents (and :meth:`fingerprint`) match
+        a fresh boot exactly.
+        """
+        pages = self._pages
+        restored = 0
+        for base in self._dirty:
+            ref = snap.get(base)
+            if ref is None:
+                pages.pop(base, None)
+            else:
+                pages[base] = bytearray(ref)
+            restored += 1
+        self._dirty.clear()
+        return restored
+
+    def fingerprint(self) -> str:
+        """Content hash for differential tests; all-zero pages excluded
+        (lazily read-created pages must not distinguish two machines)."""
+        import hashlib
+
+        h = hashlib.sha256()
+        zero = bytes(PAGE_SIZE)
+        for base in sorted(self._pages):
+            page = bytes(self._pages[base])
+            if page == zero:
+                continue
+            h.update(base.to_bytes(8, "little"))
+            h.update(page)
+        return h.hexdigest()

@@ -30,6 +30,11 @@ class ShadowState:
     }
 
 
+#: Reference slice for the fast all-ADDRESSABLE compare in
+#: :meth:`ShadowMemory.first_bad_byte`.
+_ALL_ADDRESSABLE = bytes([ShadowState.ADDRESSABLE]) * PAGE_SIZE
+
+
 class ShadowMemory:
     """Sparse shadow pages over the heap region.
 
@@ -40,6 +45,7 @@ class ShadowMemory:
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
+        self._dirty: set = set()  # page bases poisoned since last snapshot
 
     @staticmethod
     def governs(addr: int) -> bool:
@@ -54,9 +60,23 @@ class ShadowMemory:
         return page
 
     def set_state(self, addr: int, size: int, state: int) -> None:
-        for i in range(size):
-            a = addr + i
-            self._page(a)[a & (PAGE_SIZE - 1)] = state
+        # Page-sliced fill: one slice assignment per touched page instead
+        # of a per-byte loop (allocator poisoning is on the boot path and
+        # in every kmalloc/kfree).
+        end = addr + size
+        dirty = self._dirty
+        a = addr
+        while a < end:
+            base = a & ~(PAGE_SIZE - 1)
+            off = a - base
+            n = min(end - a, PAGE_SIZE - off)
+            page = self._pages.get(base)
+            if page is None:
+                page = bytearray(PAGE_SIZE)  # UNALLOCATED
+                self._pages[base] = page
+            page[off : off + n] = bytes([state]) * n
+            dirty.add(base)
+            a += n
 
     def state_at(self, addr: int) -> int:
         return self._page(addr)[addr & (PAGE_SIZE - 1)]
@@ -67,6 +87,20 @@ class ShadowMemory:
         Only meaningful for heap addresses; returns ``None`` for ranges
         fully outside the heap.
         """
+        # Fast path: an in-heap, single-page range that is entirely
+        # ADDRESSABLE (the overwhelmingly common case) is one C-level
+        # slice compare instead of a per-byte scan.
+        off = addr & (PAGE_SIZE - 1)
+        if (
+            off + size <= PAGE_SIZE
+            and self.governs(addr)
+            and self.governs(addr + size - 1)
+        ):
+            page = self._pages.get(addr & ~(PAGE_SIZE - 1))
+            if page is None:
+                return addr  # UNALLOCATED
+            if page[off : off + size] == _ALL_ADDRESSABLE[:size]:
+                return None
         for i in range(size):
             a = addr + i
             if not self.governs(a):
@@ -82,3 +116,38 @@ class ShadowMemory:
 
     def clear(self) -> None:
         self._pages.clear()
+        self._dirty.clear()
+
+    # -- snapshot / dirty-tracked restore (boot-snapshot reset) --------------
+
+    def snapshot(self) -> Dict[int, bytes]:
+        snap = {base: bytes(page) for base, page in self._pages.items()}
+        self._dirty.clear()
+        return snap
+
+    def restore(self, snap: Dict[int, bytes]) -> int:
+        pages = self._pages
+        restored = 0
+        for base in self._dirty:
+            ref = snap.get(base)
+            if ref is None:
+                pages.pop(base, None)
+            else:
+                pages[base] = bytearray(ref)
+            restored += 1
+        self._dirty.clear()
+        return restored
+
+    def fingerprint(self) -> str:
+        """Content hash; all-UNALLOCATED pages excluded (read-created)."""
+        import hashlib
+
+        h = hashlib.sha256()
+        zero = bytes(PAGE_SIZE)
+        for base in sorted(self._pages):
+            page = bytes(self._pages[base])
+            if page == zero:
+                continue
+            h.update(base.to_bytes(8, "little"))
+            h.update(page)
+        return h.hexdigest()

@@ -97,3 +97,13 @@ class VirtualStoreBuffer:
     def drop_all(self) -> None:
         """Discard pending stores without committing (machine reset only)."""
         self._pending.clear()
+
+    # Entries are never mutated after ``delay``, so snapshots share them.
+
+    def snapshot(self) -> Tuple[Tuple[PendingStore, ...], int]:
+        return tuple(self._pending), self._seq
+
+    def restore(self, snap: Tuple[Tuple[PendingStore, ...], int]) -> None:
+        pending, seq = snap
+        self._pending[:] = pending
+        self._seq = seq

@@ -132,3 +132,11 @@ class StoreHistory:
 
     def clear(self) -> None:
         self._records.clear()
+
+    # Records are frozen, so a snapshot can share them by reference.
+
+    def snapshot(self) -> Tuple[StoreRecord, ...]:
+        return tuple(self._records)
+
+    def restore(self, snap: Tuple[StoreRecord, ...]) -> None:
+        self._records[:] = snap

@@ -80,6 +80,12 @@ class ThreadState:
     read_floor: Dict[int, int] = field(default_factory=dict)
 
 
+def _copy_buffer(buffer: VirtualStoreBuffer) -> VirtualStoreBuffer:
+    copy = VirtualStoreBuffer()
+    copy.restore(buffer.snapshot())
+    return copy
+
+
 class Oemu:
     """The OEMU runtime for one simulated machine."""
 
@@ -267,6 +273,42 @@ class Oemu:
         if effect.load_fence_after:
             self._reset_window(state)
         return old
+
+    # -- snapshot / restore (boot-snapshot reset) -----------------------------
+
+    def snapshot(self):
+        """Deep-copy per-thread state and stats (memory/history snapshot
+        separately; the trace sink and profiler are attachments, not state)."""
+        from dataclasses import replace
+
+        threads = {}
+        for tid, st in self._threads.items():
+            threads[tid] = ThreadState(
+                thread_id=st.thread_id,
+                buffer=_copy_buffer(st.buffer),
+                window_start=st.window_start,
+                delay_set=set(st.delay_set),
+                version_set=set(st.version_set),
+                read_floor=dict(st.read_floor),
+            )
+        return threads, replace(self.stats)
+
+    def restore(self, snap) -> None:
+        from dataclasses import replace
+
+        threads, stats = snap
+        self._threads = {
+            tid: ThreadState(
+                thread_id=st.thread_id,
+                buffer=_copy_buffer(st.buffer),
+                window_start=st.window_start,
+                delay_set=set(st.delay_set),
+                version_set=set(st.version_set),
+                read_floor=dict(st.read_floor),
+            )
+            for tid, st in threads.items()
+        }
+        self.stats = replace(stats)
 
     # -- internals ----------------------------------------------------------------------------
 

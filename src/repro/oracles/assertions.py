@@ -60,6 +60,12 @@ class ReturnValueOracle:
         """``check(retval)`` returns an error description or None."""
         self._checks[syscall] = check
 
+    def snapshot(self) -> Dict[str, Callable[[int], Optional[str]]]:
+        return dict(self._checks)
+
+    def restore(self, snap: Dict[str, Callable[[int], Optional[str]]]) -> None:
+        self._checks = dict(snap)
+
     def on_return(self, syscall: str, retval: int) -> None:
         check = self._checks.get(syscall)
         if check is None:

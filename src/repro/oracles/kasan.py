@@ -14,8 +14,11 @@ from typing import Optional
 
 from repro.errors import KernelCrash
 from repro.mem.allocator import SlabAllocator
+from repro.mem.memory import HEAP_BASE, HEAP_SIZE
 from repro.mem.shadow import ShadowMemory, ShadowState
 from repro.oracles.report import CrashReport, kasan_title
+
+_HEAP_END = HEAP_BASE + HEAP_SIZE
 
 
 class Kasan:
@@ -38,6 +41,10 @@ class Kasan:
     ) -> None:
         """Raise :class:`KernelCrash` if the access touches bad bytes."""
         if not self.enabled:
+            return
+        # Only the heap is shadow-checked; most accesses (globals,
+        # per-CPU) skip the per-byte shadow walk entirely.
+        if addr >= _HEAP_END or addr + size <= HEAP_BASE:
             return
         bad = self.shadow.first_bad_byte(addr, size)
         if bad is None:

@@ -91,3 +91,18 @@ class Lockdep:
 
     def reset_thread(self, thread: int) -> None:
         self._held.pop(thread, None)
+
+    # -- snapshot / restore (boot-snapshot reset) -----------------------------
+
+    def snapshot(self):
+        return (
+            self.enabled,
+            {a: frozenset(bs) for a, bs in self._order.items()},
+            {t: tuple(held) for t, held in self._held.items()},
+        )
+
+    def restore(self, snap) -> None:
+        enabled, order, held = snap
+        self.enabled = enabled
+        self._order = {a: set(bs) for a, bs in order.items()}
+        self._held = {t: list(h) for t, h in held.items()}

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.errors import ExecutionLimitExceeded
-from repro.kir.interp import Interpreter, ThreadCtx
+from repro.kir.interp import HelperRetry, Interpreter, ThreadCtx
 from repro.trace.events import BreakpointHit
 
 
@@ -77,13 +77,23 @@ class CustomScheduler:
         the thread spins in place (a lock that can never be released
         under this schedule).
         """
+        interp = self.interp
+        if breakpoint is None and interp.unobserved_decoded:
+            # No breakpoint to watch for and nobody observes retirement:
+            # the drain phase can run decoded closures directly instead
+            # of paying the step() boundary per instruction.
+            return self._run_fast(thread)
         steps = 0
         spin = 0
         last_pc = None
+        step = interp.step  # hoisted: called once per instruction
         while not thread.finished:
-            insn = thread.current_insn()
-            addr = insn.addr if insn is not None else None
-            pc = (len(thread.frames), addr)
+            # Inlined thread.current_insn(): a running thread always has
+            # a frame, and this executes once per scheduled instruction.
+            frames = thread.frames
+            frame = frames[-1]
+            addr = frame.function.insns[frame.index].addr
+            pc = (len(frames), addr)
             if pc == last_pc:
                 spin += 1
                 if spin > self.SPIN_LIMIT:
@@ -103,7 +113,7 @@ class CustomScheduler:
                 if breakpoint._count >= breakpoint.hit:
                     self._note_breakpoint(thread, breakpoint)
                     return StopReason.BREAKPOINT
-            self.interp.step(thread)
+            step(thread)
             steps += 1
             if steps > self.max_steps:
                 raise ExecutionLimitExceeded(
@@ -118,6 +128,74 @@ class CustomScheduler:
                 if breakpoint._count >= breakpoint.hit:
                     self._note_breakpoint(thread, breakpoint)
                     return StopReason.BREAKPOINT
+        return StopReason.FINISHED
+
+    def _run_fast(self, thread: ThreadCtx) -> StopReason:
+        """Breakpoint-free drain loop over decoded closures.
+
+        Semantically identical to the general ``run_until(thread, None)``
+        loop: same fuel accounting, same scheduler step budget (counting
+        :class:`HelperRetry` non-retirements, as ``step`` returning True
+        does), and same spin detection.  The pc-equality spin check
+        reduces to index equality within a frame — two consecutive steps
+        can only share a pc when neither was a call or a ret, i.e. when
+        they ran in the same frame — so the counter resets on every
+        frame switch exactly as a depth change resets ``last_pc``.
+        """
+        interp = self.interp
+        codes = interp._codes
+        bound = interp._bound
+        frames = thread.frames
+        max_steps = self.max_steps
+        spin_limit = self.SPIN_LIMIT
+        steps = 0
+        while not thread.finished:
+            frame = frames[-1]
+            ops = frame.ops
+            if ops is None:
+                func = frame.function
+                ops = codes.get(id(func))
+                if ops is None:
+                    ops = bound.bind_function(func)
+                frame.ops = ops
+            spin = 0
+            last_index = -1
+            # Stay in this frame until a call/ret swaps the top of stack.
+            while True:
+                index = frame.index
+                if index == last_index:
+                    spin += 1
+                    if spin > spin_limit:
+                        raise ExecutionLimitExceeded(
+                            f"thread {thread.thread_id} spinning at "
+                            f"{thread.current_function} (deadlocked schedule)"
+                        )
+                else:
+                    spin = 0
+                    last_index = index
+                if thread.fuel <= 0:
+                    raise ExecutionLimitExceeded(
+                        f"thread {thread.thread_id} exceeded fuel in {thread.current_function}"
+                    )
+                thread.fuel -= 1
+                thread.steps += 1
+                try:
+                    advance = ops[index](thread, frame)
+                except HelperRetry:
+                    advance = None  # same pc next step; the insn did not retire
+                steps += 1
+                if steps > max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"thread {thread.thread_id} exceeded scheduler budget"
+                    )
+                if advance is None:
+                    continue
+                if thread.finished:
+                    return StopReason.FINISHED
+                if frames[-1] is not frame:
+                    break
+                if advance:
+                    frame.index = index + 1
         return StopReason.FINISHED
 
     def _note_breakpoint(self, thread: ThreadCtx, breakpoint: Breakpoint) -> None:
@@ -144,10 +222,11 @@ class CustomScheduler:
         """
         pending: List[ThreadCtx] = [t for t in threads if not t.finished]
         steps = 0
+        step = self.interp.step
         while pending:
             for thread in list(pending):
                 for _ in range(quantum):
-                    if not self.interp.step(thread):
+                    if not step(thread):
                         break
                     steps += 1
                     if steps > self.max_steps:
@@ -160,10 +239,11 @@ class CustomScheduler:
         pending: List[ThreadCtx] = [t for t in threads if not t.finished]
         current = 0
         steps = 0
+        step = self.interp.step
         while pending:
             current %= len(pending)
             thread = pending[current]
-            if not self.interp.step(thread):
+            if not step(thread):
                 pending.remove(thread)
                 continue
             steps += 1

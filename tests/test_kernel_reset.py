@@ -1,0 +1,163 @@
+"""Boot-snapshot reset: `Kernel.reset()`, `KernelPool`, engine counters.
+
+The reset is the second prong of the execution-engine optimization: a
+kernel boots once, snapshots its world, and every later test rewinds
+via a dirty-tracked restore instead of a fresh boot.  The contract is
+behavioral equivalence — a reset kernel is indistinguishable from a
+freshly booted one in every observable (memory, shadow, allocator,
+clock, thread ids, syscall results).
+"""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.errors import ConfigError
+from repro.fuzzer.fuzzer import OzzFuzzer
+from repro.kernel.kernel import Kernel, KernelImage, KernelPool
+from repro.oemu.profiler import ENGINE_COUNTERS, Profiler
+from repro.trace.events import Step
+from repro.trace.recorder import TraceRecorder
+
+DIRTYING_CALLS = [
+    ("fs_open", (1,)),
+    ("fs_write", (0, 42)),
+    ("socket", ()),
+    ("fs_close", (0,)),
+]
+
+
+@pytest.fixture(scope="module")
+def image():
+    return KernelImage(KernelConfig())
+
+
+def _world(kernel):
+    return (
+        kernel.memory.fingerprint(),
+        kernel.shadow.fingerprint(),
+        kernel.clock.now,
+        kernel.allocator.total_allocs,
+        kernel.allocator.total_frees,
+        kernel._next_thread,
+        dict(kernel.fdtable),
+        kernel.next_fd,
+    )
+
+
+def _dirty(kernel):
+    for name, args in DIRTYING_CALLS:
+        try:
+            kernel.run_syscall(name, args)
+        except Exception:
+            pass  # a crash still dirties state; reset must clean it up
+
+
+class TestKernelReset:
+    def test_reset_restores_boot_world(self, image):
+        kernel = Kernel(image)
+        boot = _world(kernel)
+        _dirty(kernel)
+        assert _world(kernel) != boot, "dirtying calls had no effect"
+        restored = kernel.reset()
+        assert restored > 0
+        assert _world(kernel) == boot
+
+    def test_reset_matches_fresh_boot(self, image):
+        kernel = Kernel(image)
+        _dirty(kernel)
+        kernel.reset()
+        assert _world(kernel) == _world(Kernel(image))
+
+    def test_post_reset_syscalls_match_fresh_kernel(self, image):
+        recycled = Kernel(image)
+        _dirty(recycled)
+        recycled.reset()
+        fresh = Kernel(image)
+        for name, args in DIRTYING_CALLS:
+            assert recycled.run_syscall(name, args) == fresh.run_syscall(name, args)
+        assert _world(recycled) == _world(fresh)
+
+    def test_reset_is_repeatable(self, image):
+        kernel = Kernel(image)
+        boot = _world(kernel)
+        for _ in range(3):
+            _dirty(kernel)
+            kernel.reset()
+            assert _world(kernel) == boot
+
+    def test_reset_requires_snapshot_config(self):
+        kernel = Kernel(KernelImage(KernelConfig(snapshot_reset=False)))
+        with pytest.raises(ConfigError):
+            kernel.reset()
+
+    def test_reset_detaches_per_run_observers(self, image):
+        """kcov and a post-boot trace sink are per-test attachments; the
+        reset drops both and the interpreter's hoisted copies follow."""
+        kernel = Kernel(image)
+        recorder = TraceRecorder()
+        kernel.trace = recorder
+        from repro.fuzzer.kcov import KCov
+
+        kernel.kcov = KCov()
+        kernel.reset()
+        assert kernel.kcov is None
+        assert kernel.trace is kernel._boot_trace
+        assert not kernel.interp._trace.active
+
+    def test_trace_swap_after_reset_takes_effect(self, image):
+        """Attaching a recorder *after* a reset re-binds the step loop —
+        the invalidation contract of the hoisted attributes."""
+        kernel = Kernel(image)
+        _dirty(kernel)
+        kernel.reset()
+        recorder = TraceRecorder()
+        kernel.trace = recorder
+        kernel.run_syscall("fs_open", (1,))
+        steps = [e for e in recorder.events() if isinstance(e, Step)]
+        assert steps, "no Step events reached the post-reset recorder"
+
+
+class TestKernelPool:
+    def test_boots_once_then_resets(self, image):
+        pool = KernelPool(image)
+        ENGINE_COUNTERS.reset()
+        first = pool.acquire()
+        assert ENGINE_COUNTERS.boots == 1
+        assert ENGINE_COUNTERS.resets == 0
+        _dirty(first)
+        again = pool.acquire()
+        assert again is first
+        assert ENGINE_COUNTERS.boots == 1
+        assert ENGINE_COUNTERS.resets == 1
+        assert ENGINE_COUNTERS.dirty_pages_restored > 0
+
+    def test_profiler_swap(self, image):
+        pool = KernelPool(image)
+        profiler = Profiler()
+        kernel = pool.acquire(profiler=profiler)
+        assert kernel.profiler is profiler
+        assert kernel.oemu.profiler is profiler
+        kernel = pool.acquire()  # detach
+        assert kernel.profiler is None
+        assert kernel.oemu.profiler is None
+
+    def test_requires_snapshot_config(self):
+        with pytest.raises(ConfigError):
+            KernelPool(KernelImage(KernelConfig(snapshot_reset=False)))
+
+
+class TestCampaignEquivalence:
+    def test_snapshot_reset_does_not_change_outcomes(self):
+        """Same seed, reset pooling on vs off (decoded dispatch in both):
+        identical stats and crash sets — reset is invisible to the fuzzer."""
+        results = []
+        for snapshot_reset in (True, False):
+            fuzzer = OzzFuzzer(
+                KernelImage(KernelConfig(snapshot_reset=snapshot_reset)), seed=23
+            )
+            stats = fuzzer.run(25)
+            results.append((stats, frozenset(fuzzer.crashdb.unique_titles)))
+        (on_stats, on_titles), (off_stats, off_titles) = results
+        assert on_stats == off_stats
+        assert on_titles == off_titles
+        assert on_stats.tests_run > 0
