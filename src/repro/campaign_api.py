@@ -56,6 +56,21 @@ class CampaignSpec:
                      off = reference isinstance-chain interpreter.
     ``snapshot_reset`` reuse one booted kernel per shard via the boot
                      snapshot; off = fresh boot per test.
+
+    Robustness knobs (the campaign supervisor,
+    :mod:`repro.fuzzer.supervisor`):
+
+    ``shard_timeout``  seconds without a worker heartbeat before the
+                     supervisor declares the shard hung, kills it and
+                     retries it (None = never).
+    ``max_retries``  restarts a failing shard is allowed before it is
+                     marked permanently failed (its surviving siblings
+                     still merge).
+    ``checkpoint_dir`` directory for periodic JSON checkpoints of merged
+                     campaign state; ``repro fuzz --resume DIR``
+                     continues from it (None = no checkpointing).
+    ``checkpoint_every`` iterations between a shard's mid-run partial
+                     checkpoints (used for SIGINT partial merges).
     """
 
     iterations: int = 40
@@ -67,6 +82,10 @@ class CampaignSpec:
     static_hints: bool = False
     decoded_dispatch: bool = True
     snapshot_reset: bool = True
+    shard_timeout: Optional[float] = None
+    max_retries: int = 2
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 10
 
     def __post_init__(self) -> None:
         if self.iterations < 0:
@@ -75,7 +94,27 @@ class CampaignSpec:
             raise ConfigError("need at least one job")
         if self.time_budget is not None and self.time_budget < 0:
             raise ConfigError("time_budget must be >= 0")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ConfigError("shard_timeout must be > 0")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
         object.__setattr__(self, "patched", tuple(sorted(set(self.patched))))
+
+    @property
+    def supervised(self) -> bool:
+        """Whether this spec needs the monitored-worker execution path.
+
+        Multi-shard campaigns are always supervised; a single-shard
+        campaign runs in-process unless a robustness knob (heartbeat
+        deadline, checkpointing) asks for a monitored worker.
+        """
+        return (
+            self.jobs > 1
+            or self.shard_timeout is not None
+            or self.checkpoint_dir is not None
+        )
 
     def shard_seed(self, shard: int) -> int:
         """The derived deterministic RNG seed for one worker."""
@@ -113,7 +152,55 @@ class ShardStats:
     tests_run: int
     crashes: int
     coverage: int
-    seconds: float
+    # Wall-clock is telemetry, not an outcome: excluded from equality so
+    # a shard that was killed and deterministically re-run compares equal
+    # to its uninterrupted twin.
+    seconds: float = field(compare=False)
+
+
+# -- supervisor telemetry ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One supervisor-initiated shard restart.
+
+    ``iteration`` is the last iteration the worker reported starting
+    before it hung or died (-1 if it never heartbeat).
+    """
+
+    shard: int
+    attempt: int  # the attempt number that failed (0 = first launch)
+    reason: str   # "hung" | "died (exit N)" | worker exception repr
+    iteration: int
+
+
+@dataclass(frozen=True)
+class QuarantinedInput:
+    """An input (shard, iteration) that repeatedly killed its worker.
+
+    After ``deaths`` worker deaths attributed to the same iteration the
+    supervisor quarantines it: subsequent attempts skip that iteration
+    instead of burning the whole shard's retry budget on it.
+    """
+
+    shard: int
+    iteration: int
+    deaths: int
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """A shard that exhausted its retry budget and was abandoned.
+
+    The campaign still completes — the surviving shards' results merge —
+    but the failure is reported here instead of being silently dropped
+    (or, worse, taking every other shard's finished work down with it).
+    """
+
+    shard: int
+    attempts: int
+    reason: str
 
 
 @dataclass
@@ -134,9 +221,17 @@ class CampaignResult:
     found_bug_ids: Tuple[str, ...]
     found_table3: Tuple[str, ...]
     found_table4: Tuple[str, ...]
-    seconds: float
+    seconds: float = field(compare=False)
     shards: Tuple[ShardStats, ...]
     crashdb: Optional[CrashDB] = field(default=None, compare=False, repr=False)
+    # Supervisor telemetry (empty for unsupervised in-process runs).
+    # Excluded from equality so a campaign that survived faults compares
+    # equal to a clean run of the same spec — the determinism guarantee
+    # the supervisor's seed re-derivation exists to provide.
+    retries: Tuple[RetryEvent, ...] = field(default=(), compare=False)
+    quarantined: Tuple[QuarantinedInput, ...] = field(default=(), compare=False)
+    failed_shards: Tuple[ShardFailure, ...] = field(default=(), compare=False)
+    interrupted: bool = field(default=False, compare=False)
 
     @property
     def tests_per_sec(self) -> float:
@@ -148,6 +243,18 @@ class CampaignResult:
         for c in self.crashes:
             tag = f" [{c.bug_id}]" if c.bug_id else ""
             lines.append(f"  x{c.count:<4d} {c.title}{tag}")
+        if self.interrupted:
+            lines.append("(campaign interrupted; partial merge)")
+        for q in self.quarantined:
+            lines.append(
+                f"quarantined: shard {q.shard} iteration {q.iteration} "
+                f"(killed its worker {q.deaths}x)"
+            )
+        for f in self.failed_shards:
+            lines.append(
+                f"FAILED: shard {f.shard} abandoned after {f.attempts} "
+                f"attempts ({f.reason})"
+            )
         return "\n".join(lines)
 
     # -- serialization -----------------------------------------------------
@@ -155,17 +262,7 @@ class CampaignResult:
     def to_json(self) -> str:
         payload = {
             "version": JSON_FORMAT_VERSION,
-            "spec": {
-                "iterations": self.spec.iterations,
-                "seed": self.spec.seed,
-                "patched": list(self.spec.patched),
-                "jobs": self.spec.jobs,
-                "time_budget": self.spec.time_budget,
-                "use_seeds": self.spec.use_seeds,
-                "static_hints": self.spec.static_hints,
-                "decoded_dispatch": self.spec.decoded_dispatch,
-                "snapshot_reset": self.spec.snapshot_reset,
-            },
+            "spec": spec_to_dict(self.spec),
             "stats": {
                 "stis_run": self.stats.stis_run,
                 "mtis_run": self.stats.mtis_run,
@@ -201,6 +298,24 @@ class CampaignResult:
                 }
                 for s in self.shards
             ],
+            "retries": [
+                {
+                    "shard": r.shard,
+                    "attempt": r.attempt,
+                    "reason": r.reason,
+                    "iteration": r.iteration,
+                }
+                for r in self.retries
+            ],
+            "quarantined": [
+                {"shard": q.shard, "iteration": q.iteration, "deaths": q.deaths}
+                for q in self.quarantined
+            ],
+            "failed_shards": [
+                {"shard": f.shard, "attempts": f.attempts, "reason": f.reason}
+                for f in self.failed_shards
+            ],
+            "interrupted": self.interrupted,
         }
         return json.dumps(payload, indent=2)
 
@@ -211,22 +326,8 @@ class CampaignResult:
             raise ValueError(
                 f"unsupported campaign result version {payload.get('version')!r}"
             )
-        sp = payload["spec"]
-        spec = CampaignSpec(
-            iterations=sp["iterations"],
-            seed=sp["seed"],
-            patched=tuple(sp["patched"]),
-            jobs=sp["jobs"],
-            time_budget=sp["time_budget"],
-            use_seeds=sp["use_seeds"],
-            # absent in pre-KIRA artifacts; same format version
-            static_hints=sp.get("static_hints", False),
-            # absent in pre-engine-optimization artifacts (default on)
-            decoded_dispatch=sp.get("decoded_dispatch", True),
-            snapshot_reset=sp.get("snapshot_reset", True),
-        )
         return cls(
-            spec=spec,
+            spec=spec_from_dict(payload["spec"]),
             stats=FuzzStats(**payload["stats"]),
             crashes=tuple(CrashSummary(**c) for c in payload["crashes"]),
             found_bug_ids=tuple(payload["found_bug_ids"]),
@@ -234,21 +335,94 @@ class CampaignResult:
             found_table4=tuple(payload["found_table4"]),
             seconds=payload["seconds"],
             shards=tuple(ShardStats(**s) for s in payload["shards"]),
+            retries=tuple(RetryEvent(**r) for r in payload.get("retries", ())),
+            quarantined=tuple(
+                QuarantinedInput(**q) for q in payload.get("quarantined", ())
+            ),
+            failed_shards=tuple(
+                ShardFailure(**f) for f in payload.get("failed_shards", ())
+            ),
+            interrupted=payload.get("interrupted", False),
         )
+
+
+def spec_to_dict(spec: CampaignSpec) -> dict:
+    """JSON-safe spec payload, shared by result JSON and checkpoints."""
+    return {
+        "iterations": spec.iterations,
+        "seed": spec.seed,
+        "patched": list(spec.patched),
+        "jobs": spec.jobs,
+        "time_budget": spec.time_budget,
+        "use_seeds": spec.use_seeds,
+        "static_hints": spec.static_hints,
+        "decoded_dispatch": spec.decoded_dispatch,
+        "snapshot_reset": spec.snapshot_reset,
+        "shard_timeout": spec.shard_timeout,
+        "max_retries": spec.max_retries,
+        "checkpoint_dir": spec.checkpoint_dir,
+        "checkpoint_every": spec.checkpoint_every,
+    }
+
+
+def spec_from_dict(sp: dict) -> CampaignSpec:
+    """Rebuild a spec; absent keys fall back to their field defaults.
+
+    Older artifacts (pre-KIRA, pre-engine-optimization, pre-supervisor)
+    simply lack the newer keys — same format version, additive fields.
+    """
+    return CampaignSpec(
+        iterations=sp["iterations"],
+        seed=sp["seed"],
+        patched=tuple(sp["patched"]),
+        jobs=sp["jobs"],
+        time_budget=sp["time_budget"],
+        use_seeds=sp["use_seeds"],
+        static_hints=sp.get("static_hints", False),
+        decoded_dispatch=sp.get("decoded_dispatch", True),
+        snapshot_reset=sp.get("snapshot_reset", True),
+        shard_timeout=sp.get("shard_timeout"),
+        max_retries=sp.get("max_retries", 2),
+        checkpoint_dir=sp.get("checkpoint_dir"),
+        checkpoint_every=sp.get("checkpoint_every", 10),
+    )
 
 
 def run_campaign(spec: CampaignSpec) -> CampaignResult:
     """Execute a campaign spec; the one entry point for all campaigns.
 
-    ``spec.jobs == 1`` runs the single shard in-process (no fork
-    overhead); ``spec.jobs > 1`` fans shards out to a process pool and
-    merges their stats, coverage and crash records.  Both paths go
-    through the same shard runner, so serial and parallel results are
-    produced by one code path.
+    An unsupervised single-shard spec runs in-process with zero fork
+    overhead.  Everything else — ``jobs > 1``, a heartbeat deadline, or
+    a checkpoint directory — goes through the campaign supervisor
+    (:mod:`repro.fuzzer.supervisor`), which monitors worker processes,
+    retries hung/dead shards deterministically, and checkpoints merged
+    state for ``resume_campaign``.  Both paths execute the same
+    :func:`repro.fuzzer.parallel.run_shard` code, so serial, sharded and
+    fault-recovered results are produced by one code path.
     """
-    from repro.fuzzer.parallel import merge_shards, run_sharded
+    from repro.fuzzer.parallel import merge_shards, run_shard
 
-    start = time.perf_counter()
-    shards = run_sharded(spec)
-    seconds = time.perf_counter() - start
-    return merge_shards(spec, shards, seconds)
+    if not spec.supervised:
+        start = time.perf_counter()
+        shards = [run_shard(spec, 0)]
+        seconds = time.perf_counter() - start
+        return merge_shards(spec, shards, seconds)
+
+    from repro.fuzzer.supervisor import run_supervised
+
+    return run_supervised(spec)
+
+
+def resume_campaign(checkpoint_dir: str) -> CampaignResult:
+    """Continue a checkpointed campaign instead of restarting it.
+
+    Loads the checkpoint manifest written by a supervised campaign,
+    skips shards whose results are already complete, re-runs the rest
+    from their (deterministically re-derived) seeds, and merges.  The
+    spec comes from the checkpoint, so a resumed campaign is the same
+    campaign — ``repro fuzz --resume DIR`` exposes this.
+    """
+    from repro.fuzzer.supervisor import load_checkpoint, run_supervised
+
+    state = load_checkpoint(checkpoint_dir)
+    return run_supervised(state.spec, resume_state=state)

@@ -12,6 +12,7 @@ litmus     validate OEMU against the LKMM (§3.3)
 ofence     static paired-barrier comparison (§6.4)
 lint       KIRA static analysis (barrier lint, locks, use-before-def)
 bugs       list the seeded bug registry
+docs       regenerate (or staleness-check) docs/cli.md from this parser
 ========== ===========================================================
 """
 
@@ -25,21 +26,29 @@ from repro.errors import ReproError
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.campaign_api import CampaignSpec, run_campaign
+    from repro.campaign_api import CampaignSpec, resume_campaign, run_campaign
     from repro.config import KernelConfig
     from repro.fuzzer.fuzzer import minimize_reproducer
     from repro.kernel.kernel import KernelImage
 
-    spec = CampaignSpec(
-        iterations=args.iterations,
-        seed=args.seed,
-        patched=tuple(args.patch or ()),
-        jobs=args.jobs,
-        static_hints=args.static_hints,
-        decoded_dispatch=not args.reference_interp,
-        snapshot_reset=not args.no_snapshot_reset,
-    )
-    result = run_campaign(spec)
+    if args.resume:
+        result = resume_campaign(args.resume)
+        spec = result.spec
+    else:
+        spec = CampaignSpec(
+            iterations=args.iterations,
+            seed=args.seed,
+            patched=tuple(args.patch or ()),
+            jobs=args.jobs,
+            static_hints=args.static_hints,
+            decoded_dispatch=not args.reference_interp,
+            snapshot_reset=not args.no_snapshot_reset,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        result = run_campaign(spec)
     print(result.summary())
     print(
         f"\n{result.stats.tests_run} tests in {result.seconds:.1f}s "
@@ -52,6 +61,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                   f"in {s.seconds:.1f}s")
     print(f"Table 3: {len(result.found_table3)}/11, "
           f"Table 4: {len(result.found_table4)}/9")
+    for r in result.retries:
+        print(f"  retry: shard {r.shard} attempt {r.attempt} "
+              f"{r.reason} at iteration {r.iteration}")
+    for f in result.failed_shards:
+        print(f"  FAILED: shard {f.shard} abandoned after {f.attempts} "
+              f"attempts ({f.reason})", file=sys.stderr)
+    if result.interrupted and spec.checkpoint_dir:
+        print(f"interrupted — resume with: "
+              f"repro fuzz --resume {spec.checkpoint_dir}")
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(result.to_json())
@@ -65,7 +83,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 print(mini.describe(image))
     if args.artifacts and result.crashdb is not None:
         _dump_artifacts(result.crashdb, spec.patched, args.artifacts)
-    return 0
+    return 1 if result.failed_shards else 0
 
 
 def _dump_artifacts(crashdb, patched, outdir: str) -> None:
@@ -238,6 +256,23 @@ def cmd_bugs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_docs(args: argparse.Namespace) -> int:
+    from repro.docsgen import check_cli_markdown, render_cli_markdown
+
+    parser = build_parser()
+    if args.check:
+        error = check_cli_markdown(parser, args.out)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.out} is up to date")
+        return 0
+    with open(args.out, "w") as fh:
+        fh.write(render_cli_markdown(parser))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -274,6 +309,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-snapshot-reset", action="store_true",
         help="boot a fresh kernel per test instead of reusing one via "
              "the boot snapshot",
+    )
+    p.add_argument(
+        "--shard-timeout", type=float, metavar="SECONDS",
+        help="kill and deterministically retry a worker that goes this "
+             "long without a heartbeat (routes the run through the "
+             "campaign supervisor)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="restarts per shard before it is abandoned and reported as "
+             "failed (surviving shards still merge)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="periodically checkpoint merged campaign state to DIR so an "
+             "interrupted run can be continued with --resume",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=10, metavar="N",
+        help="iterations between partial-state checkpoints per shard",
+    )
+    p.add_argument(
+        "--resume", metavar="DIR",
+        help="continue a campaign from a checkpoint directory (campaign "
+             "shape comes from the checkpoint; other flags above are "
+             "ignored)",
     )
     p.set_defaults(fn=cmd_fuzz)
 
@@ -328,6 +389,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bugs", help="list the seeded bug registry")
     p.set_defaults(fn=cmd_bugs)
+
+    p = sub.add_parser(
+        "docs",
+        help="regenerate docs/cli.md from the live argparse tree",
+        description="Render this command-line reference as deterministic "
+        "markdown. CI runs `repro docs --check` so the committed file "
+        "can never drift from the actual flags. Exit 0 = written / "
+        "up-to-date, 1 = stale.",
+    )
+    p.add_argument("--out", metavar="PATH", default="docs/cli.md",
+                   help="output path for the generated markdown")
+    p.add_argument("--check", action="store_true",
+                   help="don't write; exit 1 if PATH is stale or missing")
+    p.set_defaults(fn=cmd_docs)
 
     return parser
 

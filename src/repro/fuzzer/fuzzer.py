@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.fuzzer.corpus import Corpus
@@ -256,16 +256,30 @@ class OzzFuzzer:
 
     # -- campaign drivers ------------------------------------------------------------
 
-    def run(self, iterations: int, *, deadline: Optional[float] = None) -> FuzzStats:
+    def run(
+        self,
+        iterations: int,
+        *,
+        deadline: Optional[float] = None,
+        progress: Optional[Callable[[int, FuzzStats], Optional[bool]]] = None,
+    ) -> FuzzStats:
         """Run ``iterations`` pipeline rounds.
 
         ``deadline`` is an absolute ``time.monotonic()`` timestamp; when
         given, the loop stops at the first iteration boundary past it
         (how :mod:`repro.campaign_api` enforces ``time_budget``).
+
+        ``progress`` is called *before* each iteration with
+        ``(iteration_index, stats)``.  The campaign supervisor uses it as
+        the shard heartbeat / mid-run checkpoint seam.  Returning
+        ``False`` skips that iteration's input (poisoned-input
+        quarantine); any other return value runs it normally.
         """
-        for _ in range(iterations):
+        for i in range(iterations):
             if deadline is not None and time.monotonic() >= deadline:
                 break
+            if progress is not None and progress(i, self.stats) is False:
+                continue
             self.fuzz_one()
         return self.stats
 

@@ -4,8 +4,8 @@ OZZ's campaign loop is embarrassingly parallel across RNG seeds: real
 kernel fuzzers get their throughput from fleets of VMs, and the
 simulated kernel here is a pure-Python object with no shared state
 between instances.  This module partitions a :class:`CampaignSpec`'s
-iteration budget across N ``multiprocessing`` workers, each running its
-own :class:`~repro.fuzzer.fuzzer.OzzFuzzer` on a private
+iteration budget across N workers, each running its own
+:class:`~repro.fuzzer.fuzzer.OzzFuzzer` on a private
 :class:`~repro.kernel.kernel.KernelImage`, and merges the shards back
 into one :class:`~repro.campaign_api.CampaignResult`:
 
@@ -18,16 +18,19 @@ into one :class:`~repro.campaign_api.CampaignResult`:
   attribution (minimum tests-at-discovery across shards) so Table 3/4
   numbers stay meaningful.
 
-Everything a worker receives or returns is picklable, so the pool works
-under both ``fork`` and ``spawn`` start methods.
+Process management lives in :mod:`repro.fuzzer.supervisor`: shards run
+as monitored worker processes with heartbeats, deadlines, deterministic
+retries and checkpointing.  This module owns the *work* (one shard's
+execution) and the *merge*; everything a worker receives or returns is
+picklable, so it works under both ``fork`` and ``spawn`` start methods,
+and JSON-serializable, so shard results survive in checkpoints.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import time
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, FrozenSet, List, Sequence
+from typing import TYPE_CHECKING, Callable, FrozenSet, List, Optional, Sequence
 
 from repro.config import KernelConfig
 from repro.fuzzer.fuzzer import FuzzStats, OzzFuzzer
@@ -40,7 +43,7 @@ if TYPE_CHECKING:  # deferred at runtime: campaign_api imports this package
 
 @dataclass
 class ShardResult:
-    """One worker's raw output, shipped back over the pool."""
+    """One worker's raw output, shipped back over the message queue."""
 
     shard: int
     seed: int
@@ -50,13 +53,52 @@ class ShardResult:
     coverage: FrozenSet[int]
     seconds: float
 
+    # -- checkpoint serialization ------------------------------------------
 
-def run_shard(spec: "CampaignSpec", shard: int) -> ShardResult:
-    """Run one shard of a campaign (top-level, hence pool-picklable).
+    def to_json_dict(self) -> dict:
+        """JSON-safe payload for the campaign checkpoint directory."""
+        from dataclasses import asdict
+
+        return {
+            "shard": self.shard,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "stats": asdict(self.stats),
+            "crashdb": self.crashdb.to_json_dict(),
+            "coverage": sorted(self.coverage),
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ShardResult":
+        return cls(
+            shard=payload["shard"],
+            seed=payload["seed"],
+            iterations=payload["iterations"],
+            stats=FuzzStats(**payload["stats"]),
+            crashdb=CrashDB.from_json_dict(payload["crashdb"]),
+            coverage=frozenset(payload["coverage"]),
+            seconds=payload["seconds"],
+        )
+
+
+def run_shard(
+    spec: "CampaignSpec",
+    shard: int,
+    *,
+    progress: Optional[Callable[[int, FuzzStats], Optional[bool]]] = None,
+    on_fuzzer: Optional[Callable[[OzzFuzzer], None]] = None,
+) -> ShardResult:
+    """Run one shard of a campaign (top-level, hence pickle-friendly).
 
     Builds a private kernel image and fuzzer with the shard's derived
     seed, runs its slice of the iteration budget, and returns the
-    picklable pieces the merge needs.
+    picklable pieces the merge needs.  ``progress`` is forwarded to
+    :meth:`OzzFuzzer.run` — the supervisor's heartbeat / fault-injection
+    / quarantine seam; ``on_fuzzer`` hands the constructed fuzzer to the
+    caller before the run starts, so a supervised worker can snapshot
+    mid-run state for partial checkpoints.  The in-process path leaves
+    both ``None``.
     """
     iterations = spec.shard_iterations()[shard]
     seed = spec.shard_seed(shard)
@@ -75,11 +117,13 @@ def run_shard(spec: "CampaignSpec", shard: int) -> ShardResult:
         nshards=spec.jobs,
         static_hints=spec.static_hints,
     )
+    if on_fuzzer is not None:
+        on_fuzzer(fuzzer)
     deadline = (
         time.monotonic() + spec.time_budget if spec.time_budget is not None else None
     )
     start = time.perf_counter()
-    fuzzer.run(iterations, deadline=deadline)
+    fuzzer.run(iterations, deadline=deadline, progress=progress)
     seconds = time.perf_counter() - start
     return ShardResult(
         shard=shard,
@@ -97,34 +141,53 @@ def run_sharded(spec: "CampaignSpec") -> List[ShardResult]:
 
     ``jobs=1`` short-circuits to a direct in-process call — the serial
     path pays no fork or pickling overhead but still goes through the
-    same :func:`run_shard` code as the parallel one.
+    same :func:`run_shard` code as the parallel one.  Multi-shard runs
+    go through the campaign supervisor: hung or dead workers are killed
+    and deterministically retried, and a shard that exhausts its retry
+    budget is *omitted* from the returned list rather than taking every
+    surviving shard's finished work down with it (the old ``Pool.map``
+    behaviour); use :func:`repro.campaign_api.run_campaign` to see the
+    failure telemetry.
     """
-    if spec.jobs == 1:
+    if spec.jobs == 1 and not spec.supervised:
         return [run_shard(spec, 0)]
-    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-    ctx = mp.get_context(method)
-    with ctx.Pool(processes=spec.jobs) as pool:
-        return pool.starmap(run_shard, [(spec, k) for k in range(spec.jobs)])
+    from repro.fuzzer.supervisor import run_supervised_shards
+
+    return run_supervised_shards(spec).shards
 
 
 def merge_shards(
-    spec: "CampaignSpec", shards: Sequence[ShardResult], seconds: float
+    spec: "CampaignSpec",
+    shards: Sequence[ShardResult],
+    seconds: float,
+    *,
+    retries: Sequence = (),
+    quarantined: Sequence = (),
+    failed_shards: Sequence = (),
+    interrupted: bool = False,
 ) -> "CampaignResult":
     """Fold shard results into one campaign result.
 
     Coverage is the cardinality of the shards' address-set union, so the
     merged number is comparable to a serial run's (duplicate addresses
-    across shards are not double-counted).
+    across shards are not double-counted).  ``shards`` holds whatever
+    survived — permanently-failed shards appear in ``failed_shards``
+    telemetry instead, and an empty list merges to an empty result
+    rather than raising.
     """
     from repro.campaign_api import CampaignResult, CrashSummary, ShardStats
 
-    stats = shards[0].stats
-    crashdb = shards[0].crashdb
-    for s in shards[1:]:
-        stats = stats.merge(s.stats)
-        crashdb = crashdb.merge(s.crashdb)
-    merged_cov: FrozenSet[int] = frozenset().union(*(s.coverage for s in shards))
-    stats = replace(stats, coverage=len(merged_cov))
+    if shards:
+        stats = shards[0].stats
+        crashdb = shards[0].crashdb
+        for s in shards[1:]:
+            stats = stats.merge(s.stats)
+            crashdb = crashdb.merge(s.crashdb)
+        merged_cov: FrozenSet[int] = frozenset().union(*(s.coverage for s in shards))
+        stats = replace(stats, coverage=len(merged_cov))
+    else:
+        stats = FuzzStats()
+        crashdb = CrashDB()
     crashes = tuple(
         CrashSummary(
             title=rec.title,
@@ -157,4 +220,8 @@ def merge_shards(
         seconds=seconds,
         shards=shard_stats,
         crashdb=crashdb,
+        retries=tuple(retries),
+        quarantined=tuple(quarantined),
+        failed_shards=tuple(failed_shards),
+        interrupted=interrupted,
     )

@@ -1,0 +1,676 @@
+"""Crash-tolerant campaign supervisor: monitored shards, retries, resume.
+
+The paper ran OZZ for six weeks across 32 VMs (§6.1); at that scale
+workers hang, die and get preempted, and the unglamorous fault-tolerance
+layer is what makes a long campaign finish (rr's deployability paper
+makes the same point for record/replay).  This module replaces the old
+fire-and-forget ``multiprocessing.Pool`` with a supervisor that:
+
+* launches every shard as a **monitored worker process** that heartbeats
+  before each fuzzing iteration through a shared message queue;
+* **kills and restarts** a shard whose heartbeat exceeds
+  ``CampaignSpec.shard_timeout`` (hung) or whose process exits without
+  delivering a result (died), with capped exponential backoff — the
+  retry re-derives the same shard seed, so a recovered campaign is
+  byte-identical to an unfaulted one;
+* **quarantines poisoned inputs**: when the same shard-local iteration
+  kills its worker :data:`POISON_THRESHOLD` times, later attempts skip
+  that iteration instead of burning the retry budget, and the quarantine
+  is reported in :class:`~repro.campaign_api.CampaignResult`;
+* gives up on a shard after ``CampaignSpec.max_retries`` restarts and
+  **merges the survivors** — a worker failure is telemetry
+  (``failed_shards``), never an exception that discards every other
+  shard's finished work;
+* periodically **checkpoints** merged campaign state to
+  ``CampaignSpec.checkpoint_dir`` as JSON (complete shard results plus
+  the latest mid-run partials), so ``repro fuzz --resume DIR`` — and a
+  ``SIGINT`` that lands mid-campaign — continue a campaign instead of
+  restarting it.
+
+Checkpoint layout (all JSON, schema
+:data:`CHECKPOINT_VERSION`)::
+
+    DIR/campaign.json     manifest: spec, completed shard list, telemetry
+    DIR/shard-000.json    one completed ShardResult (stats, crashdb, coverage)
+    DIR/partial-000.json  latest mid-run snapshot of an unfinished shard
+
+Resume is **shard-granular**: completed shards load from disk; an
+unfinished shard re-runs from iteration 0 with its re-derived seed,
+which reproduces exactly the prefix it had already executed — so a
+kill/resume cycle finds the same crash set as an uninterrupted run
+without having to serialize RNG or corpus state mid-stream.  Partials
+exist for *reporting* (the SIGINT partial merge), not for skipping work.
+
+Fault injection (tests, the CI resilience job) goes through
+:class:`FaultPlan` or the ``REPRO_INJECT_FAULT`` environment variable
+(``kind:shard:iteration[:persistent]``, comma-separated; kinds
+``hang`` | ``die`` | ``error``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import pickle
+import queue as _queue
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign_api import (
+    CampaignResult,
+    CampaignSpec,
+    QuarantinedInput,
+    RetryEvent,
+    ShardFailure,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.errors import ConfigError
+from repro.fuzzer.parallel import ShardResult, merge_shards, run_shard
+from repro.trace import (
+    NULL_SINK,
+    CheckpointWritten,
+    InputQuarantined,
+    ShardHeartbeat,
+    ShardRetried,
+    ShardStarted,
+    TraceSink,
+)
+
+#: Worker deaths attributed to one iteration before it is quarantined.
+POISON_THRESHOLD = 2
+
+#: Version of the on-disk checkpoint schema.
+CHECKPOINT_VERSION = 1
+CHECKPOINT_KIND = "ozz-campaign-checkpoint"
+MANIFEST_NAME = "campaign.json"
+
+#: Environment variable for CLI-level fault injection (CI resilience job).
+FAULT_ENV = "REPRO_INJECT_FAULT"
+
+_POLL_INTERVAL = 0.05   # supervisor queue poll period (seconds)
+_DRAIN_GRACE = 1.0      # wait for a dead worker's final messages
+_HANG_SLEEP = 3600.0    # an injected hang sleeps until the supervisor kills it
+_FAULT_EXIT = 17        # exit code of an injected worker death
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An injected worker fault, for tests and the CI resilience job.
+
+    The fault fires when ``shard`` reaches shard-local iteration
+    ``iteration``: ``hang`` stops heartbeating (the supervisor must kill
+    it), ``die`` exits the process abruptly, ``error`` raises inside the
+    worker (the old ``Pool.map``-poisoning case).  Non-persistent faults
+    arm only on the first attempt, so the deterministic retry runs
+    clean; ``persistent`` faults re-arm on every attempt and model a
+    poisoned input that kills whoever runs it.
+    """
+
+    shard: int
+    iteration: int
+    kind: str  # "hang" | "die" | "error"
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("hang", "die", "error"):
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+
+
+def faults_from_env(value: Optional[str] = None) -> Tuple[FaultPlan, ...]:
+    """Parse ``REPRO_INJECT_FAULT`` (``kind:shard:iter[:persistent],...``)."""
+    if value is None:
+        value = os.environ.get(FAULT_ENV, "")
+    plans = []
+    for item in filter(None, (s.strip() for s in value.split(","))):
+        parts = item.split(":")
+        if len(parts) not in (3, 4):
+            raise ConfigError(f"bad {FAULT_ENV} entry {item!r}")
+        plans.append(
+            FaultPlan(
+                kind=parts[0],
+                shard=int(parts[1]),
+                iteration=int(parts[2]),
+                persistent=len(parts) == 4 and parts[3] == "persistent",
+            )
+        )
+    return tuple(plans)
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _trigger_fault(fault: FaultPlan, msgq) -> None:
+    if fault.kind == "hang":
+        time.sleep(_HANG_SLEEP)
+    elif fault.kind == "die":
+        # Flush the queue's feeder thread so the heartbeat that names
+        # this iteration reaches the supervisor, then die abruptly.
+        msgq.close()
+        msgq.join_thread()
+        os._exit(_FAULT_EXIT)
+    elif fault.kind == "error":
+        raise RuntimeError(f"injected worker error at iteration {fault.iteration}")
+
+
+def _worker_main(
+    spec: CampaignSpec,
+    shard: int,
+    attempt: int,
+    msgq,
+    faults: Tuple[FaultPlan, ...],
+    quarantined: Tuple[int, ...],
+) -> None:
+    """Run one shard under supervision (child-process entry point).
+
+    Wraps :func:`run_shard` with a progress callback that heartbeats,
+    honours the quarantine list, triggers injected faults, and ships a
+    partial snapshot every ``spec.checkpoint_every`` iterations.  All
+    payloads are pickled *eagerly* so the queue's feeder thread never
+    races the fuzzing loop's mutations.
+    """
+    try:
+        armed = {f.iteration: f for f in faults}
+        skip = frozenset(quarantined)
+        holder: Dict[str, object] = {}
+        start = time.perf_counter()
+
+        def progress(i, stats):
+            msgq.put(("hb", shard, attempt, i))
+            if i in skip:
+                msgq.put(("skipped", shard, attempt, i))
+                return False
+            fault = armed.pop(i, None)
+            if fault is not None:
+                _trigger_fault(fault, msgq)
+            fuzzer = holder.get("fuzzer")
+            if fuzzer is not None and i > 0 and i % spec.checkpoint_every == 0:
+                partial = ShardResult(
+                    shard=shard,
+                    seed=spec.shard_seed(shard),
+                    iterations=i,
+                    stats=fuzzer.stats,
+                    crashdb=fuzzer.crashdb,
+                    coverage=fuzzer.corpus.coverage.addrs,
+                    seconds=time.perf_counter() - start,
+                )
+                msgq.put(("partial", shard, attempt, pickle.dumps(partial)))
+            return None
+
+        result = run_shard(
+            spec,
+            shard,
+            progress=progress,
+            on_fuzzer=lambda fz: holder.__setitem__("fuzzer", fz),
+        )
+        msgq.put(("done", shard, attempt, pickle.dumps(result)))
+    except Exception as exc:  # ship the reason; the supervisor retries
+        msgq.put(("error", shard, attempt, f"{type(exc).__name__}: {exc}"))
+
+
+# -- supervisor side ---------------------------------------------------------
+
+
+class _ShardState:
+    """Everything the supervisor tracks about one shard."""
+
+    def __init__(self, shard: int, seed: int) -> None:
+        self.shard = shard
+        self.seed = seed
+        self.result: Optional[ShardResult] = None
+        self.partial: Optional[ShardResult] = None
+        self.proc = None
+        self.attempt = 0
+        self.last_hb = 0.0
+        self.last_iteration = -1
+        self.deaths: Dict[int, int] = {}
+        self.quarantined: set = set()
+        self.restart_at: Optional[float] = None
+        self.failure: Optional[ShardFailure] = None
+        self.error_reason: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.result is not None or self.failure is not None
+
+
+@dataclass
+class SupervisorReport:
+    """Raw supervisor output, before the campaign-level merge."""
+
+    shards: List[ShardResult]
+    retries: Tuple[RetryEvent, ...]
+    quarantined: Tuple[QuarantinedInput, ...]
+    failed_shards: Tuple[ShardFailure, ...]
+    interrupted: bool
+    seconds: float
+
+
+@dataclass
+class CheckpointState:
+    """A loaded checkpoint directory (see :func:`load_checkpoint`)."""
+
+    spec: CampaignSpec
+    completed: Dict[int, ShardResult]
+    quarantined: Tuple[QuarantinedInput, ...] = ()
+    retries: Tuple[RetryEvent, ...] = ()
+    interrupted: bool = False
+
+
+def _atomic_write(path: str, text: str) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+def _shard_file(dirpath: str, shard: int, partial: bool = False) -> str:
+    prefix = "partial" if partial else "shard"
+    return os.path.join(dirpath, f"{prefix}-{shard:03d}.json")
+
+
+def write_checkpoint(
+    dirpath: str,
+    spec: CampaignSpec,
+    states: Dict[int, "_ShardState"],
+    retries: Sequence[RetryEvent],
+    quarantined: Sequence[QuarantinedInput],
+    interrupted: bool,
+    sink: TraceSink = NULL_SINK,
+) -> None:
+    """Persist merged campaign state; every write is atomic (tmp+rename)."""
+    os.makedirs(dirpath, exist_ok=True)
+    completed, partials = [], []
+    for shard in sorted(states):
+        st = states[shard]
+        if st.result is not None:
+            _atomic_write(
+                _shard_file(dirpath, shard),
+                json.dumps(st.result.to_json_dict(), indent=2),
+            )
+            completed.append(shard)
+            # A completed shard supersedes its mid-run snapshots.
+            try:
+                os.remove(_shard_file(dirpath, shard, partial=True))
+            except OSError:
+                pass
+        elif st.partial is not None:
+            _atomic_write(
+                _shard_file(dirpath, shard, partial=True),
+                json.dumps(st.partial.to_json_dict(), indent=2),
+            )
+            partials.append(shard)
+    manifest = {
+        "version": CHECKPOINT_VERSION,
+        "kind": CHECKPOINT_KIND,
+        "spec": spec_to_dict(spec),
+        "completed": completed,
+        "partials": partials,
+        "quarantined": [
+            {"shard": q.shard, "iteration": q.iteration, "deaths": q.deaths}
+            for q in quarantined
+        ],
+        "retries": [
+            {
+                "shard": r.shard,
+                "attempt": r.attempt,
+                "reason": r.reason,
+                "iteration": r.iteration,
+            }
+            for r in retries
+        ],
+        "failed": [
+            {
+                "shard": st.failure.shard,
+                "attempts": st.failure.attempts,
+                "reason": st.failure.reason,
+            }
+            for st in states.values()
+            if st.failure is not None
+        ],
+        "interrupted": interrupted,
+    }
+    _atomic_write(os.path.join(dirpath, MANIFEST_NAME), json.dumps(manifest, indent=2))
+    if sink.active:
+        sink.emit(
+            CheckpointWritten(
+                completed_shards=len(completed), partial_shards=len(partials)
+            )
+        )
+
+
+def load_checkpoint(dirpath: str) -> CheckpointState:
+    """Load a checkpoint directory written by a supervised campaign.
+
+    The returned spec has ``checkpoint_dir`` pointed back at ``dirpath``
+    so the resumed campaign keeps checkpointing in place (directories
+    move; the stored path is advisory).
+    """
+    manifest_path = os.path.join(dirpath, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise ConfigError(f"no campaign checkpoint at {dirpath!r} "
+                          f"(missing {MANIFEST_NAME})")
+    if manifest.get("kind") != CHECKPOINT_KIND:
+        raise ConfigError(f"{manifest_path} is not a campaign checkpoint")
+    if manifest.get("version") != CHECKPOINT_VERSION:
+        raise ConfigError(
+            f"unsupported checkpoint version {manifest.get('version')!r}"
+        )
+    spec_payload = dict(manifest["spec"])
+    spec_payload["checkpoint_dir"] = dirpath
+    spec = spec_from_dict(spec_payload)
+    completed: Dict[int, ShardResult] = {}
+    for shard in manifest.get("completed", ()):
+        with open(_shard_file(dirpath, shard)) as fh:
+            completed[shard] = ShardResult.from_json_dict(json.load(fh))
+    return CheckpointState(
+        spec=spec,
+        completed=completed,
+        quarantined=tuple(
+            QuarantinedInput(**q) for q in manifest.get("quarantined", ())
+        ),
+        retries=tuple(RetryEvent(**r) for r in manifest.get("retries", ())),
+        interrupted=manifest.get("interrupted", False),
+    )
+
+
+def run_supervised_shards(
+    spec: CampaignSpec,
+    *,
+    faults: Sequence[FaultPlan] = (),
+    sink: TraceSink = NULL_SINK,
+    resume_state: Optional[CheckpointState] = None,
+    retry_backoff: float = 0.25,
+    backoff_cap: float = 5.0,
+    poison_threshold: int = POISON_THRESHOLD,
+    stop_when: Optional[Callable[[Dict[int, "_ShardState"]], bool]] = None,
+) -> SupervisorReport:
+    """Run every shard under supervision; the raw-report entry point.
+
+    ``faults`` injects worker misbehaviour (tests / CI); entries from
+    the ``REPRO_INJECT_FAULT`` environment variable are appended.
+    ``stop_when`` is a per-loop predicate over the internal shard states
+    that requests a clean early stop — the programmatic twin of the
+    ``SIGINT`` handler, used to test the partial-merge path
+    deterministically.
+    """
+    faults = tuple(faults) + faults_from_env()
+    start = time.perf_counter()
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    msgq = ctx.Queue()
+
+    states: Dict[int, _ShardState] = {
+        k: _ShardState(k, spec.shard_seed(k)) for k in range(spec.jobs)
+    }
+    retries: List[RetryEvent] = []
+    quarantined_log: List[QuarantinedInput] = []
+    if resume_state is not None:
+        for shard, result in resume_state.completed.items():
+            if shard in states:
+                states[shard].result = result
+        for q in resume_state.quarantined:
+            if q.shard in states:
+                states[q.shard].quarantined.add(q.iteration)
+            quarantined_log.append(q)
+        retries.extend(resume_state.retries)
+
+    interrupted = [False]
+
+    def _on_sigint(signum, frame):
+        interrupted[0] = True
+
+    def _launch(st: _ShardState) -> None:
+        shard_faults = tuple(
+            f
+            for f in faults
+            if f.shard == st.shard and (st.attempt == 0 or f.persistent)
+        )
+        st.proc = ctx.Process(
+            target=_worker_main,
+            args=(
+                spec,
+                st.shard,
+                st.attempt,
+                msgq,
+                shard_faults,
+                tuple(sorted(st.quarantined)),
+            ),
+            daemon=True,
+        )
+        st.proc.start()
+        st.last_hb = time.monotonic()
+        st.last_iteration = -1
+        st.restart_at = None
+        st.error_reason = None
+        if sink.active:
+            sink.emit(ShardStarted(shard=st.shard, seed=st.seed, attempt=st.attempt))
+
+    def _checkpoint() -> None:
+        if spec.checkpoint_dir is not None:
+            write_checkpoint(
+                spec.checkpoint_dir,
+                spec,
+                states,
+                retries,
+                quarantined_log,
+                interrupted[0],
+                sink,
+            )
+
+    def _handle(msg) -> None:
+        kind, shard, attempt, payload = msg
+        st = states.get(shard)
+        if st is None or attempt != st.attempt or st.finished:
+            return  # stale message from a superseded attempt
+        st.last_hb = time.monotonic()
+        if kind == "hb":
+            st.last_iteration = payload
+            if sink.active:
+                sink.emit(ShardHeartbeat(shard=shard, iteration=payload))
+        elif kind == "partial":
+            st.partial = pickle.loads(payload)
+            _checkpoint()
+        elif kind == "done":
+            st.result = pickle.loads(payload)
+            st.partial = None
+            _checkpoint()
+        elif kind == "error":
+            st.error_reason = payload
+
+    def _drain_available() -> None:
+        while True:
+            try:
+                msg = msgq.get_nowait()
+            except _queue.Empty:
+                return
+            _handle(msg)
+
+    def _poll(timeout: float) -> None:
+        """Block up to ``timeout`` for one message, then sweep the rest."""
+        try:
+            msg = msgq.get(timeout=timeout)
+        except _queue.Empty:
+            return
+        _handle(msg)
+        _drain_available()
+
+    def _await_verdict(st: _ShardState, timeout: float) -> None:
+        """A worker exited: wait briefly for its final in-flight messages.
+
+        The queue's feeder thread flushes at process exit, so a "done"
+        or "error" may land just after ``is_alive()`` flips — give it a
+        grace period before declaring an unexplained death.
+        """
+        deadline = time.monotonic() + timeout
+        while not st.finished and st.error_reason is None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            try:
+                msg = msgq.get(timeout=remaining)
+            except _queue.Empty:
+                return
+            _handle(msg)
+
+    def _fail_attempt(st: _ShardState, reason: str) -> None:
+        retries.append(
+            RetryEvent(
+                shard=st.shard,
+                attempt=st.attempt,
+                reason=reason,
+                iteration=st.last_iteration,
+            )
+        )
+        if sink.active:
+            sink.emit(ShardRetried(shard=st.shard, attempt=st.attempt, reason=reason))
+        if st.last_iteration >= 0:
+            n = st.deaths[st.last_iteration] = (
+                st.deaths.get(st.last_iteration, 0) + 1
+            )
+            if n >= poison_threshold and st.last_iteration not in st.quarantined:
+                st.quarantined.add(st.last_iteration)
+                q = QuarantinedInput(
+                    shard=st.shard, iteration=st.last_iteration, deaths=n
+                )
+                quarantined_log.append(q)
+                if sink.active:
+                    sink.emit(
+                        InputQuarantined(
+                            shard=st.shard, iteration=st.last_iteration, deaths=n
+                        )
+                    )
+        st.proc = None
+        st.partial = None
+        st.attempt += 1
+        if st.attempt > spec.max_retries:
+            st.failure = ShardFailure(
+                shard=st.shard, attempts=st.attempt, reason=reason
+            )
+            _checkpoint()
+        else:
+            delay = min(backoff_cap, retry_backoff * (2 ** (st.attempt - 1)))
+            st.restart_at = time.monotonic() + delay
+
+    def _kill(proc) -> None:
+        proc.terminate()
+        proc.join(timeout=1.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=1.0)
+
+    in_main_thread = threading.current_thread() is threading.main_thread()
+    previous_handler = None
+    if in_main_thread:
+        previous_handler = signal.signal(signal.SIGINT, _on_sigint)
+    try:
+        for st in states.values():
+            if not st.finished:
+                _launch(st)
+
+        while not interrupted[0]:
+            unfinished = [st for st in states.values() if not st.finished]
+            if not unfinished:
+                break
+            _poll(_POLL_INTERVAL)
+            now = time.monotonic()
+            for st in unfinished:
+                if st.finished:
+                    continue
+                if st.proc is None:  # waiting out the retry backoff
+                    if st.restart_at is not None and now >= st.restart_at:
+                        _launch(st)
+                    continue
+                if not st.proc.is_alive():
+                    st.proc.join()
+                    # A final "done" may still be in the pipe; give the
+                    # feeder's flush a grace period before declaring death.
+                    _await_verdict(st, _DRAIN_GRACE)
+                    if st.finished:
+                        continue
+                    reason = st.error_reason or f"died (exit {st.proc.exitcode})"
+                    _fail_attempt(st, reason)
+                elif (
+                    spec.shard_timeout is not None
+                    and now - st.last_hb > spec.shard_timeout
+                ):
+                    _kill(st.proc)
+                    _drain_available()  # heartbeats sent before it wedged
+                    if not st.finished:
+                        _fail_attempt(st, "hung")
+            if stop_when is not None and stop_when(states):
+                interrupted[0] = True
+    finally:
+        if in_main_thread and previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+        for st in states.values():
+            if st.proc is not None and st.proc.is_alive():
+                _kill(st.proc)
+
+    if interrupted[0]:
+        _drain_available()  # late partials from the workers just killed
+
+    seconds = time.perf_counter() - start
+    _checkpoint()
+
+    if interrupted[0]:
+        # Clean partial merge: completed results plus the freshest
+        # mid-run snapshot of every shard that was cut short.
+        shards = [
+            st.result or st.partial
+            for st in states.values()
+            if st.result is not None or st.partial is not None
+        ]
+    else:
+        shards = [st.result for st in states.values() if st.result is not None]
+    shards.sort(key=lambda s: s.shard)
+    return SupervisorReport(
+        shards=shards,
+        retries=tuple(retries),
+        quarantined=tuple(quarantined_log),
+        failed_shards=tuple(
+            st.failure for st in states.values() if st.failure is not None
+        ),
+        interrupted=interrupted[0],
+        seconds=seconds,
+    )
+
+
+def run_supervised(
+    spec: CampaignSpec,
+    *,
+    faults: Sequence[FaultPlan] = (),
+    sink: TraceSink = NULL_SINK,
+    resume_state: Optional[CheckpointState] = None,
+    retry_backoff: float = 0.25,
+    backoff_cap: float = 5.0,
+    poison_threshold: int = POISON_THRESHOLD,
+    stop_when: Optional[Callable[[Dict[int, "_ShardState"]], bool]] = None,
+) -> CampaignResult:
+    """Supervised campaign execution, merged to a :class:`CampaignResult`."""
+    report = run_supervised_shards(
+        spec,
+        faults=faults,
+        sink=sink,
+        resume_state=resume_state,
+        retry_backoff=retry_backoff,
+        backoff_cap=backoff_cap,
+        poison_threshold=poison_threshold,
+        stop_when=stop_when,
+    )
+    return merge_shards(
+        spec,
+        report.shards,
+        report.seconds,
+        retries=report.retries,
+        quarantined=report.quarantined,
+        failed_shards=report.failed_shards,
+        interrupted=report.interrupted,
+    )

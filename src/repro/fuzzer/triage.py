@@ -74,6 +74,66 @@ class CrashDB:
                 out.records[title] = merged
         return out
 
+    # -- checkpoint serialization ------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """JSON-safe payload for campaign checkpoints.
+
+        Reproducers and schedule artifacts reuse their own v1 JSON
+        payloads, so a crash database survives a supervisor restart with
+        its replay material intact.
+        """
+        import json
+
+        records = []
+        for title in self.unique_titles:
+            rec = self.records[title]
+            records.append(
+                {
+                    "title": rec.title,
+                    "count": rec.count,
+                    "first_test_index": rec.first_test_index,
+                    "bug_id": rec.bug_id,
+                    "first_report": rec.first_report.to_dict(),
+                    "reproducer": (
+                        json.loads(rec.reproducer.to_json())
+                        if rec.reproducer is not None
+                        else None
+                    ),
+                    "artifact": (
+                        json.loads(rec.artifact.to_json())
+                        if rec.artifact is not None
+                        else None
+                    ),
+                }
+            )
+        return {"records": records}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "CrashDB":
+        import json
+
+        db = cls()
+        for r in payload.get("records", ()):
+            rec = CrashRecord(
+                title=r["title"],
+                first_report=CrashReport.from_dict(r["first_report"]),
+                count=r["count"],
+                first_test_index=r["first_test_index"],
+                bug_id=r.get("bug_id"),
+            )
+            if r.get("reproducer") is not None:
+                # Lazy import: the reproducer pulls in the kernel layers.
+                from repro.fuzzer.reproducer import Reproducer
+
+                rec.reproducer = Reproducer.from_json(json.dumps(r["reproducer"]))
+            if r.get("artifact") is not None:
+                from repro.trace.replayer import CrashArtifact
+
+                rec.artifact = CrashArtifact.from_json(json.dumps(r["artifact"]))
+            db.records[rec.title] = rec
+        return db
+
     @property
     def unique_titles(self) -> List[str]:
         return sorted(self.records)

@@ -31,6 +31,42 @@ class CrashReport:
     event_index: Optional[int] = None  # bus index at which the oracle fired
     schedule: Optional[dict] = None    # recorded schedule artifact (schema v1)
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload; :meth:`from_dict` round-trips it exactly.
+
+        Used by the campaign checkpoint (``repro fuzz --checkpoint-dir``)
+        to persist crash databases across supervisor restarts.
+        """
+        return {
+            "title": self.title,
+            "oracle": self.oracle,
+            "function": self.function,
+            "inst_addr": self.inst_addr,
+            "detail": self.detail,
+            "reordered_insns": list(self.reordered_insns),
+            "hypothetical_barrier": self.hypothetical_barrier,
+            "barrier_test": self.barrier_test,
+            "source_context": self.source_context,
+            "event_index": self.event_index,
+            "schedule": self.schedule,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CrashReport":
+        return cls(
+            title=payload["title"],
+            oracle=payload["oracle"],
+            function=payload["function"],
+            inst_addr=payload.get("inst_addr", 0),
+            detail=payload.get("detail", ""),
+            reordered_insns=tuple(payload.get("reordered_insns", ())),
+            hypothetical_barrier=payload.get("hypothetical_barrier"),
+            barrier_test=payload.get("barrier_test", ""),
+            source_context=payload.get("source_context", ""),
+            event_index=payload.get("event_index"),
+            schedule=payload.get("schedule"),
+        )
+
     def render(self) -> str:
         """Multi-line human-readable report."""
         lines = [self.title]

@@ -26,10 +26,15 @@ from repro.trace.events import (
     SCHEMA_VERSION,
     BreakpointHit,
     BufferFlush,
+    CheckpointWritten,
     ExecEvent,
+    InputQuarantined,
     InterruptInjected,
     OracleFired,
     PhaseBegin,
+    ShardHeartbeat,
+    ShardRetried,
+    ShardStarted,
     Step,
     StoreDelayed,
     SyscallEnter,
@@ -47,13 +52,18 @@ from repro.trace.sink import NULL_SINK, NullSink, TeeSink, TraceSink
 __all__ = [
     "BreakpointHit",
     "BufferFlush",
+    "CheckpointWritten",
     "ExecEvent",
+    "InputQuarantined",
     "InterruptInjected",
     "NULL_SINK",
     "NullSink",
     "OracleFired",
     "PhaseBegin",
     "SCHEMA_VERSION",
+    "ShardHeartbeat",
+    "ShardRetried",
+    "ShardStarted",
     "Step",
     "StoreDelayed",
     "SyscallEnter",

@@ -187,6 +187,67 @@ class SyscallExit(ExecEvent):
     name: str
 
 
+# -- campaign supervisor layer -----------------------------------------------
+#
+# Emitted by repro.fuzzer.supervisor, not by machines: the supervisor
+# watches worker *processes*, so its events describe shard lifecycle
+# (start/heartbeat/retry/quarantine/checkpoint) rather than instruction
+# effects.  They share the bus so one sink can observe a whole campaign.
+
+
+@_register
+@dataclass(frozen=True)
+class ShardStarted(ExecEvent):
+    """A shard worker process was (re)launched by the supervisor."""
+
+    kind: ClassVar[str] = "shard-start"
+    shard: int
+    seed: int
+    attempt: int  # 0 = first launch, >0 = retry after hang/death
+
+
+@_register
+@dataclass(frozen=True)
+class ShardHeartbeat(ExecEvent):
+    """A shard worker reported liveness before starting an iteration."""
+
+    kind: ClassVar[str] = "shard-heartbeat"
+    shard: int
+    iteration: int
+
+
+@_register
+@dataclass(frozen=True)
+class ShardRetried(ExecEvent):
+    """A hung or dead shard worker was killed and rescheduled."""
+
+    kind: ClassVar[str] = "shard-retry"
+    shard: int
+    attempt: int  # the attempt that failed
+    reason: str   # "hung" | "died" | worker exception repr
+
+
+@_register
+@dataclass(frozen=True)
+class InputQuarantined(ExecEvent):
+    """An input that repeatedly killed its worker was quarantined."""
+
+    kind: ClassVar[str] = "shard-quarantine"
+    shard: int
+    iteration: int
+    deaths: int
+
+
+@_register
+@dataclass(frozen=True)
+class CheckpointWritten(ExecEvent):
+    """The supervisor persisted merged campaign state to disk."""
+
+    kind: ClassVar[str] = "checkpoint"
+    completed_shards: int
+    partial_shards: int
+
+
 # -- oracles / diagnostics ---------------------------------------------------
 
 

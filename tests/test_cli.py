@@ -22,6 +22,10 @@ class TestParser:
             ["throughput", "--iterations", "2"],
             ["lint", "--subsystem", "vlan"],
             ["fuzz", "--iterations", "2", "--static-hints"],
+            ["fuzz", "--shard-timeout", "5", "--checkpoint-dir", "d",
+             "--checkpoint-every", "3", "--max-retries", "1"],
+            ["fuzz", "--resume", "ckpt"],
+            ["docs", "--check"],
         ],
         ids=lambda a: a[0],
     )
@@ -130,3 +134,74 @@ class TestReplay:
 
     def test_replay_missing_file_is_io_error(self, tmp_path):
         assert main(["replay", str(tmp_path / "missing.json")]) == 2
+
+
+class TestSupervisedFuzz:
+    def test_fuzz_supervised_flags(self, capsys):
+        assert main(["fuzz", "--iterations", "4", "--jobs", "2",
+                     "--shard-timeout", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "tests in" in out and "shard 1" in out
+
+    def test_fuzz_checkpoint_then_resume(self, tmp_path, capsys):
+        d = str(tmp_path / "ckpt")
+        assert main(["fuzz", "--iterations", "4", "--jobs", "2",
+                     "--checkpoint-dir", d]) == 0
+        first = capsys.readouterr().out
+        assert main(["fuzz", "--resume", d]) == 0
+        resumed = capsys.readouterr().out
+        # Both runs report the same crash summary (resume loads all
+        # completed shards from disk instead of re-fuzzing).
+        assert first.splitlines()[0] == resumed.splitlines()[0]
+
+    def test_fuzz_resume_missing_checkpoint_is_error(self, tmp_path, capsys):
+        assert main(["fuzz", "--resume", str(tmp_path / "nope")]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_fuzz_injected_death_recovers(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_INJECT_FAULT", "die:1:1")
+        assert main(["fuzz", "--iterations", "4", "--jobs", "2",
+                     "--shard-timeout", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "retry: shard 1" in out
+
+    def test_fuzz_abandoned_shard_exits_1(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_INJECT_FAULT", "error:1:0:persistent")
+        assert main(["fuzz", "--iterations", "4", "--jobs", "2",
+                     "--max-retries", "0", "--shard-timeout", "10"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED: shard 1" in captured.err
+        assert "tests in" in captured.out  # survivors still merged
+
+
+class TestDocs:
+    def test_docs_writes_and_checks(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.md")
+        assert main(["docs", "--out", path]) == 0
+        assert main(["docs", "--out", path, "--check"]) == 0
+        text = open(path).read()
+        assert "repro fuzz" in text and "--resume" in text
+
+    def test_docs_check_detects_staleness(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.md")
+        assert main(["docs", "--out", path]) == 0
+        with open(path, "a") as fh:
+            fh.write("drift\n")
+        capsys.readouterr()
+        assert main(["docs", "--out", path, "--check"]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_docs_check_missing_file(self, tmp_path, capsys):
+        assert main(["docs", "--out", str(tmp_path / "no.md"),
+                     "--check"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_committed_cli_md_is_current(self):
+        # The repo's docs/cli.md must match the live argparse tree; CI
+        # enforces this, but catch it locally first.
+        import os
+
+        from repro.docsgen import check_cli_markdown
+
+        path = os.path.join(os.path.dirname(__file__), "..", "docs", "cli.md")
+        assert check_cli_markdown(build_parser(), path) is None

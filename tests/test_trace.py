@@ -12,10 +12,15 @@ from repro.trace import (
     NULL_SINK,
     BreakpointHit,
     BufferFlush,
+    CheckpointWritten,
+    InputQuarantined,
     InterruptInjected,
     NullSink,
     OracleFired,
     PhaseBegin,
+    ShardHeartbeat,
+    ShardRetried,
+    ShardStarted,
     Step,
     StoreDelayed,
     SyscallEnter,
@@ -50,6 +55,11 @@ SAMPLE_EVENTS = {
     "syscall-exit": SyscallExit(1, "pipe_read"),
     "oracle-report": OracleFired("KASAN: slab-out-of-bounds Read in f", "kasan", 96),
     "note": TraceNote("source-context unavailable"),
+    "shard-start": ShardStarted(1, 10001, 0),
+    "shard-heartbeat": ShardHeartbeat(1, 4),
+    "shard-retry": ShardRetried(1, 0, "hung"),
+    "shard-quarantine": InputQuarantined(1, 4, 2),
+    "checkpoint": CheckpointWritten(1, 1),
 }
 
 
