@@ -1,103 +1,221 @@
-"""Parallel campaign scaling — tests/s at jobs ∈ {1, 2, 4}.
+"""Parallel campaign scaling — the worker-pool PR's wall-clock gate.
 
-Companion to ``bench_throughput.py``: the same OZZ campaign budget run
-through the unified :func:`repro.campaign_api.run_campaign` entry point
-serially and sharded across worker processes.  On a multi-core machine
-the sharded runs should approach linear scaling (the shards share no
-state); on a single core they mostly measure fork/merge overhead.
+The same OZZ campaign budget runs through the unified
+:func:`repro.campaign_api.run_campaign` entry point serially and under
+the persistent worker pool at jobs ∈ {2, 4}.  An explicit
+``batch_size`` pins all three runs to the *same* batch plan, so beyond
+speed the benchmark asserts the pool's core guarantee: the merged
+result is **equal** to the serial run (stats, crashes, found bug ids,
+per-shard breakdown — everything the campaign's equality contract
+covers) no matter how batches land on workers.
 
-Besides the printed table, the run emits a JSON artifact
-(``benchmarks/artifacts/parallel_scaling.json``) with the per-job-count
-numbers, so scaling can be tracked across machines alongside the
-``bench_throughput.py`` figures.
+Thresholds are CPU-aware.  The PR acceptance targets — jobs=2 >= 1.5x
+and jobs=4 >= 2.5x serial throughput — only make physical sense when
+the machine has at least that many cores; on smaller boxes the gate
+degrades to a "pool overhead stays bounded" floor (>= 0.4x serial on
+one core, where workers merely time-slice and wall-clock noise on a
+shared box is large — the floor is a catastrophic-regression backstop,
+e.g. a busy-waiting supervisor, not a scaling measurement).  The
+artifact
+(``benchmarks/artifacts/parallel_scaling.json``) records ``ncpus``,
+the thresholds that were actually applied, and per-job pass flags so
+cross-machine numbers stay interpretable.
+
+Run standalone (``python benchmarks/bench_parallel_scaling.py
+[--quick]``) or under pytest, where the collected test enforces the
+quick gate: result equality always, plus jobs=2 >= 1.0x serial when
+the machine has 2+ CPUs.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
-
-import pytest
+import time
+from dataclasses import replace
 
 from repro.bench.tables import render_table
 from repro.campaign_api import CampaignSpec, run_campaign
-
-JOBS = (1, 2, 4)
-ITERATIONS = 24
-SEED = 3
 
 ARTIFACT_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "artifacts", "parallel_scaling.json"
 )
 
+JOBS = (1, 2, 4)
+ITERATIONS = 576
+BATCH_SIZE = 48
+SEED = 3
+ROUNDS = 3
+QUICK_ROUNDS = 2
 
-@pytest.fixture(scope="module")
-def scaling_results():
-    return {
-        jobs: run_campaign(CampaignSpec(iterations=ITERATIONS, seed=SEED, jobs=jobs))
-        for jobs in JOBS
-    }
+#: PR acceptance targets, applied per job count when ncpus >= jobs.
+TARGETS = {2: 1.5, 4: 2.5}
+#: Oversubscribed floor: on a box with fewer cores than workers the pool
+#: only time-slices, so the gate is "overhead stays bounded" — a
+#: backstop against catastrophic regressions (busy-wait polling,
+#: duplicated work), deliberately loose because wall-clock noise on a
+#: shared single-core box routinely swings 2x.
+OVERSUBSCRIBED_FLOOR = 0.4
+#: Quick-mode (CI) target for jobs=2 on a 2+ core machine.
+QUICK_TARGET = 1.0
 
 
-def test_parallel_scaling(benchmark, scaling_results):
-    """Benchmark a small sharded campaign; print + persist the scaling table."""
-    benchmark.pedantic(
-        lambda: run_campaign(CampaignSpec(iterations=8, seed=9, jobs=2)),
-        rounds=3,
-        iterations=1,
+def _spec(iterations: int, batch_size: int, jobs: int) -> CampaignSpec:
+    return CampaignSpec(
+        iterations=iterations, seed=SEED, jobs=jobs, batch_size=batch_size
     )
 
-    serial = scaling_results[1]
-    rows = []
+
+def _run(spec: CampaignSpec) -> tuple:
+    t0 = time.perf_counter()
+    result = run_campaign(spec)
+    return time.perf_counter() - t0, result
+
+
+def _threshold(jobs: int, ncpus: int, quick: bool) -> tuple:
+    """(threshold, regime) actually applied for this job count."""
+    if ncpus >= jobs:
+        return (QUICK_TARGET if quick else TARGETS[jobs], "parallel")
+    return (OVERSUBSCRIBED_FLOOR, "oversubscribed")
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    # Quick mode keeps the full budget (a smaller one would be dominated
+    # by pool startup and mostly measure process spawn time) and only
+    # drops a round and relaxes the speedup gate.  Timing is interleaved
+    # min-of-N: every round runs all job counts back to back and each
+    # side keeps its best, which cancels machine noise — the minimum is
+    # the right statistic for a deterministic workload where every
+    # slowdown is external.
+    iterations = ITERATIONS
+    batch_size = BATCH_SIZE
+    rounds = QUICK_ROUNDS if quick else ROUNDS
+    ncpus = os.cpu_count() or 1
+
+    best = {jobs: float("inf") for jobs in JOBS}
+    results = {}
+    for _ in range(rounds):
+        for jobs in JOBS:
+            seconds, result = _run(_spec(iterations, batch_size, jobs=jobs))
+            best[jobs] = min(best[jobs], seconds)
+            results[jobs] = result
+    serial_s, serial = best[1], results[1]
+    runs = {jobs: (best[jobs], results[jobs]) for jobs in JOBS}
+
     artifact = {
-        "iterations": ITERATIONS,
+        "quick": quick,
+        "iterations": iterations,
+        "batch_size": batch_size,
+        "rounds": rounds,
         "seed": SEED,
-        "ncpus": os.cpu_count(),
+        "ncpus": ncpus,
+        "targets": dict(TARGETS),
+        "oversubscribed_floor": OVERSUBSCRIBED_FLOOR,
         "jobs": {},
     }
-    for jobs, result in sorted(scaling_results.items()):
-        speedup = result.tests_per_sec / serial.tests_per_sec
-        rows.append(
-            (
-                jobs,
-                result.stats.tests_run,
-                f"{result.seconds:.2f}",
-                f"{result.tests_per_sec:.1f}",
-                f"{speedup:.2f}x",
-                f"{len(result.found_table3)}/11",
-                f"{len(result.found_table4)}/9",
-            )
-        )
-        artifact["jobs"][str(jobs)] = {
+    for jobs in JOBS:
+        seconds, result = runs[jobs]
+        speedup = serial_s / seconds if seconds > 0 else 0.0
+        # Same plan + same seeds => the pooled result must be *equal* to
+        # the serial one (spec normalized: only the jobs knob differs).
+        identical = replace(result, spec=serial.spec) == serial
+        entry = {
             "tests_run": result.stats.tests_run,
-            "seconds": result.seconds,
-            "tests_per_sec": result.tests_per_sec,
+            "seconds": seconds,
+            "tests_per_sec": result.stats.tests_run / seconds if seconds else 0.0,
             "speedup_vs_serial": speedup,
             "coverage": result.stats.coverage,
             "found_table3": len(result.found_table3),
             "found_table4": len(result.found_table4),
+            "equal_to_serial": identical,
         }
-    print()
-    print(
-        render_table(
-            "Parallel campaign scaling (sharded run_campaign)",
-            ["jobs", "tests", "seconds", "tests/s", "speedup", "T3", "T4"],
-            rows,
-            note=f"{os.cpu_count()} CPU(s); shards derive seed*10_000+k and split the seed corpus [k::N]",
-        )
-    )
+        if jobs > 1:
+            threshold, regime = _threshold(jobs, ncpus, quick)
+            entry["threshold"] = threshold
+            entry["regime"] = regime
+            entry["passed"] = identical and speedup >= threshold
+        artifact["jobs"][str(jobs)] = entry
 
     os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
     with open(ARTIFACT_PATH, "w") as fh:
         json.dump(artifact, fh, indent=2)
+    return artifact
+
+
+def _report(artifact: dict) -> None:
+    rows = []
+    for jobs_s, e in sorted(artifact["jobs"].items(), key=lambda kv: int(kv[0])):
+        gate = "-"
+        if "threshold" in e:
+            gate = f">={e['threshold']:.1f}x ({e['regime']})"
+        rows.append(
+            (
+                jobs_s,
+                e["tests_run"],
+                f"{e['seconds']:.2f}",
+                f"{e['tests_per_sec']:.1f}",
+                f"{e['speedup_vs_serial']:.2f}x",
+                gate,
+                "yes" if e["equal_to_serial"] else "NO",
+            )
+        )
+    print()
+    print(
+        render_table(
+            "Parallel campaign scaling (persistent worker pool)",
+            ["jobs", "tests", "seconds", "tests/s", "speedup", "gate", "=serial"],
+            rows,
+            note=(
+                f"{artifact['ncpus']} CPU(s); one shared batch plan "
+                f"(batch_size={artifact['batch_size']}) across all job counts"
+            ),
+        )
+    )
     print(f"wrote {ARTIFACT_PATH}")
 
-    # Sharded campaigns must not lose bugs vs the serial run at the same
-    # total budget (the seed-corpus slicing guarantees full seed cover).
-    for jobs, result in scaling_results.items():
-        assert set(result.found_table3) >= set(serial.found_table3), (
-            f"jobs={jobs} lost Table 3 bugs"
-        )
-        assert set(result.found_table4) >= set(serial.found_table4), (
-            f"jobs={jobs} lost Table 4 bugs"
-        )
+
+def test_parallel_scaling():
+    """CI gate: pooled results equal serial; jobs=2 not slower on 2+ CPUs."""
+    artifact = run_benchmark(quick=True)
+    _report(artifact)
+    for jobs_s, entry in artifact["jobs"].items():
+        assert entry["equal_to_serial"], f"jobs={jobs_s} diverged from serial result"
+    two = artifact["jobs"]["2"]
+    assert two["speedup_vs_serial"] >= two["threshold"], (
+        f"jobs=2 speedup {two['speedup_vs_serial']:.2f}x below "
+        f"{two['threshold']:.1f}x ({two['regime']} regime, "
+        f"{artifact['ncpus']} CPU(s))"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller budget, jobs=2 floor-only gate (CI)",
+    )
+    args = parser.parse_args()
+    artifact = run_benchmark(quick=args.quick)
+    _report(artifact)
+    ok = True
+    for jobs_s, entry in artifact["jobs"].items():
+        if not entry["equal_to_serial"]:
+            print(f"FAIL: jobs={jobs_s} result diverged from serial")
+            ok = False
+    gated = ["2"] if args.quick else [str(j) for j in JOBS[1:]]
+    for jobs_s in gated:
+        entry = artifact["jobs"][jobs_s]
+        if entry["speedup_vs_serial"] < entry["threshold"]:
+            print(
+                f"FAIL: jobs={jobs_s} speedup "
+                f"{entry['speedup_vs_serial']:.2f}x below "
+                f"{entry['threshold']:.1f}x ({entry['regime']})"
+            )
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,71 +6,166 @@ function (``OzzFuzzer.run``, ``run_table3_campaign``, ``run_table4``,
 This module replaces them with a single declarative pair:
 
 * :class:`CampaignSpec` — what to run: iteration budget, RNG seed,
-  patched bug ids, worker count, optional wall-clock budget.
+  patched bug ids, a :class:`WorkerPolicy` (worker count, batch size,
+  heartbeat deadline, retry budget), optional wall-clock budget.
 * :class:`CampaignResult` — what happened: merged
   :class:`~repro.fuzzer.fuzzer.FuzzStats`, deduplicated crash records
   with first-finder attribution, found bug ids, wall time, and a
-  per-shard breakdown.  JSON round-trips via :meth:`CampaignResult.to_json`
+  per-batch breakdown.  JSON round-trips via :meth:`CampaignResult.to_json`
   / :meth:`CampaignResult.from_json`.
 
-:func:`run_campaign` executes a spec.  ``jobs=1`` runs in-process with
-zero fork overhead; ``jobs>1`` shards the budget across
-``multiprocessing`` workers (see :mod:`repro.fuzzer.parallel`).  Shard
-``k`` of ``N`` derives its RNG seed as ``seed * 10_000 + k`` and fuzzes
-the seed-corpus slice ``[k::N]``, so a sharded campaign covers exactly
-the serial campaign's seed inputs and its merged Table 3/4 counts are
-comparable to (never systematically below) a serial run of the same
-total budget.
+:func:`run_campaign` executes a spec and is the *only* public
+entrypoint — it routes between the two execution modes:
+
+======== ======================================= =========================
+mode     selected by                             machinery
+======== ======================================= =========================
+serial   ``jobs == 1`` and no robustness knobs   in-process loop over the
+                                                 batch plan, one shared
+                                                 kernel image + boot
+                                                 snapshot, zero forks
+pooled   ``jobs > 1`` or ``shard_timeout`` /     persistent worker pool
+         ``checkpoint_dir`` set                  (:mod:`repro.fuzzer.supervisor`):
+                                                 workers boot once and pull
+                                                 batches from a shared queue
+======== ======================================= =========================
+
+Determinism is carried by the **batch plan** (:meth:`CampaignSpec.batches`),
+not by worker scheduling: batch ``b`` of ``N`` derives its RNG seed as
+``seed * 10_000 + b`` and fuzzes the seed-corpus slice ``[b::N]``, so the
+union of batch seed inputs is exactly the serial campaign's corpus and
+the merged result is a pure function of ``(spec, seed)`` regardless of
+which worker executed which batch.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.fuzzer.fuzzer import FuzzStats
 from repro.fuzzer.triage import CrashDB
 
-#: Shard-seed derivation stride: worker k runs with ``seed * SEED_STRIDE + k``.
+#: Batch-seed derivation stride: batch b runs with ``seed * SEED_STRIDE + b``.
 SEED_STRIDE = 10_000
 
-JSON_FORMAT_VERSION = 1
+#: Result JSON schema: v2 nests the worker knobs under ``spec.policy``.
+#: ``from_json`` still reads v1 payloads (flat keys only).
+JSON_FORMAT_VERSION = 2
+
+
+@dataclass(frozen=True)
+class WorkerPolicy:
+    """How a campaign's work is executed — the one home for worker knobs.
+
+    ``jobs``          worker processes (1 = in-process serial mode).
+    ``batch_size``    iterations per work-queue batch.  ``None`` derives
+                      one batch per job (the static-partition layout);
+                      an explicit size makes the plan *independent of
+                      jobs*, so the same spec run at jobs=1/2/4 yields
+                      identical results.
+    ``shard_timeout`` seconds without a worker heartbeat before the
+                      supervisor declares its current batch hung, kills
+                      the worker and retries the batch (None = never).
+    ``max_retries``   restarts a failing batch is allowed before it is
+                      marked permanently failed (surviving batches still
+                      merge).
+
+    CLI flags, checkpoint manifests and the supervisor all consume this
+    object; :class:`CampaignSpec` exposes it as ``spec.policy``.
+    """
+
+    jobs: int = 1
+    batch_size: Optional[int] = None
+    shard_timeout: Optional[float] = None
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigError("need at least one job")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ConfigError("shard_timeout must be > 0")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "batch_size": self.batch_size,
+            "shard_timeout": self.shard_timeout,
+            "max_retries": self.max_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkerPolicy":
+        return cls(
+            jobs=payload.get("jobs", 1),
+            batch_size=payload.get("batch_size"),
+            shard_timeout=payload.get("shard_timeout"),
+            max_retries=payload.get("max_retries", 2),
+        )
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """One work item of a campaign's deterministic batch plan.
+
+    A batch is an independent mini-campaign: its RNG seed and its
+    seed-corpus slice (``[index::nslices]``) are derived from the spec
+    alone, so the result of running it is the same whichever worker
+    pulls it from the queue — the property that lets the pool steal
+    work without perturbing campaign results.
+    """
+
+    index: int
+    seed: int
+    iterations: int
+    nslices: int
 
 
 @dataclass(frozen=True)
 class CampaignSpec:
     """Declarative description of one fuzzing campaign.
 
-    ``iterations``   total pipeline rounds, partitioned across ``jobs``.
-    ``seed``         base RNG seed; shard k derives ``seed*10_000+k``.
+    ``iterations``   total pipeline rounds, partitioned across batches.
+    ``seed``         base RNG seed; batch b derives ``seed*10_000+b``.
     ``patched``      bug ids whose fixing barriers are compiled in.
     ``jobs``         worker processes (1 = in-process, no fork).
-    ``time_budget``  optional wall-clock cap in seconds per shard.
+    ``batch_size``   iterations per work-queue batch (None = one batch
+                     per job; see :class:`WorkerPolicy`).
+    ``time_budget``  optional wall-clock cap in seconds per batch.
     ``use_seeds``    start from the Syzlang seed corpus (§6.1) or not.
     ``static_hints`` seed/prioritize scheduling hints from KIRA's static
                      reordering candidates (zero-execution analysis).
     ``decoded_dispatch`` pre-decoded closure execution engine (default);
                      off = reference isinstance-chain interpreter.
-    ``snapshot_reset`` reuse one booted kernel per shard via the boot
+    ``snapshot_reset`` reuse one booted kernel per worker via the boot
                      snapshot; off = fresh boot per test.
 
     Robustness knobs (the campaign supervisor,
     :mod:`repro.fuzzer.supervisor`):
 
     ``shard_timeout``  seconds without a worker heartbeat before the
-                     supervisor declares the shard hung, kills it and
-                     retries it (None = never).
-    ``max_retries``  restarts a failing shard is allowed before it is
+                     supervisor declares its batch hung, kills the
+                     worker and retries the batch (None = never).
+    ``max_retries``  restarts a failing batch is allowed before it is
                      marked permanently failed (its surviving siblings
                      still merge).
     ``checkpoint_dir`` directory for periodic JSON checkpoints of merged
                      campaign state; ``repro fuzz --resume DIR``
                      continues from it (None = no checkpointing).
-    ``checkpoint_every`` iterations between a shard's mid-run partial
+    ``checkpoint_every`` iterations between a batch's mid-run partial
                      checkpoints (used for SIGINT partial merges).
+
+    ``worker_policy`` (init-only) sets ``jobs`` / ``batch_size`` /
+    ``shard_timeout`` / ``max_retries`` in one go from a
+    :class:`WorkerPolicy`; the folded values are readable back via the
+    ``policy`` property.
     """
 
     iterations: int = 40
@@ -86,29 +181,48 @@ class CampaignSpec:
     max_retries: int = 2
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 10
+    batch_size: Optional[int] = None
+    worker_policy: InitVar[Optional[WorkerPolicy]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, worker_policy: Optional[WorkerPolicy]) -> None:
+        if worker_policy is not None:
+            object.__setattr__(self, "jobs", worker_policy.jobs)
+            object.__setattr__(self, "batch_size", worker_policy.batch_size)
+            object.__setattr__(self, "shard_timeout", worker_policy.shard_timeout)
+            object.__setattr__(self, "max_retries", worker_policy.max_retries)
         if self.iterations < 0:
             raise ConfigError("iterations must be >= 0")
-        if self.jobs < 1:
-            raise ConfigError("need at least one job")
         if self.time_budget is not None and self.time_budget < 0:
             raise ConfigError("time_budget must be >= 0")
-        if self.shard_timeout is not None and self.shard_timeout <= 0:
-            raise ConfigError("shard_timeout must be > 0")
-        if self.max_retries < 0:
-            raise ConfigError("max_retries must be >= 0")
         if self.checkpoint_every < 1:
             raise ConfigError("checkpoint_every must be >= 1")
+        # WorkerPolicy owns validation of the worker knobs; building it
+        # here rejects bad loose fields through the same code path.
+        WorkerPolicy(
+            jobs=self.jobs,
+            batch_size=self.batch_size,
+            shard_timeout=self.shard_timeout,
+            max_retries=self.max_retries,
+        )
         object.__setattr__(self, "patched", tuple(sorted(set(self.patched))))
 
     @property
-    def supervised(self) -> bool:
-        """Whether this spec needs the monitored-worker execution path.
+    def policy(self) -> WorkerPolicy:
+        """The worker knobs as one :class:`WorkerPolicy` object."""
+        return WorkerPolicy(
+            jobs=self.jobs,
+            batch_size=self.batch_size,
+            shard_timeout=self.shard_timeout,
+            max_retries=self.max_retries,
+        )
 
-        Multi-shard campaigns are always supervised; a single-shard
-        campaign runs in-process unless a robustness knob (heartbeat
-        deadline, checkpointing) asks for a monitored worker.
+    @property
+    def supervised(self) -> bool:
+        """Whether this spec needs the worker-pool execution path.
+
+        Multi-worker campaigns always do; a single-worker campaign runs
+        in-process unless a robustness knob (heartbeat deadline,
+        checkpointing) asks for a monitored worker.
         """
         return (
             self.jobs > 1
@@ -116,22 +230,53 @@ class CampaignSpec:
             or self.checkpoint_dir is not None
         )
 
+    @property
+    def mode(self) -> str:
+        """The execution mode ``run_campaign`` will route to."""
+        return "pooled" if self.supervised else "serial"
+
     def shard_seed(self, shard: int) -> int:
-        """The derived deterministic RNG seed for one worker."""
+        """The derived deterministic RNG seed for one batch."""
         return self.seed * SEED_STRIDE + shard
 
     def shard_iterations(self) -> Tuple[int, ...]:
-        """Partition the iteration budget across shards (remainder first)."""
+        """Partition the iteration budget across jobs (remainder first)."""
         base, rem = divmod(self.iterations, self.jobs)
         return tuple(base + (1 if k < rem else 0) for k in range(self.jobs))
+
+    def batches(self) -> Tuple[BatchSpec, ...]:
+        """The deterministic work plan this spec executes.
+
+        With ``batch_size=None`` the plan is one batch per job — the
+        static partition, preserved so existing per-shard results stay
+        bit-identical.  With an explicit ``batch_size`` the plan depends
+        only on ``iterations``/``batch_size`` (never on ``jobs``), which
+        is what makes results invariant under worker-count changes.
+        """
+        if self.batch_size is None:
+            parts = self.shard_iterations()
+            return tuple(
+                BatchSpec(k, self.shard_seed(k), parts[k], self.jobs)
+                for k in range(self.jobs)
+            )
+        nbatches = max(1, -(-self.iterations // self.batch_size))
+        return tuple(
+            BatchSpec(
+                b,
+                self.shard_seed(b),
+                min(self.batch_size, self.iterations - b * self.batch_size),
+                nbatches,
+            )
+            for b in range(nbatches)
+        )
 
 
 @dataclass(frozen=True)
 class CrashSummary:
     """One merged crash title with first-finder attribution.
 
-    ``first_test_index`` is the minimum shard-local test count at which
-    any shard first hit this title — the sharded analogue of the serial
+    ``first_test_index`` is the minimum batch-local test count at which
+    any batch first hit this title — the sharded analogue of the serial
     campaign's tests-to-trigger number.
     """
 
@@ -144,7 +289,7 @@ class CrashSummary:
 
 @dataclass(frozen=True)
 class ShardStats:
-    """Per-worker breakdown of a campaign."""
+    """Per-batch breakdown of a campaign."""
 
     shard: int
     seed: int
@@ -153,7 +298,7 @@ class ShardStats:
     crashes: int
     coverage: int
     # Wall-clock is telemetry, not an outcome: excluded from equality so
-    # a shard that was killed and deterministically re-run compares equal
+    # a batch that was killed and deterministically re-run compares equal
     # to its uninterrupted twin.
     seconds: float = field(compare=False)
 
@@ -163,7 +308,7 @@ class ShardStats:
 
 @dataclass(frozen=True)
 class RetryEvent:
-    """One supervisor-initiated shard restart.
+    """One supervisor-initiated batch restart.
 
     ``iteration`` is the last iteration the worker reported starting
     before it hung or died (-1 if it never heartbeat).
@@ -177,11 +322,11 @@ class RetryEvent:
 
 @dataclass(frozen=True)
 class QuarantinedInput:
-    """An input (shard, iteration) that repeatedly killed its worker.
+    """An input (batch, iteration) that repeatedly killed its worker.
 
     After ``deaths`` worker deaths attributed to the same iteration the
     supervisor quarantines it: subsequent attempts skip that iteration
-    instead of burning the whole shard's retry budget on it.
+    instead of burning the whole batch's retry budget on it.
     """
 
     shard: int
@@ -191,11 +336,11 @@ class QuarantinedInput:
 
 @dataclass(frozen=True)
 class ShardFailure:
-    """A shard that exhausted its retry budget and was abandoned.
+    """A batch that exhausted its retry budget and was abandoned.
 
-    The campaign still completes — the surviving shards' results merge —
+    The campaign still completes — the surviving batches' results merge —
     but the failure is reported here instead of being silently dropped
-    (or, worse, taking every other shard's finished work down with it).
+    (or, worse, taking every other batch's finished work down with it).
     """
 
     shard: int
@@ -205,10 +350,10 @@ class ShardFailure:
 
 @dataclass
 class CampaignResult:
-    """Everything a campaign produced, merged across shards.
+    """Everything a campaign produced, merged across batches.
 
-    ``stats.coverage`` is recomputed from the union of the shards'
-    covered-address sets (not a sum), so it is directly comparable to a
+    ``stats.coverage`` is recomputed from the union of the batches'
+    coverage bitmaps (not a sum), so it is directly comparable to a
     serial run's coverage.  ``crashdb`` is the full merged crash
     database (with reproducers) when the result came from
     :func:`run_campaign`; it is excluded from equality and JSON, and is
@@ -322,7 +467,7 @@ class CampaignResult:
     @classmethod
     def from_json(cls, text: str) -> "CampaignResult":
         payload = json.loads(text)
-        if payload.get("version") != JSON_FORMAT_VERSION:
+        if payload.get("version") not in (1, JSON_FORMAT_VERSION):
             raise ValueError(
                 f"unsupported campaign result version {payload.get('version')!r}"
             )
@@ -347,19 +492,21 @@ class CampaignResult:
 
 
 def spec_to_dict(spec: CampaignSpec) -> dict:
-    """JSON-safe spec payload, shared by result JSON and checkpoints."""
+    """JSON-safe spec payload, shared by result JSON and checkpoints.
+
+    Schema v2: worker knobs live in the nested ``policy`` dict (the
+    :class:`WorkerPolicy` round trip); everything else is flat.
+    """
     return {
         "iterations": spec.iterations,
         "seed": spec.seed,
         "patched": list(spec.patched),
-        "jobs": spec.jobs,
+        "policy": spec.policy.to_dict(),
         "time_budget": spec.time_budget,
         "use_seeds": spec.use_seeds,
         "static_hints": spec.static_hints,
         "decoded_dispatch": spec.decoded_dispatch,
         "snapshot_reset": spec.snapshot_reset,
-        "shard_timeout": spec.shard_timeout,
-        "max_retries": spec.max_retries,
         "checkpoint_dir": spec.checkpoint_dir,
         "checkpoint_every": spec.checkpoint_every,
     }
@@ -368,43 +515,56 @@ def spec_to_dict(spec: CampaignSpec) -> dict:
 def spec_from_dict(sp: dict) -> CampaignSpec:
     """Rebuild a spec; absent keys fall back to their field defaults.
 
-    Older artifacts (pre-KIRA, pre-engine-optimization, pre-supervisor)
-    simply lack the newer keys — same format version, additive fields.
+    Reads both schema v2 (nested ``policy``) and v1 (flat
+    ``jobs``/``shard_timeout``/``max_retries`` keys) payloads — older
+    artifacts and checkpoints simply lack the newer keys.
     """
+    if "policy" in sp:
+        policy = WorkerPolicy.from_dict(sp["policy"])
+    else:
+        policy = WorkerPolicy(
+            jobs=sp.get("jobs", 1),
+            batch_size=sp.get("batch_size"),
+            shard_timeout=sp.get("shard_timeout"),
+            max_retries=sp.get("max_retries", 2),
+        )
     return CampaignSpec(
         iterations=sp["iterations"],
         seed=sp["seed"],
         patched=tuple(sp["patched"]),
-        jobs=sp["jobs"],
         time_budget=sp["time_budget"],
         use_seeds=sp["use_seeds"],
         static_hints=sp.get("static_hints", False),
         decoded_dispatch=sp.get("decoded_dispatch", True),
         snapshot_reset=sp.get("snapshot_reset", True),
-        shard_timeout=sp.get("shard_timeout"),
-        max_retries=sp.get("max_retries", 2),
         checkpoint_dir=sp.get("checkpoint_dir"),
         checkpoint_every=sp.get("checkpoint_every", 10),
+        worker_policy=policy,
     )
 
 
 def run_campaign(spec: CampaignSpec) -> CampaignResult:
     """Execute a campaign spec; the one entry point for all campaigns.
 
-    An unsupervised single-shard spec runs in-process with zero fork
-    overhead.  Everything else — ``jobs > 1``, a heartbeat deadline, or
-    a checkpoint directory — goes through the campaign supervisor
-    (:mod:`repro.fuzzer.supervisor`), which monitors worker processes,
-    retries hung/dead shards deterministically, and checkpoints merged
-    state for ``resume_campaign``.  Both paths execute the same
-    :func:`repro.fuzzer.parallel.run_shard` code, so serial, sharded and
-    fault-recovered results are produced by one code path.
+    Serial mode (``spec.mode == "serial"``) iterates the batch plan
+    in-process over one shared kernel image and boot snapshot — zero
+    fork, pickle or boot overhead.  Pooled mode routes through the
+    campaign supervisor (:mod:`repro.fuzzer.supervisor`): a persistent
+    worker pool pulls batches from a shared queue, hung/dead workers are
+    killed and their batches deterministically retried, and merged state
+    checkpoints for ``resume_campaign``.  Both paths execute the same
+    :func:`repro.fuzzer.parallel.run_batch` code over the same plan, so
+    serial, pooled and fault-recovered results are produced by one code
+    path and compare equal.
     """
-    from repro.fuzzer.parallel import merge_shards, run_shard
+    from repro.fuzzer.parallel import campaign_pool, merge_shards, run_batch
 
     if not spec.supervised:
         start = time.perf_counter()
-        shards = [run_shard(spec, 0)]
+        image, pool = campaign_pool(spec)
+        shards = [
+            run_batch(spec, b, image=image, pool=pool) for b in spec.batches()
+        ]
         seconds = time.perf_counter() - start
         return merge_shards(spec, shards, seconds)
 
@@ -416,10 +576,10 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
 def resume_campaign(checkpoint_dir: str) -> CampaignResult:
     """Continue a checkpointed campaign instead of restarting it.
 
-    Loads the checkpoint manifest written by a supervised campaign,
-    skips shards whose results are already complete, re-runs the rest
-    from their (deterministically re-derived) seeds, and merges.  The
-    spec comes from the checkpoint, so a resumed campaign is the same
+    Loads the checkpoint manifest written by a pooled campaign, skips
+    batches whose results are already complete, re-runs the rest from
+    their (deterministically re-derived) seeds, and merges.  The spec
+    comes from the checkpoint, so a resumed campaign is the same
     campaign — ``repro fuzz --resume DIR`` exposes this.
     """
     from repro.fuzzer.supervisor import load_checkpoint, run_supervised

@@ -26,7 +26,12 @@ from repro.errors import ReproError
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.campaign_api import CampaignSpec, resume_campaign, run_campaign
+    from repro.campaign_api import (
+        CampaignSpec,
+        WorkerPolicy,
+        resume_campaign,
+        run_campaign,
+    )
     from repro.config import KernelConfig
     from repro.fuzzer.fuzzer import minimize_reproducer
     from repro.kernel.kernel import KernelImage
@@ -35,18 +40,22 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         result = resume_campaign(args.resume)
         spec = result.spec
     else:
+        policy = WorkerPolicy(
+            jobs=args.jobs,
+            batch_size=args.batch_size,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+        )
         spec = CampaignSpec(
             iterations=args.iterations,
             seed=args.seed,
             patched=tuple(args.patch or ()),
-            jobs=args.jobs,
             static_hints=args.static_hints,
             decoded_dispatch=not args.reference_interp,
             snapshot_reset=not args.no_snapshot_reset,
-            shard_timeout=args.shard_timeout,
-            max_retries=args.max_retries,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            worker_policy=policy,
         )
         result = run_campaign(spec)
     print(result.summary())
@@ -285,7 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--patch", action="append", help="bug id to patch (repeatable)")
     p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes to shard the budget across")
+                   help="persistent worker processes pulling batches from "
+                        "the campaign work queue")
+    p.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="iterations per work-queue batch (default: one batch per "
+             "job; an explicit size makes results independent of --jobs)",
+    )
     p.add_argument("--json", metavar="PATH",
                    help="write the CampaignResult as JSON to PATH")
     p.add_argument(

@@ -7,7 +7,14 @@ from repro.fuzzer.hints import LD, ST, SchedulingHint, calculate_hints, filter_o
 from repro.fuzzer.kcov import CoverageMap, KCov
 from repro.fuzzer.minimize import MinimizeResult, minimize
 from repro.fuzzer.mti import MTI, MTIResult, mtis_for_pair, run_mti
-from repro.fuzzer.parallel import ShardResult, merge_shards, run_shard, run_sharded
+from repro.fuzzer.parallel import (
+    ShardResult,
+    campaign_pool,
+    merge_shards,
+    run_batch,
+    run_shard,
+    run_sharded,
+)
 from repro.fuzzer.reproducer import Reproducer
 from repro.fuzzer.sti import STI, Call, ResourceRef, STIResult, profile_sti
 from repro.fuzzer.syzlang import Template, parse
@@ -38,6 +45,7 @@ __all__ = [
     "ShardResult",
     "Template",
     "calculate_hints",
+    "campaign_pool",
     "filter_out",
     "merge_shards",
     "minimize",
@@ -45,6 +53,7 @@ __all__ = [
     "mtis_for_pair",
     "parse",
     "profile_sti",
+    "run_batch",
     "run_mti",
     "run_shard",
     "run_sharded",

@@ -86,6 +86,7 @@ class OzzFuzzer:
         nshards: int = 1,
         static_hints: bool = False,
         record_artifacts: bool = True,
+        pool: Optional[KernelPool] = None,
     ) -> None:
         if not (0 <= shard < nshards):
             raise ConfigError(f"shard {shard} out of range for {nshards} shards")
@@ -127,12 +128,19 @@ class OzzFuzzer:
         self._pending_seeds: List[STI] = (
             list(seed_inputs())[shard::nshards] if use_seeds else []
         )
-        # Boot-snapshot reuse: one kernel per shard, reset per test
-        # instead of re-booted.  Artifact recording still boots fresh
+        # Boot-snapshot reuse: one kernel per worker, reset per test
+        # instead of re-booted.  A caller that outlives this fuzzer (a
+        # campaign pool worker running many batches) passes its own pool
+        # so the booted kernel is amortized too; resetting to the boot
+        # snapshot is equivalent to a fresh boot, so sharing cannot leak
+        # state between batches.  Artifact recording still boots fresh
         # kernels (run_mti does so whenever a trace sink is attached).
-        self._pool: Optional[KernelPool] = (
-            KernelPool(image) if image.config.snapshot_reset else None
-        )
+        if pool is not None:
+            if not image.config.snapshot_reset:
+                raise ConfigError("a shared KernelPool requires snapshot_reset")
+            self._pool: Optional[KernelPool] = pool
+        else:
+            self._pool = KernelPool(image) if image.config.snapshot_reset else None
         self._sti_profiler = Profiler()
 
     # -- input selection -----------------------------------------------------

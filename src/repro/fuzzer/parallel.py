@@ -1,62 +1,98 @@
-"""Sharded multi-process campaign execution.
+"""Batch-plan campaign execution: the work unit and the merge.
 
 OZZ's campaign loop is embarrassingly parallel across RNG seeds: real
 kernel fuzzers get their throughput from fleets of VMs, and the
 simulated kernel here is a pure-Python object with no shared state
-between instances.  This module partitions a :class:`CampaignSpec`'s
-iteration budget across N workers, each running its own
-:class:`~repro.fuzzer.fuzzer.OzzFuzzer` on a private
-:class:`~repro.kernel.kernel.KernelImage`, and merges the shards back
-into one :class:`~repro.campaign_api.CampaignResult`:
+between instances.  A :class:`~repro.campaign_api.CampaignSpec` compiles
+to a deterministic **batch plan** (:meth:`CampaignSpec.batches`); this
+module owns executing one batch (:func:`run_batch`) and folding batch
+results back into one :class:`~repro.campaign_api.CampaignResult`
+(:func:`merge_shards`):
 
-* **seeds** — shard k derives ``spec.seed * 10_000 + k`` and takes the
-  seed-corpus slice ``[k::N]``, so the union of shard seed inputs is
-  exactly the serial campaign's corpus,
+* **seeds** — batch b derives ``spec.seed * 10_000 + b`` and takes the
+  seed-corpus slice ``[b::N]``, so the union of batch seed inputs is
+  exactly the serial campaign's corpus and the merged result is a pure
+  function of ``(spec, seed)`` no matter which worker ran which batch,
 * **stats** — :meth:`FuzzStats.merge` (counter sums), with coverage
-  recomputed from the set-union of shard address sets,
+  recomputed from the word-wise union of batch
+  :class:`~repro.fuzzer.kcov.CoverageMap` bitmaps,
 * **crashes** — :meth:`CrashDB.merge`, preserving first-finder
-  attribution (minimum tests-at-discovery across shards) so Table 3/4
-  numbers stay meaningful.
+  attribution (minimum tests-at-discovery across batches) so Table 3/4
+  numbers stay meaningful; merge order is canonicalized by batch index.
 
-Process management lives in :mod:`repro.fuzzer.supervisor`: shards run
-as monitored worker processes with heartbeats, deadlines, deterministic
-retries and checkpointing.  This module owns the *work* (one shard's
-execution) and the *merge*; everything a worker receives or returns is
-picklable, so it works under both ``fork`` and ``spawn`` start methods,
-and JSON-serializable, so shard results survive in checkpoints.
+Process management lives in :mod:`repro.fuzzer.supervisor`: a persistent
+worker pool pulls batches from a shared queue with heartbeats,
+deadlines, deterministic retries and checkpointing.  Everything a worker
+receives or returns is picklable, so it works under both ``fork`` and
+``spawn`` start methods, and JSON-serializable, so batch results survive
+in checkpoints.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable, FrozenSet, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.config import KernelConfig
 from repro.fuzzer.fuzzer import FuzzStats, OzzFuzzer
+from repro.fuzzer.kcov import CoverageMap
 from repro.fuzzer.triage import CrashDB
-from repro.kernel.kernel import KernelImage
+from repro.kernel.kernel import KernelImage, KernelPool
 
 if TYPE_CHECKING:  # deferred at runtime: campaign_api imports this package
-    from repro.campaign_api import CampaignResult, CampaignSpec
+    from repro.campaign_api import BatchSpec, CampaignResult, CampaignSpec
+
+
+def campaign_image(spec: "CampaignSpec") -> KernelImage:
+    """Build the kernel image a spec's batches run against."""
+    return KernelImage(
+        KernelConfig(
+            patched=frozenset(spec.patched),
+            decoded_dispatch=spec.decoded_dispatch,
+            snapshot_reset=spec.snapshot_reset,
+        )
+    )
+
+
+def campaign_pool(
+    spec: "CampaignSpec", image: Optional[KernelImage] = None
+) -> Tuple[KernelImage, Optional[KernelPool]]:
+    """One (image, boot-snapshot pool) pair to amortize across batches.
+
+    Building the image is by far the most expensive setup step and the
+    pool holds the booted kernel the batches reset instead of re-booting
+    — both are deterministic functions of the config, so sharing them
+    across batches (or handing each pool worker its own) cannot change
+    campaign results.
+    """
+    if image is None:
+        image = campaign_image(spec)
+    pool = KernelPool(image) if spec.snapshot_reset else None
+    return image, pool
 
 
 @dataclass
 class ShardResult:
-    """One worker's raw output, shipped back over the message queue."""
+    """One batch's raw output, shipped back over the message queue."""
 
     shard: int
     seed: int
     iterations: int
     stats: FuzzStats
     crashdb: CrashDB
-    coverage: FrozenSet[int]
+    coverage: CoverageMap
     seconds: float
 
     # -- checkpoint serialization ------------------------------------------
 
     def to_json_dict(self) -> dict:
-        """JSON-safe payload for the campaign checkpoint directory."""
+        """JSON-safe payload for the campaign checkpoint directory.
+
+        Coverage is stored as the CoverageMap hex wire form (schema v2);
+        :meth:`from_json_dict` also reads the v1 sorted-address list.
+        """
         from dataclasses import asdict
 
         return {
@@ -65,21 +101,78 @@ class ShardResult:
             "iterations": self.iterations,
             "stats": asdict(self.stats),
             "crashdb": self.crashdb.to_json_dict(),
-            "coverage": sorted(self.coverage),
+            "coverage": self.coverage.to_hex(),
             "seconds": self.seconds,
         }
 
     @classmethod
     def from_json_dict(cls, payload: dict) -> "ShardResult":
+        raw_cov = payload["coverage"]
+        if isinstance(raw_cov, str):
+            coverage = CoverageMap.from_hex(raw_cov)
+        else:  # checkpoint schema v1: a sorted address list
+            coverage = CoverageMap.from_addrs(raw_cov)
         return cls(
             shard=payload["shard"],
             seed=payload["seed"],
             iterations=payload["iterations"],
             stats=FuzzStats(**payload["stats"]),
             crashdb=CrashDB.from_json_dict(payload["crashdb"]),
-            coverage=frozenset(payload["coverage"]),
+            coverage=coverage,
             seconds=payload["seconds"],
         )
+
+
+def run_batch(
+    spec: "CampaignSpec",
+    batch: "BatchSpec",
+    *,
+    image: Optional[KernelImage] = None,
+    pool: Optional[KernelPool] = None,
+    progress: Optional[Callable[[int, FuzzStats], Optional[bool]]] = None,
+    on_fuzzer: Optional[Callable[[OzzFuzzer], None]] = None,
+) -> ShardResult:
+    """Run one batch of a campaign's plan (top-level, pickle-friendly).
+
+    Builds a fresh fuzzer with the batch's derived seed and corpus
+    slice, runs its iteration quota, and returns the picklable pieces
+    the merge needs.  ``image`` and ``pool`` let a long-lived caller (a
+    pool worker, the serial loop) amortize the kernel image and boot
+    snapshot across many batches; left ``None``, private ones are built.
+    ``progress`` is forwarded to :meth:`OzzFuzzer.run` — the
+    supervisor's heartbeat / fault-injection / quarantine seam;
+    ``on_fuzzer`` hands the constructed fuzzer to the caller before the
+    run starts, so a pool worker can snapshot mid-run state for partial
+    checkpoints.
+    """
+    if image is None:
+        image, pool = campaign_pool(spec)
+    fuzzer = OzzFuzzer(
+        image,
+        seed=batch.seed,
+        use_seeds=spec.use_seeds,
+        shard=batch.index,
+        nshards=batch.nslices,
+        static_hints=spec.static_hints,
+        pool=pool,
+    )
+    if on_fuzzer is not None:
+        on_fuzzer(fuzzer)
+    deadline = (
+        time.monotonic() + spec.time_budget if spec.time_budget is not None else None
+    )
+    start = time.perf_counter()
+    fuzzer.run(batch.iterations, deadline=deadline, progress=progress)
+    seconds = time.perf_counter() - start
+    return ShardResult(
+        shard=batch.index,
+        seed=batch.seed,
+        iterations=batch.iterations,
+        stats=fuzzer.stats,
+        crashdb=fuzzer.crashdb,
+        coverage=fuzzer.corpus.coverage.copy(),
+        seconds=seconds,
+    )
 
 
 def run_shard(
@@ -89,68 +182,34 @@ def run_shard(
     progress: Optional[Callable[[int, FuzzStats], Optional[bool]]] = None,
     on_fuzzer: Optional[Callable[[OzzFuzzer], None]] = None,
 ) -> ShardResult:
-    """Run one shard of a campaign (top-level, hence pickle-friendly).
+    """Run batch ``shard`` of the spec's plan with a private kernel.
 
-    Builds a private kernel image and fuzzer with the shard's derived
-    seed, runs its slice of the iteration budget, and returns the
-    picklable pieces the merge needs.  ``progress`` is forwarded to
-    :meth:`OzzFuzzer.run` — the supervisor's heartbeat / fault-injection
-    / quarantine seam; ``on_fuzzer`` hands the constructed fuzzer to the
-    caller before the run starts, so a supervised worker can snapshot
-    mid-run state for partial checkpoints.  The in-process path leaves
-    both ``None``.
+    The single-batch convenience wrapper around :func:`run_batch` —
+    with the default ``batch_size=None`` plan this is exactly the old
+    static shard ``k`` of ``jobs``, which is what keeps historical
+    per-shard results (and the supervisor's determinism tests)
+    bit-identical.
     """
-    iterations = spec.shard_iterations()[shard]
-    seed = spec.shard_seed(shard)
-    image = KernelImage(
-        KernelConfig(
-            patched=frozenset(spec.patched),
-            decoded_dispatch=spec.decoded_dispatch,
-            snapshot_reset=spec.snapshot_reset,
-        )
-    )
-    fuzzer = OzzFuzzer(
-        image,
-        seed=seed,
-        use_seeds=spec.use_seeds,
-        shard=shard,
-        nshards=spec.jobs,
-        static_hints=spec.static_hints,
-    )
-    if on_fuzzer is not None:
-        on_fuzzer(fuzzer)
-    deadline = (
-        time.monotonic() + spec.time_budget if spec.time_budget is not None else None
-    )
-    start = time.perf_counter()
-    fuzzer.run(iterations, deadline=deadline, progress=progress)
-    seconds = time.perf_counter() - start
-    return ShardResult(
-        shard=shard,
-        seed=seed,
-        iterations=iterations,
-        stats=fuzzer.stats,
-        crashdb=fuzzer.crashdb,
-        coverage=fuzzer.corpus.coverage.addrs,
-        seconds=seconds,
+    return run_batch(
+        spec, spec.batches()[shard], progress=progress, on_fuzzer=on_fuzzer
     )
 
 
 def run_sharded(spec: "CampaignSpec") -> List[ShardResult]:
-    """Run every shard of a campaign; the list is ordered by shard index.
+    """Deprecated: use :func:`repro.campaign_api.run_campaign`.
 
-    ``jobs=1`` short-circuits to a direct in-process call — the serial
-    path pays no fork or pickling overhead but still goes through the
-    same :func:`run_shard` code as the parallel one.  Multi-shard runs
-    go through the campaign supervisor: hung or dead workers are killed
-    and deterministically retried, and a shard that exhausts its retry
-    budget is *omitted* from the returned list rather than taking every
-    surviving shard's finished work down with it (the old ``Pool.map``
-    behaviour); use :func:`repro.campaign_api.run_campaign` to see the
-    failure telemetry.
+    The pre-pool entrypoint, kept for one release as a shim.  It returns
+    the raw per-batch results; failed batches are omitted rather than
+    raising (use ``run_campaign`` to see the failure telemetry).
     """
-    if spec.jobs == 1 and not spec.supervised:
-        return [run_shard(spec, 0)]
+    warnings.warn(
+        "run_sharded is deprecated; use repro.campaign_api.run_campaign",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if not spec.supervised:
+        image, pool = campaign_pool(spec)
+        return [run_batch(spec, b, image=image, pool=pool) for b in spec.batches()]
     from repro.fuzzer.supervisor import run_supervised_shards
 
     return run_supervised_shards(spec).shards
@@ -166,24 +225,29 @@ def merge_shards(
     failed_shards: Sequence = (),
     interrupted: bool = False,
 ) -> "CampaignResult":
-    """Fold shard results into one campaign result.
+    """Fold batch results into one campaign result.
 
-    Coverage is the cardinality of the shards' address-set union, so the
-    merged number is comparable to a serial run's (duplicate addresses
-    across shards are not double-counted).  ``shards`` holds whatever
-    survived — permanently-failed shards appear in ``failed_shards``
-    telemetry instead, and an empty list merges to an empty result
-    rather than raising.
+    The input order is canonicalized (sorted by batch index) before
+    folding, so the merge is a pure function of the result *set* — a
+    pool that finished batches in a scrambled order merges identically
+    to the serial loop.  Coverage is the cardinality of the word-wise
+    bitmap union, so the merged number is comparable to a serial run's
+    (duplicate addresses across batches are not double-counted).
+    ``shards`` holds whatever survived — permanently-failed batches
+    appear in ``failed_shards`` telemetry instead, and an empty list
+    merges to an empty result rather than raising.
     """
     from repro.campaign_api import CampaignResult, CrashSummary, ShardStats
 
+    shards = sorted(shards, key=lambda s: s.shard)
     if shards:
         stats = shards[0].stats
         crashdb = shards[0].crashdb
+        merged_cov = shards[0].coverage.copy()
         for s in shards[1:]:
             stats = stats.merge(s.stats)
             crashdb = crashdb.merge(s.crashdb)
-        merged_cov: FrozenSet[int] = frozenset().union(*(s.coverage for s in shards))
+            merged_cov.merge(s.coverage)
         stats = replace(stats, coverage=len(merged_cov))
     else:
         stats = FuzzStats()

@@ -1,54 +1,69 @@
-"""Crash-tolerant campaign supervisor: monitored shards, retries, resume.
+"""Crash-tolerant campaign runtime: a persistent worker pool with retries.
 
-The paper ran OZZ for six weeks across 32 VMs (§6.1); at that scale
-workers hang, die and get preempted, and the unglamorous fault-tolerance
-layer is what makes a long campaign finish (rr's deployability paper
-makes the same point for record/replay).  This module replaces the old
-fire-and-forget ``multiprocessing.Pool`` with a supervisor that:
+The paper ran OZZ for six weeks across 32 VMs (§6.1); at that scale the
+throughput story is *amortization* — syzkaller-style managers keep
+executor processes alive and feed them work instead of forking per
+program — and workers hang, die and get preempted, so the unglamorous
+fault-tolerance layer is what makes a long campaign finish.  This module
+provides both halves:
 
-* launches every shard as a **monitored worker process** that heartbeats
-  before each fuzzing iteration through a shared message queue;
-* **kills and restarts** a shard whose heartbeat exceeds
-  ``CampaignSpec.shard_timeout`` (hung) or whose process exits without
-  delivering a result (died), with capped exponential backoff — the
-  retry re-derives the same shard seed, so a recovered campaign is
-  byte-identical to an unfaulted one;
-* **quarantines poisoned inputs**: when the same shard-local iteration
-  kills its worker :data:`POISON_THRESHOLD` times, later attempts skip
-  that iteration instead of burning the retry budget, and the quarantine
-  is reported in :class:`~repro.campaign_api.CampaignResult`;
-* gives up on a shard after ``CampaignSpec.max_retries`` restarts and
-  **merges the survivors** — a worker failure is telemetry
-  (``failed_shards``), never an exception that discards every other
-  shard's finished work;
-* periodically **checkpoints** merged campaign state to
-  ``CampaignSpec.checkpoint_dir`` as JSON (complete shard results plus
-  the latest mid-run partials), so ``repro fuzz --resume DIR`` — and a
-  ``SIGINT`` that lands mid-campaign — continue a campaign instead of
-  restarting it.
+* **Persistent workers.** ``spec.jobs`` worker processes are launched
+  once per campaign.  Each builds (or, under ``fork``, inherits a
+  pre-built) kernel image and boots one kernel into a
+  :class:`~repro.kernel.kernel.KernelPool`, then *pulls batches* from
+  the supervisor until the plan is drained — work-stealing falls out of
+  the pull model: a worker that finishes early simply claims the next
+  batch while a slow sibling is still busy.  Batches are independent
+  mini-campaigns (own derived seed, own seed-corpus slice), so results
+  are a pure function of ``(spec, seed)`` no matter how claims land.
+* **Supervision.**  Workers heartbeat through a shared message queue
+  before every fuzzing iteration; the supervisor **kills and replaces**
+  a worker whose heartbeat exceeds ``shard_timeout`` (hung) or whose
+  process exits mid-batch (died), and the orphaned batch is re-queued
+  with capped exponential backoff — the retry re-derives the same batch
+  seed, so a recovered campaign is byte-identical to an unfaulted one.
+  When the same batch-local iteration kills its worker
+  :data:`POISON_THRESHOLD` times the input is **quarantined** (skipped,
+  reported) instead of burning the retry budget; a batch that exhausts
+  ``max_retries`` is abandoned and the survivors **merge** — a worker
+  failure is telemetry, never an exception that discards finished work.
+* **Checkpoint/resume.**  Merged campaign state is periodically written
+  to ``checkpoint_dir`` as JSON, so ``repro fuzz --resume DIR`` — and a
+  ``SIGINT`` that lands mid-campaign — continue instead of restarting.
 
-Checkpoint layout (all JSON, schema
-:data:`CHECKPOINT_VERSION`)::
+Coverage crosses the wire as :class:`~repro.fuzzer.kcov.CoverageMap`
+**bitmap deltas**: each worker remembers what it already reported for
+its current batch and ships only the new pages; the supervisor folds
+deltas into a per-batch accumulator.  Address sets never cross the
+queue as pickled Python sets.
 
-    DIR/campaign.json     manifest: spec, completed shard list, telemetry
-    DIR/shard-000.json    one completed ShardResult (stats, crashdb, coverage)
-    DIR/partial-000.json  latest mid-run snapshot of an unfinished shard
+Checkpoint layout (all JSON, schema :data:`CHECKPOINT_VERSION`)::
 
-Resume is **shard-granular**: completed shards load from disk; an
-unfinished shard re-runs from iteration 0 with its re-derived seed,
-which reproduces exactly the prefix it had already executed — so a
-kill/resume cycle finds the same crash set as an uninterrupted run
-without having to serialize RNG or corpus state mid-stream.  Partials
-exist for *reporting* (the SIGINT partial merge), not for skipping work.
+    DIR/campaign.json     manifest: spec (with nested WorkerPolicy), the
+                          batch plan, the claim log, completed batches,
+                          telemetry
+    DIR/shard-000.json    one completed batch result (stats, crashdb,
+                          coverage bitmap hex)
+    DIR/partial-000.json  latest mid-run snapshot of an unfinished batch
+
+Schema v1 checkpoints (flat spec keys, coverage as address lists) load
+through the same reader.  Resume is **batch-granular**: completed
+batches load from disk; an unfinished batch re-runs from iteration 0
+with its re-derived seed, which reproduces exactly the prefix it had
+already executed — so a kill/resume cycle finds the same crash set as
+an uninterrupted run without having to serialize RNG or corpus state
+mid-stream.  Partials exist for *reporting* (the SIGINT partial merge),
+not for skipping work.
 
 Fault injection (tests, the CI resilience job) goes through
 :class:`FaultPlan` or the ``REPRO_INJECT_FAULT`` environment variable
 (``kind:shard:iteration[:persistent]``, comma-separated; kinds
-``hang`` | ``die`` | ``error``).
+``hang`` | ``die`` | ``error`` | ``slow``).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing as mp
 import os
@@ -57,10 +72,11 @@ import queue as _queue
 import signal
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign_api import (
+    BatchSpec,
     CampaignResult,
     CampaignSpec,
     QuarantinedInput,
@@ -70,9 +86,18 @@ from repro.campaign_api import (
     spec_to_dict,
 )
 from repro.errors import ConfigError
-from repro.fuzzer.parallel import ShardResult, merge_shards, run_shard
+from repro.fuzzer.kcov import CoverageMap
+from repro.fuzzer.parallel import (
+    ShardResult,
+    campaign_image,
+    campaign_pool,
+    merge_shards,
+    run_batch,
+)
 from repro.trace import (
     NULL_SINK,
+    BatchClaimed,
+    BatchStolen,
     CheckpointWritten,
     InputQuarantined,
     ShardHeartbeat,
@@ -84,8 +109,9 @@ from repro.trace import (
 #: Worker deaths attributed to one iteration before it is quarantined.
 POISON_THRESHOLD = 2
 
-#: Version of the on-disk checkpoint schema.
-CHECKPOINT_VERSION = 1
+#: Version of the on-disk checkpoint schema (v2: nested WorkerPolicy,
+#: batch plan + claim log in the manifest, coverage as bitmap hex).
+CHECKPOINT_VERSION = 2
 CHECKPOINT_KIND = "ozz-campaign-checkpoint"
 MANIFEST_NAME = "campaign.json"
 
@@ -95,29 +121,48 @@ FAULT_ENV = "REPRO_INJECT_FAULT"
 _POLL_INTERVAL = 0.05   # supervisor queue poll period (seconds)
 _DRAIN_GRACE = 1.0      # wait for a dead worker's final messages
 _HANG_SLEEP = 3600.0    # an injected hang sleeps until the supervisor kills it
+_SLOW_SLEEP = 1.0       # an injected slow batch stalls this long, then runs
 _FAULT_EXIT = 17        # exit code of an injected worker death
+
+#: Image pre-built by the supervisor parent so ``fork`` workers inherit
+#: it instead of each paying the build; keyed by the config-relevant
+#: spec fields so a stale image from an earlier campaign is never reused.
+_PREBUILT: Optional[Tuple[tuple, object]] = None
+
+
+def _image_key(spec: CampaignSpec) -> tuple:
+    return (spec.patched, spec.decoded_dispatch, spec.snapshot_reset)
+
+
+def _inherited_image(spec: CampaignSpec):
+    if _PREBUILT is not None and _PREBUILT[0] == _image_key(spec):
+        return _PREBUILT[1]
+    return campaign_image(spec)
 
 
 @dataclass(frozen=True)
 class FaultPlan:
     """An injected worker fault, for tests and the CI resilience job.
 
-    The fault fires when ``shard`` reaches shard-local iteration
+    The fault fires when batch ``shard`` reaches batch-local iteration
     ``iteration``: ``hang`` stops heartbeating (the supervisor must kill
-    it), ``die`` exits the process abruptly, ``error`` raises inside the
-    worker (the old ``Pool.map``-poisoning case).  Non-persistent faults
-    arm only on the first attempt, so the deterministic retry runs
-    clean; ``persistent`` faults re-arm on every attempt and model a
-    poisoned input that kills whoever runs it.
+    the worker), ``die`` exits the worker process abruptly, ``error``
+    raises inside the batch (the old ``Pool.map``-poisoning case —
+    the persistent worker survives it and moves on), ``slow`` stalls the
+    batch for a while and then completes it (exercises work-stealing:
+    the other workers drain the queue meanwhile).  Non-persistent faults
+    arm only on the batch's first attempt, so the deterministic retry
+    runs clean; ``persistent`` faults re-arm on every attempt and model
+    a poisoned input that kills whoever runs it.
     """
 
     shard: int
     iteration: int
-    kind: str  # "hang" | "die" | "error"
+    kind: str  # "hang" | "die" | "error" | "slow"
     persistent: bool = False
 
     def __post_init__(self) -> None:
-        if self.kind not in ("hang", "die", "error"):
+        if self.kind not in ("hang", "die", "error", "slow"):
             raise ConfigError(f"unknown fault kind {self.kind!r}")
 
 
@@ -147,6 +192,8 @@ def faults_from_env(value: Optional[str] = None) -> Tuple[FaultPlan, ...]:
 def _trigger_fault(fault: FaultPlan, msgq) -> None:
     if fault.kind == "hang":
         time.sleep(_HANG_SLEEP)
+    elif fault.kind == "slow":
+        time.sleep(_SLOW_SLEEP)
     elif fault.kind == "die":
         # Flush the queue's feeder thread so the heartbeat that names
         # this iteration reaches the supervisor, then die abruptly.
@@ -157,32 +204,60 @@ def _trigger_fault(fault: FaultPlan, msgq) -> None:
         raise RuntimeError(f"injected worker error at iteration {fault.iteration}")
 
 
-def _worker_main(
-    spec: CampaignSpec,
-    shard: int,
-    attempt: int,
-    msgq,
-    faults: Tuple[FaultPlan, ...],
-    quarantined: Tuple[int, ...],
-) -> None:
-    """Run one shard under supervision (child-process entry point).
+def _wire_payload(result: ShardResult, sent: CoverageMap, full: CoverageMap) -> bytes:
+    """Pickle a (result, coverage-delta) pair for the message queue.
 
-    Wraps :func:`run_shard` with a progress callback that heartbeats,
+    ``sent`` is the worker's per-batch ledger of already-reported
+    coverage; only the delta crosses the wire, and the ledger advances
+    so the next snapshot ships strictly new pages.  The result's own
+    coverage field travels empty — the supervisor reconstructs it from
+    its delta accumulator.  Pickling is *eager* so the queue's feeder
+    thread never races the fuzzing loop's mutations.
+    """
+    delta = full.delta(sent)
+    sent.merge(delta)
+    stripped = ShardResult(
+        shard=result.shard,
+        seed=result.seed,
+        iterations=result.iterations,
+        stats=result.stats,
+        crashdb=result.crashdb,
+        coverage=CoverageMap(),
+        seconds=result.seconds,
+    )
+    return pickle.dumps((stripped, delta.to_bytes()))
+
+
+def _run_assignment(
+    spec: CampaignSpec,
+    batch: BatchSpec,
+    attempt: int,
+    quarantined: Tuple[int, ...],
+    faults: Tuple[FaultPlan, ...],
+    image,
+    pool,
+    msgq,
+) -> None:
+    """Execute one claimed batch inside a persistent worker.
+
+    Wraps :func:`run_batch` with a progress callback that heartbeats,
     honours the quarantine list, triggers injected faults, and ships a
-    partial snapshot every ``spec.checkpoint_every`` iterations.  All
-    payloads are pickled *eagerly* so the queue's feeder thread never
-    races the fuzzing loop's mutations.
+    partial snapshot (with a coverage bitmap delta) every
+    ``spec.checkpoint_every`` iterations.  An exception is reported as
+    a batch-scoped ``error`` — the worker survives and pulls its next
+    assignment.
     """
     try:
         armed = {f.iteration: f for f in faults}
         skip = frozenset(quarantined)
         holder: Dict[str, object] = {}
+        sent_cov = CoverageMap()
         start = time.perf_counter()
 
         def progress(i, stats):
-            msgq.put(("hb", shard, attempt, i))
+            msgq.put(("hb", batch.index, attempt, i))
             if i in skip:
-                msgq.put(("skipped", shard, attempt, i))
+                msgq.put(("skipped", batch.index, attempt, i))
                 return False
             fault = armed.pop(i, None)
             if fault is not None:
@@ -190,52 +265,101 @@ def _worker_main(
             fuzzer = holder.get("fuzzer")
             if fuzzer is not None and i > 0 and i % spec.checkpoint_every == 0:
                 partial = ShardResult(
-                    shard=shard,
-                    seed=spec.shard_seed(shard),
+                    shard=batch.index,
+                    seed=batch.seed,
                     iterations=i,
                     stats=fuzzer.stats,
                     crashdb=fuzzer.crashdb,
-                    coverage=fuzzer.corpus.coverage.addrs,
+                    coverage=CoverageMap(),
                     seconds=time.perf_counter() - start,
                 )
-                msgq.put(("partial", shard, attempt, pickle.dumps(partial)))
+                payload = _wire_payload(partial, sent_cov, fuzzer.corpus.coverage)
+                msgq.put(("partial", batch.index, attempt, payload))
             return None
 
-        result = run_shard(
+        result = run_batch(
             spec,
-            shard,
+            batch,
+            image=image,
+            pool=pool,
             progress=progress,
             on_fuzzer=lambda fz: holder.__setitem__("fuzzer", fz),
         )
-        msgq.put(("done", shard, attempt, pickle.dumps(result)))
+        payload = _wire_payload(result, sent_cov, result.coverage)
+        msgq.put(("done", batch.index, attempt, payload))
     except Exception as exc:  # ship the reason; the supervisor retries
-        msgq.put(("error", shard, attempt, f"{type(exc).__name__}: {exc}"))
+        msgq.put(("error", batch.index, attempt, f"{type(exc).__name__}: {exc}"))
+
+
+def _pool_worker_main(wid: int, spec: CampaignSpec, taskq, msgq) -> None:
+    """Persistent-worker entry point: boot once, pull batches until done.
+
+    The kernel image is inherited from the supervisor's pre-built copy
+    under ``fork`` (built locally otherwise — once, amortized across
+    every batch this worker claims), and one booted kernel is held in a
+    :class:`KernelPool` across batches; each batch's fuzzer resets it to
+    the boot snapshot per test, which is equivalent to a fresh boot.
+    """
+    try:
+        image = _inherited_image(spec)
+        _, pool = campaign_pool(spec, image=image)
+        while True:
+            task = taskq.get()
+            if task is None:
+                return
+            batch, attempt, quarantined, faults = task
+            _run_assignment(
+                spec, batch, attempt, quarantined, faults, image, pool, msgq
+            )
+            msgq.put(("ready", wid, 0, None))
+    except (KeyboardInterrupt, EOFError, OSError):
+        # Supervisor teardown (SIGINT forwarded to the process group /
+        # queues closing under us): exit quietly, nothing to report.
+        pass
 
 
 # -- supervisor side ---------------------------------------------------------
 
 
-class _ShardState:
-    """Everything the supervisor tracks about one shard."""
+class _BatchState:
+    """Everything the supervisor tracks about one batch of the plan."""
 
-    def __init__(self, shard: int, seed: int) -> None:
-        self.shard = shard
-        self.seed = seed
+    def __init__(self, batch: BatchSpec) -> None:
+        self.batch = batch
+        self.index = batch.index
+        self.seed = batch.seed
         self.result: Optional[ShardResult] = None
         self.partial: Optional[ShardResult] = None
-        self.proc = None
         self.attempt = 0
+        self.assigned_to: Optional[int] = None  # worker id, None = pending
+        self.last_worker: Optional[int] = None
         self.last_hb = 0.0
         self.last_iteration = -1
         self.deaths: Dict[int, int] = {}
         self.quarantined: set = set()
         self.restart_at: Optional[float] = None
         self.failure: Optional[ShardFailure] = None
-        self.error_reason: Optional[str] = None
+        self.cov_acc = CoverageMap()  # union of this attempt's deltas
 
     @property
     def finished(self) -> bool:
         return self.result is not None or self.failure is not None
+
+
+# Historical name (pre-pool, one static shard per worker); the batch is
+# the unit of supervision now but the tracked state is the same shape.
+_ShardState = _BatchState
+
+
+class _Worker:
+    """One persistent worker process and its private task queue."""
+
+    def __init__(self, wid: int, proc, taskq) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.taskq = taskq
+        self.current: Optional[int] = None  # batch index being executed
+        self.ready = True  # a fresh worker accepts its first task at once
 
 
 @dataclass
@@ -276,13 +400,19 @@ def _shard_file(dirpath: str, shard: int, partial: bool = False) -> str:
 def write_checkpoint(
     dirpath: str,
     spec: CampaignSpec,
-    states: Dict[int, "_ShardState"],
+    states: Dict[int, "_BatchState"],
     retries: Sequence[RetryEvent],
     quarantined: Sequence[QuarantinedInput],
     interrupted: bool,
     sink: TraceSink = NULL_SINK,
+    assignments: Sequence[dict] = (),
 ) -> None:
-    """Persist merged campaign state; every write is atomic (tmp+rename)."""
+    """Persist merged campaign state; every write is atomic (tmp+rename).
+
+    The v2 manifest records the full batch plan and the claim log
+    (which worker ran which batch on which attempt) so a checkpoint is
+    auditable evidence that results never depended on claim order.
+    """
     os.makedirs(dirpath, exist_ok=True)
     completed, partials = [], []
     for shard in sorted(states):
@@ -293,7 +423,7 @@ def write_checkpoint(
                 json.dumps(st.result.to_json_dict(), indent=2),
             )
             completed.append(shard)
-            # A completed shard supersedes its mid-run snapshots.
+            # A completed batch supersedes its mid-run snapshots.
             try:
                 os.remove(_shard_file(dirpath, shard, partial=True))
             except OSError:
@@ -308,6 +438,16 @@ def write_checkpoint(
         "version": CHECKPOINT_VERSION,
         "kind": CHECKPOINT_KIND,
         "spec": spec_to_dict(spec),
+        "plan": [
+            {
+                "batch": b.index,
+                "seed": b.seed,
+                "iterations": b.iterations,
+                "slices": b.nslices,
+            }
+            for b in spec.batches()
+        ],
+        "assignments": list(assignments),
         "completed": completed,
         "partials": partials,
         "quarantined": [
@@ -344,11 +484,13 @@ def write_checkpoint(
 
 
 def load_checkpoint(dirpath: str) -> CheckpointState:
-    """Load a checkpoint directory written by a supervised campaign.
+    """Load a checkpoint directory written by a pooled campaign.
 
-    The returned spec has ``checkpoint_dir`` pointed back at ``dirpath``
-    so the resumed campaign keeps checkpointing in place (directories
-    move; the stored path is advisory).
+    Reads both schema v2 and v1 directories — the spec reader falls back
+    to flat worker-knob keys and batch results accept v1 address-list
+    coverage.  The returned spec has ``checkpoint_dir`` pointed back at
+    ``dirpath`` so the resumed campaign keeps checkpointing in place
+    (directories move; the stored path is advisory).
     """
     manifest_path = os.path.join(dirpath, MANIFEST_NAME)
     try:
@@ -359,7 +501,7 @@ def load_checkpoint(dirpath: str) -> CheckpointState:
                           f"(missing {MANIFEST_NAME})")
     if manifest.get("kind") != CHECKPOINT_KIND:
         raise ConfigError(f"{manifest_path} is not a campaign checkpoint")
-    if manifest.get("version") != CHECKPOINT_VERSION:
+    if manifest.get("version") not in (1, CHECKPOINT_VERSION):
         raise ConfigError(
             f"unsupported checkpoint version {manifest.get('version')!r}"
         )
@@ -390,28 +532,30 @@ def run_supervised_shards(
     retry_backoff: float = 0.25,
     backoff_cap: float = 5.0,
     poison_threshold: int = POISON_THRESHOLD,
-    stop_when: Optional[Callable[[Dict[int, "_ShardState"]], bool]] = None,
+    stop_when: Optional[Callable[[Dict[int, "_BatchState"]], bool]] = None,
 ) -> SupervisorReport:
-    """Run every shard under supervision; the raw-report entry point.
+    """Run a campaign's batch plan on the worker pool; raw-report entry.
 
     ``faults`` injects worker misbehaviour (tests / CI); entries from
     the ``REPRO_INJECT_FAULT`` environment variable are appended.
-    ``stop_when`` is a per-loop predicate over the internal shard states
+    ``stop_when`` is a per-loop predicate over the internal batch states
     that requests a clean early stop — the programmatic twin of the
     ``SIGINT`` handler, used to test the partial-merge path
     deterministically.
     """
+    global _PREBUILT
     faults = tuple(faults) + faults_from_env()
     start = time.perf_counter()
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
     msgq = ctx.Queue()
 
-    states: Dict[int, _ShardState] = {
-        k: _ShardState(k, spec.shard_seed(k)) for k in range(spec.jobs)
+    states: Dict[int, _BatchState] = {
+        b.index: _BatchState(b) for b in spec.batches()
     }
     retries: List[RetryEvent] = []
     quarantined_log: List[QuarantinedInput] = []
+    assignments: List[dict] = []
     if resume_state is not None:
         for shard, result in resume_state.completed.items():
             if shard in states:
@@ -422,36 +566,68 @@ def run_supervised_shards(
             quarantined_log.append(q)
         retries.extend(resume_state.retries)
 
+    workers: Dict[int, _Worker] = {}
+    wid_counter = itertools.count()
     interrupted = [False]
 
     def _on_sigint(signum, frame):
         interrupted[0] = True
 
-    def _launch(st: _ShardState) -> None:
-        shard_faults = tuple(
-            f
-            for f in faults
-            if f.shard == st.shard and (st.attempt == 0 or f.persistent)
-        )
-        st.proc = ctx.Process(
-            target=_worker_main,
-            args=(
-                spec,
-                st.shard,
-                st.attempt,
-                msgq,
-                shard_faults,
-                tuple(sorted(st.quarantined)),
-            ),
+    def _spawn_worker() -> None:
+        wid = next(wid_counter)
+        taskq = ctx.Queue()
+        proc = ctx.Process(
+            target=_pool_worker_main,
+            args=(wid, spec, taskq, msgq),
             daemon=True,
         )
-        st.proc.start()
+        proc.start()
+        workers[wid] = _Worker(wid, proc, taskq)
+
+    def _assign(w: _Worker, st: _BatchState) -> None:
+        batch_faults = tuple(
+            f
+            for f in faults
+            if f.shard == st.index and (st.attempt == 0 or f.persistent)
+        )
+        w.taskq.put(
+            (st.batch, st.attempt, tuple(sorted(st.quarantined)), batch_faults)
+        )
+        w.current = st.index
+        w.ready = False
+        stolen_from = st.last_worker
+        st.assigned_to = w.wid
+        st.last_worker = w.wid
         st.last_hb = time.monotonic()
         st.last_iteration = -1
         st.restart_at = None
-        st.error_reason = None
+        assignments.append(
+            {"batch": st.index, "attempt": st.attempt, "worker": w.wid}
+        )
         if sink.active:
-            sink.emit(ShardStarted(shard=st.shard, seed=st.seed, attempt=st.attempt))
+            sink.emit(ShardStarted(shard=st.index, seed=st.seed, attempt=st.attempt))
+            sink.emit(
+                BatchClaimed(worker=w.wid, batch=st.index, attempt=st.attempt)
+            )
+            if stolen_from is not None and stolen_from != w.wid:
+                sink.emit(
+                    BatchStolen(
+                        worker=w.wid,
+                        batch=st.index,
+                        from_worker=stolen_from,
+                        attempt=st.attempt,
+                    )
+                )
+
+    def _next_eligible(now: float) -> Optional[_BatchState]:
+        for index in sorted(states):
+            st = states[index]
+            if st.finished or st.assigned_to is not None:
+                continue
+            if st.restart_at is not None and now < st.restart_at:
+                continue
+            return st
+        return None
 
     def _checkpoint() -> None:
         if spec.checkpoint_dir is not None:
@@ -463,27 +639,83 @@ def run_supervised_shards(
                 quarantined_log,
                 interrupted[0],
                 sink,
+                assignments=assignments,
             )
 
+    def _fail_attempt(st: _BatchState, reason: str) -> None:
+        retries.append(
+            RetryEvent(
+                shard=st.index,
+                attempt=st.attempt,
+                reason=reason,
+                iteration=st.last_iteration,
+            )
+        )
+        if sink.active:
+            sink.emit(ShardRetried(shard=st.index, attempt=st.attempt, reason=reason))
+        if st.last_iteration >= 0:
+            n = st.deaths[st.last_iteration] = (
+                st.deaths.get(st.last_iteration, 0) + 1
+            )
+            if n >= poison_threshold and st.last_iteration not in st.quarantined:
+                st.quarantined.add(st.last_iteration)
+                q = QuarantinedInput(
+                    shard=st.index, iteration=st.last_iteration, deaths=n
+                )
+                quarantined_log.append(q)
+                if sink.active:
+                    sink.emit(
+                        InputQuarantined(
+                            shard=st.index, iteration=st.last_iteration, deaths=n
+                        )
+                    )
+        st.partial = None
+        st.cov_acc = CoverageMap()
+        st.assigned_to = None
+        st.attempt += 1
+        if st.attempt > spec.max_retries:
+            st.failure = ShardFailure(
+                shard=st.index, attempts=st.attempt, reason=reason
+            )
+            _checkpoint()
+        else:
+            delay = min(backoff_cap, retry_backoff * (2 ** (st.attempt - 1)))
+            st.restart_at = time.monotonic() + delay
+
     def _handle(msg) -> None:
-        kind, shard, attempt, payload = msg
-        st = states.get(shard)
-        if st is None or attempt != st.attempt or st.finished:
+        kind, a, b, payload = msg
+        if kind == "ready":
+            w = workers.get(a)
+            if w is not None:
+                w.ready = True
+                w.current = None
+            return
+        st = states.get(a)
+        if st is None or b != st.attempt or st.finished:
             return  # stale message from a superseded attempt
         st.last_hb = time.monotonic()
         if kind == "hb":
             st.last_iteration = payload
             if sink.active:
-                sink.emit(ShardHeartbeat(shard=shard, iteration=payload))
+                sink.emit(ShardHeartbeat(shard=st.index, iteration=payload))
+        elif kind == "skipped":
+            pass  # liveness only; the quarantined input was not run
         elif kind == "partial":
-            st.partial = pickle.loads(payload)
+            result, delta = pickle.loads(payload)
+            st.cov_acc.merge(CoverageMap.from_bytes(delta))
+            result.coverage = st.cov_acc.copy()
+            st.partial = result
             _checkpoint()
         elif kind == "done":
-            st.result = pickle.loads(payload)
+            result, delta = pickle.loads(payload)
+            st.cov_acc.merge(CoverageMap.from_bytes(delta))
+            result.coverage = st.cov_acc
+            st.result = result
             st.partial = None
+            st.assigned_to = None
             _checkpoint()
         elif kind == "error":
-            st.error_reason = payload
+            _fail_attempt(st, payload)
 
     def _drain_available() -> None:
         while True:
@@ -502,15 +734,16 @@ def run_supervised_shards(
         _handle(msg)
         _drain_available()
 
-    def _await_verdict(st: _ShardState, timeout: float) -> None:
+    def _await_verdict(st: _BatchState, timeout: float) -> None:
         """A worker exited: wait briefly for its final in-flight messages.
 
         The queue's feeder thread flushes at process exit, so a "done"
         or "error" may land just after ``is_alive()`` flips — give it a
         grace period before declaring an unexplained death.
         """
+        attempt = st.attempt
         deadline = time.monotonic() + timeout
-        while not st.finished and st.error_reason is None:
+        while not st.finished and st.attempt == attempt:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 return
@@ -520,45 +753,6 @@ def run_supervised_shards(
                 return
             _handle(msg)
 
-    def _fail_attempt(st: _ShardState, reason: str) -> None:
-        retries.append(
-            RetryEvent(
-                shard=st.shard,
-                attempt=st.attempt,
-                reason=reason,
-                iteration=st.last_iteration,
-            )
-        )
-        if sink.active:
-            sink.emit(ShardRetried(shard=st.shard, attempt=st.attempt, reason=reason))
-        if st.last_iteration >= 0:
-            n = st.deaths[st.last_iteration] = (
-                st.deaths.get(st.last_iteration, 0) + 1
-            )
-            if n >= poison_threshold and st.last_iteration not in st.quarantined:
-                st.quarantined.add(st.last_iteration)
-                q = QuarantinedInput(
-                    shard=st.shard, iteration=st.last_iteration, deaths=n
-                )
-                quarantined_log.append(q)
-                if sink.active:
-                    sink.emit(
-                        InputQuarantined(
-                            shard=st.shard, iteration=st.last_iteration, deaths=n
-                        )
-                    )
-        st.proc = None
-        st.partial = None
-        st.attempt += 1
-        if st.attempt > spec.max_retries:
-            st.failure = ShardFailure(
-                shard=st.shard, attempts=st.attempt, reason=reason
-            )
-            _checkpoint()
-        else:
-            delay = min(backoff_cap, retry_backoff * (2 ** (st.attempt - 1)))
-            st.restart_at = time.monotonic() + delay
-
     def _kill(proc) -> None:
         proc.terminate()
         proc.join(timeout=1.0)
@@ -566,14 +760,28 @@ def run_supervised_shards(
             proc.kill()
             proc.join(timeout=1.0)
 
+    def _retire_worker(w: _Worker) -> None:
+        """Drop a dead/killed worker; replace it if pending work remains."""
+        workers.pop(w.wid, None)
+        needs_worker = any(
+            not st.finished and st.assigned_to is None for st in states.values()
+        )
+        if needs_worker and not interrupted[0]:
+            _spawn_worker()
+
     in_main_thread = threading.current_thread() is threading.main_thread()
     previous_handler = None
     if in_main_thread:
         previous_handler = signal.signal(signal.SIGINT, _on_sigint)
     try:
-        for st in states.values():
-            if not st.finished:
-                _launch(st)
+        unfinished = [st for st in states.values() if not st.finished]
+        if unfinished:
+            if method == "fork":
+                # Build the kernel image once; forked workers inherit it
+                # instead of each paying the construction cost.
+                _PREBUILT = (_image_key(spec), campaign_image(spec))
+            for _ in range(min(spec.jobs, len(unfinished))):
+                _spawn_worker()
 
         while not interrupted[0]:
             unfinished = [st for st in states.values() if not st.finished]
@@ -581,38 +789,60 @@ def run_supervised_shards(
                 break
             _poll(_POLL_INTERVAL)
             now = time.monotonic()
-            for st in unfinished:
-                if st.finished:
+            # Feed ready workers from the pending end of the plan.
+            for w in list(workers.values()):
+                if not w.ready:
                     continue
-                if st.proc is None:  # waiting out the retry backoff
-                    if st.restart_at is not None and now >= st.restart_at:
-                        _launch(st)
-                    continue
-                if not st.proc.is_alive():
-                    st.proc.join()
-                    # A final "done" may still be in the pipe; give the
-                    # feeder's flush a grace period before declaring death.
-                    _await_verdict(st, _DRAIN_GRACE)
-                    if st.finished:
-                        continue
-                    reason = st.error_reason or f"died (exit {st.proc.exitcode})"
-                    _fail_attempt(st, reason)
+                st = _next_eligible(now)
+                if st is None:
+                    break
+                _assign(w, st)
+            # Health: replace dead workers, kill hung ones.
+            for w in list(workers.values()):
+                if not w.proc.is_alive():
+                    w.proc.join()
+                    cur = w.current
+                    if cur is not None:
+                        st = states[cur]
+                        attempt = st.attempt
+                        _await_verdict(st, _DRAIN_GRACE)
+                        if (
+                            not st.finished
+                            and st.attempt == attempt
+                            and st.assigned_to == w.wid
+                        ):
+                            _fail_attempt(
+                                st, f"died (exit {w.proc.exitcode})"
+                            )
+                    _retire_worker(w)
                 elif (
-                    spec.shard_timeout is not None
-                    and now - st.last_hb > spec.shard_timeout
+                    w.current is not None
+                    and spec.shard_timeout is not None
+                    and states[w.current].assigned_to == w.wid
+                    and not states[w.current].finished
+                    and now - states[w.current].last_hb > spec.shard_timeout
                 ):
-                    _kill(st.proc)
+                    _kill(w.proc)
                     _drain_available()  # heartbeats sent before it wedged
-                    if not st.finished:
+                    st = states[w.current]
+                    if not st.finished and st.assigned_to == w.wid:
                         _fail_attempt(st, "hung")
+                    _retire_worker(w)
             if stop_when is not None and stop_when(states):
                 interrupted[0] = True
     finally:
         if in_main_thread and previous_handler is not None:
             signal.signal(signal.SIGINT, previous_handler)
-        for st in states.values():
-            if st.proc is not None and st.proc.is_alive():
-                _kill(st.proc)
+        for w in workers.values():
+            try:
+                w.taskq.put(None)  # poison pill for idle workers
+            except Exception:
+                pass
+        for w in workers.values():
+            w.proc.join(timeout=0.05 if interrupted[0] else 0.5)
+            if w.proc.is_alive():
+                _kill(w.proc)
+        _PREBUILT = None
 
     if interrupted[0]:
         _drain_available()  # late partials from the workers just killed
@@ -622,7 +852,7 @@ def run_supervised_shards(
 
     if interrupted[0]:
         # Clean partial merge: completed results plus the freshest
-        # mid-run snapshot of every shard that was cut short.
+        # mid-run snapshot of every batch that was cut short.
         shards = [
             st.result or st.partial
             for st in states.values()
@@ -636,7 +866,9 @@ def run_supervised_shards(
         retries=tuple(retries),
         quarantined=tuple(quarantined_log),
         failed_shards=tuple(
-            st.failure for st in states.values() if st.failure is not None
+            states[k].failure
+            for k in sorted(states)
+            if states[k].failure is not None
         ),
         interrupted=interrupted[0],
         seconds=seconds,
@@ -652,9 +884,9 @@ def run_supervised(
     retry_backoff: float = 0.25,
     backoff_cap: float = 5.0,
     poison_threshold: int = POISON_THRESHOLD,
-    stop_when: Optional[Callable[[Dict[int, "_ShardState"]], bool]] = None,
+    stop_when: Optional[Callable[[Dict[int, "_BatchState"]], bool]] = None,
 ) -> CampaignResult:
-    """Supervised campaign execution, merged to a :class:`CampaignResult`."""
+    """Pooled campaign execution, merged to a :class:`CampaignResult`."""
     report = run_supervised_shards(
         spec,
         faults=faults,

@@ -24,6 +24,8 @@ Three sinks ship with the bus:
 
 from repro.trace.events import (
     SCHEMA_VERSION,
+    BatchClaimed,
+    BatchStolen,
     BreakpointHit,
     BufferFlush,
     CheckpointWritten,
@@ -50,6 +52,8 @@ from repro.trace.recorder import TraceRecorder
 from repro.trace.sink import NULL_SINK, NullSink, TeeSink, TraceSink
 
 __all__ = [
+    "BatchClaimed",
+    "BatchStolen",
     "BreakpointHit",
     "BufferFlush",
     "CheckpointWritten",

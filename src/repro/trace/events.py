@@ -229,6 +229,34 @@ class ShardRetried(ExecEvent):
 
 @_register
 @dataclass(frozen=True)
+class BatchClaimed(ExecEvent):
+    """A pool worker pulled a batch from the campaign work queue."""
+
+    kind: ClassVar[str] = "batch-claim"
+    worker: int
+    batch: int
+    attempt: int
+
+
+@_register
+@dataclass(frozen=True)
+class BatchStolen(ExecEvent):
+    """A batch was re-claimed by a different worker than its last attempt.
+
+    Emitted alongside ``batch-claim`` when work migrates — either a
+    retry landing on a surviving worker after a death, or an idle worker
+    draining the queue ahead of a slow sibling.
+    """
+
+    kind: ClassVar[str] = "batch-steal"
+    worker: int
+    batch: int
+    from_worker: int
+    attempt: int
+
+
+@_register
+@dataclass(frozen=True)
 class InputQuarantined(ExecEvent):
     """An input that repeatedly killed its worker was quarantined."""
 

@@ -10,6 +10,8 @@ from repro.oemu.instrument import instrument_program
 from repro.sched import BarrierTestExecutor
 from repro.trace import (
     NULL_SINK,
+    BatchClaimed,
+    BatchStolen,
     BreakpointHit,
     BufferFlush,
     CheckpointWritten,
@@ -58,6 +60,8 @@ SAMPLE_EVENTS = {
     "shard-start": ShardStarted(1, 10001, 0),
     "shard-heartbeat": ShardHeartbeat(1, 4),
     "shard-retry": ShardRetried(1, 0, "hung"),
+    "batch-claim": BatchClaimed(0, 1, 0),
+    "batch-steal": BatchStolen(1, 2, 0, 1),
     "shard-quarantine": InputQuarantined(1, 4, 2),
     "checkpoint": CheckpointWritten(1, 1),
 }
