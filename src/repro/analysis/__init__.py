@@ -9,9 +9,17 @@ derives the same class of facts from the program text alone:
 * :mod:`repro.analysis.barriers` — the barrier lint and the
   :func:`~repro.analysis.barriers.static_reordering_candidates` hint
   source consumed by the fuzzer;
-* :mod:`repro.analysis.locks` — lockdep-style lock-pairing checks;
+* :mod:`repro.analysis.locks` — lockdep-style lock-pairing checks
+  (CFG-path-aware, trylock-sensitive);
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.pointsto` /
+  :mod:`repro.analysis.summaries` / :mod:`repro.analysis.lockset` /
+  :mod:`repro.analysis.races` — the KIRA v2 interprocedural engine:
+  call graph, field-sensitive points-to, per-function summaries,
+  must-held locksets, and the ranked race-candidate report;
 * :mod:`repro.analysis.lint` — orchestration + reporting
-  (the ``repro lint`` CLI and KernelImage strict mode).
+  (the ``repro lint`` CLI and KernelImage strict mode);
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 rendering for code-scanning
+  UIs.
 
 Built on :mod:`repro.kir.cfg` and :mod:`repro.kir.dataflow`.  This
 package may import from ``repro.kir`` and ``repro.oemu`` but never from
@@ -24,21 +32,53 @@ from repro.analysis.barriers import (
     candidate_pairs,
     static_reordering_candidates,
 )
+from repro.analysis.callgraph import CallGraph, CallSite, build_callgraph
 from repro.analysis.lint import Finding, LintReport, lint_program, render_report
+from repro.analysis.lockset import LocksetAnalysis, analyze_locksets
 from repro.analysis.locks import LockFinding, check_lock_pairing
+from repro.analysis.pointsto import MemLoc, PointsTo, points_to
+from repro.analysis.races import (
+    RaceAccess,
+    RaceFinding,
+    RaceReport,
+    analyze_races,
+    candidate_weights,
+)
 from repro.analysis.reaching import reaching_definitions, undefined_reads
+from repro.analysis.sarif import to_sarif
+from repro.analysis.summaries import (
+    AccessSite,
+    FunctionSummary,
+    summarize_program,
+)
 
 __all__ = [
+    "AccessSite",
+    "CallGraph",
+    "CallSite",
     "Finding",
+    "FunctionSummary",
     "LintReport",
     "LockFinding",
+    "LocksetAnalysis",
+    "MemLoc",
+    "PointsTo",
+    "RaceAccess",
+    "RaceFinding",
+    "RaceReport",
     "StaticCandidate",
+    "analyze_locksets",
+    "analyze_races",
+    "build_callgraph",
     "candidate_addr_sets",
     "candidate_pairs",
+    "candidate_weights",
     "check_lock_pairing",
     "lint_program",
+    "points_to",
     "reaching_definitions",
     "render_report",
     "static_reordering_candidates",
-    "undefined_reads",
+    "summarize_program",
+    "to_sarif",
 ]

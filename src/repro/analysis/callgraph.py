@@ -1,0 +1,172 @@
+"""Whole-program call graph over a linked KIR :class:`Program`.
+
+The first layer of KIRA v2's interprocedural engine.  Direct ``Call``
+edges are exact (linking already validated the targets).  Indirect
+``ICall`` edges are resolved class-hierarchy-analysis style: the target
+set is the *plausible indirect targets* of the program — functions that
+are arity-compatible with the callsite and either
+
+* *address-taken in text*: their base address appears as an ``Imm``
+  operand somewhere (a function pointer materialized in KIR), or
+* *boot-installed*: never the target of any direct call and not a
+  syscall entry point.  Simulated subsystems install their ops-table
+  pointers from Python ``init(kernel)`` hooks (e.g. the TLS
+  ``sk_prot`` swap, watch_queue's ``pipe_buf_ops``), which static
+  analysis cannot see; such functions are exactly the ones nothing
+  calls directly.
+
+Both sources over-approximate, which is the safe direction for a may-
+analysis: extra edges can only add race candidates and widen what the
+lockset analysis must prove.
+
+Witness paths — the call chains attached to race findings — come from a
+deterministic BFS (:meth:`CallGraph.witness_paths`): roots in sorted
+order, callsites in program order, so the same program always yields
+the same (shortest) witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.kir.function import Function, Program
+from repro.kir.insn import Call, ICall, Imm, Insn
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call edge: ``caller[index]`` invokes ``callee``."""
+
+    caller: str
+    index: int
+    callee: str
+    direct: bool
+
+    def __repr__(self) -> str:
+        kind = "call" if self.direct else "icall"
+        return f"<{kind} {self.caller}[{self.index}] -> {self.callee}>"
+
+
+class CallGraph:
+    """Call edges + reachability + witness paths for one program."""
+
+    def __init__(self, program: Program, roots: Sequence[str] = ()) -> None:
+        self.program = program
+        self.roots: Tuple[str, ...] = tuple(sorted(set(roots)))
+        self.sites: List[CallSite] = []
+        #: caller name -> callsites in program order
+        self.out_edges: Dict[str, List[CallSite]] = {}
+        #: callee name -> callsites (callers), insertion order
+        self.in_edges: Dict[str, List[CallSite]] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        program = self.program
+        for name in program.functions:
+            self.out_edges[name] = []
+            self.in_edges.setdefault(name, [])
+        taken = self._address_taken()
+        direct_targets = {
+            insn.func
+            for func in program.functions.values()
+            for insn in func.insns
+            if isinstance(insn, Call)
+        }
+        roots = set(self.roots)
+        boot_installed = frozenset(
+            name
+            for name in program.functions
+            if name not in direct_targets and name not in roots
+        )
+        plausible = taken | boot_installed
+        for func in program.functions.values():
+            for index, insn in enumerate(func.insns):
+                if isinstance(insn, Call):
+                    self._add(CallSite(func.name, index, insn.func, True))
+                elif isinstance(insn, ICall):
+                    for callee in self._icall_targets(insn, plausible):
+                        self._add(CallSite(func.name, index, callee, False))
+
+    def _add(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.out_edges[site.caller].append(site)
+        self.in_edges.setdefault(site.callee, []).append(site)
+
+    def _address_taken(self) -> FrozenSet[str]:
+        bases = {func.base: func.name for func in self.program.functions.values()}
+        taken = set()
+        for insn in self.program.all_insns():
+            for value in _imm_values(insn):
+                name = bases.get(value)
+                if name is not None:
+                    taken.add(name)
+        return frozenset(taken)
+
+    def _icall_targets(
+        self, insn: ICall, plausible: FrozenSet[str]
+    ) -> List[str]:
+        arity = len(insn.args)
+        return sorted(
+            name
+            for name in plausible
+            if len(self.program.functions[name].params) == arity
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, name: str) -> List[CallSite]:
+        return self.out_edges.get(name, [])
+
+    def callers(self, name: str) -> List[CallSite]:
+        return self.in_edges.get(name, [])
+
+    def reachable(self, roots: Optional[Iterable[str]] = None) -> FrozenSet[str]:
+        """Functions reachable from ``roots`` (default: graph roots)."""
+        frontier = sorted(set(self.roots if roots is None else roots))
+        seen = set(frontier)
+        while frontier:
+            name = frontier.pop(0)
+            for site in self.out_edges.get(name, []):
+                if site.callee not in seen:
+                    seen.add(site.callee)
+                    frontier.append(site.callee)
+        return frozenset(seen)
+
+    def witness_paths(
+        self, roots: Optional[Iterable[str]] = None
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Shortest call path root → function, for every reachable one.
+
+        Deterministic: BFS from sorted roots, edges in program order.
+        The path is a tuple of function names starting at a root and
+        ending at the function itself (roots map to 1-tuples).
+        """
+        frontier = sorted(set(self.roots if roots is None else roots))
+        paths: Dict[str, Tuple[str, ...]] = {name: (name,) for name in frontier}
+        while frontier:
+            name = frontier.pop(0)
+            base = paths[name]
+            for site in self.out_edges.get(name, []):
+                if site.callee not in paths:
+                    paths[site.callee] = base + (site.callee,)
+                    frontier.append(site.callee)
+        return paths
+
+
+def _imm_values(insn: Insn) -> Iterable[int]:
+    for field_name in getattr(insn, "__dataclass_fields__", {}):
+        value = getattr(insn, field_name)
+        if isinstance(value, Imm):
+            yield value.value
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Imm):
+                    yield item.value
+
+
+def build_callgraph(program: Program, roots: Sequence[str] = ()) -> CallGraph:
+    """Convenience constructor mirroring the other analyses' entrypoints."""
+    return CallGraph(program, roots)

@@ -1,9 +1,9 @@
 """Lockdep-style static lock-pairing checks over KIR functions.
 
 Kernel subsystems take and release spinlocks through the ``spin_lock``
-/ ``spin_unlock`` helpers (:mod:`repro.kernel.helpers`).  This pass runs
-a forward may-held dataflow per function — facts are the set of lock
-keys that *may* be held at a program point — and reports three
+/ ``spin_trylock`` / ``spin_unlock`` helpers
+(:mod:`repro.kernel.helpers`).  This pass runs a *path-aware* forward
+dataflow per function over a small per-lock lattice and reports four
 imbalance classes, mirroring the kernel's lockdep:
 
 * **double-acquire** — ``spin_lock(L)`` while L may already be held on
@@ -11,35 +11,62 @@ imbalance classes, mirroring the kernel's lockdep:
   recursive, see ``h_spin_lock``);
 * **release-without-acquire** — ``spin_unlock(L)`` while L is held on
   *no* incoming path;
+* **conditional-release** — ``spin_unlock(L)`` while L is held on some
+  incoming paths but not all of them: a double release (one arm of a
+  diamond already dropped the lock) or a ``spin_trylock`` whose failure
+  path reaches the unlock.  The old linear may-held scan missed these —
+  the lock *may* be held, so nothing looked wrong — which is exactly
+  the conditional-release false negative this lattice closes;
 * **acquire-no-release** — a ``ret`` reachable with L still held (a
   leaked critical section: every later acquirer deadlocks).
+
+Each lock key is tracked as one of three states: ``must`` (held on
+every incoming path), ``may`` (held on some path), or *conditional* —
+held iff a ``spin_trylock`` result register is nonzero.  Conditional
+entries are resolved path-sensitively through the dataflow engine's
+``edge_transfer`` hook: a branch testing the trylock result against 0
+promotes the lock to ``must`` on the success edge and drops it on the
+failure edge, so the canonical ``if (!spin_trylock(L)) return;``
+pattern checks clean.
 
 Lock identity is the helper's first argument: immediate lock addresses
 compare by value, register-held addresses by (function-local) register
 name.  The analysis is intraprocedural; subsystems in this codebase
 take and release locks within one function, matching the kernel's own
-convention that lock scopes do not cross function boundaries.
+convention that lock scopes do not cross function boundaries (the
+interprocedural *lockset* analysis in :mod:`repro.analysis.lockset`
+answers the different question of which locks protect each access).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional
+from typing import List, Optional, Tuple, Union
 
-from repro.kir.cfg import CFG
-from repro.kir.dataflow import SetUnionProblem, solve
+from repro.kir.cfg import CFG, BasicBlock
+from repro.kir.dataflow import DataflowProblem, FORWARD, solve
 from repro.kir.function import Function
-from repro.kir.insn import Helper, Imm, Insn, Reg, Ret
+from repro.kir.insn import Branch, Cond, Helper, Imm, Insn, Reg, Ret, reg_written
 
 ACQUIRE_HELPERS = ("spin_lock",)
+TRYLOCK_HELPERS = ("spin_trylock",)
 RELEASE_HELPERS = ("spin_unlock",)
+
+#: Per-lock lattice tags.  A fact is a frozenset of ``(key, tag)``
+#: entries; absent key means "held on no path".
+MUST = "must"
+MAY = "may"
+# The third tag is the tuple ("cond", reg_name): held iff `reg` != 0.
+
+Tag = Union[str, Tuple[str, str]]
 
 
 @dataclass(frozen=True)
 class LockFinding:
     """One lock-pairing violation."""
 
-    kind: str        # "double-acquire" | "release-without-acquire" | "acquire-no-release"
+    kind: str        # "double-acquire" | "release-without-acquire"
+                     # | "conditional-release" | "acquire-no-release"
     function: str
     index: int       # instruction index of the offending helper / ret
     lock: str        # lock key ("0xADDR" or "%reg")
@@ -61,29 +88,134 @@ def lock_key(insn: Helper) -> Optional[str]:
 
 
 def _lock_op(insn: Insn) -> Optional[str]:
-    """"acquire" / "release" if the instruction is a lock helper."""
+    """"acquire" / "trylock" / "release" if a lock helper."""
     if not isinstance(insn, Helper):
         return None
     if insn.name in ACQUIRE_HELPERS:
         return "acquire"
+    if insn.name in TRYLOCK_HELPERS:
+        return "trylock"
     if insn.name in RELEASE_HELPERS:
         return "release"
     return None
 
 
-class MayHeldProblem(SetUnionProblem):
-    """Forward may-held-locks analysis; facts are frozensets of keys."""
+class PathHeldProblem(DataflowProblem):
+    """Forward held-locks analysis over the must/may/cond lattice.
+
+    Facts are frozensets of ``(key, tag)``; at most one entry per key
+    (the transfer and join maintain this invariant).
+    """
+
+    direction = FORWARD
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+
+    def boundary(self) -> frozenset:
+        return frozenset()
+
+    def top(self) -> frozenset:
+        return frozenset()
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        if a == b:
+            return a
+        keys_a = {key: tag for key, tag in a}
+        keys_b = {key: tag for key, tag in b}
+        out = set()
+        for key in set(keys_a) | set(keys_b):
+            ta, tb = keys_a.get(key), keys_b.get(key)
+            if ta == tb and ta is not None:
+                out.add((key, ta))        # agreeing paths keep their tag
+            else:
+                # Held on only some incoming paths, or with disagreeing
+                # evidence (must/may, must/cond, cond-on-different-regs):
+                # definitely held on some path, not provably on all.
+                out.add((key, MAY))
+        return frozenset(out)
+
+    # -- transfer ----------------------------------------------------------
 
     def transfer(self, insn: Insn, index: int, fact: frozenset) -> frozenset:
         op = _lock_op(insn)
-        if op is None:
+        if op is not None:
+            key = lock_key(insn)
+            if key is not None:
+                rest = frozenset(e for e in fact if e[0] != key)
+                if op == "acquire":
+                    return rest | {(key, MUST)}
+                if op == "trylock":
+                    dst = reg_written(insn)
+                    if dst is not None:
+                        return rest | {(key, ("cond", dst.name))}
+                    # result discarded: held on some path, untrackable
+                    return rest | {(key, MAY)}
+                return rest  # release
+        # Redefining a register a conditional entry depends on severs the
+        # trylock-result correlation; degrade to MAY.
+        defined = reg_written(insn)
+        if defined is not None:
+            degraded = None
+            for key, tag in fact:
+                if isinstance(tag, tuple) and tag[1] == defined.name:
+                    degraded = degraded or set(fact)
+                    degraded.discard((key, tag))
+                    degraded.add((key, MAY))
+            if degraded is not None:
+                return frozenset(degraded)
+        return fact
+
+    # -- path sensitivity --------------------------------------------------
+
+    def edge_transfer(
+        self, pred: BasicBlock, succ: BasicBlock, fact: frozenset
+    ) -> frozenset:
+        """Resolve conditional (trylock) entries along branch edges.
+
+        When ``pred`` ends in ``beq r, 0`` / ``bne r, 0`` and the fact
+        carries ``(L, ("cond", r))``, the edge tells us the trylock's
+        outcome: L is *held* (must) on the ``r != 0`` edge and *not
+        held* on the ``r == 0`` edge.
+        """
+        if not any(isinstance(tag, tuple) for _, tag in fact):
             return fact
-        key = lock_key(insn)
-        if key is None:
+        if len(pred) == 0:
             return fact
-        if op == "acquire":
-            return fact | {key}
-        return fact - {key}
+        term = self.func.insns[pred.end - 1]
+        tested = _zero_test(term)
+        if tested is None:
+            return fact
+        reg_name, taken_is_nonzero = tested
+        if term.target == pred.end:
+            return fact  # degenerate branch: both edges identical
+        is_taken_edge = succ.start == term.target
+        nonzero = taken_is_nonzero if is_taken_edge else not taken_is_nonzero
+        out = set()
+        for key, tag in fact:
+            if isinstance(tag, tuple) and tag[1] == reg_name:
+                if nonzero:
+                    out.add((key, MUST))   # trylock succeeded on this edge
+                # else: trylock failed — the lock is not held; drop it
+            else:
+                out.add((key, tag))
+        return frozenset(out)
+
+
+def _zero_test(insn: Insn) -> Optional[Tuple[str, bool]]:
+    """If ``insn`` is a branch comparing a register against 0, return
+    ``(reg_name, taken_means_nonzero)``."""
+    if not isinstance(insn, Branch) or insn.cond not in (Cond.EQ, Cond.NE):
+        return None
+    if isinstance(insn.lhs, Reg) and isinstance(insn.rhs, Imm) and insn.rhs.value == 0:
+        reg = insn.lhs.name
+    elif isinstance(insn.rhs, Reg) and isinstance(insn.lhs, Imm) and insn.lhs.value == 0:
+        reg = insn.rhs.name
+    else:
+        return None
+    return reg, insn.cond is Cond.NE
 
 
 def check_lock_pairing(func: Function) -> List[LockFinding]:
@@ -92,11 +224,14 @@ def check_lock_pairing(func: Function) -> List[LockFinding]:
     Reported conditions are chosen so every finding is real on at least
     one path: double-acquire fires when *some* path reaches the acquire
     already holding the lock, release-without-acquire when *no* path
-    holds it, acquire-no-release when *some* path reaches a ``ret``
-    still holding it.
+    holds it, conditional-release when only *some* paths hold it, and
+    acquire-no-release when *some* path reaches a ``ret`` still holding
+    it.  ``spin_trylock`` itself never double-acquires (on a held lock
+    it just fails), but a trylock whose success path leaks the lock is
+    still an acquire-no-release.
     """
     cfg = CFG.build(func)
-    result = solve(cfg, MayHeldProblem())
+    result = solve(cfg, PathHeldProblem(func))
     live = cfg.reachable_blocks(0) | {0}
     findings: List[LockFinding] = []
     for block in cfg.blocks:
@@ -104,23 +239,32 @@ def check_lock_pairing(func: Function) -> List[LockFinding]:
             continue
         for index, fact in result.insn_facts(block):
             insn = func.insns[index]
+            tags = {key: tag for key, tag in fact}
             op = _lock_op(insn)
             if op == "acquire":
                 key = lock_key(insn)
-                if key is not None and key in fact:
+                if key is not None and key in tags:
                     findings.append(
                         LockFinding("double-acquire", func.name, index, key)
                     )
             elif op == "release":
                 key = lock_key(insn)
-                if key is not None and key not in fact:
+                if key is None:
+                    continue
+                if key not in tags:
                     findings.append(
                         LockFinding(
                             "release-without-acquire", func.name, index, key
                         )
                     )
+                elif tags[key] != MUST:
+                    findings.append(
+                        LockFinding(
+                            "conditional-release", func.name, index, key
+                        )
+                    )
             elif isinstance(insn, Ret):
-                for key in sorted(fact):
+                for key in sorted(tags):
                     findings.append(
                         LockFinding("acquire-no-release", func.name, index, key)
                     )

@@ -1,0 +1,210 @@
+"""Interprocedural must-held lockset analysis (LOCKSMITH-style).
+
+For every instruction in the program, the set of locks *definitely*
+held when it executes — the fact the race engine intersects across an
+access pair: a common lock means the pair is serialized, disjoint
+locksets mean nothing orders them.
+
+Two composed fixpoints:
+
+* **Intraprocedural**: per function, a forward must-analysis on the
+  generic dataflow engine — ``top`` is the all-locks universe, join is
+  set *intersection*, ``spin_lock`` adds its (points-to-resolved) lock,
+  ``spin_unlock`` removes it, and a call applies the callee's lock
+  effect summary ``(fact − may_release) ∪ must_acquire`` from
+  :mod:`repro.analysis.summaries`.  ``spin_trylock`` adds nothing (its
+  success is not a must-fact).
+
+* **Interprocedural**: a function's *entry* lockset is the
+  intersection of the must-held sets at all of its callsites (direct
+  and resolved indirect); call-graph roots (syscall entries) and
+  caller-less functions start from the empty set.  Entries start at
+  the universe and descend monotonically, so recursion terminates.
+
+Lock identity is the stable points-to name from
+:meth:`~repro.analysis.pointsto.PointsTo.pointer_name` — two helpers
+naming the same abstract location hold the same lock even when one
+takes it through a register and the other through an immediate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.locks import _lock_op
+from repro.analysis.summaries import FunctionSummary
+from repro.kir.cfg import CFG
+from repro.kir.dataflow import DataflowProblem, DataflowResult, FORWARD, solve
+from repro.kir.function import Function, Program
+from repro.kir.insn import Call, ICall, Insn
+
+
+class MustHeldProblem(DataflowProblem):
+    """Forward intersection analysis over lock-name sets."""
+
+    direction = FORWARD
+
+    def __init__(
+        self,
+        func: Function,
+        universe: FrozenSet[str],
+        entry: FrozenSet[str],
+        lock_at: Dict[int, Tuple[str, str]],   # index -> (op, lock name)
+        callee_effect,                         # index -> (must, may_release) | None
+    ) -> None:
+        self.func = func
+        self.universe = universe
+        self.entry = entry
+        self.lock_at = lock_at
+        self.callee_effect = callee_effect
+
+    def boundary(self) -> FrozenSet[str]:
+        return self.entry
+
+    def top(self) -> FrozenSet[str]:
+        return self.universe
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a & b
+
+    def transfer(self, insn: Insn, index: int, fact: FrozenSet[str]) -> FrozenSet[str]:
+        site = self.lock_at.get(index)
+        if site is not None:
+            op, lock = site
+            if op == "acquire":
+                return fact | {lock}
+            if op == "release":
+                return fact - {lock}
+            return fact  # trylock: success is not a must-fact
+        effect = self.callee_effect(index)
+        if effect is not None:
+            must, may_release = effect
+            return (fact - may_release) | must
+        return fact
+
+
+class LocksetAnalysis:
+    """Whole-program must-held locksets; query with :meth:`held_at`."""
+
+    def __init__(
+        self,
+        program: Program,
+        summaries: Dict[str, FunctionSummary],
+        callgraph: CallGraph,
+        roots: Iterable[str] = (),
+    ) -> None:
+        self.program = program
+        self.summaries = summaries
+        self.callgraph = callgraph
+        self.roots = frozenset(roots)
+        self.universe: FrozenSet[str] = frozenset(
+            site.lock for s in summaries.values() for site in s.lock_sites
+        )
+        self.entries: Dict[str, FrozenSet[str]] = {}
+        self._results: Dict[str, DataflowResult] = {}
+        self._cfgs: Dict[str, CFG] = {}
+        self._held_cache: Dict[str, Dict[int, FrozenSet[str]]] = {}
+        self._solve()
+
+    # -- queries -----------------------------------------------------------
+
+    def held_at(self, func: str, index: int) -> FrozenSet[str]:
+        """Locks definitely held when ``func[index]`` executes."""
+        table = self._held_cache.get(func)
+        if table is None:
+            table = {}
+            result = self._results[func]
+            for block in result.cfg.blocks:
+                for i, fact in result.insn_facts(block):
+                    table[i] = fact
+            self._held_cache[func] = table
+        return table.get(index, frozenset())
+
+    def entry_lockset(self, func: str) -> FrozenSet[str]:
+        return self.entries.get(func, frozenset())
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _solve(self) -> None:
+        no_callers = {
+            name
+            for name in self.program.functions
+            if not self.callgraph.callers(name)
+        }
+        for name in self.program.functions:
+            if name in self.roots or name in no_callers:
+                self.entries[name] = frozenset()
+            else:
+                self.entries[name] = self.universe
+        changed = True
+        while changed:
+            self._held_cache.clear()
+            for name, func in self.program.functions.items():
+                self._results[name] = self._solve_function(func)
+            changed = False
+            for name in self.program.functions:
+                if name in self.roots or name in no_callers:
+                    continue
+                incoming = [
+                    self._held_before_call(site.caller, site.index)
+                    for site in self.callgraph.callers(name)
+                ]
+                new_entry = (
+                    frozenset.intersection(*incoming) if incoming else frozenset()
+                )
+                if new_entry != self.entries[name]:
+                    self.entries[name] = new_entry
+                    changed = True
+
+    def _held_before_call(self, caller: str, index: int) -> FrozenSet[str]:
+        return self.held_at(caller, index)
+
+    def _solve_function(self, func: Function) -> DataflowResult:
+        summary = self.summaries[func.name]
+        lock_at = {
+            site.index: (site.op, site.lock) for site in summary.lock_sites
+        }
+
+        def callee_effect(index: int):
+            insn = func.insns[index]
+            if isinstance(insn, Call):
+                callee = self.summaries.get(insn.func)
+                if callee is None:
+                    return None
+                return callee.must_acquire, callee.may_release
+            if isinstance(insn, ICall):
+                targets = [
+                    s.callee
+                    for s in self.callgraph.callees(func.name)
+                    if s.index == index and not s.direct
+                ]
+                if not targets:
+                    return None
+                must = frozenset.intersection(
+                    *(self.summaries[t].must_acquire for t in targets)
+                )
+                rel = frozenset().union(
+                    *(self.summaries[t].may_release for t in targets)
+                )
+                return must, rel
+            return None
+
+        cfg = self._cfgs.get(func.name)
+        if cfg is None:
+            cfg = CFG.build(func)
+            self._cfgs[func.name] = cfg
+        problem = MustHeldProblem(
+            func, self.universe, self.entries[func.name], lock_at, callee_effect
+        )
+        return solve(cfg, problem)
+
+
+def analyze_locksets(
+    program: Program,
+    summaries: Dict[str, FunctionSummary],
+    callgraph: CallGraph,
+    roots: Iterable[str] = (),
+) -> LocksetAnalysis:
+    """Convenience constructor; see :class:`LocksetAnalysis`."""
+    return LocksetAnalysis(program, summaries, callgraph, roots)

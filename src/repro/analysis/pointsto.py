@@ -1,0 +1,516 @@
+"""Field-sensitive points-to analysis over KIR memory operands.
+
+The aliasing layer of KIRA v2.  Every ``Load``/``Store``/``AtomicRMW``
+in the program is resolved to a set of *abstract locations* — an
+abstract object plus a byte offset — so the race engine
+(:mod:`repro.analysis.races`) can ask "may these two accesses touch the
+same memory?" across function boundaries, and the lockset analysis can
+name the lock a register-held address refers to.
+
+The analysis is Andersen-style: flow- and context-insensitive subset
+constraints, solved to a fixpoint over the whole program at once.
+Field sensitivity is byte-offset granular (KIR "fields" are literal
+offsets off a base pointer, mirroring the subsystem structs); an
+unknown offset is the distinguished ``None`` field that overlaps every
+field of its object.
+
+Abstract objects:
+
+* :class:`GlobalRegion` — a named kernel global (from the image's
+  region map, e.g. ``vlan_group``), offset relative to its base;
+* :data:`RAW` — the flat data segment, for immediate addresses outside
+  any named region (hand-built test functions, poked scratch state);
+  offsets are *absolute* addresses;
+* :class:`AllocSite` — one ``kmalloc``/``kzalloc`` callsite (heap
+  objects are summarized per allocation site, the classic choice);
+* :class:`ParamSource` — the unknown pointed-to object of a function
+  parameter nothing binds (e.g. syscall arguments): opaque, distinct
+  per (function, parameter);
+* :data:`FDTABLE` — the file-descriptor table: ``fd_install`` writes
+  flow into ``fd_get``/``fd_close`` reads, which is how objects travel
+  between syscalls in the simulated kernel;
+* :data:`PERCPU` — the per-CPU area (``percpu_ptr``);
+* :class:`FuncRef` — a function pointer (an immediate equal to a
+  linked function's base address).
+
+Scalar arithmetic stays scalar: only ``ADD``/``SUB`` with a constant
+preserve a pointer (shifting its offset); adding a register widens the
+offset to ``None``.  Per-object offset fan-out is capped
+(:data:`MAX_OFFSETS`) and widens to ``None`` — the standard guard
+against loops materializing unbounded field sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.kir.function import Function, Program
+from repro.kir.insn import (
+    AtomicOp,
+    AtomicRMW,
+    BinOp,
+    BinOpKind,
+    Call,
+    Helper,
+    ICall,
+    Imm,
+    Insn,
+    Load,
+    Mov,
+    Operand,
+    Reg,
+    Ret,
+    Store,
+)
+
+#: Widening threshold: more than this many distinct offsets for one
+#: object in one points-to set collapses to the any-field offset.
+MAX_OFFSETS = 8
+
+
+@dataclass(frozen=True)
+class GlobalRegion:
+    name: str
+    base: int
+    size: int
+
+    def __repr__(self) -> str:
+        return f"<global {self.name}>"
+
+
+@dataclass(frozen=True)
+class _RawSegment:
+    def __repr__(self) -> str:
+        return "<raw>"
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    function: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"<alloc {self.function}[{self.index}]>"
+
+
+@dataclass(frozen=True)
+class ParamSource:
+    function: str
+    param: str
+
+    def __repr__(self) -> str:
+        return f"<param {self.function}:{self.param}>"
+
+
+@dataclass(frozen=True)
+class _FdTable:
+    def __repr__(self) -> str:
+        return "<fdtable>"
+
+
+@dataclass(frozen=True)
+class _PerCpu:
+    def __repr__(self) -> str:
+        return "<percpu>"
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    name: str
+
+    def __repr__(self) -> str:
+        return f"<&{self.name}>"
+
+
+RAW = _RawSegment()
+FDTABLE = _FdTable()
+PERCPU = _PerCpu()
+
+#: A points-to edge: (object, byte offset or None for any-field).
+Ptr = Tuple[object, Optional[int]]
+
+#: One resolved memory access location: object, offset, access size.
+@dataclass(frozen=True)
+class MemLoc:
+    obj: object
+    offset: Optional[int]
+    size: int
+
+    def overlaps(self, other: "MemLoc") -> bool:
+        if self.obj != other.obj:
+            return False
+        if self.offset is None or other.offset is None:
+            return True
+        lo_a, hi_a = self.offset, self.offset + self.size
+        lo_b, hi_b = other.offset, other.offset + other.size
+        return lo_a < hi_b and lo_b < hi_a
+
+    def __repr__(self) -> str:
+        off = "?" if self.offset is None else f"{self.offset:#x}"
+        return f"{self.obj!r}+{off}:{self.size}"
+
+
+_ALLOC_HELPERS = ("kmalloc", "kzalloc")
+
+
+class PointsTo:
+    """Whole-program points-to solution.
+
+    Build with :func:`points_to`; query with :meth:`access_locs` (what
+    does this Load/Store/AtomicRMW touch) and :meth:`operand_ptrs`
+    (what does this operand point at, e.g. a lock helper's argument).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        regions: Optional[Dict[str, Tuple[int, int]]] = None,
+        callgraph: Optional[CallGraph] = None,
+    ) -> None:
+        self.program = program
+        self._regions = sorted(
+            (base, size, name) for name, (base, size) in (regions or {}).items()
+        )
+        self._func_bases = {
+            func.base: func.name for func in program.functions.values()
+        }
+        self._callgraph = callgraph
+        self._env: Dict[Tuple[str, str], Set[Ptr]] = {}
+        self._heap: Dict[Tuple[object, Optional[int]], Set[Ptr]] = {}
+        self._ret: Dict[str, Set[Ptr]] = {}
+        self._solve()
+
+    # -- public queries ----------------------------------------------------
+
+    def operand_ptrs(self, func: str, op: Operand) -> FrozenSet[Ptr]:
+        """What ``op`` (in ``func``'s context) may point at."""
+        return frozenset(self._val(func, op))
+
+    def access_locs(self, func: str, index: int) -> Tuple[MemLoc, ...]:
+        """Abstract locations touched by the access at ``func[index]``.
+
+        Deterministically ordered.  Every access resolves to at least
+        one location: an immediate base outside all named regions falls
+        back to the flat :data:`RAW` segment, and a register base with
+        an empty points-to set resolves to the function's opaque
+        parameter sources (unknown-but-distinct memory).
+        """
+        insn = self.program.functions[func].insns[index]
+        if not isinstance(insn, (Load, Store, AtomicRMW)):
+            return ()
+        locs = set()
+        for obj, off in self._base_ptrs(func, insn.base, insn.offset):
+            locs.add(MemLoc(obj, off, insn.size))
+        return tuple(sorted(locs, key=_loc_sort_key))
+
+    def pointer_name(self, func: str, op: Operand) -> str:
+        """Stable human/machine-readable name for what ``op`` points at
+        (used as the lock key by the interprocedural lockset pass)."""
+        ptrs = sorted(self._val(func, op), key=_ptr_sort_key)
+        if not ptrs:
+            return f"%{op.name}@{func}" if isinstance(op, Reg) else repr(op)
+        names = []
+        for obj, off in ptrs:
+            field = "?" if off is None else f"{off:#x}"
+            names.append(f"{_obj_name(obj)}+{field}")
+        return "|".join(names)
+
+    # -- constraint solving ------------------------------------------------
+
+    def _solve(self) -> None:
+        # Seed parameters of every function with opaque sources; call
+        # binding adds callee constraints on top (a parameter keeps its
+        # opaque source so root syscall arguments stay distinct).
+        for func in self.program.functions.values():
+            for param in func.params:
+                self._env.setdefault((func.name, param), set()).add(
+                    (ParamSource(func.name, param), 0)
+                )
+        changed = True
+        passes = 0
+        while changed:
+            changed = False
+            passes += 1
+            for func in self.program.functions.values():
+                for index, insn in enumerate(func.insns):
+                    if self._transfer(func, index, insn):
+                        changed = True
+            if passes > 64:  # safety valve; lattice is finite, cf. widening
+                break
+        self.passes = passes
+
+    def _transfer(self, func: Function, index: int, insn: Insn) -> bool:
+        f = func.name
+        if isinstance(insn, Mov):
+            return self._flow_into_reg(f, insn.dst, self._val(f, insn.src))
+        if isinstance(insn, BinOp):
+            return self._binop(f, insn)
+        if isinstance(insn, Load):
+            incoming: Set[Ptr] = set()
+            for obj, off in self._base_ptrs(f, insn.base, insn.offset):
+                incoming |= self._heap_read(obj, off)
+            return self._flow_into_reg(f, insn.dst, incoming)
+        if isinstance(insn, Store):
+            value = self._val(f, insn.src)
+            if not value:
+                return False
+            changed = False
+            for obj, off in self._base_ptrs(f, insn.base, insn.offset):
+                if self._heap_write(obj, off, value):
+                    changed = True
+            return changed
+        if isinstance(insn, AtomicRMW):
+            return self._atomic(f, insn)
+        if isinstance(insn, Call):
+            return self._call(f, insn.func, insn.args, insn.dst)
+        if isinstance(insn, ICall):
+            changed = False
+            for callee in self._icall_callees(f, index):
+                if self._call(f, callee, insn.args, insn.dst):
+                    changed = True
+            return changed
+        if isinstance(insn, Ret):
+            if insn.src is None:
+                return False
+            value = self._val(f, insn.src)
+            return self._flow(self._ret.setdefault(f, set()), value)
+        if isinstance(insn, Helper):
+            return self._helper(f, index, insn)
+        return False
+
+    def _binop(self, f: str, insn: BinOp) -> bool:
+        if insn.op in (BinOpKind.ADD, BinOpKind.SUB):
+            sign = 1 if insn.op is BinOpKind.ADD else -1
+            lhs, rhs = insn.lhs, insn.rhs
+            out: Set[Ptr] = set()
+            if isinstance(rhs, Imm):
+                # ptr ± const: shift the field (covers Imm+Imm too,
+                # since _val resolves a pointer-like lhs immediate).
+                out |= self._shift(self._val(f, lhs), sign * rhs.value)
+                if insn.op is BinOpKind.ADD and isinstance(lhs, Reg):
+                    # index + base-address: object with unknown field
+                    base = self._resolve_imm(rhs.value)
+                    if base is not None:
+                        out.add((base[0], None))
+            elif insn.op is BinOpKind.ADD and isinstance(lhs, Imm):
+                out |= self._shift(self._val(f, rhs), lhs.value)
+                # base-address + computed index (e.g. slot = &table +
+                # i*stride): keep the object, lose the field.
+                base = self._resolve_imm(lhs.value)
+                if base is not None:
+                    out.add((base[0], None))
+            else:
+                for obj, _ in self._val(f, lhs) | (
+                    self._val(f, rhs) if insn.op is BinOpKind.ADD else set()
+                ):
+                    out.add((obj, None))
+            return self._flow_into_reg(f, insn.dst, out)
+        return False  # other ALU ops produce scalars
+
+    def _atomic(self, f: str, insn: AtomicRMW) -> bool:
+        changed = False
+        if insn.op in (AtomicOp.XCHG, AtomicOp.CMPXCHG):
+            value = self._val(f, insn.operand)
+            incoming: Set[Ptr] = set()
+            for obj, off in self._base_ptrs(f, insn.base, insn.offset):
+                incoming |= self._heap_read(obj, off)
+                if value and self._heap_write(obj, off, value):
+                    changed = True
+            if insn.dst is not None and self._flow_into_reg(
+                f, insn.dst, incoming
+            ):
+                changed = True
+        return changed
+
+    def _call(
+        self,
+        caller: str,
+        callee: str,
+        args: Tuple[Operand, ...],
+        dst: Optional[Reg],
+    ) -> bool:
+        changed = False
+        func = self.program.functions.get(callee)
+        if func is None:
+            return False
+        for param, arg in zip(func.params, args):
+            value = self._val(caller, arg)
+            if value and self._flow(
+                self._env.setdefault((callee, param), set()), value
+            ):
+                changed = True
+        if dst is not None:
+            value = self._ret.get(callee, set())
+            if value and self._flow_into_reg(caller, dst, value):
+                changed = True
+        return changed
+
+    def _icall_callees(self, caller: str, index: int) -> List[str]:
+        if self._callgraph is None:
+            return []
+        return [
+            site.callee
+            for site in self._callgraph.callees(caller)
+            if site.index == index and not site.direct
+        ]
+
+    def _helper(self, f: str, index: int, insn: Helper) -> bool:
+        name = insn.name
+        if name in _ALLOC_HELPERS and insn.dst is not None:
+            return self._flow_into_reg(
+                f, insn.dst, {(AllocSite(f, index), 0)}
+            )
+        if name == "fd_install" and insn.args:
+            value = self._val(f, insn.args[0])
+            return bool(value) and self._heap_write(FDTABLE, 0, value)
+        if name in ("fd_get", "fd_close") and insn.dst is not None:
+            return self._flow_into_reg(f, insn.dst, self._heap_read(FDTABLE, 0))
+        if name == "percpu_ptr" and insn.dst is not None:
+            off: Optional[int] = None
+            if insn.args and isinstance(insn.args[0], Imm):
+                off = insn.args[0].value
+            return self._flow_into_reg(f, insn.dst, {(PERCPU, off)})
+        if name in ("memset", "memcpy") and insn.dst is not None and insn.args:
+            return self._flow_into_reg(f, insn.dst, self._val(f, insn.args[0]))
+        return False
+
+    # -- value/heap plumbing -----------------------------------------------
+
+    def _val(self, f: str, op: Operand) -> Set[Ptr]:
+        if isinstance(op, Reg):
+            return self._env.get((f, op.name), set())
+        if isinstance(op, Imm):
+            ptr = self._resolve_imm(op.value)
+            return {ptr} if ptr is not None else set()
+        return set()
+
+    def _resolve_imm(self, value: int) -> Optional[Ptr]:
+        """Pointer interpretation of an immediate, if it has one."""
+        region = self._region_of(value)
+        if region is not None:
+            obj, base = region
+            return (obj, value - base)
+        func_name = self._func_bases.get(value)
+        if func_name is not None:
+            return (FuncRef(func_name), 0)
+        return None
+
+    def _region_of(self, value: int) -> Optional[Tuple[GlobalRegion, int]]:
+        for base, size, name in self._regions:
+            if base <= value < base + size:
+                return GlobalRegion(name, base, size), base
+        return None
+
+    def _base_ptrs(self, f: str, base: Operand, offset: int) -> Set[Ptr]:
+        """Locations addressed by ``[base + offset]`` — never empty."""
+        if isinstance(base, Imm):
+            ptr = self._resolve_imm(base.value)
+            if ptr is None:
+                # outside every named region: the flat data segment,
+                # addressed absolutely.
+                return {(RAW, base.value + offset)}
+            obj, off = ptr
+            return {(obj, None if off is None else off + offset)}
+        ptrs = self._shift(self._val(f, base), offset)
+        if not ptrs and isinstance(base, Reg):
+            # Unbound register base (dead code / unmodeled source):
+            # give it an opaque per-(function, register) object so the
+            # access still has an identity.
+            return {(ParamSource(f, f"%{base.name}"), None)}
+        return ptrs
+
+    def _shift(self, ptrs: Iterable[Ptr], delta: int) -> Set[Ptr]:
+        out = set()
+        for obj, off in ptrs:
+            if off is None:
+                out.add((obj, None))
+            else:
+                shifted = off + delta
+                if isinstance(obj, GlobalRegion) and not (
+                    0 <= shifted < max(obj.size, 1)
+                ):
+                    out.add((obj, None))
+                else:
+                    out.add((obj, shifted))
+        return out
+
+    def _heap_read(self, obj: object, off: Optional[int]) -> Set[Ptr]:
+        if off is None:
+            out: Set[Ptr] = set()
+            for (o, _), value in self._heap.items():
+                if o == obj:
+                    out |= value
+            return out
+        return self._heap.get((obj, off), set()) | self._heap.get(
+            (obj, None), set()
+        )
+
+    def _heap_write(self, obj: object, off: Optional[int], value: Set[Ptr]) -> bool:
+        return self._flow(self._heap.setdefault((obj, off), set()), value)
+
+    def _flow_into_reg(self, f: str, dst: Reg, value: Set[Ptr]) -> bool:
+        if not value:
+            return False
+        return self._flow(self._env.setdefault((f, dst.name), set()), value)
+
+    def _flow(self, target: Set[Ptr], value: Set[Ptr]) -> bool:
+        before = set(target)
+        target |= value
+        if target != before:
+            self._widen(target)
+            return target != before
+        return False
+
+    @staticmethod
+    def _widen(ptrs: Set[Ptr]) -> None:
+        """Collapse objects with too many distinct offsets to any-field.
+
+        Widening must be *absorbing* to guarantee termination: once an
+        object is at any-field, later specific offsets for it are
+        subsumed and dropped, so the set can never grow again through
+        that object (offset-shifting loops like ``count = count + 1``
+        would otherwise creep one field per fixpoint pass forever).
+        The RAW segment is exempt from the fan-out cap — its offsets
+        are absolute addresses and legitimately numerous — but not
+        from absorption.
+        """
+        counts: Dict[object, int] = {}
+        wide = set()
+        for obj, off in ptrs:
+            if off is None:
+                wide.add(obj)
+            elif obj is not RAW:
+                counts[obj] = counts.get(obj, 0) + 1
+        wide |= {obj for obj, n in counts.items() if n > MAX_OFFSETS}
+        if not wide:
+            return
+        for obj, off in list(ptrs):
+            if obj in wide and off is not None:
+                ptrs.discard((obj, off))
+        ptrs.update((obj, None) for obj in wide)
+
+
+def _obj_name(obj: object) -> str:
+    if isinstance(obj, GlobalRegion):
+        return obj.name
+    return repr(obj)
+
+
+def _ptr_sort_key(ptr: Ptr) -> Tuple[str, int]:
+    obj, off = ptr
+    return (repr(obj), -1 if off is None else off)
+
+
+def _loc_sort_key(loc: MemLoc) -> Tuple[str, int, int]:
+    return (repr(loc.obj), -1 if loc.offset is None else loc.offset, loc.size)
+
+
+def points_to(
+    program: Program,
+    regions: Optional[Dict[str, Tuple[int, int]]] = None,
+    callgraph: Optional[CallGraph] = None,
+) -> PointsTo:
+    """Solve points-to for ``program``; see :class:`PointsTo`."""
+    return PointsTo(program, regions=regions, callgraph=callgraph)

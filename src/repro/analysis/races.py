@@ -1,0 +1,433 @@
+"""The KIRA v2 race-candidate engine.
+
+Composes the interprocedural layers — call graph, points-to, function
+summaries, locksets — with the intraprocedural barrier/ppo candidates
+into one ranked report of *race candidates*: pairs of shared-memory
+accesses, at least one a write, that may touch overlapping memory from
+concurrently-runnable syscalls with nothing ordering them.
+
+Classification (RELAY-style, each pair gets exactly one):
+
+* ``benign`` — something serializes or orders the pair: a common lock
+  in both must-locksets, both sides atomic RMWs, or a
+  release-store/acquire-load publication edge;
+* ``lock-race`` — at least one side holds a lock but the locksets are
+  disjoint: lock-protected state reached lock-free from the other side
+  (the vlan pattern: writer under ``vlan_lock``, lockless reader);
+* ``missing-barrier`` — neither side holds any lock and the accesses
+  are plain: ordering relies entirely on barriers that the ppo
+  predicates do not supply (the OZZ bug class; every seeded bug
+  lands here or in lock-race).
+
+Each finding carries an interprocedural *witness*: the shortest
+syscall-entry call path to each access, from
+:meth:`~repro.analysis.callgraph.CallGraph.witness_paths` — the
+"explain" the CLI renders and the evidence the ranked fuzzer hints
+consume (:func:`candidate_weights`).
+
+Scoring is additive and deterministic: lock-races start above
+missing-barrier pairs (a named lock on one side is stronger evidence of
+intent than none), write/read pairs outrank write/write (an observer
+makes the reorder observable), a *consumed* read outranks a dead one
+(liveness from the new backward pass), and agreement with an
+intraprocedural barrier candidate adds one more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.barriers import (
+    StaticCandidate,
+    static_reordering_candidates,
+)
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.lockset import LocksetAnalysis, analyze_locksets
+from repro.analysis.pointsto import (
+    RAW,
+    AllocSite,
+    GlobalRegion,
+    MemLoc,
+    PointsTo,
+    points_to,
+)
+from repro.analysis.pointsto import _FdTable, _PerCpu  # shared singletons
+from repro.analysis.summaries import AccessSite, summarize_program
+from repro.kir.function import INSN_SIZE, Program
+
+#: Classification → base score.
+_BASE_SCORE = {"lock-race": 3, "missing-barrier": 2, "benign": 0}
+
+_ACQ = ("acquire", "once")
+_REL = ("release", "once")
+
+
+@dataclass(frozen=True)
+class RaceAccess:
+    """One side of a race candidate, with its context."""
+
+    function: str
+    index: int
+    kind: str          # "load" | "store" | "atomic"
+    annot: str
+    size: int
+    lockset: Tuple[str, ...]
+    witness: Tuple[str, ...]    # call path, syscall entry -> function
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind != "load"
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "index": self.index,
+            "kind": self.kind,
+            "annot": self.annot,
+            "size": self.size,
+            "lockset": list(self.lockset),
+            "witness": list(self.witness),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RaceAccess":
+        return cls(
+            function=data["function"],
+            index=data["index"],
+            kind=data["kind"],
+            annot=data["annot"],
+            size=data["size"],
+            lockset=tuple(data["lockset"]),
+            witness=tuple(data["witness"]),
+        )
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One classified, scored race candidate."""
+
+    location: str               # stable abstract-location label
+    classification: str         # "lock-race" | "missing-barrier" | "benign"
+    subsystem: str
+    writer: RaceAccess
+    other: RaceAccess
+    score: int
+    value_live: bool            # loads only: result consumed?
+    candidate_kinds: Tuple[str, ...] = ()   # supporting intra candidates
+    #: distinct access pairs grouped under this finding (same location,
+    #: same function pair); the representative is the highest-scored one
+    pair_count: int = 1
+
+    def pair_key(self) -> Tuple[Tuple[str, int], Tuple[str, int]]:
+        a = (self.writer.function, self.writer.index)
+        b = (self.other.function, self.other.index)
+        return (a, b) if a <= b else (b, a)
+
+    def group_key(self) -> Tuple[str, Tuple[str, str]]:
+        funcs = tuple(sorted((self.writer.function, self.other.function)))
+        return (self.location, funcs)
+
+    def to_dict(self) -> dict:
+        return {
+            "location": self.location,
+            "classification": self.classification,
+            "subsystem": self.subsystem,
+            "writer": self.writer.to_dict(),
+            "other": self.other.to_dict(),
+            "score": self.score,
+            "value_live": self.value_live,
+            "candidate_kinds": list(self.candidate_kinds),
+            "pair_count": self.pair_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RaceFinding":
+        return cls(
+            location=data["location"],
+            classification=data["classification"],
+            subsystem=data["subsystem"],
+            writer=RaceAccess.from_dict(data["writer"]),
+            other=RaceAccess.from_dict(data["other"]),
+            score=data["score"],
+            value_live=data["value_live"],
+            candidate_kinds=tuple(data.get("candidate_kinds", ())),
+            pair_count=data.get("pair_count", 1),
+        )
+
+
+@dataclass
+class RaceReport:
+    """The engine's output plus the layers it was computed from."""
+
+    findings: List[RaceFinding]
+    callgraph: Optional[CallGraph] = None
+    pointsto: Optional[PointsTo] = None
+    locksets: Optional[LocksetAnalysis] = None
+    candidates: Tuple[StaticCandidate, ...] = ()
+
+    def races(self) -> List[RaceFinding]:
+        """Non-benign findings, ranked."""
+        return [f for f in self.findings if f.classification != "benign"]
+
+    def by_subsystem(self, name: str) -> List[RaceFinding]:
+        return [f for f in self.findings if f.subsystem == name]
+
+
+def _is_shared(loc: MemLoc) -> bool:
+    """Can this abstract location be reached by more than one thread?"""
+    return isinstance(
+        loc.obj, (GlobalRegion, AllocSite, _FdTable, _PerCpu)
+    ) or loc.obj is RAW
+
+
+def _location_label(loc: MemLoc) -> str:
+    if isinstance(loc.obj, GlobalRegion):
+        base = loc.obj.name
+    elif isinstance(loc.obj, AllocSite):
+        base = f"alloc:{loc.obj.function}[{loc.obj.index}]"
+    elif isinstance(loc.obj, _FdTable):
+        base = "fdtable"
+    elif isinstance(loc.obj, _PerCpu):
+        base = "percpu"
+    elif loc.obj is RAW:
+        base = "raw"
+    else:
+        base = repr(loc.obj)
+    field_part = "?" if loc.offset is None else f"{loc.offset:#x}"
+    return f"{base}+{field_part}"
+
+
+def _ordered_publication(writer: AccessSite, reader: AccessSite) -> bool:
+    """release-store published, acquire/ONCE-load consumed — the fixed
+    pattern the patched subsystems compile to."""
+    return writer.annot in _REL and reader.annot in _ACQ and not (
+        writer.annot == "plain" or reader.annot == "plain"
+    )
+
+
+def analyze_races(
+    program: Program,
+    *,
+    owner: Optional[Dict[str, str]] = None,
+    roots: Optional[Sequence[str]] = None,
+    regions: Optional[Dict[str, Tuple[int, int]]] = None,
+    candidates: Optional[Sequence[StaticCandidate]] = None,
+) -> RaceReport:
+    """Run the full interprocedural pipeline over ``program``.
+
+    ``owner`` maps function → subsystem (for grouping), ``roots`` are
+    the syscall entry functions (default: every function, which is
+    maximally conservative), ``regions`` the named-global map for
+    points-to, ``candidates`` precomputed intraprocedural barrier
+    candidates (recomputed when omitted).
+    """
+    owner = owner or {}
+    root_list = list(roots) if roots is not None else sorted(program.functions)
+    callgraph = CallGraph(program, root_list)
+    pt = points_to(program, regions=regions, callgraph=callgraph)
+    summaries = summarize_program(program, pt, callgraph)
+    locksets = analyze_locksets(program, summaries, callgraph, root_list)
+    if candidates is None:
+        candidates = static_reordering_candidates(program)
+    paths = callgraph.witness_paths()
+    reachable = callgraph.reachable()
+
+    # candidate evidence: function -> {insn addr -> kinds}
+    cand_addrs: Dict[str, Dict[int, set]] = {}
+    for cand in candidates:
+        table = cand_addrs.setdefault(cand.function, {})
+        table.setdefault(cand.x_addr, set()).add(cand.kind)
+        table.setdefault(cand.y_addr, set()).add(cand.kind)
+
+    accesses: List[AccessSite] = []
+    for name in sorted(reachable):
+        summary = summaries.get(name)
+        if summary is None:
+            continue
+        accesses.extend(summary.accesses)
+
+    # Bucket by abstract object so only plausibly-aliasing pairs meet.
+    buckets: Dict[object, List[Tuple[AccessSite, MemLoc]]] = {}
+    for access in accesses:
+        for loc in access.locs:
+            if _is_shared(loc):
+                buckets.setdefault(loc.obj, []).append((access, loc))
+
+    findings: Dict[Tuple, RaceFinding] = {}
+    for obj in sorted(buckets, key=repr):
+        entries = buckets[obj]
+        for i, (ax, lx) in enumerate(entries):
+            for ay, ly in entries[i + 1 :]:
+                if (ax.function, ax.index) == (ay.function, ay.index):
+                    continue  # same site: the pair needs two program points
+                if not (ax.is_write or ay.is_write):
+                    continue
+                if not lx.overlaps(ly):
+                    continue
+                if owner and owner.get(ax.function) != owner.get(ay.function):
+                    # Cross-subsystem pairs are abstraction slop: the
+                    # simulated subsystems share state only through the
+                    # (atomic) fd-table helpers, whose single-cell
+                    # summary conflates every installed object.
+                    continue
+                writer, wloc, other = (
+                    (ax, lx, ay) if ax.is_write else (ay, ly, ax)
+                )
+                finding = _classify(
+                    writer,
+                    other,
+                    wloc,
+                    locksets,
+                    paths,
+                    owner,
+                    cand_addrs,
+                    program,
+                )
+                # Group by (location, function pair): keep the highest-
+                # scored access pair as the representative, count the rest.
+                key = finding.group_key()
+                prior = findings.get(key)
+                if prior is None:
+                    findings[key] = finding
+                else:
+                    best = finding if finding.score > prior.score else prior
+                    findings[key] = replace(
+                        best, pair_count=prior.pair_count + 1
+                    )
+
+    ranked = sorted(
+        findings.values(),
+        key=lambda f: (-f.score, f.location, f.pair_key()),
+    )
+    return RaceReport(
+        findings=ranked,
+        callgraph=callgraph,
+        pointsto=pt,
+        locksets=locksets,
+        candidates=tuple(candidates),
+    )
+
+
+def _classify(
+    writer: AccessSite,
+    other: AccessSite,
+    loc: MemLoc,
+    locksets: LocksetAnalysis,
+    paths: Dict[str, Tuple[str, ...]],
+    owner: Dict[str, str],
+    cand_addrs: Dict[str, Dict[int, set]],
+    program: Program,
+) -> RaceFinding:
+    held_w = locksets.held_at(writer.function, writer.index)
+    held_o = locksets.held_at(other.function, other.index)
+    both_atomic = writer.kind == "atomic" and other.kind == "atomic"
+    if held_w & held_o:
+        classification = "benign"
+    elif both_atomic:
+        classification = "benign"
+    elif not other.is_write and _ordered_publication(writer, other):
+        classification = "benign"
+    elif held_w or held_o:
+        classification = "lock-race"
+    else:
+        classification = "missing-barrier"
+
+    score = _BASE_SCORE[classification]
+    value_live = True
+    if classification != "benign":
+        if not other.is_write:
+            score += 1  # an observer makes the reorder observable
+            value_live = other.value_live
+            if other.value_live:
+                score += 1
+        kinds = _supporting_candidates(writer, other, cand_addrs, program)
+        if kinds:
+            score += 1
+    else:
+        kinds = ()
+
+    return RaceFinding(
+        location=_location_label(loc),
+        classification=classification,
+        subsystem=owner.get(writer.function, "?"),
+        writer=_race_access(writer, held_w, paths),
+        other=_race_access(other, held_o, paths),
+        score=score,
+        value_live=value_live,
+        candidate_kinds=tuple(sorted(kinds)),
+    )
+
+
+def _race_access(
+    access: AccessSite, held: FrozenSet[str], paths: Dict[str, Tuple[str, ...]]
+) -> RaceAccess:
+    return RaceAccess(
+        function=access.function,
+        index=access.index,
+        kind=access.kind,
+        annot=access.annot,
+        size=access.size,
+        lockset=tuple(sorted(held)),
+        witness=paths.get(access.function, (access.function,)),
+    )
+
+
+def _supporting_candidates(
+    writer: AccessSite,
+    other: AccessSite,
+    cand_addrs: Dict[str, Dict[int, set]],
+    program: Program,
+) -> set:
+    """Intraprocedural barrier candidates touching either access."""
+    kinds: set = set()
+    for access in (writer, other):
+        table = cand_addrs.get(access.function)
+        if not table:
+            continue
+        func = program.functions[access.function]
+        addr = func.base + access.index * INSN_SIZE
+        kinds |= table.get(addr, set())
+    return kinds
+
+
+def candidate_weights(
+    findings: Iterable[RaceFinding],
+    candidates: Sequence[StaticCandidate],
+) -> Dict[str, Dict[Tuple[int, int], int]]:
+    """Lockset-evidence weights for the fuzzer's static hint ranking.
+
+    Every intraprocedural candidate pair keeps weight ≥ 1 (so the
+    tier partition — exercised / masked / unrelated — is unchanged from
+    the uniform ranking).  A pair one of whose member *instructions* is
+    a side of a non-benign race finding gains that finding's score;
+    remaining pairs in a function with any race evidence gain a smaller
+    function-level bump.  The site-level weight is what differentiates
+    candidates *within* one function: hints that exercise the
+    interprocedurally-confirmed access sort before hints that exercise
+    that function's other (unconfirmed) reorderable pairs.
+    """
+    by_site: Dict[Tuple[str, int], int] = {}
+    by_function: Dict[str, int] = {}
+    for finding in findings:
+        if finding.classification == "benign":
+            continue
+        for side in (finding.writer, finding.other):
+            site = (side.function, side.index)
+            by_site[site] = max(by_site.get(site, 0), finding.score)
+            prev = by_function.get(side.function, 0)
+            by_function[side.function] = max(prev, finding.score)
+    weights: Dict[str, Dict[Tuple[int, int], int]] = {}
+    for cand in candidates:
+        pair = (cand.x_addr, cand.y_addr)
+        table = weights.setdefault(cand.kind, {})
+        site_score = max(
+            by_site.get((cand.function, cand.x_index), 0),
+            by_site.get((cand.function, cand.y_index), 0),
+        )
+        if site_score:
+            weight = 1 + 2 * site_score
+        else:
+            weight = 1 + by_function.get(cand.function, 0)
+        table[pair] = max(table.get(pair, 0), weight)
+    return weights

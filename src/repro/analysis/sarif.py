@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 rendering of KIRA lint reports.
+
+Static Analysis Results Interchange Format — the schema GitHub code
+scanning and most analyzer UIs ingest.  One run, one rule per KIRA
+check, one result per finding.  Output is fully deterministic (finding
+order is the report's order, no timestamps, no absolute paths) so it
+can be snapshot-tested and diffed across commits.
+
+KIR functions have no source files; results therefore use *logical*
+locations (``subsystem/function`` qualified names) plus the
+function-local instruction index in the result properties, which is the
+same coordinate system every other KIRA artifact speaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.lint import CHECKS, Finding, LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_RULES: Dict[str, Dict[str, str]] = {
+    "use-before-def": {
+        "name": "UseBeforeDef",
+        "description": "Register read with no reaching definition.",
+        "level": "error",
+    },
+    "missing-barrier": {
+        "name": "MissingBarrier",
+        "description": (
+            "Intraprocedural access pair reorderable under the LKMM "
+            "ppo predicates (no barrier/annotation/dependency)."
+        ),
+        "level": "warning",
+    },
+    "lock-pairing": {
+        "name": "LockPairing",
+        "description": (
+            "Spinlock acquire/release imbalance on some control-flow path."
+        ),
+        "level": "error",
+    },
+    "race-candidate": {
+        "name": "RaceCandidate",
+        "description": (
+            "Interprocedural shared-memory access pair with disjoint "
+            "locksets and nothing ordering it."
+        ),
+        "level": "warning",
+    },
+}
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    rule = _RULES[finding.check]
+    qualified = (
+        f"{finding.subsystem}/{finding.function}"
+        if finding.subsystem
+        else finding.function
+    )
+    properties: Dict[str, object] = {
+        "kind": finding.kind,
+        "index": finding.index,
+    }
+    if finding.details is not None:
+        properties["race"] = finding.details
+    return {
+        "ruleId": finding.check,
+        "level": rule["level"],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": qualified,
+                        "kind": "function",
+                    }
+                ]
+            }
+        ],
+        "properties": properties,
+    }
+
+
+def to_sarif(report: LintReport) -> Dict[str, object]:
+    """The report as a SARIF 2.1.0 log (a JSON-serializable dict)."""
+    rules: List[Dict[str, object]] = [
+        {
+            "id": check,
+            "name": _RULES[check]["name"],
+            "shortDescription": {"text": _RULES[check]["description"]},
+            "defaultConfiguration": {"level": _RULES[check]["level"]},
+        }
+        for check in CHECKS
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "kira",
+                        "informationUri": "https://example.invalid/kira",
+                        "semanticVersion": "2.0.0",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": [_result(f) for f in report.findings],
+            }
+        ],
+    }

@@ -1,0 +1,236 @@
+"""Context-insensitive per-function summaries for KIRA v2.
+
+The middle layer between the call graph and the race engine: for every
+function, one :class:`FunctionSummary` listing
+
+* its shared-memory accesses (:class:`AccessSite`) resolved through the
+  points-to solution to abstract locations, with the ordering
+  annotation the barrier/ppo predicates care about and — for loads —
+  whether the loaded value is consumed (live-out), which the race
+  ranking uses to down-weight dead reads;
+* its lock operations (acquire / trylock / release sites with
+  points-to-resolved lock names);
+* its *lock effect* on callers: ``must_acquire`` (locks held at every
+  return, given none at entry) and ``may_release`` (locks it might
+  drop), computed as an interprocedural fixpoint so effects compose
+  through call chains.
+
+Summaries are context-insensitive on purpose (RELAY's design): one
+summary per function regardless of callers keeps whole-kernel analysis
+linear, and the lockset pass re-introduces calling context via entry
+locksets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.locks import TRYLOCK_HELPERS, _lock_op
+from repro.analysis.pointsto import MemLoc, PointsTo
+from repro.kir.dataflow import live_out_sets
+from repro.kir.function import Function, Program
+from repro.kir.insn import (
+    AtomicRMW,
+    Call,
+    ICall,
+    Insn,
+    Load,
+    Ret,
+    Store,
+)
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One shared-memory access, resolved to abstract locations."""
+
+    function: str
+    index: int
+    kind: str                    # "load" | "store" | "atomic"
+    is_write: bool
+    annot: str                   # Annot value or AtomicOrdering value
+    size: int
+    locs: Tuple[MemLoc, ...]
+    value_live: bool = True      # loads only: is the result consumed?
+
+    def __repr__(self) -> str:
+        rw = "W" if self.is_write else "R"
+        return f"<{rw} {self.function}[{self.index}] {self.annot} {self.locs}>"
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock helper invocation with its resolved lock name."""
+
+    function: str
+    index: int
+    op: str                      # "acquire" | "trylock" | "release"
+    lock: str                    # points-to-resolved stable name
+
+
+@dataclass
+class FunctionSummary:
+    function: str
+    accesses: List[AccessSite] = field(default_factory=list)
+    lock_sites: List[LockSite] = field(default_factory=list)
+    #: locks held at every return given an empty entry lockset
+    must_acquire: FrozenSet[str] = frozenset()
+    #: locks this function (or its callees) might release
+    may_release: FrozenSet[str] = frozenset()
+
+
+def _access_of(
+    func: Function, index: int, insn: Insn, pt: PointsTo, live: Dict[int, frozenset]
+) -> Optional[AccessSite]:
+    if isinstance(insn, Load):
+        live_out = live.get(index, frozenset())
+        return AccessSite(
+            func.name,
+            index,
+            "load",
+            False,
+            insn.annot.value,
+            insn.size,
+            pt.access_locs(func.name, index),
+            value_live=insn.dst.name in live_out,
+        )
+    if isinstance(insn, Store):
+        return AccessSite(
+            func.name,
+            index,
+            "store",
+            True,
+            insn.annot.value,
+            insn.size,
+            pt.access_locs(func.name, index),
+        )
+    if isinstance(insn, AtomicRMW):
+        return AccessSite(
+            func.name,
+            index,
+            "atomic",
+            True,
+            insn.ordering.value,
+            insn.size,
+            pt.access_locs(func.name, index),
+        )
+    return None
+
+
+def summarize_program(
+    program: Program,
+    pt: PointsTo,
+    callgraph: Optional[CallGraph] = None,
+) -> Dict[str, FunctionSummary]:
+    """Build summaries for every function, lock effects at fixpoint."""
+    summaries: Dict[str, FunctionSummary] = {}
+    for func in program.functions.values():
+        summary = FunctionSummary(func.name)
+        live = live_out_sets(func)
+        for index, insn in enumerate(func.insns):
+            access = _access_of(func, index, insn, pt, live)
+            if access is not None:
+                summary.accesses.append(access)
+                continue
+            op = _lock_op(insn)
+            if op is not None and insn.args:
+                summary.lock_sites.append(
+                    LockSite(
+                        func.name,
+                        index,
+                        op,
+                        pt.pointer_name(func.name, insn.args[0]),
+                    )
+                )
+        summaries[func.name] = summary
+    _solve_lock_effects(program, summaries, callgraph)
+    return summaries
+
+
+def _solve_lock_effects(
+    program: Program,
+    summaries: Dict[str, FunctionSummary],
+    callgraph: Optional[CallGraph],
+) -> None:
+    """Interprocedural fixpoint for ``must_acquire`` / ``may_release``.
+
+    ``must_acquire`` is a straight-line abstract interpretation of each
+    function with an empty entry lockset, intersecting over returns —
+    conservative (a lock acquired on only some paths does not count),
+    monotone-decreasing from the all-locks top.  ``may_release`` is the
+    union of release sites reachable through callees.
+    """
+    universe = frozenset(
+        site.lock for s in summaries.values() for site in s.lock_sites
+    )
+    must: Dict[str, FrozenSet[str]] = {name: universe for name in summaries}
+    may_rel: Dict[str, FrozenSet[str]] = {name: frozenset() for name in summaries}
+    changed = True
+    while changed:
+        changed = False
+        for func in program.functions.values():
+            new_must, new_rel = _function_lock_effect(
+                func, summaries[func.name], must, may_rel, universe, callgraph
+            )
+            if new_must != must[func.name] or new_rel != may_rel[func.name]:
+                must[func.name] = new_must
+                may_rel[func.name] = new_rel
+                changed = True
+    for name, summary in summaries.items():
+        summary.must_acquire = must[name]
+        summary.may_release = may_rel[name]
+
+
+def _function_lock_effect(
+    func: Function,
+    summary: FunctionSummary,
+    must: Dict[str, FrozenSet[str]],
+    may_rel: Dict[str, FrozenSet[str]],
+    universe: FrozenSet[str],
+    callgraph: Optional[CallGraph],
+) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    lock_at = {site.index: site for site in summary.lock_sites}
+    held: FrozenSet[str] = frozenset()
+    at_ret: Optional[FrozenSet[str]] = None
+    released = set()
+    # Straight-line walk is enough for the *effect* summary: branch
+    # structure is handled by intersecting over all returns, which
+    # under-approximates must_acquire exactly as intended.
+    for index, insn in enumerate(func.insns):
+        site = lock_at.get(index)
+        if site is not None:
+            if site.op == "acquire":
+                held = held | {site.lock}
+            elif site.op == "release":
+                released.add(site.lock)
+                held = held - {site.lock}
+            # trylock: no unconditional effect
+            continue
+        if isinstance(insn, Call):
+            callee_must = must.get(insn.func, frozenset())
+            callee_rel = may_rel.get(insn.func, frozenset())
+            released |= callee_rel
+            held = (held - callee_rel) | callee_must
+        elif isinstance(insn, ICall) and callgraph is not None:
+            targets = [
+                s.callee
+                for s in callgraph.callees(func.name)
+                if s.index == index and not s.direct
+            ]
+            if targets:
+                callee_must = frozenset.intersection(
+                    *(must.get(t, frozenset()) for t in targets)
+                )
+                callee_rel = frozenset().union(
+                    *(may_rel.get(t, frozenset()) for t in targets)
+                )
+                released |= callee_rel
+                held = (held - callee_rel) | callee_must
+        elif isinstance(insn, Ret):
+            at_ret = held if at_ret is None else (at_ret & held)
+            held = frozenset()
+    if at_ret is None:
+        at_ret = held
+    return at_ret & universe, frozenset(released)

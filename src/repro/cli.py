@@ -247,12 +247,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         image.plain_program,
         image.function_owner,
         subsystems=args.subsystem or None,
+        roots=image.syscall_roots(),
+        regions=image.global_regions(),
+        races=not args.no_races,
     )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(report.to_json_dict(), fh, indent=2)
         print(f"wrote {args.json}")
-    print(render_report(report))
+    if args.format == "sarif":
+        from repro.analysis import to_sarif
+
+        print(json.dumps(to_sarif(report), indent=2))
+    elif args.format == "json":
+        print(json.dumps(report.to_json_dict(), indent=2))
+    else:
+        print(render_report(report, explain=args.explain))
     return 0 if report.clean else 1
 
 
@@ -391,8 +401,9 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="KIRA static analysis over the built-in kernel",
         description="Run the KIRA static checks (missing-barrier "
-        "candidates, lock pairing, use-before-def) over the built-in "
-        "kernel. Exit code 0 = clean, 1 = findings, 2 = usage error.",
+        "candidates, lock pairing, use-before-def, interprocedural "
+        "race candidates) over the built-in kernel. Exit code 0 = "
+        "clean, 1 = findings, 2 = usage error.",
     )
     p.add_argument(
         "--subsystem", action="append", metavar="NAME",
@@ -400,6 +411,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", metavar="PATH",
                    help="write the lint report as JSON to PATH")
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="stdout format: human-readable text (default), the JSON "
+        "report schema, or SARIF 2.1.0 for code-scanning UIs",
+    )
+    p.add_argument(
+        "--explain", action="store_true",
+        help="show the interprocedural witness (call path + locks "
+        "held) under each race-candidate finding",
+    )
+    p.add_argument(
+        "--no-races", action="store_true",
+        help="skip the interprocedural race engine (v1 checks only)",
+    )
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("bugs", help="list the seeded bug registry")

@@ -107,13 +107,23 @@ class OzzFuzzer:
         # address pairs the barrier lint flags as reordering candidates.
         # Computed on the plain program — the instrumentation pass
         # preserves addresses, so they match dynamic hint addresses.
+        # ``static_rank`` selects the ordering evidence: "lockset"
+        # (default) weights each candidate pair by the interprocedural
+        # race engine's score for its function; "tier" is the plain
+        # exercised/masked/inert partition (the pre-lockset behaviour,
+        # kept for ablation).
         self.static_hints = static_hints
+        self.static_rank = "lockset"
         self._static_pairs: Dict[str, frozenset] = {}
+        self._static_weights: Dict[str, Dict[Tuple[int, int], int]] = {}
         self._static_all: frozenset = frozenset()
+        self._addr_weight: Dict[int, int] = {}
         if static_hints:
             from repro.analysis import (
+                analyze_races,
                 candidate_addr_sets,
                 candidate_pairs,
+                candidate_weights,
                 static_reordering_candidates,
             )
 
@@ -122,6 +132,24 @@ class OzzFuzzer:
             self._static_all = frozenset().union(
                 *candidate_addr_sets(candidates).values()
             )
+            report = analyze_races(
+                image.plain_program,
+                owner=image.function_owner,
+                roots=image.syscall_roots(),
+                regions=image.global_regions(),
+                candidates=candidates,
+            )
+            self._static_weights = candidate_weights(
+                report.races(), candidates
+            )
+            # Per-instruction-address evidence weight, for pair ordering:
+            # the heaviest candidate pair the instruction is a member of.
+            for table in self._static_weights.values():
+                for (x_addr, y_addr), weight in table.items():
+                    for a in (x_addr, y_addr):
+                        self._addr_weight[a] = max(
+                            self._addr_weight.get(a, 0), weight
+                        )
         # A shard takes every nshards-th seed input, so an N-shard
         # campaign collectively covers the same seed corpus as a serial
         # one even when each shard's iteration slice is small.
@@ -180,7 +208,12 @@ class OzzFuzzer:
             hints = calculate_hints(profile.profiles[i], profile.profiles[j])
             self.stats.hints_computed += len(hints)
             if self.static_hints:
-                hints = prioritize_hints(hints, self._static_pairs)
+                ranking = (
+                    self._static_pairs
+                    if self.static_rank == "tier"
+                    else self._static_weights
+                )
+                hints = prioritize_hints(hints, ranking)
             for hint in hints[: self.max_hints_per_pair]:
                 result = run_mti(
                     self.image,
@@ -238,6 +271,10 @@ class OzzFuzzer:
         through statically-flagged instructions — i.e. whose static
         candidate sets overlap on the same addresses — are scheduled
         first (stable sort, so the adjacent-first order breaks ties).
+        Under the default ``static_rank == "lockset"``, overlap bytes
+        reached through race-confirmed instructions dominate the order:
+        pairs sharing an interprocedurally-corroborated location run
+        before pairs whose overlap is merely statically reorderable.
         """
         adjacent = [(i, i + 1) for i in range(n - 1)]
         others = [
@@ -251,16 +288,31 @@ class OzzFuzzer:
             # static hints schedules promising pairs earlier without
             # changing which pairs — and hence how many tests — run.
             hot = [self._static_mem(p) for p in profile.profiles]
-            pairs.sort(key=lambda ij: -len(hot[ij[0]] & hot[ij[1]]))
+            if self.static_rank == "tier":
+                pairs.sort(key=lambda ij: -len(hot[ij[0]].keys() & hot[ij[1]].keys()))
+            else:
+                pairs.sort(key=lambda ij: self._pair_rank(hot[ij[0]], hot[ij[1]]))
         return pairs
 
-    def _static_mem(self, syscall_profile) -> frozenset:
-        """Memory bytes one syscall touched via statically-flagged insns."""
-        out = set()
+    def _pair_rank(self, hot_a, hot_b) -> Tuple[int, int]:
+        shared = hot_a.keys() & hot_b.keys()
+        weight = max(
+            (max(hot_a[byte], hot_b[byte]) for byte in shared), default=0
+        )
+        return (-weight, -len(shared))
+
+    def _static_mem(self, syscall_profile) -> Dict[int, int]:
+        """Memory bytes one syscall touched via statically-flagged insns,
+        each mapped to the heaviest flagging instruction's evidence
+        weight (1 when the lockset ranking is off)."""
+        out: Dict[int, int] = {}
         for e in syscall_profile.accesses:
             if e.inst_addr in self._static_all:
-                out.update(range(e.mem_addr, e.mem_addr + e.size))
-        return frozenset(out)
+                w = self._addr_weight.get(e.inst_addr, 1)
+                for byte in range(e.mem_addr, e.mem_addr + e.size):
+                    if w > out.get(byte, 0):
+                        out[byte] = w
+        return out
 
     # -- campaign drivers ------------------------------------------------------------
 

@@ -27,7 +27,7 @@ heuristic, validated by its §4.3 bug-set study.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 from repro.kir.insn import BarrierKind
 from repro.oemu.profiler import AccessEvent, BarrierEvent, SyscallProfile
@@ -216,10 +216,32 @@ def hint_static_tier(
       so no statically-identified pair is observed out of order;
     * tier 2 — no statically plausible reordering at all.
     """
+    tier, _weight = hint_static_rank(hint, static_pairs)
+    return tier
+
+
+def hint_static_rank(
+    hint: SchedulingHint,
+    static_pairs: Dict[str, Set[Tuple[int, int]]],
+) -> Tuple[int, int]:
+    """(tier, -max_weight) sort key for lockset-weighted hint ranking.
+
+    The tier is :func:`hint_static_tier`'s 0/1/2 partition.  Within
+    tier 0, hints are further ordered by the *weight* of the heaviest
+    candidate pair they exercise: ``static_pairs`` values may be a
+    mapping from (x_addr, y_addr) to a weight (as produced by
+    :func:`repro.analysis.races.candidate_weights`, where the weight is
+    1 plus the best interprocedural race score backing the candidate's
+    function) instead of a plain set.  Plain sets rank every pair at
+    weight 1, so set input reproduces the tier-only order exactly.
+    """
     pairs = static_pairs.get(hint.barrier_type, frozenset())
+    weights = pairs if isinstance(pairs, Mapping) else None
     moved = set(hint.reorder)
-    exercised = masked = False
-    for x_addr, y_addr in pairs:
+    best_weight = 0
+    masked = False
+    for pair in pairs:
+        x_addr, y_addr = pair
         # ST delays the earlier store X; LD versions the later load Y.
         mover, anchor = (
             (x_addr, y_addr) if hint.barrier_type == ST else (y_addr, x_addr)
@@ -229,10 +251,11 @@ def hint_static_tier(
         if anchor in moved:
             masked = True
         else:
-            exercised = True
-    if exercised:
-        return 0
-    return 1 if masked else 2
+            weight = weights[pair] if weights is not None else 1
+            best_weight = max(best_weight, weight)
+    if best_weight:
+        return (0, -best_weight)
+    return (1, 0) if masked else (2, 0)
 
 
 def prioritize_hints(
@@ -243,10 +266,13 @@ def prioritize_hints(
 
     ``static_pairs`` maps barrier type (``st``/``ld``) to the
     (x_addr, y_addr) instruction-address pairs named by the static
-    reordering candidates (:func:`repro.analysis.barriers.candidate_pairs`).
-    Hints are ordered by :func:`hint_static_tier` — exercising a
-    candidate beats masking one beats matching nothing — and the sort is
-    stable, so the max-reorder heuristic still breaks ties within tiers.
+    reordering candidates — either a plain set
+    (:func:`repro.analysis.barriers.candidate_pairs`) or a weight map
+    (:func:`repro.analysis.races.candidate_weights`).  Hints are
+    ordered by :func:`hint_static_rank` — exercising a candidate beats
+    masking one beats matching nothing, and heavier lockset evidence
+    sorts first within the exercising tier — and the sort is stable,
+    so the max-reorder heuristic still breaks ties.
 
     Because the fuzzer truncates to ``max_hints_per_pair``, this changes
     *which* hints survive truncation, not just their order: statically
@@ -254,7 +280,7 @@ def prioritize_hints(
     """
     if not static_pairs or not any(static_pairs.values()):
         return list(hints)
-    return sorted(hints, key=lambda h: hint_static_tier(h, static_pairs))
+    return sorted(hints, key=lambda h: hint_static_rank(h, static_pairs))
 
 
 def calculate_hints(

@@ -74,6 +74,22 @@ def h_spin_lock(kernel, thread: ThreadCtx, lock_addr: int) -> int:
     return 0
 
 
+def h_spin_trylock(kernel, thread: ThreadCtx, lock_addr: int) -> int:
+    """Try to take the lock without spinning; returns 1 on success, 0 if
+    the lock is busy.  Success has the same acquire semantics as
+    :func:`h_spin_lock`; failure touches no lock state, so the caller
+    must branch on the result before entering the critical section —
+    the shape KIRA's lock-pairing check verifies statically."""
+    if kernel.memory.load(lock_addr, 8, check=False) != 0:
+        return 0
+    kernel.memory.store(lock_addr, 8, 1, check=False)
+    kernel.lockdep.on_acquire(thread.thread_id, lock_addr, thread.current_function)
+    if kernel.oemu is not None:
+        state = kernel.oemu.thread_state(thread.thread_id)
+        state.window_start = kernel.clock.now
+    return 1
+
+
 def h_spin_unlock(kernel, thread: ThreadCtx, lock_addr: int) -> int:
     """Release the lock — with *release* semantics: the critical
     section's delayed stores are committed before the lock word clears
@@ -159,6 +175,7 @@ DEFAULT_HELPERS: Dict[str, object] = {
     "bug_on": h_bug_on,
     "warn_on": h_warn_on,
     "spin_lock": h_spin_lock,
+    "spin_trylock": h_spin_trylock,
     "spin_unlock": h_spin_unlock,
     "memset": h_memset,
     "memcpy": h_memcpy,

@@ -69,7 +69,10 @@ class KernelImage:
             from repro.analysis import lint_program
 
             self.lint_report = lint_program(
-                self.plain_program, self.function_owner
+                self.plain_program,
+                self.function_owner,
+                roots=self.syscall_roots(),
+                regions=self.global_regions(),
             )
             # Missing-barrier candidates are advisory (the seeded bugs
             # *are* such candidates); definite defects refuse the build.
@@ -118,6 +121,18 @@ class KernelImage:
                 cursor += (size + 15) & ~15
         if cursor > DATA_BASE + DATA_SIZE:
             raise ConfigError("data segment exhausted")
+
+    def global_regions(self) -> Dict[str, Tuple[int, int]]:
+        """``{name: (address, size)}`` for every subsystem global —
+        the region map KIRA's points-to pass resolves immediates with."""
+        sizes: Dict[str, int] = {}
+        for subsystem in self.subsystems:
+            sizes.update(subsystem.globals)
+        return {name: (addr, sizes[name]) for name, addr in self.globals.items()}
+
+    def syscall_roots(self) -> List[str]:
+        """Entry-point function names (call-graph roots), sorted."""
+        return sorted({sc.func for s in self.subsystems for sc in s.syscalls})
 
     def syscall_names(self) -> List[str]:
         return sorted(self.syscalls)

@@ -19,7 +19,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Generic, Iterator, List, Tuple, TypeVar
 
 from repro.kir.cfg import CFG, BasicBlock
-from repro.kir.insn import Insn
+from repro.kir.function import Function
+from repro.kir.insn import Insn, reg_written, regs_read
 
 F = TypeVar("F")  # the fact (lattice element) type
 
@@ -55,6 +56,21 @@ class DataflowProblem(Generic[F]):
         For backward problems, "after" means earlier in program order.
         """
         raise NotImplementedError
+
+    def edge_transfer(self, pred: BasicBlock, succ: BasicBlock, fact: F) -> F:
+        """Refine ``fact`` as it crosses the CFG edge ``pred -> succ``.
+
+        The default is the identity — most problems are path-insensitive
+        at block granularity.  A problem that can learn something from
+        *which* edge was taken (e.g. the lock-pairing analysis resolving
+        a ``spin_trylock`` result against the branch that tests it)
+        overrides this.  ``pred``/``succ`` are always the CFG edge's
+        source and destination in *program* order, for both analysis
+        directions; ``fact`` is the fact flowing across the edge (the
+        source block's out-fact forward, the destination block's
+        out-fact backward).
+        """
+        return fact
 
 
 class DataflowResult(Generic[F]):
@@ -125,16 +141,32 @@ def solve(cfg: CFG, problem: DataflowProblem[F]) -> DataflowResult[F]:
     start at ``top()`` and descend monotonically under ``join``.
     """
     forward = problem.direction == FORWARD
+    # Duck-typed problems (anything with direction/boundary/top/join/
+    # transfer) are accepted; the edge hook is optional for them.
+    edge = getattr(problem, "edge_transfer", None)
     if forward:
         edges_in = lambda b: cfg.blocks[b].preds
         edges_out = lambda b: cfg.blocks[b].succs
         is_boundary = lambda b: b == 0
         order = cfg.reverse_postorder()
+        # The CFG edge p -> b carries p's out-fact into b.
+        edge_fact = (
+            (lambda b, p: edge(cfg.blocks[p], cfg.blocks[b], block_out[p]))
+            if edge is not None
+            else (lambda b, p: block_out[p])
+        )
     else:
         edges_in = lambda b: cfg.blocks[b].succs
         edges_out = lambda b: cfg.blocks[b].preds
         is_boundary = lambda b: not cfg.blocks[b].succs
         order = list(reversed(cfg.reverse_postorder()))
+        # Backward, the fact flows from successor s's out-fact back into
+        # b — still across the *program-order* edge b -> s.
+        edge_fact = (
+            (lambda b, s: edge(cfg.blocks[b], cfg.blocks[s], block_out[s]))
+            if edge is not None
+            else (lambda b, s: block_out[s])
+        )
 
     block_in: Dict[int, F] = {}
     block_out: Dict[int, F] = {}
@@ -149,7 +181,7 @@ def solve(cfg: CFG, problem: DataflowProblem[F]) -> DataflowResult[F]:
         b = worklist.pop(0)
         queued.discard(b)
         iterations += 1
-        incoming = [block_out[p] for p in edges_in(b)]
+        incoming = [edge_fact(b, p) for p in edges_in(b)]
         if incoming:
             fact = incoming[0]
             for other in incoming[1:]:
@@ -180,6 +212,43 @@ class SetUnionProblem(DataflowProblem[frozenset]):
 
     def join(self, a: frozenset, b: frozenset) -> frozenset:
         return a | b
+
+
+class LivenessProblem(SetUnionProblem):
+    """Backward live-registers analysis; facts are register names.
+
+    A register is *live* at a program point when some path from that
+    point reads it before (re)defining it.  The fact yielded by
+    :meth:`DataflowResult.insn_facts` for instruction ``i`` is the
+    live-*out* set — the registers live immediately **after** ``i`` in
+    program order (analysis-direction "before").  That is the useful
+    set for clients: a load whose destination is not live-out produced
+    a value nothing consumes.
+    """
+
+    direction = BACKWARD
+
+    def transfer(self, insn: Insn, index: int, fact: frozenset) -> frozenset:
+        defined = reg_written(insn)
+        if defined is not None:
+            fact = fact - {defined.name}
+        uses = frozenset(r.name for r in regs_read(insn))
+        return fact | uses
+
+
+def live_registers(func: Function) -> DataflowResult[frozenset]:
+    """Solve liveness over one function (backward, union join)."""
+    return solve(CFG.build(func), LivenessProblem())
+
+
+def live_out_sets(func: Function) -> Dict[int, frozenset]:
+    """Live-out register names per instruction index, whole function."""
+    result = live_registers(func)
+    out: Dict[int, frozenset] = {}
+    for block in result.cfg.blocks:
+        for i, fact in result.insn_facts(block):
+            out[i] = fact
+    return out
 
 
 def gen_kill_transfer(

@@ -244,6 +244,63 @@ class TestLockPairing:
         b.helper_void("spin_unlock", LOCK)
         assert check_lock_pairing(finish(b)) == []
 
+    def test_trylock_guarded_release_is_clean(self):
+        # if (spin_trylock(l)) { ...; spin_unlock(l); } — the release is
+        # only reachable on the success path, so no finding.
+        b = Builder("f")
+        got = b.helper("spin_trylock", LOCK)
+        out = b.label("out")
+        b.beq(got, 0, out)
+        b.store(A, 0, 1)
+        b.helper_void("spin_unlock", LOCK)
+        b.bind(out)
+        assert check_lock_pairing(finish(b)) == []
+
+    def test_trylock_inverted_branch_is_clean(self):
+        # if (!spin_trylock(l)) return; ...; spin_unlock(l);
+        b = Builder("f")
+        got = b.helper("spin_trylock", LOCK)
+        crit = b.label("crit")
+        b.bne(got, 0, crit)
+        b.ret()
+        b.bind(crit)
+        b.helper_void("spin_unlock", LOCK)
+        found = check_lock_pairing(finish(b))
+        assert found == []
+
+    def test_trylock_unconditional_release_is_flagged(self):
+        # releasing without testing the trylock result: on the failure
+        # path this unlocks a lock that was never taken.
+        b = Builder("f")
+        b.helper("spin_trylock", LOCK)
+        b.helper_void("spin_unlock", LOCK)
+        found = check_lock_pairing(finish(b))
+        assert [f.kind for f in found] == ["conditional-release"]
+
+    def test_release_on_one_path_then_merged_release(self):
+        # one arm of a diamond releases, the join releases again: the
+        # second release only pairs with an acquire on the other arm.
+        b = Builder("f", ["p"])
+        join = b.label("join")
+        b.helper_void("spin_lock", LOCK)
+        b.beq("p", 0, join)
+        b.helper_void("spin_unlock", LOCK)
+        b.bind(join)
+        b.helper_void("spin_unlock", LOCK)
+        found = check_lock_pairing(finish(b))
+        assert "conditional-release" in {f.kind for f in found}
+
+    def test_trylock_success_path_leak(self):
+        # trylock succeeds but nothing releases: the success path leaks.
+        b = Builder("f")
+        got = b.helper("spin_trylock", LOCK)
+        out = b.label("out")
+        b.beq(got, 0, out)
+        b.store(A, 0, 1)
+        b.bind(out)
+        found = check_lock_pairing(finish(b))
+        assert {f.kind for f in found} == {"acquire-no-release"}
+
     def test_builtin_kernel_is_balanced(self, image):
         for func in image.plain_program.functions.values():
             assert check_lock_pairing(func) == []
@@ -256,18 +313,35 @@ class TestLockPairing:
 
 class TestLintOrchestration:
     def test_report_shape_and_counts(self, image):
-        report = lint_program(image.plain_program, image.function_owner)
+        report = lint_program(
+            image.plain_program,
+            image.function_owner,
+            roots=image.syscall_roots(),
+            regions=image.global_regions(),
+        )
         counts = report.counts()
         assert counts["use-before-def"] == 0
         assert counts["lock-pairing"] == 0
         assert counts["missing-barrier"] == len(report.candidates) > 0
+        assert counts["race-candidate"] == len(report.races) > 0
         payload = report.to_json_dict()
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert len(payload["findings"]) == len(report.findings)
-        f = payload["findings"][0]
-        assert set(f) == {
+        base_keys = {
             "check", "kind", "subsystem", "function", "index", "message",
         }
+        for f in payload["findings"]:
+            if f["check"] == "race-candidate":
+                assert set(f) == base_keys | {"details"}
+            else:
+                assert set(f) == base_keys
+
+    def test_races_flag_off_restores_v1_checks(self, image):
+        report = lint_program(
+            image.plain_program, image.function_owner, races=False
+        )
+        assert report.counts()["race-candidate"] == 0
+        assert report.races == []
 
     def test_subsystem_filter(self, image):
         report = lint_program(

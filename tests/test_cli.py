@@ -86,9 +86,39 @@ class TestLint:
         import json
 
         payload = json.loads(path.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["counts"]["missing-barrier"] > 0
+        assert payload["counts"]["race-candidate"] > 0
         assert all(f["subsystem"] == "vlan" for f in payload["findings"])
+
+    def test_lint_explain_prints_witness(self, capsys):
+        assert main(["lint", "--subsystem", "vlan", "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "race-candidate" in out
+        assert "writer:" in out and "other:" in out
+        assert " -> " in out or "sys_vlan" in out
+
+    def test_lint_format_json_stdout(self, capsys):
+        import json
+
+        assert main(["lint", "--subsystem", "vlan",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 2
+
+    def test_lint_format_sarif_stdout(self, capsys):
+        import json
+
+        assert main(["lint", "--subsystem", "vlan",
+                     "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "kira"
+
+    def test_lint_no_races_skips_engine(self, capsys):
+        assert main(["lint", "--subsystem", "vlan", "--no-races"]) == 1
+        out = capsys.readouterr().out
+        assert "race-candidate" not in out
 
     def test_fuzz_static_hints_campaign(self, capsys):
         assert main(["fuzz", "--iterations", "2", "--seed", "1",

@@ -240,6 +240,32 @@ class TestPrioritizeHints:
         )
         assert out == [h2, h3, h1]
 
+    def test_weight_map_orders_within_exercising_tier(self):
+        from repro.fuzzer.hints import hint_static_rank, prioritize_hints
+
+        # Both hints exercise a candidate (tier 0); the weight map from
+        # candidate_weights breaks the tie in favour of the pair backed
+        # by stronger race evidence, while plain sets leave input order.
+        light = self._hint(ST, 0x50, (0x20,), 1)
+        heavy = self._hint(ST, 0x54, (0x30,), 1)
+        weighted = {ST: {(0x20, 0x44): 1, (0x30, 0x44): 11}, LD: {}}
+        assert hint_static_rank(light, weighted) == (0, -1)
+        assert hint_static_rank(heavy, weighted) == (0, -11)
+        assert prioritize_hints([light, heavy], weighted) == [heavy, light]
+        plain = {ST: {(0x20, 0x44), (0x30, 0x44)}, LD: set()}
+        assert prioritize_hints([light, heavy], plain) == [light, heavy]
+
+    def test_weight_map_tier_boundaries_unchanged(self):
+        from repro.fuzzer.hints import hint_static_rank
+
+        # Weights only refine tier 0 — masked and unmatched hints keep
+        # their tiers no matter how heavy the pair's evidence is.
+        weighted = {ST: {(0x20, 0x24): 13}, LD: {}}
+        masked = self._hint(ST, 0x50, (0x20, 0x24), 2)
+        unmatched = self._hint(ST, 0x54, (0x10,), 1)
+        assert hint_static_rank(masked, weighted) == (1, 0)
+        assert hint_static_rank(unmatched, weighted) == (2, 0)
+
     def test_kind_must_match(self):
         from repro.fuzzer.hints import prioritize_hints
 
