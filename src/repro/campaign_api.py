@@ -142,8 +142,14 @@ class CampaignSpec:
     ``use_seeds``    start from the Syzlang seed corpus (§6.1) or not.
     ``static_hints`` seed/prioritize scheduling hints from KIRA's static
                      reordering candidates (zero-execution analysis).
-    ``decoded_dispatch`` pre-decoded closure execution engine (default);
-                     off = reference isinstance-chain interpreter.
+    ``engine``       execution-engine tier for worker kernels: ``auto``
+                     (decoded closures + hot-function codegen
+                     promotion, the default), ``reference``,
+                     ``decoded``, or ``codegen``.
+    ``decoded_dispatch`` legacy boolean (pre-tier schema); ``False``
+                     folds into ``engine="reference"`` when the engine
+                     is left at ``auto``.  Kept normalized for old
+                     checkpoint readers.
     ``snapshot_reset`` reuse one booted kernel per worker via the boot
                      snapshot; off = fresh boot per test.
 
@@ -175,6 +181,7 @@ class CampaignSpec:
     time_budget: Optional[float] = None
     use_seeds: bool = True
     static_hints: bool = False
+    engine: str = "auto"
     decoded_dispatch: bool = True
     snapshot_reset: bool = True
     shard_timeout: Optional[float] = None
@@ -205,6 +212,11 @@ class CampaignSpec:
             max_retries=self.max_retries,
         )
         object.__setattr__(self, "patched", tuple(sorted(set(self.patched))))
+        from repro.engine import normalize_engine
+
+        engine = normalize_engine(self.engine, decoded_dispatch=self.decoded_dispatch)
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "decoded_dispatch", engine != "reference")
 
     @property
     def policy(self) -> WorkerPolicy:
@@ -377,6 +389,11 @@ class CampaignResult:
     quarantined: Tuple[QuarantinedInput, ...] = field(default=(), compare=False)
     failed_shards: Tuple[ShardFailure, ...] = field(default=(), compare=False)
     interrupted: bool = field(default=False, compare=False)
+    # Execution-engine telemetry summed across worker processes (boots,
+    # resets, decode/codegen cache activity, tier promotions).  Workers
+    # measure per-batch deltas, so multiprocess runs report real numbers
+    # instead of the parent process's untouched module counters.
+    engine_counters: Dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def tests_per_sec(self) -> float:
@@ -461,6 +478,7 @@ class CampaignResult:
                 for f in self.failed_shards
             ],
             "interrupted": self.interrupted,
+            "engine_counters": dict(self.engine_counters),
         }
         return json.dumps(payload, indent=2)
 
@@ -488,6 +506,7 @@ class CampaignResult:
                 ShardFailure(**f) for f in payload.get("failed_shards", ())
             ),
             interrupted=payload.get("interrupted", False),
+            engine_counters=dict(payload.get("engine_counters", {})),
         )
 
 
@@ -505,6 +524,7 @@ def spec_to_dict(spec: CampaignSpec) -> dict:
         "time_budget": spec.time_budget,
         "use_seeds": spec.use_seeds,
         "static_hints": spec.static_hints,
+        "engine": spec.engine,
         "decoded_dispatch": spec.decoded_dispatch,
         "snapshot_reset": spec.snapshot_reset,
         "checkpoint_dir": spec.checkpoint_dir,
@@ -535,6 +555,9 @@ def spec_from_dict(sp: dict) -> CampaignSpec:
         time_budget=sp["time_budget"],
         use_seeds=sp["use_seeds"],
         static_hints=sp.get("static_hints", False),
+        # Older payloads lack "engine"; decoded_dispatch=False then folds
+        # into the reference tier during spec normalization.
+        engine=sp.get("engine", "auto"),
         decoded_dispatch=sp.get("decoded_dispatch", True),
         snapshot_reset=sp.get("snapshot_reset", True),
         checkpoint_dir=sp.get("checkpoint_dir"),

@@ -40,6 +40,19 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         result = resume_campaign(args.resume)
         spec = result.spec
     else:
+        engine = args.engine
+        if args.reference_interp:
+            import warnings
+
+            warnings.warn(
+                "--reference-interp is deprecated; use --engine reference",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # The shim only applies when --engine was left at its default;
+            # an explicit --engine always wins over the legacy flag.
+            if engine == "auto":
+                engine = "reference"
         policy = WorkerPolicy(
             jobs=args.jobs,
             batch_size=args.batch_size,
@@ -51,7 +64,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             seed=args.seed,
             patched=tuple(args.patch or ()),
             static_hints=args.static_hints,
-            decoded_dispatch=not args.reference_interp,
+            engine=engine,
             snapshot_reset=not args.no_snapshot_reset,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
@@ -64,6 +77,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         f"({result.tests_per_sec:.1f} tests/s, jobs={spec.jobs}), "
         f"coverage {result.stats.coverage}"
     )
+    if result.engine_counters:
+        c = result.engine_counters
+        print(
+            f"engine {spec.engine}: {c.get('boots', 0)} boots, "
+            f"{c.get('resets', 0)} resets, "
+            f"{c.get('promotions', 0)} promotions, "
+            f"codegen cache {c.get('codegen_cache_hits', 0)} hits / "
+            f"{c.get('codegen_cache_misses', 0)} misses"
+        )
     if spec.jobs > 1:
         for s in result.shards:
             print(f"  shard {s.shard}: seed {s.seed}, {s.tests_run} tests "
@@ -293,6 +315,8 @@ def cmd_docs(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.engine import ENGINE_CHOICES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OZZ (SOSP 2024) reproduction: kernel OOO-bug fuzzing on a simulated kernel",
@@ -326,9 +350,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a replayable schedule artifact per unique crash to DIR",
     )
     p.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="execution engine tier: 'reference' (isinstance-chain "
+             "interpreter), 'decoded' (pre-decoded closures), 'codegen' "
+             "(compile every function to Python), or 'auto' (decoded "
+             "with hot-function promotion to codegen; default)",
+    )
+    p.add_argument(
         "--reference-interp", action="store_true",
-        help="use the reference isinstance-chain interpreter instead of "
-             "pre-decoded dispatch (differential debugging)",
+        help="deprecated alias for --engine reference",
     )
     p.add_argument(
         "--no-snapshot-reset", action="store_true",

@@ -1,0 +1,109 @@
+"""EngineTier — first-class execution-engine selection.
+
+The execution stack has three engines with identical observable
+behaviour (the differential suites prove it):
+
+``reference``
+    :meth:`repro.kir.interp.Interpreter._execute` — the ``isinstance``
+    chain over instruction objects, kept verbatim as ground truth.
+``decoded``
+    pre-decoded per-instruction closures (:mod:`repro.kir.decode`) —
+    one Python call per retired instruction.
+``codegen``
+    whole-function specialized Python source (:mod:`repro.kir.codegen`)
+    compiled with :func:`compile` — straight-line locals, no per-insn
+    call boundary.  Only engages on the unobserved run-to-completion
+    path; step-mode execution (coverage, tracing, breakpoints) always
+    uses the decoded closures.
+
+``auto`` (the default) starts every function on the decoded closures
+and *promotes* it to codegen once its unobserved-run entry count
+crosses :data:`PROMOTE_AFTER` — cold functions never pay generation
+cost, hot ones stop paying dispatch cost.
+
+Machines with a dependency tracker attached always pin to the
+reference tier regardless of the configured engine: the fast engines
+are deps-free by design (same rule PR 4 established for decoded
+dispatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+ENGINE_AUTO = "auto"
+ENGINE_REFERENCE = "reference"
+ENGINE_DECODED = "decoded"
+ENGINE_CODEGEN = "codegen"
+
+#: Every valid ``engine=`` value, in the order the CLI presents them.
+ENGINE_CHOICES = (ENGINE_AUTO, ENGINE_REFERENCE, ENGINE_DECODED, ENGINE_CODEGEN)
+
+#: Unobserved-run entries of one function before ``auto`` promotes it
+#: from decoded closures to generated code.
+PROMOTE_AFTER = 16
+
+
+def normalize_engine(engine: Optional[str], *, decoded_dispatch: bool = True) -> str:
+    """Validate an engine name and fold the legacy boolean into it.
+
+    ``decoded_dispatch=False`` predates the tier model and means "use
+    the reference interpreter"; it only applies when the engine is left
+    at ``auto`` — an explicit tier choice wins over the legacy flag.
+    """
+    if engine is None:
+        engine = ENGINE_AUTO
+    if engine not in ENGINE_CHOICES:
+        raise ConfigError(
+            f"unknown engine {engine!r} (choose from {', '.join(ENGINE_CHOICES)})"
+        )
+    if engine == ENGINE_AUTO and not decoded_dispatch:
+        return ENGINE_REFERENCE
+    return engine
+
+
+@dataclass(frozen=True)
+class EngineTier:
+    """A resolved engine selection for one machine.
+
+    ``requested`` is the configured engine; ``active`` is what actually
+    runs after machine-level pinning (a deps tracker forces
+    ``reference``).  The interpreter asks this object what machinery to
+    build instead of re-deriving the rules at each layer.
+    """
+
+    requested: str
+    active: str
+
+    @classmethod
+    def resolve(
+        cls,
+        engine: Optional[str] = None,
+        *,
+        decoded_dispatch: bool = True,
+        pin_reference: bool = False,
+    ) -> "EngineTier":
+        requested = normalize_engine(engine, decoded_dispatch=decoded_dispatch)
+        active = ENGINE_REFERENCE if pin_reference else requested
+        return cls(requested=requested, active=active)
+
+    @property
+    def uses_decode(self) -> bool:
+        """Whether the decoded closure tables are built at all."""
+        return self.active != ENGINE_REFERENCE
+
+    @property
+    def promote_threshold(self) -> Optional[int]:
+        """Unobserved-run entries before a function is compiled.
+
+        ``None`` means never (reference and decoded tiers); ``codegen``
+        compiles on first entry (the image pre-warm makes that free).
+        """
+        if self.active == ENGINE_CODEGEN:
+            return 1
+        if self.active == ENGINE_AUTO:
+            return PROMOTE_AFTER
+        return None

@@ -32,8 +32,8 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import KernelConfig
 from repro.fuzzer.fuzzer import FuzzStats, OzzFuzzer
@@ -50,7 +50,7 @@ def campaign_image(spec: "CampaignSpec") -> KernelImage:
     return KernelImage(
         KernelConfig(
             patched=frozenset(spec.patched),
-            decoded_dispatch=spec.decoded_dispatch,
+            engine=spec.engine,
             snapshot_reset=spec.snapshot_reset,
         )
     )
@@ -84,6 +84,9 @@ class ShardResult:
     crashdb: CrashDB
     coverage: CoverageMap
     seconds: float
+    # Engine-counter deltas measured around this batch's run, in the
+    # process that actually ran it (empty in pre-tier checkpoints).
+    engine_counters: Dict[str, int] = field(default_factory=dict)
 
     # -- checkpoint serialization ------------------------------------------
 
@@ -103,6 +106,7 @@ class ShardResult:
             "crashdb": self.crashdb.to_json_dict(),
             "coverage": self.coverage.to_hex(),
             "seconds": self.seconds,
+            "engine_counters": dict(self.engine_counters),
         }
 
     @classmethod
@@ -120,6 +124,7 @@ class ShardResult:
             crashdb=CrashDB.from_json_dict(payload["crashdb"]),
             coverage=coverage,
             seconds=payload["seconds"],
+            engine_counters=dict(payload.get("engine_counters", {})),
         )
 
 
@@ -161,6 +166,9 @@ def run_batch(
     deadline = (
         time.monotonic() + spec.time_budget if spec.time_budget is not None else None
     )
+    from repro.oemu.profiler import ENGINE_COUNTERS
+
+    counter_base = ENGINE_COUNTERS.snapshot()
     start = time.perf_counter()
     fuzzer.run(batch.iterations, deadline=deadline, progress=progress)
     seconds = time.perf_counter() - start
@@ -172,6 +180,9 @@ def run_batch(
         crashdb=fuzzer.crashdb,
         coverage=fuzzer.corpus.coverage.copy(),
         seconds=seconds,
+        # Delta over this batch only, measured in the worker process —
+        # this is what survives the trip back over the result queue.
+        engine_counters=ENGINE_COUNTERS.diff(counter_base),
     )
 
 
@@ -240,6 +251,10 @@ def merge_shards(
     from repro.campaign_api import CampaignResult, CrashSummary, ShardStats
 
     shards = sorted(shards, key=lambda s: s.shard)
+    merged_counters: Dict[str, int] = {}
+    for s in shards:
+        for key, value in getattr(s, "engine_counters", {}).items():
+            merged_counters[key] = merged_counters.get(key, 0) + value
     if shards:
         stats = shards[0].stats
         crashdb = shards[0].crashdb
@@ -288,4 +303,5 @@ def merge_shards(
         quarantined=tuple(quarantined),
         failed_shards=tuple(failed_shards),
         interrupted=interrupted,
+        engine_counters=merged_counters,
     )

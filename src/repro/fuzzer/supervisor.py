@@ -131,7 +131,7 @@ _PREBUILT: Optional[Tuple[tuple, object]] = None
 
 
 def _image_key(spec: CampaignSpec) -> tuple:
-    return (spec.patched, spec.decoded_dispatch, spec.snapshot_reset)
+    return (spec.patched, spec.engine, spec.snapshot_reset)
 
 
 def _inherited_image(spec: CampaignSpec):
@@ -224,6 +224,7 @@ def _wire_payload(result: ShardResult, sent: CoverageMap, full: CoverageMap) -> 
         crashdb=result.crashdb,
         coverage=CoverageMap(),
         seconds=result.seconds,
+        engine_counters=result.engine_counters,
     )
     return pickle.dumps((stripped, delta.to_bytes()))
 

@@ -110,6 +110,18 @@ class KernelImage:
             from repro.kir.decode import decode_program
 
             decode_program(self.program)
+        if config.engine == "codegen":
+            # Pre-warm the codegen tier: generate + compile every
+            # supported function now so the first kernel booted from
+            # this image only pays per-machine binding.  The ``auto``
+            # tier deliberately skips this — cold functions never pay
+            # generation cost there.
+            from repro.kir.codegen import prewarm_program
+
+            # Kernels always carry an OEMU (with_oemu=True), so only the
+            # oemu source variant is needed; per-insn ``instrumented``
+            # flags pick callback vs direct access inside it.
+            prewarm_program(self.program, oemu=True)
 
     def _assign_globals(self) -> None:
         cursor = DATA_BASE
@@ -156,6 +168,7 @@ class Kernel(Machine):
             kasan_enabled=image.config.kasan,
             trace=trace,
             decoded_dispatch=image.config.decoded_dispatch,
+            engine=image.config.engine,
         )
         self.image = image
         self.config = image.config
@@ -168,6 +181,7 @@ class Kernel(Machine):
             self.register_helper(name, fn)
         self._boot()
         ENGINE_COUNTERS.boots += 1
+        self.engine_counters.boots += 1
         self._boot_snapshot = None
         self._boot_trace = self.trace  # construction-time sink, == oemu's
         if image.config.snapshot_reset:
@@ -202,6 +216,8 @@ class Kernel(Machine):
         self.trace = self._boot_trace
         ENGINE_COUNTERS.resets += 1
         ENGINE_COUNTERS.dirty_pages_restored += restored
+        self.engine_counters.resets += 1
+        self.engine_counters.dirty_pages_restored += restored
         return restored
 
     # -- data access convenience ---------------------------------------------

@@ -1,0 +1,844 @@
+"""KIR -> Python codegen — the third execution tier.
+
+The decoded engine (:mod:`repro.kir.decode`) removed operand re-decoding
+but still pays one Python call per retired instruction.  This module
+removes the call boundary too: each KIR function compiles to **one**
+specialized Python function of straight-line statements —
+
+* operand kinds and constants are folded at generation time (an ``Imm``
+  becomes an int literal, a static address becomes a pre-added literal);
+* ``fuel`` / ``steps`` / ``pc`` live in Python locals and are written
+  back to the thread/frame in a ``finally`` block, so any escaping
+  exception (``KernelCrash``, ``KirError``, ``ExecutionLimitExceeded``)
+  observes exactly the state the reference engine would have left;
+* machine methods (``memory.check``, OEMU callbacks, ...) are bound as
+  keyword-argument defaults, so the hot path reads them with
+  ``LOAD_FAST`` instead of closure-cell or global lookups;
+* control flow becomes a ``while 1`` dispatch over **block leaders**
+  (function entry, branch/jump targets, call-return points); within a
+  block, instructions run as straight-line code.
+
+Two source variants exist per function, selected by whether the machine
+has an OEMU attached (mirroring decode's bind-time specialization); the
+per-instruction ``instrumented`` flag picks callback vs direct access
+inside the OEMU variant.  Generated source and code objects are cached
+on the ``Program`` (like decode's factory table) so every machine and
+shard shares one generation pass; binding is per machine via ``exec``.
+
+Semantics are byte-identical to the reference interpreter per
+instruction: fuel is checked *then* consumed per attempt, ``Helper``
+instructions sync ``frame.index`` before the call (helpers read the
+current instruction address via the frame) and retry inline on
+``HelperRetry``, undefined-register / unknown-helper / deferred-atomic
+errors carry the reference error strings, and call/return transfers
+return to the tiered driver so mixed-tier stacks compose.  Functions
+using shapes the generator does not model (falling off the function
+end) are reported unsupported and simply stay on the decoded tier.
+
+Generated code never emits ``Step`` events or coverage: the codegen
+tier only runs on the unobserved run-to-completion path, exactly where
+the decoded fast loop ran before.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionLimitExceeded, KirError
+from repro.kir.decode import _BINOPS, _CONDS, _undef
+from repro.kir.function import Function, Program
+from repro.kir.insn import (
+    AtomicRMW,
+    Barrier,
+    BinOp,
+    BinOpKind,
+    Branch,
+    Call,
+    Cond,
+    Helper,
+    ICall,
+    Imm,
+    Insn,
+    Jump,
+    Load,
+    MASK64,
+    Mov,
+    Nop,
+    Operand,
+    Reg,
+    Ret,
+    Store,
+)
+from repro.kir.interp import HelperRetry, _apply_atomic, _missing_atomic_ret
+from repro.mem.memory import MemoryFault
+
+#: Memoization slot on Program objects (generate once, share everywhere).
+_CACHE_ATTR = "_codegen_cache"
+
+#: 64-bit mask as it appears in generated source.
+_M = "0xFFFFFFFFFFFFFFFF"
+
+_BINOP_FMT: Dict[BinOpKind, str] = {
+    BinOpKind.ADD: "(({a} + {b}) & {m})",
+    BinOpKind.SUB: "(({a} - {b}) & {m})",
+    BinOpKind.MUL: "(({a} * {b}) & {m})",
+    BinOpKind.AND: "({a} & {b})",
+    BinOpKind.OR: "({a} | {b})",
+    BinOpKind.XOR: "({a} ^ {b})",
+    BinOpKind.SHL: "(({a} << ({b} & 63)) & {m})",
+    BinOpKind.SHR: "({a} >> ({b} & 63))",
+    BinOpKind.EQ: "(1 if {a} == {b} else 0)",
+    BinOpKind.NE: "(1 if {a} != {b} else 0)",
+    BinOpKind.LTU: "(1 if {a} < {b} else 0)",
+    BinOpKind.LEU: "(1 if {a} <= {b} else 0)",
+    BinOpKind.GTU: "(1 if {a} > {b} else 0)",
+    BinOpKind.GEU: "(1 if {a} >= {b} else 0)",
+}
+
+_COND_OPS: Dict[Cond, str] = {
+    Cond.EQ: "==",
+    Cond.NE: "!=",
+    Cond.LTU: "<",
+    Cond.LEU: "<=",
+    Cond.GTU: ">",
+    Cond.GEU: ">=",
+}
+
+
+class UnsupportedFunction(Exception):
+    """The generator cannot model this function; stay on decoded."""
+
+
+#: Register-local sentinel for "not present in frame.regs".
+_ABSENT = object()
+
+
+def _fuel_exceeded(thread) -> ExecutionLimitExceeded:
+    """The run loop's fuel error, byte-identical to the reference."""
+    return ExecutionLimitExceeded(
+        f"thread {thread.thread_id} exceeded fuel in {thread.current_function}"
+    )
+
+
+class CompiledFunction:
+    """One generated variant: source + code object + entry leaders."""
+
+    __slots__ = ("func_name", "oemu", "source", "code", "consts", "entries")
+
+    def __init__(self, func_name, oemu, source, code, consts, entries):
+        self.func_name = func_name
+        self.oemu = oemu
+        self.source = source
+        self.code = code
+        self.consts = consts
+        self.entries = entries
+
+
+def _collect_regs(func: Function) -> List[str]:
+    """Every register name the function touches, deterministic order
+    (parameters first, then first textual appearance)."""
+    names = list(func.params)
+    seen = set(names)
+
+    def add(op) -> None:
+        if isinstance(op, Reg) and op.name not in seen:
+            seen.add(op.name)
+            names.append(op.name)
+
+    for insn in func.insns:
+        for attr in ("dst", "src", "lhs", "rhs", "base", "operand", "expected", "target"):
+            add(getattr(insn, attr, None))
+        for arg in getattr(insn, "args", ()) or ():
+            add(arg)
+    return names
+
+
+class _FuncGen:
+    """Generates one function's source for one (oemu) variant."""
+
+    def __init__(self, program: Program, func: Function, oemu: bool) -> None:
+        self.program = program
+        self.func = func
+        self.fname = func.name
+        self.oemu = oemu
+        self.used: List[str] = []       # runtime bindings, first-use order
+        self._used_set = set()
+        self.consts: Dict[str, object] = {}
+        self._const_ids: Dict[int, str] = {}
+        self._tmp = 0
+        # Registers live in Python locals for the whole invocation and
+        # are synced back to frame.regs in the finally block, so the
+        # dict is byte-identical to the other engines' on every exit
+        # (return, call, crash, fuel exhaustion).  `_G` marks "absent".
+        self.regnames = _collect_regs(func)
+        self.regvars = {name: f"_r{i}" for i, name in enumerate(self.regnames)}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def use(self, *names: str) -> None:
+        for name in names:
+            if name not in self._used_set:
+                self._used_set.add(name)
+                self.used.append(name)
+
+    def const(self, obj) -> str:
+        name = self._const_ids.get(id(obj))
+        if name is None:
+            name = f"_k{len(self.consts)}"
+            self.consts[name] = obj
+            self._const_ids[id(obj)] = name
+        return name
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    # -- operand access ------------------------------------------------------
+
+    def read(self, op: Operand, lines: List[str], state: Dict[str, bool], K: int) -> str:
+        """Expression for an operand's masked value (reference `_eval`).
+
+        ``state`` tracks block-local definite assignment: ``True`` means
+        the register is present *and* its stored value is pre-masked
+        (written by generated code this block), ``False`` means present
+        but possibly unmasked (a parameter, or already read once).
+        """
+        if isinstance(op, Imm):
+            return repr(op.value & MASK64)
+        if not isinstance(op, Reg):
+            raise UnsupportedFunction(f"operand {op!r}")
+        name = op.name
+        var = self.regvars[name]
+        st = state.get(name)
+        if st is True:
+            return var
+        if st is False:
+            return f"({var} & {_M})"
+        self.use("_undef", "_G")
+        lines.append(f"if {var} is _G:")
+        lines.append(f"    raise _undef({self.fname!r}, {K}, {name!r})")
+        state[name] = False  # present from here on; stored value unchanged
+        return f"({var} & {_M})"
+
+    def addr(self, base: Operand, off: int, lines: List[str], state, K: int) -> str:
+        if isinstance(base, Imm):
+            return repr(((base.value & MASK64) + off) & MASK64)
+        b = self.read(base, lines, state, K)
+        if off == 0:
+            return b
+        t = self.tmp()
+        lines.append(f"{t} = ({b} + {off}) & {_M}")
+        return t
+
+    def access_check(self, addr: str, size: int, is_write: bool, lines: List[str], ia: int) -> None:
+        # One fused call: bounds check + fault oracle + KASAN (see
+        # ``_machine_accessors``), replacing three per-access calls.
+        self.use("_ck")
+        w = "True" if is_write else "False"
+        lines.append(f"_ck({addr}, {size}, {w}, {self.fname!r}, {ia})")
+
+    # -- per-instruction emitters -------------------------------------------
+    # Each returns (lines, falls_through).  Call orders, masking and error
+    # strings replicate repro.kir.decode's closures statement-for-statement.
+
+    def emit_insn(self, insn: Insn, K: int, state: Dict[str, bool]) -> Tuple[List[str], bool]:
+        lines: List[str] = []
+        fname = self.fname
+
+        if isinstance(insn, Mov):
+            src = self.read(insn.src, lines, state, K)
+            lines.append(f"{self.regvars[insn.dst.name]} = {src}")
+            state[insn.dst.name] = True
+            return lines, True
+
+        if isinstance(insn, BinOp):
+            if isinstance(insn.lhs, Imm) and isinstance(insn.rhs, Imm):
+                folded = _BINOPS[insn.op](insn.lhs.value & MASK64, insn.rhs.value & MASK64)
+                lines.append(f"{self.regvars[insn.dst.name]} = {folded!r}")
+            else:
+                a = self.read(insn.lhs, lines, state, K)
+                b = self.read(insn.rhs, lines, state, K)
+                expr = _BINOP_FMT[insn.op].format(a=a, b=b, m=_M)
+                lines.append(f"{self.regvars[insn.dst.name]} = {expr}")
+            state[insn.dst.name] = True
+            return lines, True
+
+        if isinstance(insn, Load):
+            a = self.addr(insn.base, insn.offset, lines, state, K)
+            if insn.instrumented and self.oemu:
+                self.access_check(a, insn.size, False, lines, insn.addr)
+                self.use("_ol")
+                an = self.const(insn.annot)
+                lines.append(
+                    f"{self.regvars[insn.dst.name]} = _ol(thread.thread_id, {insn.addr}, "
+                    f"{an}, {a}, {insn.size}, {fname!r})"
+                )
+            else:
+                # Fused check + KASAN + load (one call instead of three).
+                self.use("_cl")
+                lines.append(
+                    f"{self.regvars[insn.dst.name]} = _cl({a}, {insn.size}, {fname!r}, {insn.addr})"
+                )
+            # Loads store the value as returned (unmasked), like both
+            # reference and decoded engines; reads re-mask.
+            state[insn.dst.name] = False
+            return lines, True
+
+        if isinstance(insn, Store):
+            a = self.addr(insn.base, insn.offset, lines, state, K)
+            v = self.read(insn.src, lines, state, K)
+            if insn.instrumented and self.oemu:
+                self.access_check(a, insn.size, True, lines, insn.addr)
+                self.use("_os")
+                an = self.const(insn.annot)
+                lines.append(
+                    f"_os(thread.thread_id, {insn.addr}, {an}, {a}, "
+                    f"{insn.size}, {v}, {fname!r})"
+                )
+            else:
+                # Fused check + KASAN + store; the value argument is
+                # evaluated before the check runs inside, preserving the
+                # decoded engine's base -> src -> check order.
+                self.use("_cs")
+                lines.append(f"_cs({a}, {insn.size}, {v}, {fname!r}, {insn.addr})")
+            return lines, True
+
+        if isinstance(insn, Barrier):
+            if insn.instrumented and self.oemu:
+                self.use("_ob")
+                kn = self.const(insn.kind)
+                lines.append(
+                    f"_ob(thread.thread_id, {insn.addr}, {kn}, {fname!r})"
+                )
+            return lines, True
+
+        if isinstance(insn, AtomicRMW):
+            return self._emit_atomic(insn, K, state, lines), True
+
+        if isinstance(insn, Branch):
+            op = _COND_OPS[insn.cond]
+            if isinstance(insn.lhs, Imm) and isinstance(insn.rhs, Imm):
+                taken = _CONDS[insn.cond](insn.lhs.value & MASK64, insn.rhs.value & MASK64)
+                if taken:
+                    lines.append(f"pc = {insn.target}")
+                    lines.append("continue")
+                    return lines, False
+                return lines, True
+            a = self.read(insn.lhs, lines, state, K)
+            b = self.read(insn.rhs, lines, state, K)
+            lines.append(f"if {a} {op} {b}:")
+            lines.append(f"    pc = {insn.target}")
+            lines.append("    continue")
+            return lines, True
+
+        if isinstance(insn, Jump):
+            lines.append(f"pc = {insn.target}")
+            lines.append("continue")
+            return lines, False
+
+        if isinstance(insn, Call):
+            if K + 1 >= len(self.func.insns):
+                raise UnsupportedFunction("call with no return point")
+            try:
+                callee = self.program.function(insn.func)
+            except Exception:
+                raise UnsupportedFunction(f"unresolved callee {insn.func!r}")
+            args = [self.read(a, lines, state, K) for a in insn.args]
+            kc = self.const(callee)
+            kd = self.const(insn.dst) if insn.dst is not None else "None"
+            tup = "(" + ", ".join(args) + ("," if args else "") + ")"
+            lines.append(f"pc = {K + 1}")
+            lines.append(f"thread.call({kc}, {tup}, {kd})")
+            lines.append("return None")
+            return lines, False
+
+        if isinstance(insn, ICall):
+            if K + 1 >= len(self.func.insns):
+                raise UnsupportedFunction("icall with no return point")
+            self.use("_resolve", "_badcall")
+            t = self.read(insn.target, lines, state, K)
+            c = self.tmp()
+            lines.append(f"{c} = _resolve({t})")
+            lines.append(f"if {c} is None:")
+            lines.append(f"    _badcall({t}, {fname!r}, {insn.addr})")
+            args = [self.read(a, lines, state, K) for a in insn.args]
+            kd = self.const(insn.dst) if insn.dst is not None else "None"
+            tup = "(" + ", ".join(args) + ("," if args else "") + ")"
+            lines.append(f"pc = {K + 1}")
+            lines.append(f"thread.call({c}, {tup}, {kd})")
+            lines.append("return None")
+            return lines, False
+
+        if isinstance(insn, Ret):
+            v = self.read(insn.src, lines, state, K) if insn.src is not None else "0"
+            lines.append(f"_rv = {v}")
+            lines.append("_fs = thread.frames")
+            lines.append("_cf = _fs.pop()")
+            lines.append("if not _fs:")
+            lines.append("    thread.finished = True")
+            lines.append("    thread.retval = _rv")
+            lines.append("    return None")
+            lines.append("_rd = _cf.ret_dst")
+            lines.append("if _rd is not None:")
+            lines.append("    _fs[-1].regs[_rd.name] = _rv")
+            lines.append("return None")
+            return lines, False
+
+        if isinstance(insn, Helper):
+            self.use("_helpers", "_KE", "_HR", "_m", "_fx")
+            args = [self.read(a, lines, state, K) for a in insn.args]
+            argstr = "".join(f", {a}" for a in args)
+            msg = f"unknown helper {insn.name!r}"
+            # Helpers read the current instruction via frame.index (e.g.
+            # allocation-site addresses), so sync it before the call.
+            lines.append(f"frame.index = {K}")
+            lines.append(f"_h = _helpers.get({insn.name!r})")
+            lines.append("if _h is None:")
+            lines.append(f"    raise _KE({msg!r})")
+            lines.append("while 1:")
+            lines.append("    try:")
+            lines.append(f"        _hres = _h(_m, thread{argstr})")
+            lines.append("        break")
+            lines.append("    except _HR:")
+            lines.append("        if fuel <= 0:")
+            lines.append("            raise _fx(thread)")
+            lines.append("        fuel -= 1")
+            if insn.dst is not None:
+                lines.append(f"{self.regvars[insn.dst.name]} = (_hres or 0) & {_M}")
+                state[insn.dst.name] = True
+            # A helper that re-enters the interpreter (none today) would
+            # swap the frame stack; bail to the driver like decoded does.
+            lines.append("if thread.frames[-1] is not frame:")
+            lines.append("    return None")
+            return lines, True
+
+        if isinstance(insn, Nop):
+            return lines, True
+
+        raise UnsupportedFunction(f"cannot generate {type(insn).__name__}")
+
+    def _emit_atomic(self, insn: AtomicRMW, K: int, state, lines: List[str]) -> List[str]:
+        self.use("_aa")
+        a = self.addr(insn.base, insn.offset, lines, state, K)
+        opv = self.read(insn.operand, lines, state, K)
+        exv = (
+            self.read(insn.expected, lines, state, K)
+            if insn.expected is not None
+            else "None"
+        )
+        self.access_check(a, insn.size, True, lines, insn.addr)
+        ko = self.const(insn.op)
+        lines.append("_bx = {}")
+        lines.append(f"def _rmw(_old, _bx=_bx, _opv={opv}, _exv={exv}, _ko={ko}):")
+        lines.append("    _new, _ret = _aa(_ko, _old, _opv, _exv)")
+        lines.append('    _bx["ret"] = _ret')
+        lines.append("    return _new")
+        if insn.instrumented and self.oemu:
+            self.use("_oa")
+            od = self.const(insn.ordering)
+            lines.append(
+                f"_oa(thread.thread_id, {insn.addr}, {od}, {a}, "
+                f"{insn.size}, _rmw, {self.fname!r})"
+            )
+        else:
+            self.use("_mload", "_mstore")
+            lines.append(f"_old0 = _mload({a}, {insn.size}, check=False)")
+            lines.append(f"_mstore({a}, {insn.size}, _rmw(_old0), check=False)")
+        if insn.dst is not None:
+            self.use("_mar")
+            dst = insn.dst.name
+            lines.append('if "ret" not in _bx:')
+            lines.append(f"    raise _mar({self.fname!r}, {K}, {ko}, {dst!r})")
+            lines.append(f'{self.regvars[dst]} = _bx["ret"] & {_M}')
+            state[dst] = True
+        return lines
+
+    # -- dataflow ------------------------------------------------------------
+    # Forward definite-assignment/maskedness analysis over blocks, so a
+    # loop body does not re-check registers its own entry path provably
+    # assigned.  Lattice per register: 0 = maybe absent, 1 = present
+    # (value possibly unmasked), 2 = present and pre-masked; meet = min.
+    # Externally-enterable leaders (function entry + call-return points,
+    # where the driver may resume with arbitrary frame contents) are
+    # pinned to the bottom state, which keeps the analysis sound for
+    # mixed-tier stacks.
+
+    def _sim_read(self, op, state) -> None:
+        if isinstance(op, Reg) and state.get(op.name, 0) < 1:
+            state[op.name] = 1  # a checked read proves presence
+
+    def _transfer_block(self, start: int, end: int, state):
+        """Abstract-interpret one block; returns (edges, fallthrough).
+
+        ``edges`` are ``(target_leader, state_at_jump)`` pairs;
+        ``fallthrough`` is the exit state, or None when the block ends
+        in an unconditional transfer.  Mirrors emit_insn's updates.
+        """
+        insns = self.func.insns
+        edges = []
+        for K in range(start, end):
+            insn = insns[K]
+            if isinstance(insn, Mov):
+                self._sim_read(insn.src, state)
+                state[insn.dst.name] = 2
+            elif isinstance(insn, BinOp):
+                self._sim_read(insn.lhs, state)
+                self._sim_read(insn.rhs, state)
+                state[insn.dst.name] = 2
+            elif isinstance(insn, Load):
+                self._sim_read(insn.base, state)
+                state[insn.dst.name] = 1  # stored unmasked, like decoded
+            elif isinstance(insn, Store):
+                self._sim_read(insn.base, state)
+                self._sim_read(insn.src, state)
+            elif isinstance(insn, (Barrier, Nop)):
+                pass
+            elif isinstance(insn, AtomicRMW):
+                self._sim_read(insn.base, state)
+                self._sim_read(insn.operand, state)
+                if insn.expected is not None:
+                    self._sim_read(insn.expected, state)
+                if insn.dst is not None:
+                    state[insn.dst.name] = 2
+            elif isinstance(insn, Branch):
+                self._sim_read(insn.lhs, state)
+                self._sim_read(insn.rhs, state)
+                edges.append((insn.target, dict(state)))
+                if isinstance(insn.lhs, Imm) and isinstance(insn.rhs, Imm):
+                    if _CONDS[insn.cond](insn.lhs.value & MASK64, insn.rhs.value & MASK64):
+                        return edges, None  # folded: unconditionally taken
+            elif isinstance(insn, Jump):
+                edges.append((insn.target, dict(state)))
+                return edges, None
+            elif isinstance(insn, (Call, ICall)):
+                if isinstance(insn, ICall):
+                    self._sim_read(insn.target, state)
+                for arg in insn.args:
+                    self._sim_read(arg, state)
+                return edges, None
+            elif isinstance(insn, Helper):
+                for arg in insn.args:
+                    self._sim_read(arg, state)
+                if insn.dst is not None:
+                    state[insn.dst.name] = 2
+            elif isinstance(insn, Ret):
+                if insn.src is not None:
+                    self._sim_read(insn.src, state)
+                return edges, None
+            else:
+                raise UnsupportedFunction(f"cannot generate {type(insn).__name__}")
+        return edges, state
+
+    def _entry_states(self, leaders: List[int], n: int):
+        """Fixpoint entry states per leader + externally-enterable set."""
+        insns = self.func.insns
+        external = {0}
+        for K, insn in enumerate(insns):
+            if isinstance(insn, (Call, ICall)) and K + 1 < n:
+                external.add(K + 1)
+
+        def meet(a, b):
+            out = {}
+            for key, val in a.items():
+                merged = min(val, b.get(key, 0))
+                if merged > 0:
+                    out[key] = merged
+            return out
+
+        entry = {L: ({} if L in external else None) for L in leaders}
+        changed = True
+        while changed:
+            changed = False
+            for i, L in enumerate(leaders):
+                st = entry[L]
+                if st is None:
+                    continue
+                end = leaders[i + 1] if i + 1 < len(leaders) else n
+                edges, falls = self._transfer_block(L, end, dict(st))
+                if falls is not None and end < n:
+                    edges.append((end, falls))
+                for target, s in edges:
+                    cur = entry.get(target)
+                    if target in external:
+                        continue  # pinned to bottom
+                    new = s if cur is None else meet(cur, s)
+                    if new != cur:
+                        entry[target] = new
+                        changed = True
+        return entry, external
+
+    # -- assembly ------------------------------------------------------------
+
+    def leaders(self) -> List[int]:
+        n = len(self.func.insns)
+        if n == 0:
+            raise UnsupportedFunction("empty function")
+        out = {0}
+        for i, insn in enumerate(self.func.insns):
+            if isinstance(insn, (Branch, Jump)):
+                out.add(insn.target)
+            elif isinstance(insn, (Call, ICall)):
+                if i + 1 < n:
+                    out.add(i + 1)
+        for L in out:
+            if not 0 <= L < n:
+                raise UnsupportedFunction(f"branch target {L} out of range")
+        return sorted(out)
+
+    def generate(self) -> CompiledFunction:
+        func = self.func
+        n = len(func.insns)
+        leaders = self.leaders()
+        self.use("_fx", "_KE")
+        if self.regnames:
+            self.use("_G")
+        entry_states, external = self._entry_states(leaders, n)
+
+        blocks: List[Tuple[int, List[str]]] = []
+        for bi, start in enumerate(leaders):
+            end = leaders[bi + 1] if bi + 1 < len(leaders) else n
+            analyzed = entry_states.get(start) or {}
+            state = {name: lv == 2 for name, lv in analyzed.items()}
+            body: List[str] = []
+            falls = True
+            for K in range(start, end):
+                if K != start:
+                    body.append(f"pc = {K}")
+                body.append("if fuel <= 0:")
+                body.append("    raise _fx(thread)")
+                body.append("fuel -= 1")
+                insn_lines, falls = self.emit_insn(func.insns[K], K, state)
+                body.extend(insn_lines)
+            if falls:
+                if end >= n:
+                    raise UnsupportedFunction("control falls off function end")
+                body.append(f"pc = {end}")
+                body.append("continue")
+            blocks.append((start, body))
+
+        bind_params = list(self.used) + list(self.consts)
+        sig = "".join(f", {p}={p}" for p in bind_params)
+        out: List[str] = [f"def _kir_run(thread, frame{sig}):"]
+        out.append("    regs = frame.regs")
+        for name in self.regnames:
+            out.append(f"    {self.regvars[name]} = regs.get({name!r}, _G)")
+        out.append("    _f0 = thread.fuel")
+        out.append("    fuel = _f0")
+        out.append("    pc = frame.index")
+        out.append("    try:")
+        out.append("        while 1:")
+        kw = "if"
+        for start, body in blocks:
+            out.append(f"            {kw} pc == {start}:")
+            for line in body:
+                out.append(f"                {line}")
+            kw = "elif"
+        out.append(
+            f"            raise _KE({self.fname + ': codegen entry at non-leader pc'!r})"
+        )
+        out.append("    finally:")
+        for name in self.regnames:
+            var = self.regvars[name]
+            out.append(f"        if {var} is not _G: regs[{name!r}] = {var}")
+        # steps and fuel move in lockstep (every consumed fuel unit is
+        # one step attempt, retired or retried), so steps is derived
+        # instead of maintained per instruction.
+        out.append("        thread.steps += _f0 - fuel")
+        out.append("        thread.fuel = fuel")
+        out.append("        frame.index = pc")
+        source = "\n".join(out) + "\n"
+        variant = "oemu" if self.oemu else "plain"
+        code = compile(source, f"<kir-codegen:{self.fname}:{variant}>", "exec")
+        return CompiledFunction(
+            func_name=self.fname,
+            oemu=self.oemu,
+            source=source,
+            code=code,
+            consts=dict(self.consts),
+            # Only externally-enterable points: the dataflow facts baked
+            # into branch-target blocks assume arrival from an internal
+            # edge, so the driver must not enter there.
+            entries=frozenset(external),
+        )
+
+
+# -- program-level cache -----------------------------------------------------
+
+
+class CodegenCache:
+    """Per-program cache: ``(id(function), oemu) -> CompiledFunction|None``.
+
+    ``None`` records an unsupported function so the promotion check is
+    paid once.  Machine-independent, like decode's factory table.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.entries: Dict[Tuple[int, bool], Optional[CompiledFunction]] = {}
+
+    def compiled(self, func: Function, oemu: bool, counters=None) -> Optional[CompiledFunction]:
+        key = (id(func), oemu)
+        if key in self.entries:
+            _bump(counters, "codegen_cache_hits")
+            return self.entries[key]
+        _bump(counters, "codegen_cache_misses")
+        try:
+            cf = _FuncGen(self.program, func, oemu).generate()
+        except UnsupportedFunction:
+            cf = None
+        self.entries[key] = cf
+        return cf
+
+
+def _bump(machine_counters, field: str, by: int = 1) -> None:
+    """Bump a codegen counter globally and (if present) per machine."""
+    from repro.oemu.profiler import ENGINE_COUNTERS
+
+    setattr(ENGINE_COUNTERS, field, getattr(ENGINE_COUNTERS, field) + by)
+    if machine_counters is not None:
+        setattr(machine_counters, field, getattr(machine_counters, field) + by)
+
+
+def codegen_cache(program: Program) -> CodegenCache:
+    """The program's codegen cache, created on first use."""
+    cache = getattr(program, _CACHE_ATTR, None)
+    if cache is None:
+        cache = CodegenCache(program)
+        setattr(program, _CACHE_ATTR, cache)
+    return cache
+
+
+def prewarm_program(program: Program, *, oemu: bool = True) -> int:
+    """Generate + compile every supported function (image build time).
+
+    Returns the number of functions that compiled; unsupported ones are
+    cached as such and execute on the decoded tier.
+    """
+    cache = codegen_cache(program)
+    count = 0
+    for func in program.functions.values():
+        if cache.compiled(func, oemu) is not None:
+            count += 1
+    return count
+
+
+def _machine_accessors(machine):
+    """Fused per-machine memory accessors, built once per machine.
+
+    Each fuses the reference engine's three per-access calls (bounds
+    check -> fault oracle -> KASAN, then the raw load/store) into one
+    call from generated code — same statements, same order, same error
+    behaviour, two fewer Python call boundaries per memory access.
+    """
+    cached = getattr(machine, "_codegen_accessors", None)
+    if cached is not None:
+        return cached
+    check = machine.memory.check
+    kasan = machine.kasan.check_access
+    load = machine.memory.load
+    store = machine.memory.store
+    fault = machine.fault_oracle.on_fault
+
+    def _ck(addr, size, is_write, fn, ia):
+        try:
+            check(addr, size, is_write)
+        except MemoryFault as flt:
+            fault(flt, fn, ia)
+        kasan(addr, size, is_write, fn, ia)
+
+    def _cl(addr, size, fn, ia):
+        try:
+            check(addr, size, False)
+        except MemoryFault as flt:
+            fault(flt, fn, ia)
+        kasan(addr, size, False, fn, ia)
+        return load(addr, size, check=False)
+
+    def _cs(addr, size, value, fn, ia):
+        try:
+            check(addr, size, True)
+        except MemoryFault as flt:
+            fault(flt, fn, ia)
+        kasan(addr, size, True, fn, ia)
+        store(addr, size, value, check=False)
+
+    cached = {"_ck": _ck, "_cl": _cl, "_cs": _cs}
+    machine._codegen_accessors = cached
+    return cached
+
+
+def bind_compiled_function(machine, func: Function):
+    """Bind ``func``'s generated code to one machine.
+
+    Returns the executable ``fn(thread, frame)`` with an ``entries``
+    attribute (the block-leader set the driver may enter at), or
+    ``None`` when the function is not codegen-supported.
+    """
+    counters = getattr(machine, "engine_counters", None)
+    cache = codegen_cache(machine.program)
+    cf = cache.compiled(func, machine.oemu is not None, counters)
+    if cf is None:
+        return None
+    ns = {
+        "_G": _ABSENT,
+        "_undef": _undef,
+        "_KE": KirError,
+        "_HR": HelperRetry,
+        "_MF": MemoryFault,
+        "_fx": _fuel_exceeded,
+        "_aa": _apply_atomic,
+        "_mar": _missing_atomic_ret,
+        "_m": machine,
+        "_check": machine.memory.check,
+        "_fault": machine.fault_oracle.on_fault,
+        "_kasan": machine.kasan.check_access,
+        "_mload": machine.memory.load,
+        "_mstore": machine.memory.store,
+        "_helpers": machine.helpers,
+        "_resolve": machine.program.resolve_func_pointer,
+        "_badcall": machine.fault_oracle.on_bad_call,
+    }
+    ns.update(_machine_accessors(machine))
+    oemu = machine.oemu
+    if oemu is not None:
+        ns["_ol"] = oemu.on_load
+        ns["_os"] = oemu.on_store
+        ns["_ob"] = oemu.on_barrier
+        ns["_oa"] = oemu.on_atomic
+    ns.update(cf.consts)
+    exec(cf.code, ns)
+    fn = ns["_kir_run"]
+    fn.entries = cf.entries
+    _bump(counters, "codegen_functions_bound")
+    return fn
+
+
+# -- reproducibility ---------------------------------------------------------
+
+
+def generated_sources(program: Program, *, oemu: bool = True) -> Dict[str, Optional[str]]:
+    """``{function name: generated source or None}`` for one variant."""
+    cache = codegen_cache(program)
+    out: Dict[str, Optional[str]] = {}
+    for name in sorted(program.functions):
+        cf = cache.compiled(program.functions[name], oemu)
+        out[name] = cf.source if cf is not None else None
+    return out
+
+
+def program_source_digest(program: Program) -> str:
+    """SHA-256 over every function's generated source, both variants.
+
+    Deterministic across processes — the cached-image reproducibility
+    gate in ``bench_interp_dispatch.py`` compares this hash between two
+    fresh interpreters.
+    """
+    h = hashlib.sha256()
+    for oemu in (False, True):
+        for name, source in generated_sources(program, oemu=oemu).items():
+            h.update(name.encode())
+            h.update(b"\x00")
+            h.update((source or "<unsupported>").encode())
+            h.update(b"\x01")
+    return h.hexdigest()

@@ -151,6 +151,10 @@ class EngineCounters:
     dirty_pages_restored: int = 0
     functions_bound: int = 0
     decode_cache_hits: int = 0
+    promotions: int = 0
+    codegen_cache_hits: int = 0
+    codegen_cache_misses: int = 0
+    codegen_functions_bound: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -159,7 +163,27 @@ class EngineCounters:
             "dirty_pages_restored": self.dirty_pages_restored,
             "functions_bound": self.functions_bound,
             "decode_cache_hits": self.decode_cache_hits,
+            "promotions": self.promotions,
+            "codegen_cache_hits": self.codegen_cache_hits,
+            "codegen_cache_misses": self.codegen_cache_misses,
+            "codegen_functions_bound": self.codegen_functions_bound,
         }
+
+    def diff(self, baseline: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since ``baseline`` (an earlier ``snapshot()``).
+
+        How campaign shards report per-batch engine activity without the
+        module singleton leaking across batches: snapshot before, diff
+        after, ship the delta.
+        """
+        now = self.snapshot()
+        return {k: now[k] - baseline.get(k, 0) for k in now}
+
+    def merge(self, other: Dict[str, int]) -> None:
+        """Accumulate a delta dict (e.g. a shard's) into this counter set."""
+        for key, value in other.items():
+            if hasattr(self, key):
+                setattr(self, key, getattr(self, key) + value)
 
     def reset(self) -> None:
         self.boots = 0
@@ -167,7 +191,15 @@ class EngineCounters:
         self.dirty_pages_restored = 0
         self.functions_bound = 0
         self.decode_cache_hits = 0
+        self.promotions = 0
+        self.codegen_cache_hits = 0
+        self.codegen_cache_misses = 0
+        self.codegen_functions_bound = 0
 
 
-#: Module singleton; cheap enough to bump unconditionally.
+#: Module singleton, kept for in-process tooling (benchmarks, tests).
+#: Multiprocess campaign workers additionally keep per-machine counters
+#: (``Machine.engine_counters``) and ship per-batch deltas through
+#: ``ShardResult.engine_counters`` so nothing is lost across process
+#: boundaries.
 ENGINE_COUNTERS = EngineCounters()
