@@ -152,6 +152,10 @@ class CampaignSpec:
                      checkpoint readers.
     ``snapshot_reset`` reuse one booted kernel per worker via the boot
                      snapshot; off = fresh boot per test.
+    ``prefix_cache`` per-STI prefix snapshots so the MTI fan-out skips
+                     re-executing the shared sequential prefix; requires
+                     ``snapshot_reset`` (normalized off without it).
+                     Results are identical either way.
 
     Robustness knobs (the campaign supervisor,
     :mod:`repro.fuzzer.supervisor`):
@@ -184,6 +188,7 @@ class CampaignSpec:
     engine: str = "auto"
     decoded_dispatch: bool = True
     snapshot_reset: bool = True
+    prefix_cache: bool = True
     shard_timeout: Optional[float] = None
     max_retries: int = 2
     checkpoint_dir: Optional[str] = None
@@ -217,6 +222,9 @@ class CampaignSpec:
         engine = normalize_engine(self.engine, decoded_dispatch=self.decoded_dispatch)
         object.__setattr__(self, "engine", engine)
         object.__setattr__(self, "decoded_dispatch", engine != "reference")
+        object.__setattr__(
+            self, "prefix_cache", self.prefix_cache and self.snapshot_reset
+        )
 
     @property
     def policy(self) -> WorkerPolicy:
@@ -527,6 +535,7 @@ def spec_to_dict(spec: CampaignSpec) -> dict:
         "engine": spec.engine,
         "decoded_dispatch": spec.decoded_dispatch,
         "snapshot_reset": spec.snapshot_reset,
+        "prefix_cache": spec.prefix_cache,
         "checkpoint_dir": spec.checkpoint_dir,
         "checkpoint_every": spec.checkpoint_every,
     }
@@ -560,6 +569,7 @@ def spec_from_dict(sp: dict) -> CampaignSpec:
         engine=sp.get("engine", "auto"),
         decoded_dispatch=sp.get("decoded_dispatch", True),
         snapshot_reset=sp.get("snapshot_reset", True),
+        prefix_cache=sp.get("prefix_cache", True),
         checkpoint_dir=sp.get("checkpoint_dir"),
         checkpoint_every=sp.get("checkpoint_every", 10),
         worker_policy=policy,

@@ -66,6 +66,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             static_hints=args.static_hints,
             engine=engine,
             snapshot_reset=not args.no_snapshot_reset,
+            prefix_cache=not args.no_prefix_cache,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             worker_policy=policy,
@@ -85,6 +86,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             f"{c.get('promotions', 0)} promotions, "
             f"codegen cache {c.get('codegen_cache_hits', 0)} hits / "
             f"{c.get('codegen_cache_misses', 0)} misses"
+        )
+        print(
+            f"prefix cache: {c.get('prefix_hits', 0)} hits, "
+            f"{c.get('prefix_snapshots', 0)} snapshots, "
+            f"{c.get('calls_skipped', 0)} calls skipped"
         )
     if spec.jobs > 1:
         for s in result.shards:
@@ -364,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-snapshot-reset", action="store_true",
         help="boot a fresh kernel per test instead of reusing one via "
              "the boot snapshot",
+    )
+    p.add_argument(
+        "--no-prefix-cache", action="store_true",
+        help="re-execute each MTI's sequential prefix instead of "
+             "restoring a cached prefix snapshot (results are identical "
+             "either way; implied by --no-snapshot-reset)",
     )
     p.add_argument(
         "--shard-timeout", type=float, metavar="SECONDS",

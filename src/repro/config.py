@@ -49,6 +49,13 @@ class KernelConfig:
                       can restore pristine state via dirty-page tracking
                       and the fuzzer can reuse one kernel per shard
                       instead of re-booting per test.
+    ``prefix_cache``  layer per-STI prefix snapshots on the boot
+                      snapshot so the fuzzer's MTI fan-out skips
+                      re-executing the shared sequential prefix
+                      (:mod:`repro.fuzzer.prefix`).  Requires
+                      ``snapshot_reset``; normalized to ``False`` when
+                      snapshot reset is off.  Observably identical
+                      either way — the differential suites prove it.
     """
 
     patched: FrozenSet[str] = frozenset()
@@ -62,6 +69,7 @@ class KernelConfig:
     engine: str = "auto"
     decoded_dispatch: bool = True
     snapshot_reset: bool = True
+    prefix_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.ncpus < 1:
@@ -71,6 +79,9 @@ class KernelConfig:
         engine = normalize_engine(self.engine, decoded_dispatch=self.decoded_dispatch)
         object.__setattr__(self, "engine", engine)
         object.__setattr__(self, "decoded_dispatch", engine != "reference")
+        object.__setattr__(
+            self, "prefix_cache", self.prefix_cache and self.snapshot_reset
+        )
 
     def is_patched(self, bug_id: str) -> bool:
         return bug_id in self.patched

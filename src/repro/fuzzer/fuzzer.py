@@ -24,8 +24,10 @@ from repro.errors import ConfigError
 from repro.fuzzer.corpus import Corpus
 from repro.fuzzer.generator import InputGenerator
 from repro.fuzzer.hints import SchedulingHint, calculate_hints, prioritize_hints
+from repro.fuzzer.intervals import span_overlap_stats, weighted_spans
 from repro.fuzzer.minimize import minimize
 from repro.fuzzer.mti import MTI, MTIResult, run_mti
+from repro.fuzzer.prefix import PrefixCache
 from repro.fuzzer.reproducer import Reproducer
 from repro.fuzzer.sti import STI, profile_sti
 from repro.fuzzer.templates import seed_inputs, templates
@@ -169,6 +171,13 @@ class OzzFuzzer:
             self._pool: Optional[KernelPool] = pool
         else:
             self._pool = KernelPool(image) if image.config.snapshot_reset else None
+        # Prefix caching rides on the pool: each iteration builds a
+        # snapshot tree over its STI so the MTI fan-out skips the shared
+        # sequential prefix (repro.fuzzer.prefix).  Off whenever the pool
+        # is (config normalization already ties it to snapshot_reset).
+        self._prefix_cache = bool(
+            image.config.prefix_cache and self._pool is not None
+        )
         self._sti_profiler = Profiler()
 
     # -- input selection -----------------------------------------------------
@@ -188,10 +197,27 @@ class OzzFuzzer:
         if sti is None:
             sti = self.next_sti()
         pool = self._pool
+        # Build the prefix cache *before* profiling and let the profile
+        # run prime it: profiling executes every prefix anyway, so the
+        # snapshot tree costs only the captures and the MTI fan-out
+        # below never re-executes a prefix call.  The wanted depths are
+        # exactly the pair first-indices ``_choose_pairs`` can emit —
+        # adjacent pairs contribute every i up to the pair budget, and
+        # non-adjacent extras stay within the same bound.
+        cache = (
+            PrefixCache(
+                pool,
+                sti,
+                wanted=range(1, min(len(sti.calls) - 1, self.max_pairs_per_sti)),
+            )
+            if self._prefix_cache
+            else None
+        )
         profile = profile_sti(
             self.image,
             sti,
             kernel=pool.acquire(profiler=self._sti_profiler) if pool else None,
+            after_call=cache.prime if cache is not None else None,
         )
         self.stats.stis_run += 1
         if profile.crash is not None:
@@ -215,11 +241,23 @@ class OzzFuzzer:
                 )
                 hints = prioritize_hints(hints, ranking)
             for hint in hints[: self.max_hints_per_pair]:
-                result = run_mti(
-                    self.image,
-                    MTI(sti=sti, pair=(i, j), hint=hint),
-                    kernel=pool.acquire() if pool else None,
-                )
+                mti = MTI(sti=sti, pair=(i, j), hint=hint)
+                positioned = cache.position(i) if cache is not None else None
+                if positioned is not None:
+                    kernel, prefix_retvals = positioned
+                    result = run_mti(
+                        self.image,
+                        mti,
+                        kernel=kernel,
+                        prefix_len=i,
+                        prefix_retvals=prefix_retvals,
+                    )
+                else:
+                    # No cache, or a poisoned prefix (a prefix call
+                    # crashed): the fresh path reproduces it exactly.
+                    result = run_mti(
+                        self.image, mti, kernel=pool.acquire() if pool else None
+                    )
                 self.stats.mtis_run += 1
                 results.append(result)
                 if result.hung:
@@ -289,22 +327,39 @@ class OzzFuzzer:
             # changing which pairs — and hence how many tests — run.
             hot = [self._static_mem(p) for p in profile.profiles]
             if self.static_rank == "tier":
-                pairs.sort(key=lambda ij: -len(hot[ij[0]].keys() & hot[ij[1]].keys()))
+                pairs.sort(
+                    key=lambda ij: -span_overlap_stats(hot[ij[0]], hot[ij[1]])[1]
+                )
             else:
                 pairs.sort(key=lambda ij: self._pair_rank(hot[ij[0]], hot[ij[1]]))
         return pairs
 
     def _pair_rank(self, hot_a, hot_b) -> Tuple[int, int]:
-        shared = hot_a.keys() & hot_b.keys()
-        weight = max(
-            (max(hot_a[byte], hot_b[byte]) for byte in shared), default=0
-        )
-        return (-weight, -len(shared))
+        weight, shared = span_overlap_stats(hot_a, hot_b)
+        return (-weight, -shared)
 
-    def _static_mem(self, syscall_profile) -> Dict[int, int]:
-        """Memory bytes one syscall touched via statically-flagged insns,
-        each mapped to the heaviest flagging instruction's evidence
-        weight (1 when the lockset ranking is off)."""
+    def _static_mem(self, syscall_profile):
+        """Memory a syscall touched via statically-flagged insns, as
+        piecewise-max weighted spans — each byte's weight the heaviest
+        flagging instruction's evidence weight (1 when the lockset
+        ranking is off).  Span form replaces the per-byte dict
+        (:meth:`_static_mem_bytes`, kept as the equivalence reference):
+        ranking needs only overlap byte counts and the overlap's max
+        weight, which the span sweep yields without byte expansion."""
+        spans = []
+        for e in syscall_profile.accesses:
+            if e.inst_addr in self._static_all:
+                spans.append(
+                    (
+                        e.mem_addr,
+                        e.mem_addr + e.size,
+                        self._addr_weight.get(e.inst_addr, 1),
+                    )
+                )
+        return weighted_spans(spans)
+
+    def _static_mem_bytes(self, syscall_profile) -> Dict[int, int]:
+        """Reference byte-dict form of :meth:`_static_mem` (property tests)."""
         out: Dict[int, int] = {}
         for e in syscall_profile.accesses:
             if e.inst_addr in self._static_all:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
+from repro.fuzzer.intervals import ByteIntervalSet
 from repro.kir.insn import BarrierKind
 from repro.oemu.profiler import AccessEvent, BarrierEvent, SyscallProfile
 
@@ -65,8 +66,41 @@ def _byte_range(event: AccessEvent) -> range:
 
 def shared_memory_locations(
     a: Sequence[object], b: Sequence[object]
-) -> Set[int]:
-    """Byte addresses touched by both syscalls with at least one write."""
+) -> ByteIntervalSet:
+    """Byte addresses touched by both syscalls with at least one write.
+
+    Interval-backed: accesses carry ``(mem_addr, size)``, so the shared
+    set ``(Wa ∩ Tb) ∪ (Wb ∩ Ta)`` (T = all touches) is computed by span
+    merge/intersection instead of expanding every access into per-byte
+    set members.  The result supports ``in``, truthiness and overlap
+    queries like the byte set it replaces
+    (:func:`shared_memory_bytes`, kept as the property-test reference).
+    """
+    def index(events):
+        writes: List[Tuple[int, int]] = []
+        touches: List[Tuple[int, int]] = []
+        for e in events:
+            if not isinstance(e, AccessEvent):
+                continue
+            span = (e.mem_addr, e.mem_addr + e.size)
+            touches.append(span)
+            if e.is_write:
+                writes.append(span)
+        return ByteIntervalSet(writes), ByteIntervalSet(touches)
+
+    writes_a, touches_a = index(a)
+    writes_b, touches_b = index(b)
+    return writes_a.intersection(touches_b).union(
+        writes_b.intersection(touches_a)
+    )
+
+
+def shared_memory_bytes(a: Sequence[object], b: Sequence[object]) -> Set[int]:
+    """Reference byte-set implementation of :func:`shared_memory_locations`.
+
+    O(bytes touched); kept for the property suite that proves the
+    interval implementation equivalent on randomized event streams.
+    """
     def index(events):
         writes: Set[int] = set()
         reads: Set[int] = set()
@@ -79,8 +113,7 @@ def shared_memory_locations(
 
     reads_a, writes_a = index(a)
     reads_b, writes_b = index(b)
-    shared = (writes_a & (reads_b | writes_b)) | (writes_b & (reads_a | writes_a))
-    return shared
+    return (writes_a & (reads_b | writes_b)) | (writes_b & (reads_a | writes_a))
 
 
 def filter_out(
@@ -96,7 +129,7 @@ def filter_out(
         out: List[object] = []
         for e in events:
             if isinstance(e, AccessEvent):
-                if not shared.intersection(_byte_range(e)):
+                if not shared.overlaps(e.mem_addr, e.mem_addr + e.size):
                     continue
             out.append(e)
         return out
@@ -137,7 +170,13 @@ def group_by_barriers(events: Sequence[object], barrier_type: str) -> List[List[
 
 
 def _hit_count(events: Sequence[AccessEvent], chosen: AccessEvent) -> int:
-    """1-based dynamic occurrence of chosen.inst_addr up to `chosen`."""
+    """1-based dynamic occurrence of chosen.inst_addr up to `chosen`.
+
+    Reference implementation — O(events) per query, so calling it per
+    hint made the hint phase O(n²).  :func:`access_occurrences`
+    precomputes every answer in one pass; this stays as the equivalence
+    oracle for the tests.
+    """
     count = 0
     for e in events:
         if e.inst_addr == chosen.inst_addr:
@@ -145,6 +184,23 @@ def _hit_count(events: Sequence[AccessEvent], chosen: AccessEvent) -> int:
         if e is chosen:
             break
     return count
+
+
+def access_occurrences(accesses: Sequence[AccessEvent]) -> Dict[int, int]:
+    """One-pass ``id(event) → 1-based occurrence index of its inst_addr``.
+
+    Keyed by identity, not value: the same instruction address recurs
+    (loops), and the scheduling point is a *specific* dynamic occurrence.
+    Computes in O(n) what per-hint :func:`_hit_count` scans would redo
+    from scratch — the hint phase's former O(n²) hotspot.
+    """
+    counts: Dict[int, int] = {}
+    occurrences: Dict[int, int] = {}
+    for e in accesses:
+        c = counts.get(e.inst_addr, 0) + 1
+        counts[e.inst_addr] = c
+        occurrences[id(e)] = c
+    return occurrences
 
 
 def _effective(accesses: Sequence[AccessEvent], barrier_type: str) -> List[AccessEvent]:
@@ -156,15 +212,28 @@ def _effective(accesses: Sequence[AccessEvent], barrier_type: str) -> List[Acces
 
 def hints_for_group(
     group: Sequence[AccessEvent],
-    all_accesses: Sequence[AccessEvent],
+    all_accesses,
     barrier_type: str,
     reorder_side: int,
 ) -> List[SchedulingHint]:
     """Slide the hypothetical barrier through one group (Algorithm 1,
-    lines 13-21, with the duplicate first iteration deduplicated)."""
+    lines 13-21, with the duplicate first iteration deduplicated).
+
+    ``all_accesses`` locates the scheduling point's dynamic occurrence:
+    either the syscall's full access sequence (the occurrence map is
+    then built here) or a precomputed :func:`access_occurrences` mapping
+    — :func:`calculate_hints` passes the latter so the map is built once
+    per side instead of once per hint.
+    """
     hints: List[SchedulingHint] = []
     if len(group) < 2:
         return hints
+    if isinstance(all_accesses, Mapping):
+        occurrences = all_accesses
+        access_seq: List[AccessEvent] = []
+    else:
+        access_seq = [e for e in all_accesses if isinstance(e, AccessEvent)]
+        occurrences = access_occurrences(access_seq)
     if barrier_type == ST:
         sched = group[-1]
         prefixes = [list(group[:k]) for k in range(len(group) - 1, 0, -1)]
@@ -173,6 +242,13 @@ def hints_for_group(
         sched = group[0]
         suffixes = [list(group[k:]) for k in range(1, len(group))]
         candidate_sets = suffixes
+    # One scheduling point per group, so one occurrence lookup serves
+    # every hint.  Identity lookup; a sched absent from the sequence
+    # form falls back to the reference scan (old behaviour).
+    if id(sched) in occurrences:
+        sched_hit = occurrences[id(sched)]
+    else:
+        sched_hit = _hit_count(access_seq, sched)
     seen: Set[Tuple[int, ...]] = set()
     for accesses in candidate_sets:
         effective = _effective(accesses, barrier_type)
@@ -187,7 +263,7 @@ def hints_for_group(
                 barrier_type=barrier_type,
                 reorder_side=reorder_side,
                 sched_addr=sched.inst_addr,
-                sched_hit=_hit_count(all_accesses, sched),
+                sched_hit=sched_hit,
                 reorder=reorder,
                 nreorder=len(effective),
             )
@@ -297,10 +373,11 @@ def calculate_hints(
     hints: List[SchedulingHint] = []
     for side, events in ((0, filtered_i), (1, filtered_j)):
         accesses = [e for e in events if isinstance(e, AccessEvent)]
+        occurrences = access_occurrences(accesses)
         for barrier_type in (ST, LD):
             for group in group_by_barriers(events, barrier_type):
                 hints.extend(
-                    hints_for_group(group, accesses, barrier_type, side)
+                    hints_for_group(group, occurrences, barrier_type, side)
                 )
     hints.sort(key=lambda h: h.nreorder, reverse=True)
     return hints

@@ -1,0 +1,179 @@
+"""Interval algebra over byte ranges — the hint pipeline's hot sets.
+
+Profiled accesses carry ``(mem_addr, size)``; Algorithm 2 and the
+static-hint pair ranking used to expand every access into a per-byte
+``set``/``dict``, which costs O(bytes touched) per event — an 8-byte
+access pays 8 set inserts, and shared-location queries materialize whole
+byte sets just to intersect them.  This module keeps the same *results*
+(the property suite proves equivalence against the byte-set reference)
+while working on sorted disjoint ``[start, end)`` intervals: building is
+a sort + merge, intersection a two-pointer sweep, and membership a
+bisect — all independent of access *width*.
+
+Two shapes are provided:
+
+* :class:`ByteIntervalSet` — an unweighted byte set
+  (:func:`repro.fuzzer.hints.shared_memory_locations`'s result type).
+  Supports ``in``, truthiness, ``len`` (total bytes) and
+  :meth:`overlaps` — everything Algorithm 2's filter needs.
+* weighted spans — ``(start, end, weight)`` triples for the static-hint
+  rankings, where a byte's weight is the max over covering spans
+  (:func:`weighted_spans`) and pair ranking needs only the overlap's
+  byte count and max weight (:func:`span_overlap_stats`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+Span = Tuple[int, int]              # [start, end)
+WeightedSpan = Tuple[int, int, int]  # [start, end) -> weight
+
+
+def merge_spans(spans: Iterable[Span]) -> List[Span]:
+    """Sorted, disjoint, non-adjacent normal form of arbitrary spans."""
+    out: List[Span] = []
+    for start, end in sorted(spans):
+        if start >= end:
+            continue
+        if out and start <= out[-1][1]:
+            if end > out[-1][1]:
+                out[-1] = (out[-1][0], end)
+        else:
+            out.append((start, end))
+    return out
+
+
+class ByteIntervalSet:
+    """An immutable set of byte addresses stored as merged intervals.
+
+    Drop-in for the byte-``set`` results the hint pipeline used to
+    build: supports ``addr in s``, ``bool(s)``, ``len(s)`` (total bytes)
+    and overlap queries, without ever materializing individual bytes.
+    """
+
+    __slots__ = ("_spans", "_starts")
+
+    def __init__(self, spans: Iterable[Span] = ()) -> None:
+        self._spans = merge_spans(spans)
+        self._starts = [s for s, _ in self._spans]
+
+    def __contains__(self, addr: int) -> bool:
+        i = bisect_right(self._starts, addr) - 1
+        return i >= 0 and addr < self._spans[i][1]
+
+    def __bool__(self) -> bool:
+        return bool(self._spans)
+
+    def __len__(self) -> int:
+        return sum(end - start for start, end in self._spans)
+
+    def __iter__(self):
+        """Iterate member byte addresses (ascending) — test/debug aid."""
+        for start, end in self._spans:
+            yield from range(start, end)
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(f"{s:#x}-{e:#x}" for s, e in self._spans[:4])
+        more = "..." if len(self._spans) > 4 else ""
+        return f"<ByteIntervalSet {len(self._spans)} spans {ranges}{more}>"
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """Does any member byte fall in ``[start, end)``?"""
+        if start >= end:
+            return False
+        i = bisect_right(self._starts, start) - 1
+        if i >= 0 and start < self._spans[i][1]:
+            return True
+        i += 1
+        return i < len(self._spans) and self._spans[i][0] < end
+
+    def intersection(self, other: "ByteIntervalSet") -> "ByteIntervalSet":
+        return ByteIntervalSet(
+            _intersect_sorted(self._spans, other._spans)
+        )
+
+    def union(self, other: "ByteIntervalSet") -> "ByteIntervalSet":
+        return ByteIntervalSet(self._spans + other._spans)
+
+
+def _intersect_sorted(a: Sequence[Span], b: Sequence[Span]) -> List[Span]:
+    """Two-pointer intersection of two normal-form span lists."""
+    out: List[Span] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if start < end:
+            out.append((start, end))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def weighted_spans(spans: Iterable[WeightedSpan]) -> List[WeightedSpan]:
+    """Piecewise-max normal form: disjoint sorted spans, each byte's
+    weight the max over the input spans covering it.
+
+    Equivalent to the byte-``dict`` ``{byte: max(weight)}`` the static
+    ranking used to build, without per-byte expansion.  A lazy-deletion
+    heap tracks the active max across boundary points.
+    """
+    items = sorted((s, e, w) for s, e, w in spans if s < e)
+    if not items:
+        return []
+    bounds = sorted({p for s, e, _ in items for p in (s, e)})
+    out: List[WeightedSpan] = []
+    heap: List[Tuple[int, int]] = []  # (-weight, end)
+    idx = 0
+    for a, b in zip(bounds, bounds[1:]):
+        while idx < len(items) and items[idx][0] <= a:
+            s, e, w = items[idx]
+            heapq.heappush(heap, (-w, e))
+            idx += 1
+        while heap and heap[0][1] <= a:
+            heapq.heappop(heap)
+        if not heap:
+            continue
+        w = -heap[0][0]
+        if out and out[-1][1] == a and out[-1][2] == w:
+            out[-1] = (out[-1][0], b, w)
+        else:
+            out.append((a, b, w))
+    return out
+
+
+def span_overlap_stats(
+    a: Sequence[WeightedSpan], b: Sequence[WeightedSpan]
+) -> Tuple[int, int]:
+    """``(max_pair_weight, shared_bytes)`` of two piecewise-max span lists.
+
+    ``shared_bytes`` counts bytes covered by both sides;
+    ``max_pair_weight`` is the max over those bytes of
+    ``max(weight_a(byte), weight_b(byte))`` — exactly the two numbers
+    the fuzzer's static pair ranking sorts by.
+    """
+    i = j = 0
+    shared = 0
+    weight = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if start < end:
+            shared += end - start
+            w = max(a[i][2], b[j][2])
+            if w > weight:
+                weight = w
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return weight, shared

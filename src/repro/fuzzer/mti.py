@@ -16,7 +16,7 @@ and one scheduling hint.  Running an MTI:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionLimitExceeded, KernelCrash
 from repro.fuzzer.hints import LD, SchedulingHint
@@ -62,6 +62,8 @@ def run_mti(
     *,
     trace: TraceSink = NULL_SINK,
     kernel: Optional[Kernel] = None,
+    prefix_len: int = 0,
+    prefix_retvals: Optional[Sequence[int]] = None,
 ) -> MTIResult:
     """Execute one MTI on a pristine kernel.
 
@@ -73,14 +75,28 @@ def run_mti(
     so the fuzzer loop skips the per-test boot.  Recording runs always
     boot fresh: an OEMU trace sink attaches at construction only, and a
     fresh boot is exactly what replay reproduces.
+
+    ``prefix_len``/``prefix_retvals`` are the prefix-cache fast path:
+    ``kernel`` is already positioned after executing ``calls[0..
+    prefix_len)`` sequentially (via a restored prefix snapshot) and
+    ``prefix_retvals`` carries those calls' return values, so Phase 1
+    starts at ``prefix_len`` instead of 0.  Because positioning by
+    snapshot restore is byte-identical to fresh execution, the outcome
+    matches a full run exactly.  Ignored on fresh-boot (traced) runs.
     """
     result = MTIResult(mti=mti)
     if kernel is None or trace.active:
         kernel = Kernel(image, trace=trace)
+        prefix_len = 0
+        prefix_retvals = None
     i, j = mti.pair
+    if not 0 <= prefix_len <= i:
+        raise ValueError(f"prefix_len {prefix_len} outside [0, {i}]")
     # Indexed by call position so ResourceRefs resolve correctly even
     # when calls between the pair run after it.
     retvals: List[int] = [0] * len(mti.sti.calls)
+    if prefix_retvals:
+        retvals[: len(prefix_retvals)] = prefix_retvals
 
     def run_sequential(index: int) -> bool:
         call = mti.sti.calls[index]
@@ -105,8 +121,8 @@ def run_mti(
             return False
         return True
 
-    # Phase 1: prefix.
-    for index in range(i):
+    # Phase 1: prefix (already executed up to prefix_len on the cache path).
+    for index in range(prefix_len, i):
         if not run_sequential(index):
             return result
 

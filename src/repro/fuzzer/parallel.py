@@ -52,6 +52,7 @@ def campaign_image(spec: "CampaignSpec") -> KernelImage:
             patched=frozenset(spec.patched),
             engine=spec.engine,
             snapshot_reset=spec.snapshot_reset,
+            prefix_cache=spec.prefix_cache,
         )
     )
 

@@ -13,7 +13,7 @@ syscall its memory-access/barrier profile (the five- and three-tuples of
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError, ExecutionLimitExceeded, KernelCrash
 from repro.fuzzer.kcov import KCov
@@ -94,6 +94,7 @@ def profile_sti(
     *,
     with_coverage: bool = True,
     kernel: Optional[Kernel] = None,
+    after_call: Optional[Callable[[Kernel, List[int]], None]] = None,
 ) -> STIResult:
     """Run an STI sequentially, profiling each call.
 
@@ -104,9 +105,16 @@ def profile_sti(
 
     ``kernel`` may supply a pooled, snapshot-reset kernel (must be in
     boot state with a profiler already attached); otherwise a fresh one
-    is booted.  The per-call profiles alias the profiler's live per-thread
-    lists, which stay intact after ``Profiler.clear()`` — clearing drops
-    the dict entries while old lists keep their events.
+    is booted.  ``Profiler.events_for`` *detaches* each per-thread event
+    list, so the returned profiles own their events outright — reusing
+    the kernel (and profiler) for later runs can never mutate a profile
+    the corpus already cached.
+
+    ``after_call`` is invoked after each *successful* call with the
+    executing kernel and the retvals so far — the hook the fuzzer's
+    prefix cache uses to snapshot every prefix depth during this run
+    instead of re-executing the prefix later
+    (:meth:`~repro.fuzzer.prefix.PrefixCache.prime`).
     """
     if kernel is None:
         profiler = Profiler()
@@ -147,5 +155,7 @@ def profile_sti(
                 coverage=cov,
             )
         )
+        if after_call is not None:
+            after_call(kernel, result.retvals)
     result.coverage = frozenset(all_cov)
     return result

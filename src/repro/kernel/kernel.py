@@ -194,21 +194,30 @@ class Kernel(Machine):
             if subsystem.init is not None:
                 subsystem.init(self)
 
-    def reset(self) -> int:
-        """Rewind to the boot snapshot; returns memory pages restored.
+    def reset(self, to=None) -> int:
+        """Rewind to the boot snapshot (or a prefix above it).
 
         Replaces drop-and-reboot in the fuzzer loop: the restore is
         dirty-tracked (O(pages the last test wrote)), thread ids restart
         from their boot value so traces stay byte-identical, and per-run
         attachments (kcov, a post-boot trace sink) are detached.
+
+        ``to`` may name a :class:`~repro.kernel.snapshot.PrefixSnapshot`
+        previously captured from *this image's* boot state (see
+        :meth:`capture_prefix`); the kernel is then positioned exactly as
+        if it had executed that sequential prefix fresh after boot.
+        Returns memory pages restored.
         """
         if self._boot_snapshot is None:
             raise ConfigError(
                 "Kernel.reset() requires KernelConfig(snapshot_reset=True)"
             )
-        from repro.kernel.snapshot import restore
+        from repro.kernel.snapshot import restore, restore_prefix
 
-        restored = restore(self, self._boot_snapshot)
+        if to is None:
+            restored = restore(self, self._boot_snapshot)
+        else:
+            restored = restore_prefix(self, self._boot_snapshot, to)
         self.kcov = None
         # Back to the construction-time sink (which is what the OEMU still
         # holds); the property setter re-binds the interpreter's hoisted
@@ -219,6 +228,32 @@ class Kernel(Machine):
         self.engine_counters.resets += 1
         self.engine_counters.dirty_pages_restored += restored
         return restored
+
+    def capture_prefix(self):
+        """Snapshot the current state as a delta over the boot snapshot.
+
+        The result feeds :meth:`reset(to=...) <reset>`; dirty tracking
+        keeps running, so execution may continue from here (the prefix
+        cache extends the deepest captured prefix this way).
+        """
+        if self._boot_snapshot is None:
+            raise ConfigError(
+                "Kernel.capture_prefix() requires KernelConfig(snapshot_reset=True)"
+            )
+        from repro.kernel.snapshot import capture_prefix
+
+        snap = capture_prefix(self)
+        ENGINE_COUNTERS.prefix_snapshots += 1
+        self.engine_counters.prefix_snapshots += 1
+        return snap
+
+    def credit_syscall(self, name: str, n: int = 1) -> None:
+        """Credit ``n`` skipped (snapshot-restored) runs of a syscall's
+        entry function toward hot-function promotion — see
+        :meth:`~repro.kir.interp.Interpreter.credit_entry`."""
+        if self.interp._promote_after is None:
+            return  # fixed tier: no promotion, skip the function lookup
+        self.interp.credit_entry(self.program.function(self._lookup(name).func), n)
 
     # -- data access convenience ---------------------------------------------
 
@@ -303,14 +338,23 @@ class KernelPool:
         self.image = image
         self._kernel: Optional[Kernel] = None
 
-    def acquire(self, *, profiler: Optional[Profiler] = None) -> Kernel:
-        """A kernel in boot state, with ``profiler`` attached (or detached)."""
+    def acquire(
+        self, *, profiler: Optional[Profiler] = None, at=None
+    ) -> Kernel:
+        """A kernel in boot state, with ``profiler`` attached (or detached).
+
+        ``at`` positions the kernel at a previously captured
+        :class:`~repro.kernel.snapshot.PrefixSnapshot` instead of boot
+        state (the prefix-cache fast path).
+        """
         kernel = self._kernel
         if kernel is None:
             kernel = Kernel(self.image, profiler=profiler)
             self._kernel = kernel
+            if at is not None:
+                kernel.reset(to=at)
         else:
-            kernel.reset()
+            kernel.reset(to=at)
             if kernel.profiler is not profiler:
                 kernel.profiler = profiler
                 if kernel.oemu is not None:

@@ -19,6 +19,30 @@ clock, thread-id counter) are restored wholesale; they are tiny.
 from the same value after every reset, which is what keeps traces and
 replay artifacts byte-identical between a restored kernel and a freshly
 booted one.
+
+Prefix snapshots — the snapshot tree
+------------------------------------
+
+A :class:`PrefixSnapshot` layers on top of the boot snapshot: it records
+only the pages written *since boot* (the memory/shadow dirty sets, which
+:func:`capture` restarted at boot time) plus fresh wholesale copies of
+the small components.  Restoring to a prefix composes a boot restore
+with a delta overlay:
+
+1. ``restore(kernel, boot)`` rewinds memory to boot, clearing the dirty
+   sets, then
+2. ``apply_delta`` writes the prefix's pages back and *re-marks them
+   dirty*, so the dirty sets again cover exactly the pages that differ
+   from boot — the next restore (to boot or to any prefix) stays
+   correct.
+
+Capturing a prefix never clears dirty tracking, so a kernel positioned
+by restore is indistinguishable — byte-for-byte, including thread ids
+and logical clock — from one that executed the prefix fresh after boot.
+That equivalence is what lets the fuzzer's :class:`~repro.fuzzer.prefix.
+PrefixCache` skip re-executing the shared sequential prefix across the
+MTI fan-out (the per-STI snapshot tree: boot is the root, each cached
+prefix length a node).
 """
 
 from __future__ import annotations
@@ -46,11 +70,35 @@ class BootSnapshot:
     warnings: Tuple
 
 
-def capture(kernel) -> BootSnapshot:
-    """Freeze the kernel's mutable state and restart dirty tracking."""
-    return BootSnapshot(
-        memory=kernel.memory.snapshot(),
-        shadow=kernel.shadow.snapshot(),
+@dataclass(frozen=True)
+class PrefixSnapshot:
+    """A delta over :class:`BootSnapshot`: state after a sequential prefix.
+
+    ``memory``/``shadow`` hold only the pages dirtied since boot; every
+    other field is a wholesale component copy (identical in kind to the
+    boot snapshot's — they are tiny).  ``pages`` is the delta size, for
+    telemetry.
+    """
+
+    memory: Dict[int, bytes]
+    shadow: Dict[int, bytes]
+    allocator: Any
+    history: Tuple
+    clock: int
+    oemu: Any
+    lockdep: Any
+    retval_checks: Dict
+    fdtable: Dict[int, int]
+    next_fd: int
+    next_thread: int
+    kasan_enabled: bool
+    warnings: Tuple
+    pages: int = 0
+
+
+def _components(kernel) -> Dict[str, Any]:
+    """Wholesale copies of the small mutable components (value-semantic)."""
+    return dict(
         allocator=kernel.allocator.snapshot(),
         history=kernel.history.snapshot(),
         clock=kernel.clock.now,
@@ -65,15 +113,7 @@ def capture(kernel) -> BootSnapshot:
     )
 
 
-def restore(kernel, snap: BootSnapshot) -> int:
-    """Rewind ``kernel`` to ``snap``; returns memory pages restored.
-
-    Attachments that are per-run by design — the kcov collector and the
-    trace sink hoisted by the interpreter — are reset/left to the caller
-    (:meth:`Kernel.reset` detaches kcov and re-binds the interpreter).
-    """
-    restored = kernel.memory.restore(snap.memory)
-    restored += kernel.shadow.restore(snap.shadow)
+def _restore_components(kernel, snap) -> None:
     kernel.allocator.restore(snap.allocator)
     kernel.history.restore(snap.history)
     kernel.clock.reset(snap.clock)
@@ -86,4 +126,56 @@ def restore(kernel, snap: BootSnapshot) -> int:
     kernel._next_thread = snap.next_thread
     kernel.kasan.enabled = snap.kasan_enabled
     kernel.warnings[:] = snap.warnings
+
+
+def capture(kernel) -> BootSnapshot:
+    """Freeze the kernel's mutable state and restart dirty tracking."""
+    return BootSnapshot(
+        memory=kernel.memory.snapshot(),
+        shadow=kernel.shadow.snapshot(),
+        **_components(kernel),
+    )
+
+
+def capture_prefix(kernel) -> PrefixSnapshot:
+    """Freeze the kernel's state *relative to the boot snapshot*.
+
+    Dirty tracking keeps running — the delta is read, not consumed — so
+    the kernel can continue executing (extending the prefix) or be reset
+    afterwards; either way the dirty sets stay a superset of the pages
+    differing from boot.
+    """
+    memory = kernel.memory.delta_snapshot()
+    shadow = kernel.shadow.delta_snapshot()
+    return PrefixSnapshot(
+        memory=memory,
+        shadow=shadow,
+        pages=len(memory) + len(shadow),
+        **_components(kernel),
+    )
+
+
+def restore(kernel, snap: BootSnapshot) -> int:
+    """Rewind ``kernel`` to ``snap``; returns memory pages restored.
+
+    Attachments that are per-run by design — the kcov collector and the
+    trace sink hoisted by the interpreter — are reset/left to the caller
+    (:meth:`Kernel.reset` detaches kcov and re-binds the interpreter).
+    """
+    restored = kernel.memory.restore(snap.memory)
+    restored += kernel.shadow.restore(snap.shadow)
+    _restore_components(kernel, snap)
+    return restored
+
+
+def restore_prefix(kernel, boot: BootSnapshot, prefix: PrefixSnapshot) -> int:
+    """Position ``kernel`` at a captured prefix: boot restore + delta.
+
+    Returns total pages touched (boot-restore visits plus delta pages).
+    The delta application re-marks its pages dirty, so subsequent
+    restores remain dirty-tracked-correct.
+    """
+    restored = kernel.memory.restore_delta(boot.memory, prefix.memory)
+    restored += kernel.shadow.restore_delta(boot.shadow, prefix.shadow)
+    _restore_components(kernel, prefix)
     return restored

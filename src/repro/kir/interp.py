@@ -285,6 +285,31 @@ class Interpreter:
                 )
         return thread.retval
 
+    def credit_entry(self, func: Function, n: int = 1) -> None:
+        """Count ``n`` unobserved entries of ``func`` toward promotion.
+
+        The prefix cache skips deterministic re-executions whose every
+        instruction *would* have run; without crediting them, skipping
+        work also starves the hot-function counters and the ``auto``
+        tier promotes later than an uncached campaign — a perf (never a
+        correctness) regression.  Promotion itself still happens on the
+        next real entry, inside the run loop.
+        """
+        if self._promote_after is None:
+            return
+        fid = id(func)
+        if fid in self._compiled:
+            return
+        count = self._hot_counts.get(fid, 0) + n
+        if count >= self._promote_after:
+            # Promote now — the skipped execution would have crossed the
+            # threshold mid-run, so waiting for the next real entry would
+            # leave hot code on the slow tier longer than uncached runs.
+            self._hot_counts.pop(fid, None)
+            self._promote(func)
+        else:
+            self._hot_counts[fid] = count
+
     def _promote(self, func: Function):
         """Compile-and-bind one function to the codegen tier.
 

@@ -13,7 +13,8 @@ The allocator maintains the shadow memory; the KASAN *oracle*
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from itertools import count
 from typing import Deque, Dict, List, Optional
 
 from repro.mem.memory import HEAP_BASE, HEAP_SIZE, Memory
@@ -28,6 +29,10 @@ REDZONE = 16
 #: Number of freed objects parked before their memory can be reused.
 QUARANTINE_DEPTH = 64
 
+#: Fresh state-identity stamps for :class:`SlabAllocator` (process-wide
+#: so a stamp can never collide across kernels sharing snapshots).
+_STATE_IDS = count(1)
+
 
 @dataclass
 class AllocatorViolation(Exception):
@@ -41,9 +46,16 @@ class AllocatorViolation(Exception):
         return f"{self.kind} of object at {self.addr:#x} {self.detail}".rstrip()
 
 
-@dataclass
+@dataclass(frozen=True)
 class ObjectInfo:
-    """Metadata for one heap object (live or freed)."""
+    """Metadata for one heap object (live or freed).
+
+    Immutable: ``kfree`` *replaces* the entry in ``objects`` rather than
+    mutating it.  That immutability is what lets allocator snapshots
+    share ``ObjectInfo`` instances with the live dict (a shallow dict
+    copy) instead of deep-copying every object on each capture/restore —
+    snapshotting is on the prefix-cache hot path.
+    """
 
     addr: int
     size: int          # requested size
@@ -62,9 +74,13 @@ class AllocatorSnapshot:
     cursor: int
     freelists: Dict[int, tuple]
     quarantine: tuple  # object addresses, oldest first
-    objects: Dict[int, ObjectInfo]  # frozen copies; restore re-copies
+    objects: Dict[int, ObjectInfo]  # shared instances (ObjectInfo is frozen)
     total_allocs: int
     total_frees: int
+    #: Identity of the allocator state this snapshot froze (see
+    #: ``SlabAllocator._state_id``); excluded from equality so two
+    #: captures of identical states still compare equal.
+    state_id: int = field(default=0, compare=False)
 
 
 class SlabAllocator:
@@ -75,10 +91,23 @@ class SlabAllocator:
         self.shadow = shadow
         self._cursor = HEAP_BASE
         self._freelists: Dict[int, List[int]] = {c: [] for c in SIZE_CLASSES}
-        self._quarantine: Deque[ObjectInfo] = deque()
+        self._quarantine: Deque[int] = deque()  # object addresses
         self.objects: Dict[int, ObjectInfo] = {}
         self.total_allocs = 0
         self.total_frees = 0
+        # State identity: a fresh stamp on every mutation (kmalloc/
+        # kfree).  Snapshot/restore compare stamps to skip the container
+        # copies entirely when the state is already the requested one —
+        # most tests never touch the allocator, making their resets
+        # allocator-free.  ``_snap_cache`` memoizes the snapshot of the
+        # current state (AllocatorSnapshot is immutable, so sharing it
+        # between equal-state captures is safe).
+        self._state_id = next(_STATE_IDS)
+        self._snap_cache: Optional["AllocatorSnapshot"] = None
+
+    def _touch(self) -> None:
+        self._state_id = next(_STATE_IDS)
+        self._snap_cache = None
 
     @staticmethod
     def size_class(size: int) -> int:
@@ -107,6 +136,7 @@ class SlabAllocator:
         if zero:
             self.memory.write_bytes(addr, bytes(size))
         self.total_allocs += 1
+        self._touch()
         return addr
 
     def kzalloc(self, size: int, *, site: int = 0, thread: int = 0) -> int:
@@ -133,46 +163,60 @@ class SlabAllocator:
             raise AllocatorViolation(
                 "double-free", addr, f"(first freed at site {info.free_site:#x})"
             )
-        info.live = False
-        info.free_site = site
-        info.free_thread = thread
+        self.objects[addr] = replace(
+            info, live=False, free_site=site, free_thread=thread
+        )
         self.shadow.set_state(addr, info.slot_size, ShadowState.FREED)
-        self._quarantine.append(info)
+        self._quarantine.append(addr)
         self.total_frees += 1
         while len(self._quarantine) > QUARANTINE_DEPTH:
             self._release(self._quarantine.popleft())
+        self._touch()
 
-    def _release(self, info: ObjectInfo) -> None:
-        self._freelists[info.slot_size].append(info.addr)
-        del self.objects[info.addr]
+    def _release(self, addr: int) -> None:
+        info = self.objects.pop(addr)
+        self._freelists[info.slot_size].append(addr)
 
     # -- snapshot / restore (boot-snapshot reset) ------------------------------
 
     def snapshot(self) -> "AllocatorSnapshot":
-        """Deep-copy the allocator's bookkeeping (object bytes live in
-        :class:`Memory`/:class:`ShadowMemory` and snapshot there)."""
-        from dataclasses import replace
+        """Copy the allocator's bookkeeping (object bytes live in
+        :class:`Memory`/:class:`ShadowMemory` and snapshot there).
 
-        return AllocatorSnapshot(
+        ``ObjectInfo`` is frozen, so the snapshot shares instances with
+        the live dict — capture and restore are shallow container
+        copies, O(objects) pointer work with no per-object allocation.
+        Repeated captures of an unmutated state return the same
+        (immutable) snapshot object outright.
+        """
+        if self._snap_cache is not None:
+            return self._snap_cache
+        snap = AllocatorSnapshot(
             cursor=self._cursor,
             freelists={c: tuple(lst) for c, lst in self._freelists.items()},
-            quarantine=tuple(info.addr for info in self._quarantine),
-            objects={addr: replace(info) for addr, info in self.objects.items()},
+            quarantine=tuple(self._quarantine),
+            objects=dict(self.objects),
             total_allocs=self.total_allocs,
             total_frees=self.total_frees,
+            state_id=self._state_id,
         )
+        self._snap_cache = snap
+        return snap
 
     def restore(self, snap: "AllocatorSnapshot") -> None:
+        if snap.state_id == self._state_id:
+            # Already in exactly this state (stamps are unique per
+            # mutation): nothing to copy.  The common case — most tests
+            # never kmalloc/kfree, so their resets skip the allocator.
+            return
         self._cursor = snap.cursor
         self._freelists = {c: list(lst) for c, lst in snap.freelists.items()}
-        from dataclasses import replace
-
-        self.objects = {addr: replace(info) for addr, info in snap.objects.items()}
-        # Quarantine entries must be the same ObjectInfo instances as the
-        # ``objects`` values (kfree relies on shared identity).
-        self._quarantine = deque(self.objects[addr] for addr in snap.quarantine)
+        self.objects = dict(snap.objects)
+        self._quarantine = deque(snap.quarantine)
         self.total_allocs = snap.total_allocs
         self.total_frees = snap.total_frees
+        self._state_id = snap.state_id
+        self._snap_cache = snap
 
     # -- introspection (used by KASAN reports) ---------------------------------
 

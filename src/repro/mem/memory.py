@@ -201,6 +201,67 @@ class Memory:
         self._dirty.clear()
         return restored
 
+    def delta_snapshot(self) -> Dict[int, bytes]:
+        """Contents of every page written since the last snapshot/restore.
+
+        Unlike :meth:`snapshot` this does *not* restart dirty tracking:
+        the delta layers on top of the last full snapshot, and a later
+        :meth:`restore` to that snapshot must still see every page the
+        delta covers as dirty.  Pages popped back to unmapped since the
+        snapshot are skipped — restore recreates the pop from the base
+        snapshot's absence.
+        """
+        pages = self._pages
+        return {base: bytes(pages[base]) for base in self._dirty if base in pages}
+
+    def restore_delta(self, snap: Dict[int, bytes], delta: Dict[int, bytes]) -> int:
+        """Fused :meth:`restore` + :meth:`apply_delta`; returns pages touched.
+
+        Equivalent to restoring ``snap`` then overlaying ``delta``, but
+        dirty pages the delta covers are written once (the delta copy)
+        instead of twice (base copy immediately overwritten).  On exit
+        the dirty set is exactly the delta's pages — every page that
+        differs from ``snap`` — so subsequent restores stay correct.
+        """
+        pages = self._pages
+        touched = 0
+        for base in self._dirty:
+            if base in delta:
+                continue
+            ref = snap.get(base)
+            if ref is None:
+                pages.pop(base, None)
+            else:
+                pages[base] = bytearray(ref)
+            touched += 1
+        self._dirty.clear()
+        dirty = self._dirty
+        for base, data in delta.items():
+            # The fan-out replays the same prefix delta for consecutive
+            # interleavings, and most delta pages survive each test
+            # untouched — compare before copying (a C-level memcmp is
+            # cheaper than allocating a fresh page copy).
+            page = pages.get(base)
+            if page is None or page != data:
+                pages[base] = bytearray(data)
+            dirty.add(base)
+        return touched + len(delta)
+
+    def apply_delta(self, delta: Dict[int, bytes]) -> int:
+        """Overlay a :meth:`delta_snapshot` onto the current contents.
+
+        Every delta page is re-marked dirty, preserving the invariant
+        that ``_dirty`` covers all pages differing from the last full
+        snapshot — so a subsequent :meth:`restore` (or another delta
+        application) still visits them.  Returns pages written.
+        """
+        pages = self._pages
+        dirty = self._dirty
+        for base, data in delta.items():
+            pages[base] = bytearray(data)
+            dirty.add(base)
+        return len(delta)
+
     def fingerprint(self) -> str:
         """Content hash for differential tests; all-zero pages excluded
         (lazily read-created pages must not distinguish two machines)."""

@@ -138,6 +138,49 @@ class ShadowMemory:
         self._dirty.clear()
         return restored
 
+    def delta_snapshot(self) -> Dict[int, bytes]:
+        """Dirty-page contents since the last snapshot; keeps tracking on.
+
+        See :meth:`repro.mem.memory.Memory.delta_snapshot` — same
+        layering contract.
+        """
+        pages = self._pages
+        return {base: bytes(pages[base]) for base in self._dirty if base in pages}
+
+    def restore_delta(self, snap: Dict[int, bytes], delta: Dict[int, bytes]) -> int:
+        """Fused restore + delta overlay; see
+        :meth:`repro.mem.memory.Memory.restore_delta` — same contract."""
+        pages = self._pages
+        touched = 0
+        for base in self._dirty:
+            if base in delta:
+                continue
+            ref = snap.get(base)
+            if ref is None:
+                pages.pop(base, None)
+            else:
+                pages[base] = bytearray(ref)
+            touched += 1
+        self._dirty.clear()
+        dirty = self._dirty
+        for base, data in delta.items():
+            # Same compare-before-copy as Memory.restore_delta: delta
+            # pages usually survive the previous test unchanged.
+            page = pages.get(base)
+            if page is None or page != data:
+                pages[base] = bytearray(data)
+            dirty.add(base)
+        return touched + len(delta)
+
+    def apply_delta(self, delta: Dict[int, bytes]) -> int:
+        """Overlay a delta and re-mark its pages dirty; returns pages written."""
+        pages = self._pages
+        dirty = self._dirty
+        for base, data in delta.items():
+            pages[base] = bytearray(data)
+            dirty.add(base)
+        return len(delta)
+
     def fingerprint(self) -> str:
         """Content hash; all-UNALLOCATED pages excluded (read-created)."""
         import hashlib

@@ -23,7 +23,7 @@ versioning windows reset on rmb/mb/acquire/READ_ONCE/atomics-with-acquire.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Set
 
 from repro.clock import LogicalClock
@@ -143,6 +143,12 @@ class Oemu:
         state = self.thread_state(thread_id)
         self._flush(state, reason="syscall-exit")
         self._reset_window(state)
+        # The thread never runs again (ids are not reused within a boot
+        # epoch) and its buffer just flushed, so its state is dead.
+        # Dropping it keeps snapshot/restore O(live threads) instead of
+        # O(syscalls since boot) — the prefix cache snapshots after
+        # every profiled call, where this sum would otherwise dominate.
+        del self._threads[thread_id]
 
     def on_interrupt(self, thread_id: int) -> None:
         """An interrupt on the executing CPU flushes the buffer (§3.1)."""
@@ -278,9 +284,12 @@ class Oemu:
 
     def snapshot(self):
         """Deep-copy per-thread state and stats (memory/history snapshot
-        separately; the trace sink and profiler are attachments, not state)."""
-        from dataclasses import replace
+        separately; the trace sink and profiler are attachments, not state).
 
+        Finished threads are pruned at syscall exit, so ``_threads`` is
+        normally empty (or holds just the running threads) — both
+        snapshot and restore are effectively O(1) plus the stats copy.
+        """
         threads = {}
         for tid, st in self._threads.items():
             threads[tid] = ThreadState(
@@ -294,20 +303,21 @@ class Oemu:
         return threads, replace(self.stats)
 
     def restore(self, snap) -> None:
-        from dataclasses import replace
-
         threads, stats = snap
-        self._threads = {
-            tid: ThreadState(
-                thread_id=st.thread_id,
-                buffer=_copy_buffer(st.buffer),
-                window_start=st.window_start,
-                delay_set=set(st.delay_set),
-                version_set=set(st.version_set),
-                read_floor=dict(st.read_floor),
-            )
-            for tid, st in threads.items()
-        }
+        if threads:
+            self._threads = {
+                tid: ThreadState(
+                    thread_id=st.thread_id,
+                    buffer=_copy_buffer(st.buffer),
+                    window_start=st.window_start,
+                    delay_set=set(st.delay_set),
+                    version_set=set(st.version_set),
+                    read_floor=dict(st.read_floor),
+                )
+                for tid, st in threads.items()
+            }
+        else:
+            self._threads.clear()
         self.stats = replace(stats)
 
     # -- internals ----------------------------------------------------------------------------

@@ -95,7 +95,15 @@ class Profiler:
         self._events[thread] = []
 
     def events_for(self, thread: int) -> List[object]:
-        return self._events.get(thread, [])
+        """Hand off the thread's event list — ownership transfers.
+
+        The list is *detached* from the profiler (popped), so a later
+        ``clear()``-and-reuse of the same profiler — or the same thread
+        id recurring after a kernel reset — can never mutate a profile
+        that was already captured.  Calling twice for the same thread
+        returns an empty list the second time.
+        """
+        return self._events.pop(thread, [])
 
     def on_access(
         self,
@@ -155,6 +163,9 @@ class EngineCounters:
     codegen_cache_hits: int = 0
     codegen_cache_misses: int = 0
     codegen_functions_bound: int = 0
+    prefix_snapshots: int = 0
+    prefix_hits: int = 0
+    calls_skipped: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -167,6 +178,9 @@ class EngineCounters:
             "codegen_cache_hits": self.codegen_cache_hits,
             "codegen_cache_misses": self.codegen_cache_misses,
             "codegen_functions_bound": self.codegen_functions_bound,
+            "prefix_snapshots": self.prefix_snapshots,
+            "prefix_hits": self.prefix_hits,
+            "calls_skipped": self.calls_skipped,
         }
 
     def diff(self, baseline: Dict[str, int]) -> Dict[str, int]:
@@ -195,6 +209,9 @@ class EngineCounters:
         self.codegen_cache_hits = 0
         self.codegen_cache_misses = 0
         self.codegen_functions_bound = 0
+        self.prefix_snapshots = 0
+        self.prefix_hits = 0
+        self.calls_skipped = 0
 
 
 #: Module singleton, kept for in-process tooling (benchmarks, tests).

@@ -2,7 +2,21 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.fuzzer.hints import LD, ST, calculate_hints, filter_out
+from repro.fuzzer.hints import (
+    LD,
+    ST,
+    _hit_count,
+    access_occurrences,
+    calculate_hints,
+    filter_out,
+    shared_memory_bytes,
+    shared_memory_locations,
+)
+from repro.fuzzer.intervals import (
+    ByteIntervalSet,
+    span_overlap_stats,
+    weighted_spans,
+)
 from repro.kir.insn import Annot, BarrierKind
 from repro.oemu.profiler import AccessEvent, BarrierEvent, SyscallProfile
 
@@ -90,3 +104,136 @@ class TestHintInvariants:
         p_i = SyscallProfile("a", list(ev_i))
         p_j = SyscallProfile("b", list(ev_j))
         assert calculate_hints(p_i, p_j) == calculate_hints(p_i, p_j)
+
+
+# ---------------------------------------------------------------------------
+# Interval-algebra equivalence: the span-based implementations must agree
+# with the per-byte set/dict references on arbitrary overlapping,
+# variable-width accesses (the fixed-stride event_streams() above never
+# produces partial overlaps, so these get their own strategy).
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def access_streams(draw):
+    """Accesses with sizes 1/2/4/8 over a tight window — partial overlaps,
+    adjacency and duplicates are all likely."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    events = []
+    for ts in range(n):
+        events.append(
+            AccessEvent(
+                draw(st.integers(min_value=1, max_value=40)) * 4,
+                0x1000 + draw(st.integers(min_value=0, max_value=0x40)),
+                draw(st.sampled_from([1, 2, 4, 8])),
+                draw(st.booleans()),
+                ts,
+                Annot.PLAIN,
+                "f",
+            )
+        )
+    return events
+
+
+@st.composite
+def weighted_span_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=10))
+    return [
+        (
+            (start := draw(st.integers(min_value=0, max_value=60))),
+            start + draw(st.integers(min_value=0, max_value=12)),
+            draw(st.integers(min_value=1, max_value=6)),
+        )
+        for _ in range(n)
+    ]
+
+
+def _byte_weights(spans):
+    """Per-byte max-weight dict — the reference weighted_spans expands to."""
+    out = {}
+    for start, end, weight in spans:
+        for byte in range(start, end):
+            if weight > out.get(byte, 0):
+                out[byte] = weight
+    return out
+
+
+class TestIntervalEquivalence:
+    @given(access_streams(), access_streams())
+    @settings(max_examples=120, deadline=None)
+    def test_shared_locations_match_byte_reference(self, ev_a, ev_b):
+        interval = shared_memory_locations(ev_a, ev_b)
+        reference = shared_memory_bytes(ev_a, ev_b)
+        assert set(interval) == reference
+        assert len(interval) == len(reference)
+        assert bool(interval) == bool(reference)
+        probe = {b for e in ev_a + ev_b for b in (e.mem_addr, e.mem_addr + e.size)}
+        for addr in probe:
+            assert (addr in interval) == (addr in reference)
+            assert interval.overlaps(addr, addr + 8) == bool(
+                reference & set(range(addr, addr + 8))
+            )
+
+    @given(access_streams(), access_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_filter_out_matches_byte_reference(self, ev_a, ev_b):
+        """Algorithm 2 keeps exactly the accesses the byte set would."""
+        shared = shared_memory_bytes(ev_a, ev_b)
+        fa, fb = filter_out(ev_a, ev_b)
+        for original, filtered in ((ev_a, fa), (ev_b, fb)):
+            expected = [
+                e
+                for e in original
+                if not isinstance(e, AccessEvent)
+                or shared & set(range(e.mem_addr, e.mem_addr + e.size))
+            ]
+            assert filtered == expected
+
+    @given(weighted_span_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_weighted_spans_match_byte_dict(self, spans):
+        normal = weighted_spans(spans)
+        expanded = {}
+        for start, end, weight in normal:
+            assert start < end
+            for byte in range(start, end):
+                assert byte not in expanded, "overlapping output spans"
+                expanded[byte] = weight
+        assert expanded == _byte_weights(spans)
+        # Normal form: sorted and maximally coalesced.
+        for (s1, e1, w1), (s2, e2, w2) in zip(normal, normal[1:]):
+            assert e1 <= s2
+            assert not (e1 == s2 and w1 == w2), "adjacent equal-weight spans"
+
+    @given(weighted_span_lists(), weighted_span_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_span_overlap_stats_match_byte_dicts(self, spans_a, spans_b):
+        wa, wb = _byte_weights(spans_a), _byte_weights(spans_b)
+        shared = wa.keys() & wb.keys()
+        expected = (
+            max((max(wa[b], wb[b]) for b in shared), default=0),
+            len(shared),
+        )
+        assert span_overlap_stats(
+            weighted_spans(spans_a), weighted_spans(spans_b)
+        ) == expected
+
+    @given(access_streams())
+    @settings(max_examples=100, deadline=None)
+    def test_occurrence_map_matches_hit_count(self, events):
+        occ = access_occurrences(events)
+        for e in events:
+            assert occ[id(e)] == _hit_count(events, e)
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_interval_set_is_its_span_expansion(self, raw):
+        spans = [(min(a, b), max(a, b)) for a, b in raw]
+        s = ByteIntervalSet(spans)
+        member_bytes = {b for start, end in spans for b in range(start, end)}
+        assert set(s) == member_bytes
+        assert len(s) == len(member_bytes)
+        for start, end in spans:
+            assert s.overlaps(start, end) == bool(
+                member_bytes & set(range(start, end))
+            )
