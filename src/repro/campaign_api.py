@@ -57,6 +57,61 @@ SEED_STRIDE = 10_000
 JSON_FORMAT_VERSION = 2
 
 
+# -- campaign lifecycle (the service's state machine) ------------------------
+#
+# A campaign managed by the always-on service (``repro serve``) moves
+# through these states.  The machine is deliberately small: "pausing"
+# and "cancelling" exist because a running campaign stops at *batch*
+# granularity — the supervisor finishes (or abandons) in-flight work,
+# writes a checkpoint, and only then does the state settle.
+
+#: Every state a service-managed campaign can be in.
+CAMPAIGN_STATES = (
+    "queued",      # accepted, waiting for a worker-pool slot
+    "running",     # supervisor loop executing the batch plan
+    "pausing",     # stop requested; draining to a checkpoint
+    "paused",      # checkpointed and idle; resume re-enters the queue
+    "cancelling",  # cancel requested; draining to a checkpoint
+    "cancelled",   # terminal: stopped by request, partial work kept
+    "completed",   # terminal: batch plan drained, result recorded
+    "failed",      # terminal: the supervisor itself raised
+)
+
+#: States from which a campaign can never move again.
+TERMINAL_STATES = frozenset({"cancelled", "completed", "failed"})
+
+#: Legal transitions of the lifecycle machine.  ``running -> queued``
+#: is the daemon-restart edge: a campaign that was mid-flight when the
+#: service died is re-queued and resumed from its checkpoint.
+LIFECYCLE = {
+    "queued": ("running", "paused", "cancelled"),
+    "running": ("pausing", "cancelling", "completed", "failed", "queued"),
+    "pausing": ("paused", "completed", "failed", "cancelling", "queued"),
+    "paused": ("queued", "cancelled"),
+    "cancelling": ("cancelled", "completed", "failed", "queued"),
+    "cancelled": (),
+    "completed": (),
+    "failed": (),
+}
+
+
+def can_transition(current: str, target: str) -> bool:
+    """Whether the lifecycle machine allows ``current -> target``."""
+    return target in LIFECYCLE.get(current, ())
+
+
+def validate_transition(current: str, target: str) -> None:
+    """Raise :class:`ConfigError` when ``current -> target`` is illegal."""
+    if current not in LIFECYCLE:
+        raise ConfigError(f"unknown campaign state {current!r}")
+    if target not in LIFECYCLE:
+        raise ConfigError(f"unknown campaign state {target!r}")
+    if not can_transition(current, target):
+        raise ConfigError(
+            f"illegal campaign transition {current!r} -> {target!r}"
+        )
+
+
 @dataclass(frozen=True)
 class WorkerPolicy:
     """How a campaign's work is executed — the one home for worker knobs.
@@ -541,12 +596,29 @@ def spec_to_dict(spec: CampaignSpec) -> dict:
     }
 
 
+#: Keys :func:`spec_from_dict` understands — the service rejects a
+#: submitted spec containing anything else so a typoed knob fails loudly
+#: instead of silently running with its default.
+KNOWN_SPEC_KEYS = frozenset(
+    {
+        "iterations", "seed", "patched", "policy", "time_budget",
+        "use_seeds", "static_hints", "engine", "decoded_dispatch",
+        "snapshot_reset", "prefix_cache", "checkpoint_dir",
+        "checkpoint_every",
+        # schema v1 flat worker knobs
+        "jobs", "batch_size", "shard_timeout", "max_retries",
+    }
+)
+
+
 def spec_from_dict(sp: dict) -> CampaignSpec:
     """Rebuild a spec; absent keys fall back to their field defaults.
 
     Reads both schema v2 (nested ``policy``) and v1 (flat
     ``jobs``/``shard_timeout``/``max_retries`` keys) payloads — older
-    artifacts and checkpoints simply lack the newer keys.
+    artifacts and checkpoints simply lack the newer keys.  Partial
+    payloads (an HTTP submission with only ``{"iterations": 8}``) are
+    valid: every key is optional.
     """
     if "policy" in sp:
         policy = WorkerPolicy.from_dict(sp["policy"])
@@ -558,11 +630,11 @@ def spec_from_dict(sp: dict) -> CampaignSpec:
             max_retries=sp.get("max_retries", 2),
         )
     return CampaignSpec(
-        iterations=sp["iterations"],
-        seed=sp["seed"],
-        patched=tuple(sp["patched"]),
-        time_budget=sp["time_budget"],
-        use_seeds=sp["use_seeds"],
+        iterations=sp.get("iterations", 40),
+        seed=sp.get("seed", 1),
+        patched=tuple(sp.get("patched", ())),
+        time_budget=sp.get("time_budget"),
+        use_seeds=sp.get("use_seeds", True),
         static_hints=sp.get("static_hints", False),
         # Older payloads lack "engine"; decoded_dispatch=False then folds
         # into the reference tier during spec normalization.

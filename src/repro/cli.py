@@ -4,6 +4,7 @@ Commands mirror the paper's evaluation:
 
 ========== ===========================================================
 fuzz       run the OZZ campaign on the buggy kernel (§6.1 / Table 3)
+serve      always-on campaign service with REST API + live dashboard
 replay     deterministically replay a recorded crash artifact
 table4     reproduce the previously-reported bugs (§6.2 / Table 4)
 lmbench    measure OEMU instrumentation overhead (§6.3.1 / Table 5)
@@ -12,7 +13,7 @@ litmus     validate OEMU against the LKMM (§3.3)
 ofence     static paired-barrier comparison (§6.4)
 lint       KIRA static analysis (barrier lint, locks, use-before-def)
 bugs       list the seeded bug registry
-docs       regenerate (or staleness-check) docs/cli.md from this parser
+docs       regenerate (or staleness-check) the generated docs
 ========== ===========================================================
 """
 
@@ -125,29 +126,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _dump_artifacts(crashdb, patched, outdir: str) -> None:
     """Write each unique crash's schedule artifact as JSON under outdir."""
-    import os
-    import re
+    from repro.trace.replayer import dump_artifacts
 
-    from repro.config import KernelConfig
-    from repro.kernel.kernel import KernelImage
-
-    os.makedirs(outdir, exist_ok=True)
-    image = None
-    for title in crashdb.unique_titles:
-        rec = crashdb.records[title]
-        artifact = rec.artifact
-        if artifact is None and rec.reproducer is not None:
-            if image is None:
-                image = KernelImage(KernelConfig(patched=frozenset(patched)))
-            try:
-                artifact = rec.reproducer.record_artifact(image)
-            except ValueError:
-                continue
-        if artifact is None:
-            continue
-        slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:64]
-        path = os.path.join(outdir, f"{slug}.json")
-        artifact.save(path)
+    for path in dump_artifacts(crashdb, patched, outdir):
         print(f"wrote {path}")
 
 
@@ -165,6 +146,39 @@ def cmd_replay(args: argparse.Namespace) -> int:
     verdict = replay_artifact(artifact)
     print(verdict.render())
     return 0 if verdict.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import CampaignService, ServeApp
+
+    service = CampaignService(
+        args.state_dir, max_concurrent=args.max_concurrent
+    )
+    requeued = service.recover()
+    if requeued:
+        print(f"recovered {len(requeued)} campaign(s): {', '.join(requeued)}")
+    app = ServeApp(service)
+
+    async def _main() -> None:
+        server = await app.serve(args.host, args.port)
+        addr = server.sockets[0].getsockname()
+        print(
+            f"repro serve listening on http://{addr[0]}:{addr[1]}/ "
+            f"(state: {service.state_dir})",
+            flush=True,
+        )
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("\nshutting down: draining running campaigns to checkpoints…")
+    finally:
+        service.close()
+    return 0
 
 
 def cmd_table4(args: argparse.Namespace) -> int:
@@ -304,19 +318,34 @@ def cmd_bugs(args: argparse.Namespace) -> int:
 
 
 def cmd_docs(args: argparse.Namespace) -> int:
-    from repro.docsgen import check_cli_markdown, render_cli_markdown
+    from repro.docsgen import (
+        check_cli_markdown,
+        check_service_markdown,
+        render_cli_markdown,
+        write_service_markdown,
+    )
 
     parser = build_parser()
     if args.check:
-        error = check_cli_markdown(parser, args.out)
-        if error is not None:
-            print(f"error: {error}", file=sys.stderr)
+        errors = [
+            e
+            for e in (
+                check_cli_markdown(parser, args.out),
+                check_service_markdown(args.service_out),
+            )
+            if e is not None
+        ]
+        if errors:
+            for e in errors:
+                print(f"error: {e}", file=sys.stderr)
             return 1
-        print(f"{args.out} is up to date")
+        print(f"{args.out} and {args.service_out} are up to date")
         return 0
     with open(args.out, "w") as fh:
         fh.write(render_cli_markdown(parser))
     print(f"wrote {args.out}")
+    write_service_markdown(args.service_out)
+    print(f"updated generated REST reference in {args.service_out}")
     return 0
 
 
@@ -406,6 +435,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
+        "serve",
+        help="run the always-on campaign service (REST API + dashboard)",
+        description="Start an asyncio HTTP daemon that runs campaigns "
+        "continuously on the persistent worker pool: submit/pause/resume/"
+        "cancel campaigns over REST, stream worker heartbeats as "
+        "server-sent events, browse merged crash/coverage stats, and "
+        "step through replayed crash artifacts in the dashboard's crash "
+        "explorer. Campaigns checkpoint into the state directory, so a "
+        "killed daemon resumes every in-flight campaign on restart. "
+        "See docs/service.md.",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind")
+    p.add_argument("--port", type=int, default=8433,
+                   help="TCP port to listen on")
+    p.add_argument("--state-dir", metavar="DIR", default="serve-state",
+                   help="registry + per-campaign checkpoints/artifacts "
+                        "(created if missing; reusing it resumes campaigns)")
+    p.add_argument("--max-concurrent", type=int, default=2, metavar="N",
+                   help="campaigns allowed to run simultaneously; the "
+                        "rest queue")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
         "replay",
         help="deterministically replay a recorded crash artifact",
         description="Re-drive the hypothetical-barrier executor from a "
@@ -474,16 +527,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "docs",
-        help="regenerate docs/cli.md from the live argparse tree",
-        description="Render this command-line reference as deterministic "
-        "markdown. CI runs `repro docs --check` so the committed file "
-        "can never drift from the actual flags. Exit 0 = written / "
-        "up-to-date, 1 = stale.",
+        help="regenerate the generated docs (CLI + REST references)",
+        description="Render docs/cli.md from the live argparse tree and "
+        "the REST API reference section of docs/service.md from the "
+        "service route table, both as deterministic markdown. CI runs "
+        "`repro docs --check` so the committed files can never drift "
+        "from the code. Exit 0 = written / up-to-date, 1 = stale.",
     )
     p.add_argument("--out", metavar="PATH", default="docs/cli.md",
-                   help="output path for the generated markdown")
+                   help="output path for the generated CLI markdown")
+    p.add_argument("--service-out", metavar="PATH", default="docs/service.md",
+                   help="service doc whose generated REST section is "
+                        "rewritten in place (markers delimit it)")
     p.add_argument("--check", action="store_true",
-                   help="don't write; exit 1 if PATH is stale or missing")
+                   help="don't write; exit 1 if either file is stale or "
+                        "missing")
     p.set_defaults(fn=cmd_docs)
 
     return parser

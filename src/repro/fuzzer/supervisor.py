@@ -352,6 +352,68 @@ class _BatchState:
 _ShardState = _BatchState
 
 
+class CampaignController:
+    """Thread-safe control seam for a supervisor loop run off-thread.
+
+    The always-on service (``repro serve``) runs ``run_supervised`` in a
+    background thread; this object is how the foreground talks to it:
+
+    * :meth:`request_stop` asks the loop to stop cleanly at batch
+      granularity — the supervisor checkpoints and partial-merges
+      exactly as it does for ``SIGINT``, so a paused campaign resumes
+      from its checkpoint equal to an uninterrupted run.  ``reason``
+      distinguishes a pause (resumable) from a cancel (terminal).
+    * :meth:`progress` returns the latest snapshot of the batch plan
+      (total/done/failed batch counts plus per-batch last iteration),
+      refreshed by the supervisor on every poll tick.
+
+    Pass it to :func:`run_supervised` via ``controller=``; it composes
+    with an explicit ``stop_when`` predicate (either may stop the run).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stop_reason: Optional[str] = None
+        self._snapshot: Dict[str, object] = {
+            "batches": 0, "done": 0, "failed": 0, "iterations": {},
+        }
+
+    def request_stop(self, reason: str = "stop") -> None:
+        with self._lock:
+            if self._stop_reason is None:
+                self._stop_reason = reason
+
+    @property
+    def stop_requested(self) -> bool:
+        with self._lock:
+            return self._stop_reason is not None
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        with self._lock:
+            return self._stop_reason
+
+    def observe(self, states: Dict[int, "_BatchState"]) -> None:
+        """Refresh the progress snapshot (called by the supervisor loop)."""
+        snap = {
+            "batches": len(states),
+            "done": sum(1 for st in states.values() if st.result is not None),
+            "failed": sum(1 for st in states.values() if st.failure is not None),
+            "iterations": {
+                st.index: st.last_iteration
+                for st in states.values()
+                if st.last_iteration >= 0
+            },
+        }
+        with self._lock:
+            self._snapshot = snap
+
+    def progress(self) -> Dict[str, object]:
+        """The latest batch-plan snapshot (safe to call from any thread)."""
+        with self._lock:
+            return dict(self._snapshot)
+
+
 class _Worker:
     """One persistent worker process and its private task queue."""
 
@@ -534,6 +596,7 @@ def run_supervised_shards(
     backoff_cap: float = 5.0,
     poison_threshold: int = POISON_THRESHOLD,
     stop_when: Optional[Callable[[Dict[int, "_BatchState"]], bool]] = None,
+    controller: Optional[CampaignController] = None,
 ) -> SupervisorReport:
     """Run a campaign's batch plan on the worker pool; raw-report entry.
 
@@ -542,7 +605,10 @@ def run_supervised_shards(
     ``stop_when`` is a per-loop predicate over the internal batch states
     that requests a clean early stop — the programmatic twin of the
     ``SIGINT`` handler, used to test the partial-merge path
-    deterministically.
+    deterministically.  ``controller`` is the thread-safe version of the
+    same seam (:class:`CampaignController`): the loop refreshes its
+    progress snapshot every poll tick and honours its stop request,
+    which is how ``repro serve`` pauses/cancels a backgrounded campaign.
     """
     global _PREBUILT
     faults = tuple(faults) + faults_from_env()
@@ -829,6 +895,10 @@ def run_supervised_shards(
                     if not st.finished and st.assigned_to == w.wid:
                         _fail_attempt(st, "hung")
                     _retire_worker(w)
+            if controller is not None:
+                controller.observe(states)
+                if controller.stop_requested:
+                    interrupted[0] = True
             if stop_when is not None and stop_when(states):
                 interrupted[0] = True
     finally:
@@ -850,6 +920,8 @@ def run_supervised_shards(
 
     seconds = time.perf_counter() - start
     _checkpoint()
+    if controller is not None:
+        controller.observe(states)  # final snapshot reflects the drained plan
 
     if interrupted[0]:
         # Clean partial merge: completed results plus the freshest
@@ -886,6 +958,7 @@ def run_supervised(
     backoff_cap: float = 5.0,
     poison_threshold: int = POISON_THRESHOLD,
     stop_when: Optional[Callable[[Dict[int, "_BatchState"]], bool]] = None,
+    controller: Optional[CampaignController] = None,
 ) -> CampaignResult:
     """Pooled campaign execution, merged to a :class:`CampaignResult`."""
     report = run_supervised_shards(
@@ -897,6 +970,7 @@ def run_supervised(
         backoff_cap=backoff_cap,
         poison_threshold=poison_threshold,
         stop_when=stop_when,
+        controller=controller,
     )
     return merge_shards(
         spec,

@@ -1,0 +1,34 @@
+"""``repro serve`` — the always-on campaign service.
+
+An asyncio HTTP daemon (stdlib only, no web framework) that runs
+fuzzing campaigns continuously on the persistent worker pool:
+
+* :mod:`repro.serve.routes` — the declarative route table; the single
+  source of truth for dispatch *and* the generated REST reference in
+  ``docs/service.md`` (``repro docs``).
+* :mod:`repro.serve.service` — :class:`CampaignService`: the campaign
+  registry, the lifecycle state machine, background supervisor threads,
+  persistence through the v2 checkpoint schema, and crash-artifact
+  storage.  Survives ``SIGKILL``: on restart every in-flight campaign
+  is re-queued and resumed from its checkpoint.
+* :mod:`repro.serve.app` — :class:`ServeApp`: request parsing/dispatch
+  (directly callable in-process — tests need no sockets), SSE event
+  streaming, the static dashboard, and the ``asyncio.start_server``
+  shell.
+* ``dashboard/`` — static HTML/JS/CSS: campaign table, live event log,
+  and the crash explorer that steps through a replayed artifact's
+  ExecTrace event stream.
+"""
+
+from repro.serve.app import HttpRequest, HttpResponse, ServeApp
+from repro.serve.routes import ROUTES, Route
+from repro.serve.service import CampaignService
+
+__all__ = [
+    "CampaignService",
+    "HttpRequest",
+    "HttpResponse",
+    "ROUTES",
+    "Route",
+    "ServeApp",
+]

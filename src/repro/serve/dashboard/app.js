@@ -1,0 +1,237 @@
+/* repro serve dashboard: campaign table, live SSE log, crash explorer.
+ * Vanilla JS against the REST API in routes.py (see docs/service.md). */
+"use strict";
+
+const $ = (sel) => document.querySelector(sel);
+
+async function api(path, opts) {
+  const resp = await fetch(path, opts);
+  const text = await resp.text();
+  let payload = null;
+  try { payload = JSON.parse(text); } catch (e) { /* non-JSON body */ }
+  if (!resp.ok) {
+    const msg = payload && payload.error ? payload.error : resp.status + " " + resp.statusText;
+    throw new Error(msg);
+  }
+  return payload;
+}
+
+/* -- health + campaign table ---------------------------------------------- */
+
+function stateBadge(state) {
+  return `<span class="state state-${state}">${state}</span>`;
+}
+
+function controlsFor(c) {
+  const btn = (action, label) =>
+    `<button class="small ghost" data-action="${action}" data-id="${c.id}">${label}</button>`;
+  if (c.state === "running") return btn("pause", "pause") + " " + btn("cancel", "cancel");
+  if (c.state === "paused") return btn("resume", "resume") + " " + btn("cancel", "cancel");
+  if (c.state === "queued") return btn("pause", "hold") + " " + btn("cancel", "cancel");
+  return "";
+}
+
+function progressText(c) {
+  if (!c.progress) return "—";
+  const p = c.progress;
+  return `${p.done}/${p.batches} batches` + (p.failed ? ` (${p.failed} failed)` : "");
+}
+
+async function refresh() {
+  try {
+    const health = await api("/api/health");
+    const badge = $("#health");
+    badge.textContent = "service ok — " + JSON.stringify(health.campaigns);
+    badge.className = "badge ok";
+  } catch (e) {
+    const badge = $("#health");
+    badge.textContent = "service unreachable";
+    badge.className = "badge bad";
+    return;
+  }
+  const data = await api("/api/campaigns");
+  const tbody = $("#campaigns tbody");
+  tbody.innerHTML = "";
+  for (const c of data.campaigns) {
+    const r = c.result || {};
+    const row = document.createElement("tr");
+    row.innerHTML =
+      `<td>${c.id}</td><td>${stateBadge(c.state)}</td>` +
+      `<td>${progressText(c)}</td>` +
+      `<td>${r.tests_run != null ? r.tests_run : "—"}</td>` +
+      `<td>${r.unique_crashes != null ? r.unique_crashes : "—"}</td>` +
+      `<td>${r.coverage != null ? r.coverage : "—"}</td>` +
+      `<td>${controlsFor(c)}</td>`;
+    tbody.appendChild(row);
+  }
+  const stats = await api("/api/stats");
+  $("#stats").innerHTML =
+    `<span class="num">${stats.tests_run}</span> tests · ` +
+    `<span class="num">${stats.unique_titles}</span> unique crash titles · ` +
+    `Table 3 <span class="num">${stats.found_table3.length}</span>/11 · ` +
+    `Table 4 <span class="num">${stats.found_table4.length}</span>/9`;
+  await refreshArtifactChoices(data.campaigns);
+}
+
+$("#campaigns").addEventListener("click", async (ev) => {
+  const btn = ev.target.closest("button[data-action]");
+  if (!btn) return;
+  try {
+    await api(`/api/campaigns/${btn.dataset.id}/${btn.dataset.action}`, { method: "POST" });
+  } catch (e) {
+    alert(e.message);
+  }
+  refresh();
+});
+
+/* -- submit form ----------------------------------------------------------- */
+
+$("#submit-form").addEventListener("submit", async (ev) => {
+  ev.preventDefault();
+  const form = ev.target;
+  const spec = {
+    iterations: Number(form.iterations.value),
+    seed: Number(form.seed.value),
+    jobs: Number(form.jobs.value),
+  };
+  if (form.batch_size.value) spec.batch_size = Number(form.batch_size.value);
+  if (form.static_hints.checked) spec.static_hints = true;
+  try {
+    const out = await api("/api/campaigns", {
+      method: "POST",
+      headers: { "Content-Type": "application/json" },
+      body: JSON.stringify(spec),
+    });
+    $("#submit-status").textContent = `submitted ${out.campaign_id} (${out.state})`;
+  } catch (e) {
+    $("#submit-status").textContent = "error: " + e.message;
+  }
+  refresh();
+});
+
+/* -- live event log (SSE with long-poll fallback) -------------------------- */
+
+function logEvent(entry) {
+  const list = $("#events");
+  const li = document.createElement("li");
+  const extras = Object.entries(entry)
+    .filter(([k]) => !["kind", "seq", "campaign"].includes(k))
+    .map(([k, v]) => `${k}=${JSON.stringify(v)}`)
+    .join(" ");
+  li.innerHTML =
+    `#${entry.seq} <span class="kind">${entry.kind}</span>` +
+    (entry.campaign ? ` [${entry.campaign}]` : "") + ` ${extras}`;
+  list.prepend(li);
+  while (list.children.length > 200) list.removeChild(list.lastChild);
+  if (entry.kind === "campaign-state") refresh();
+}
+
+function startEventStream() {
+  const source = new EventSource("/api/events");
+  source.onmessage = (msg) => logEvent(JSON.parse(msg.data));
+  source.onerror = () => {
+    source.close();
+    setTimeout(startEventStream, 2000); // each stream is one connection
+  };
+}
+
+/* -- crash explorer -------------------------------------------------------- */
+
+let feed = [];
+let cursor = 0;
+let crashIndex = -1;
+
+async function refreshArtifactChoices(campaigns) {
+  const select = $("#artifact-select");
+  const prev = select.value;
+  select.innerHTML = '<option value="">choose an artifact…</option>';
+  for (const c of campaigns) {
+    if (!c.result) continue;
+    const arts = await api(`/api/campaigns/${c.id}/artifacts`);
+    for (const name of arts.artifacts) {
+      const opt = document.createElement("option");
+      opt.value = `${c.id}/${name}`;
+      opt.textContent = `${c.id} · ${name}`;
+      select.appendChild(opt);
+    }
+  }
+  select.value = prev;
+}
+
+function renderFeed(payload) {
+  feed = payload.feed;
+  crashIndex = feed.findIndex((e) => e.is_crash_event);
+  cursor = 0;
+  const verdict = $("#explorer-verdict");
+  verdict.textContent = payload.verdict.ok
+    ? `replay OK — ${payload.verdict.events_compared} events matched byte-for-byte`
+    : "replay DIVERGED: " + payload.verdict.mismatches.join("; ");
+  verdict.className = payload.verdict.ok ? "ok" : "bad";
+  $("#explorer-crash").textContent =
+    `${payload.crash.title} — oracle ${payload.crash.oracle} in ` +
+    `${payload.crash.function}, reordered insns ` +
+    `[${payload.crash.reordered_insns.join(", ")}], hypothetical barrier @` +
+    `${payload.crash.hypothetical_barrier} (${payload.crash.barrier_test}-test)`;
+  const list = $("#feed");
+  list.innerHTML = "";
+  feed.forEach((entry, idx) => {
+    const li = document.createElement("li");
+    li.dataset.idx = idx;
+    li.className = entry.is_crash_event ? "crash-event" : "";
+    li.innerHTML =
+      `<span class="layer ${entry.layer}">${entry.layer}</span> ${entry.description}`;
+    li.addEventListener("click", () => setCursor(idx));
+    list.appendChild(li);
+  });
+  $("#explorer").hidden = false;
+  setCursor(0);
+}
+
+function setCursor(idx) {
+  if (!feed.length) return;
+  cursor = Math.max(0, Math.min(feed.length - 1, idx));
+  document.querySelectorAll("#feed li").forEach((li) => {
+    li.classList.toggle("current", Number(li.dataset.idx) === cursor);
+  });
+  const current = document.querySelector("#feed li.current");
+  if (current) current.scrollIntoView({ block: "nearest" });
+  const entry = feed[cursor];
+  $("#step-pos").textContent = `event ${entry.i} (${cursor + 1}/${feed.length})`;
+  $("#event-detail").textContent = JSON.stringify(entry.event, null, 2);
+}
+
+$("#step-first").addEventListener("click", () => setCursor(0));
+$("#step-prev").addEventListener("click", () => setCursor(cursor - 1));
+$("#step-next").addEventListener("click", () => setCursor(cursor + 1));
+$("#step-crash").addEventListener("click", () => {
+  if (crashIndex >= 0) setCursor(crashIndex);
+});
+
+$("#artifact-load").addEventListener("click", async () => {
+  const value = $("#artifact-select").value;
+  if (!value) return;
+  const [cid, name] = value.split("/");
+  try {
+    renderFeed(await api(`/api/campaigns/${cid}/artifacts/${name}/replay`));
+  } catch (e) {
+    alert("replay failed: " + e.message);
+  }
+});
+
+$("#artifact-paste-load").addEventListener("click", async () => {
+  try {
+    renderFeed(await api("/api/replay", {
+      method: "POST",
+      headers: { "Content-Type": "application/json" },
+      body: $("#artifact-paste").value,
+    }));
+  } catch (e) {
+    alert("replay failed: " + e.message);
+  }
+});
+
+/* -- boot ------------------------------------------------------------------- */
+
+refresh();
+startEventStream();
+setInterval(refresh, 5000);

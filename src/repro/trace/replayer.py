@@ -43,6 +43,18 @@ from repro.trace.recorder import DEFAULT_CAPACITY, TraceRecorder
 ARTIFACT_KIND = "ozz-crash-artifact"
 
 
+class ArtifactError(ValueError):
+    """A crash-artifact payload could not be understood.
+
+    Raised (instead of a raw ``KeyError``/``TypeError`` traceback) for
+    non-JSON input, a wrong ``kind``, an unsupported schema version, or
+    a payload missing required fields.  ``repro replay`` maps it to
+    exit code 2, and the service's replay endpoint maps it to HTTP 400
+    — artifacts travel over HTTP now, so garbage input is an expected
+    condition, not a crash.
+    """
+
+
 @dataclass(frozen=True)
 class CrashArtifact:
     """A recorded crashing schedule: reproducer + crash identity + events."""
@@ -94,26 +106,54 @@ class CrashArtifact:
 
     @classmethod
     def from_json(cls, text: str) -> "CrashArtifact":
-        payload = json.loads(text)
-        if payload.get("kind") != ARTIFACT_KIND:
-            raise ValueError(f"not a crash artifact: kind={payload.get('kind')!r}")
-        if payload.get("version") != SCHEMA_VERSION:
-            raise ValueError(
-                f"unsupported crash-artifact version {payload.get('version')!r}"
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"not a crash artifact: invalid JSON ({exc})")
+        if not isinstance(payload, dict):
+            raise ArtifactError(
+                "not a crash artifact: expected a JSON object, got "
+                f"{type(payload).__name__}"
             )
-        crash = payload["crash"]
-        return cls(
-            reproducer=Reproducer.from_json(json.dumps(payload["reproducer"])),
-            title=crash["title"],
-            oracle=crash["oracle"],
-            function=crash["function"],
-            inst_addr=crash["inst_addr"],
-            event_index=crash["event_index"],
-            reordered_insns=tuple(crash["reordered_insns"]),
-            hypothetical_barrier=crash["hypothetical_barrier"],
-            barrier_test=crash["barrier_test"],
-            schedule=payload["schedule"],
-        )
+        if payload.get("kind") != ARTIFACT_KIND:
+            raise ArtifactError(
+                f"not a crash artifact: kind={payload.get('kind')!r} "
+                f"(expected {ARTIFACT_KIND!r})"
+            )
+        version = payload.get("version")
+        if version != SCHEMA_VERSION:
+            hint = (
+                " — the artifact is newer than this tool; upgrade repro"
+                if isinstance(version, int) and version > SCHEMA_VERSION
+                else ""
+            )
+            raise ArtifactError(
+                f"unsupported crash-artifact schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION}){hint}"
+            )
+        try:
+            crash = payload["crash"]
+            return cls(
+                reproducer=Reproducer.from_json(json.dumps(payload["reproducer"])),
+                title=crash["title"],
+                oracle=crash["oracle"],
+                function=crash["function"],
+                inst_addr=crash["inst_addr"],
+                event_index=crash["event_index"],
+                reordered_insns=tuple(crash["reordered_insns"]),
+                hypothetical_barrier=crash["hypothetical_barrier"],
+                barrier_test=crash["barrier_test"],
+                schedule=payload["schedule"],
+            )
+        except ArtifactError:
+            raise
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            # A malformed field inside an otherwise well-versioned
+            # payload: name the offender instead of tracebacking.
+            detail = (
+                f"missing field {exc}" if isinstance(exc, KeyError) else str(exc)
+            )
+            raise ArtifactError(f"malformed crash artifact: {detail}")
 
     def save(self, path: str) -> None:
         with open(path, "w") as fh:
@@ -123,6 +163,45 @@ class CrashArtifact:
     def load(cls, path: str) -> "CrashArtifact":
         with open(path) as fh:
             return cls.from_json(fh.read())
+
+
+def artifact_slug(title: str) -> str:
+    """Filesystem-safe stem for a crash title's artifact file."""
+    import re
+
+    return re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:64]
+
+
+def dump_artifacts(crashdb, patched, outdir: str) -> List[str]:
+    """Write each unique crash's schedule artifact as JSON under outdir.
+
+    Returns the written paths.  Shared by ``repro fuzz --artifacts`` and
+    the service's per-campaign artifact store: crashes recorded with an
+    attached artifact save directly; crashes holding only a reproducer
+    are re-run against a fresh image to record one (a re-run that no
+    longer crashes — e.g. the bug was patched meanwhile — is skipped).
+    """
+    import os
+
+    os.makedirs(outdir, exist_ok=True)
+    image = None
+    written: List[str] = []
+    for title in crashdb.unique_titles:
+        rec = crashdb.records[title]
+        artifact = rec.artifact
+        if artifact is None and rec.reproducer is not None:
+            if image is None:
+                image = KernelImage(KernelConfig(patched=frozenset(patched)))
+            try:
+                artifact = rec.reproducer.record_artifact(image)
+            except ValueError:
+                continue
+        if artifact is None:
+            continue
+        path = os.path.join(outdir, f"{artifact_slug(title)}.json")
+        artifact.save(path)
+        written.append(path)
+    return written
 
 
 def record_crash_artifact(

@@ -26,6 +26,8 @@ class TestParser:
              "--checkpoint-every", "3", "--max-retries", "1"],
             ["fuzz", "--resume", "ckpt"],
             ["docs", "--check"],
+            ["serve", "--port", "0", "--state-dir", "d",
+             "--max-concurrent", "1"],
         ],
         ids=lambda a: a[0],
     )
@@ -162,6 +164,25 @@ class TestReplay:
         assert main(["replay", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_replay_garbage_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json at all")
+        assert main(["replay", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "invalid JSON" in err
+
+    def test_replay_future_schema_exits_2_with_hint(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(
+            {"kind": "ozz-crash-artifact", "version": 99}
+        ))
+        assert main(["replay", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "schema version 99" in err
+        assert "newer than this tool" in err
+
     def test_replay_missing_file_is_io_error(self, tmp_path):
         assert main(["replay", str(tmp_path / "missing.json")]) == 2
 
@@ -204,34 +225,86 @@ class TestSupervisedFuzz:
         assert "tests in" in captured.out  # survivors still merged
 
 
+def seeded_service_md(tmp_path):
+    """A minimal service doc with the generated-section markers."""
+    from repro.docsgen import REST_BEGIN, REST_END
+
+    path = tmp_path / "service.md"
+    path.write_text(f"# service\n\nprose\n\n{REST_BEGIN}\n{REST_END}\n\nmore\n")
+    return str(path)
+
+
 class TestDocs:
     def test_docs_writes_and_checks(self, tmp_path, capsys):
         path = str(tmp_path / "cli.md")
-        assert main(["docs", "--out", path]) == 0
-        assert main(["docs", "--out", path, "--check"]) == 0
+        svc = seeded_service_md(tmp_path)
+        assert main(["docs", "--out", path, "--service-out", svc]) == 0
+        assert main(["docs", "--out", path, "--service-out", svc,
+                     "--check"]) == 0
         text = open(path).read()
         assert "repro fuzz" in text and "--resume" in text
+        assert "repro serve" in text
+
+    def test_docs_fills_rest_section_between_markers(self, tmp_path):
+        path = str(tmp_path / "cli.md")
+        svc = seeded_service_md(tmp_path)
+        assert main(["docs", "--out", path, "--service-out", svc]) == 0
+        text = open(svc).read()
+        assert "GET /api/health" in text
+        assert "POST /api/campaigns" in text
+        # hand-written prose around the markers is preserved
+        assert text.startswith("# service\n\nprose\n")
+        assert text.rstrip().endswith("more")
 
     def test_docs_check_detects_staleness(self, tmp_path, capsys):
         path = str(tmp_path / "cli.md")
-        assert main(["docs", "--out", path]) == 0
+        svc = seeded_service_md(tmp_path)
+        assert main(["docs", "--out", path, "--service-out", svc]) == 0
         with open(path, "a") as fh:
             fh.write("drift\n")
         capsys.readouterr()
-        assert main(["docs", "--out", path, "--check"]) == 1
+        assert main(["docs", "--out", path, "--service-out", svc,
+                     "--check"]) == 1
         assert "stale" in capsys.readouterr().err
 
-    def test_docs_check_missing_file(self, tmp_path, capsys):
-        assert main(["docs", "--out", str(tmp_path / "no.md"),
+    def test_docs_check_detects_stale_rest_section(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.md")
+        svc = seeded_service_md(tmp_path)
+        assert main(["docs", "--out", path, "--service-out", svc]) == 0
+        # un-fill the generated section: markers intact, content gone
+        seeded_service_md(tmp_path)
+        capsys.readouterr()
+        assert main(["docs", "--out", path, "--service-out", svc,
                      "--check"]) == 1
+        assert "route table changed" in capsys.readouterr().err
+
+    def test_docs_check_missing_markers(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.md")
+        good = seeded_service_md(tmp_path)
+        assert main(["docs", "--out", path, "--service-out", good]) == 0
+        bad = tmp_path / "bad.md"
+        bad.write_text("# no markers here\n")
+        capsys.readouterr()
+        assert main(["docs", "--out", path, "--service-out", str(bad),
+                     "--check"]) == 1
+        assert "markers" in capsys.readouterr().err
+
+    def test_docs_check_missing_file(self, tmp_path, capsys):
+        svc = seeded_service_md(tmp_path)
+        assert main(["docs", "--out", str(tmp_path / "no.md"),
+                     "--service-out", svc, "--check"]) == 1
         assert "does not exist" in capsys.readouterr().err
 
-    def test_committed_cli_md_is_current(self):
-        # The repo's docs/cli.md must match the live argparse tree; CI
-        # enforces this, but catch it locally first.
+    def test_committed_docs_are_current(self):
+        # The repo's docs/cli.md must match the live argparse tree and
+        # docs/service.md's generated section must match the route
+        # table; CI enforces this, but catch it locally first.
         import os
 
-        from repro.docsgen import check_cli_markdown
+        from repro.docsgen import check_cli_markdown, check_service_markdown
 
-        path = os.path.join(os.path.dirname(__file__), "..", "docs", "cli.md")
-        assert check_cli_markdown(build_parser(), path) is None
+        docs = os.path.join(os.path.dirname(__file__), "..", "docs")
+        assert check_cli_markdown(
+            build_parser(), os.path.join(docs, "cli.md")
+        ) is None
+        assert check_service_markdown(os.path.join(docs, "service.md")) is None

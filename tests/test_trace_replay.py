@@ -15,6 +15,7 @@ from repro.fuzzer.fuzzer import OzzFuzzer
 from repro.kernel.kernel import KernelImage
 from repro.trace.replayer import (
     ARTIFACT_KIND,
+    ArtifactError,
     CrashArtifact,
     record_crash_artifact,
     replay_artifact,
@@ -154,3 +155,44 @@ class TestRecordingAPI:
         a = rec.reproducer.record_artifact(image)
         b = rec.reproducer.record_artifact(image)
         assert a.to_json() == b.to_json()
+
+
+class TestArtifactErrors:
+    """Garbage in must produce :class:`ArtifactError`, never a raw
+    ``KeyError``/``TypeError`` traceback — artifacts travel over HTTP
+    and the CLI now, so malformed input is an expected condition."""
+
+    def test_garbage_is_artifact_error(self):
+        with pytest.raises(ArtifactError, match="invalid JSON"):
+            CrashArtifact.from_json("{definitely not json")
+
+    def test_non_object_payload(self):
+        with pytest.raises(ArtifactError, match="expected a JSON object"):
+            CrashArtifact.from_json("[1, 2, 3]")
+
+    def test_wrong_kind_names_both_kinds(self):
+        with pytest.raises(ArtifactError, match=ARTIFACT_KIND):
+            CrashArtifact.from_json('{"kind": "something-else"}')
+
+    def test_future_version_suggests_upgrade(self):
+        with pytest.raises(ArtifactError, match="newer than this tool"):
+            CrashArtifact.from_json(
+                json.dumps({"kind": ARTIFACT_KIND, "version": 99})
+            )
+
+    def test_old_or_junk_version_has_no_upgrade_hint(self):
+        with pytest.raises(ArtifactError) as excinfo:
+            CrashArtifact.from_json(
+                json.dumps({"kind": ARTIFACT_KIND, "version": "one"})
+            )
+        assert "newer than this tool" not in str(excinfo.value)
+
+    def test_missing_field_is_named(self, fuzzed):
+        payload = json.loads(ooo_record(fuzzed).artifact.to_json())
+        del payload["crash"]["title"]
+        with pytest.raises(ArtifactError, match="missing field 'title'"):
+            CrashArtifact.from_json(json.dumps(payload))
+
+    def test_artifact_error_is_a_value_error(self):
+        # `repro replay` and older call sites catch ValueError.
+        assert issubclass(ArtifactError, ValueError)
